@@ -1,0 +1,40 @@
+"""Ablations over FragDroid's mechanisms (DESIGN.md experiment index).
+
+Disables reflection switching, forced starts, and the Case 3 click sweep
+in turn, and adds the analyst-filled input file, on the three apps whose
+obstacles isolate each mechanism.
+"""
+
+from repro.bench import run_ablation
+
+
+def _by(rows, package, variant):
+    for row in rows:
+        if row["package"] == package and row["variant"] == variant:
+            return row
+    raise KeyError((package, variant))
+
+
+def test_ablation(benchmark, save_result):
+    ablation = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    save_result("ablation", ablation.render())
+    rows = ablation.rows
+
+    apm = "com.advancedprocessmanager"
+    cnn = "com.cnn.mobile.android.phone"
+    weather = "com.weather.Weather"
+
+    # Reflection contributes fragments on the app with menu-only panes.
+    assert (_by(rows, apm, "no-reflection")["fragments"]
+            < _by(rows, apm, "full")["fragments"])
+    # Forced starts contribute activities on the NavigationView app.
+    assert (_by(rows, cnn, "no-forced-start")["activities"]
+            < _by(rows, cnn, "full")["activities"])
+    # The analyst input file unlocks weather's strict-input gates.
+    assert (_by(rows, weather, "analyst-inputs")["activities"]
+            > _by(rows, weather, "full")["activities"])
+    # Without the click sweep, forced starts still recover the exported
+    # activities, but dynamic exploration collapses: far fewer events
+    # fire because no widget is ever exercised.
+    assert (_by(rows, cnn, "no-click-sweep")["events"]
+            < _by(rows, cnn, "full")["events"] / 2)

@@ -1,0 +1,32 @@
+"""Static-phase micro-benchmarks: AFTM extraction throughput.
+
+Times the full Static Information Extraction (Apktool decode, effective
+components, Algorithm 1 edges, Algorithms 2–3 dependencies) on the
+largest evaluation app — the phase a market-scale deployment repeats per
+APK.
+"""
+
+from repro.apk import build_apk
+from repro.corpus import build_table1_app
+from repro.static import extract_static_info
+from repro.static.aftm import EdgeKind
+
+
+def test_aftm_extraction_largest_app(benchmark):
+    apk = build_apk(build_table1_app("com.ovuline.pregnancy"))
+    info = benchmark(extract_static_info, apk)
+    assert len(info.activities) == 27
+    assert len(info.fragments) == 37
+    assert info.aftm.edges_of_kind(EdgeKind.E2)
+
+
+def test_aftm_extraction_median_app(benchmark):
+    apk = build_apk(build_table1_app("com.aircrunch.shopalerts"))
+    info = benchmark(extract_static_info, apk)
+    assert len(info.activities) == 10
+
+
+def test_apk_compile_largest_app(benchmark):
+    build = lambda: build_apk(build_table1_app("com.ovuline.pregnancy"))
+    apk = benchmark(build)
+    assert apk.package == "com.ovuline.pregnancy"

@@ -1,0 +1,40 @@
+"""AFTM model statistics across the corpus (Figure 5 generalised).
+
+For every evaluation app: model size, edge-kind mix, diameter, and how
+much of the statically-predicted model the dynamic phase converted into
+concrete click triggers.
+"""
+
+from repro.bench.parallel import explore_many
+from repro.corpus import TABLE1_PLANS
+from repro.static.metrics import compute_metrics
+
+
+def _collect():
+    results = explore_many(TABLE1_PLANS, max_workers=4)
+    return {
+        package: compute_metrics(result.aftm)
+        for package, result in results.items()
+    }
+
+
+def test_aftm_metrics(benchmark, save_result):
+    metrics = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    header = (
+        f"{'package':34} {'A':>3} {'F':>3} {'E1':>4} {'E2':>4} {'E3':>4} "
+        f"{'diam':>5} {'visit%':>7} {'dyn%':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for package, m in sorted(metrics.items()):
+        lines.append(
+            f"{package:34} {m.activities:>3} {m.fragments:>3} "
+            f"{m.e1:>4} {m.e2:>4} {m.e3:>4} {m.diameter:>5} "
+            f"{m.visited_ratio:>7.1%} {m.dynamic_edge_ratio:>6.1%}"
+        )
+    save_result("aftm_metrics", "\n".join(lines))
+
+    # Every model has E2 edges (they all host fragments), and the
+    # dynamic phase upgraded at least some static edges to clicks.
+    assert all(m.e2 > 0 for m in metrics.values())
+    assert sum(m.e3 for m in metrics.values()) > 0
+    assert any(m.dynamic_edge_ratio > 0.2 for m in metrics.values())

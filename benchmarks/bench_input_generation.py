@@ -1,0 +1,54 @@
+"""Extension bench: input-generation strategies (paper Section VIII).
+
+The paper names better input generation as future work; this bench
+measures the implemented heuristic generator against the default "abc"
+filler and the analyst input file on com.weather.Weather, whose strict
+inputs the paper singles out.
+"""
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.apk import build_apk
+from repro.corpus import build_table1_app
+from repro.corpus.synth import LOGIN_SECRET
+
+
+def _run_strategies():
+    package = "com.weather.Weather"
+    secrets = {f"password_{i:02d}": LOGIN_SECRET for i in range(4)}
+    variants = {
+        "default": FragDroidConfig(),
+        "heuristic": FragDroidConfig(input_strategy="heuristic"),
+        "analyst": FragDroidConfig(input_values=secrets),
+        "analyst+heuristic": FragDroidConfig(
+            input_values=secrets, input_strategy="heuristic"
+        ),
+    }
+    out = {}
+    for name, config in variants.items():
+        result = FragDroid(Device(), config).explore(
+            build_apk(build_table1_app(package))
+        )
+        out[name] = result
+    return out
+
+
+def test_input_generation(benchmark, save_result):
+    results = benchmark.pedantic(_run_strategies, rounds=1, iterations=1)
+    lines = [f"{'strategy':20} {'activities':>11} {'events':>7}"]
+    for name, result in results.items():
+        lines.append(
+            f"{name:20} "
+            f"{len(result.visited_activities):4d}/{result.activity_total:<4d}"
+            f" {result.stats.events:>7}"
+        )
+    save_result("input_generation", "\n".join(lines))
+
+    default = len(results["default"].visited_activities)
+    heuristic = len(results["heuristic"].visited_activities)
+    analyst = len(results["analyst"].visited_activities)
+    combined = len(results["analyst+heuristic"].visited_activities)
+    # The heuristic unlocks the rule-gated searches; the analyst file
+    # unlocks the exact-secret logins; together they open everything.
+    assert heuristic > default
+    assert analyst > default
+    assert combined == results["default"].activity_total

@@ -1,0 +1,55 @@
+"""Scale characteristics: a market-sized app and sweep cost growth.
+
+The paper contrasts its cost with A3E's 87–104 minutes per app; on our
+substrate absolute times are not comparable, but the *growth* of
+exploration cost with app size is, and it should stay near-linear in
+the number of interfaces (each interface is processed once — the
+processed-signature set guards against re-sweeps).
+"""
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.apk import build_apk
+from repro.corpus.synth import AppPlan, build_app
+
+
+def _plan(n_activities: int, n_fragments: int) -> AppPlan:
+    return AppPlan(
+        package=f"com.scale.a{n_activities}f{n_fragments}",
+        visited_activities=n_activities,
+        visited_fragments=n_fragments,
+    )
+
+
+def test_large_app_exploration(benchmark):
+    """A 60-activity / 40-fragment app — well past the corpus maximum."""
+    apk = build_apk(build_app(_plan(60, 40)))
+
+    def explore():
+        return FragDroid(Device(),
+                         FragDroidConfig(max_events=60000)).explore(apk)
+
+    result = benchmark.pedantic(explore, rounds=1, iterations=1)
+    assert len(result.visited_activities) == 60
+    assert len(result.visited_fragments) == 40
+
+
+def test_exploration_cost_near_linear(benchmark, save_result):
+    def sweep():
+        costs = {}
+        for size in (5, 10, 20, 40):
+            apk = build_apk(build_app(_plan(size, size // 2)))
+            result = FragDroid(
+                Device(), FragDroidConfig(max_events=60000)
+            ).explore(apk)
+            assert len(result.visited_activities) == size
+            costs[size] = result.stats.events
+        return costs
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'activities':>10} {'events':>8} {'events/activity':>16}"]
+    for size, events in costs.items():
+        lines.append(f"{size:>10} {events:>8} {events / size:>16.1f}")
+    save_result("scale", "\n".join(lines))
+    # Per-activity cost must not blow up with app size (no re-sweeps).
+    per_activity = [events / size for size, events in costs.items()]
+    assert max(per_activity) < 4 * min(per_activity)

@@ -1,0 +1,26 @@
+"""Market-scale static throughput (Section VII-A: 217 apps analyzed).
+
+Times the usage-study sweep — decode + fragment scan over the whole
+market — and a single exploration run, the two phases whose cost governs
+a large-scale deployment.
+"""
+
+from repro import Device, FragDroid
+from repro.apk import build_apk
+from repro.bench import run_usage_study
+from repro.corpus import build_table1_app
+
+
+def test_market_sweep_throughput(benchmark):
+    study = benchmark.pedantic(run_usage_study, rounds=1, iterations=1)
+    assert study.total == 217
+
+
+def test_single_app_exploration(benchmark):
+    def explore():
+        return FragDroid(Device()).explore(
+            build_apk(build_table1_app("com.inditex.zara"))
+        )
+
+    result = benchmark.pedantic(explore, rounds=3, iterations=1)
+    assert len(result.visited_activities) == 7

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Regression testing with the generated suite.
+
+Explore version 1 of an app once; when "version 2" ships (here:
+mutated specs standing in for developer changes), replay the suite and
+read the regression report.
+
+Run:  python examples/regression_check.py
+"""
+
+from repro import Device, FragDroid
+from repro.apk import build_apk
+from repro.core.regression import run_regression
+from repro.corpus import demo_tabbed_app
+from repro.corpus.mutations import inject_crash, rename_widget
+
+
+def main() -> None:
+    spec_v1 = demo_tabbed_app()
+    print("exploring v1 once to generate the suite...")
+    baseline = FragDroid(Device()).explore(build_apk(spec_v1))
+    print(f"suite: {len(baseline.passing_test_cases)} passing test cases\n")
+
+    print("=== v2a: developer renamed tab_recent -> tab_latest ===")
+    v2a = rename_widget(demo_tabbed_app(), "tab_recent", "tab_latest")
+    print(run_regression(baseline, build_apk(v2a)).render())
+
+    print("\n=== v2b: developer introduced a crash on the category row ===")
+    v2b = inject_crash(demo_tabbed_app(), "category_row")
+    print(run_regression(baseline, build_apk(v2b)).render())
+
+    print("\n=== v2c: no behavioural change (refactor only) ===")
+    print(run_regression(baseline, build_apk(demo_tabbed_app())).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""FragDroid reproduction (DSN 2018).
+
+A complete Python implementation of *FragDroid: Automated User Interface
+Interaction with Activity and Fragment Analysis in Android Applications*
+(Chen, Han, Guo, Diao — DSN 2018), together with every substrate the paper
+depends on: an APK package model and smali toolchain, an Android UI runtime
+emulator, adb/Robotium-style drivers, the static extraction pipeline, the
+evolutionary explorer, baselines, and the evaluation corpus.
+
+Quickstart::
+
+    from repro import FragDroid, Device
+    from repro.corpus import demo_tabbed_app
+    from repro.apk import build_apk
+
+    device = Device()
+    apk = build_apk(demo_tabbed_app())
+    result = FragDroid(device).explore(apk)
+    print(result.coverage_report())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AFTM",
+    "Adb",
+    "Device",
+    "ExplorationResult",
+    "FragDroid",
+    "FragDroidConfig",
+    "Solo",
+    "build_apk",
+    "__version__",
+]
+
+# Lazy re-exports keep `import repro` cheap and avoid import cycles while
+# still offering the flat public API shown in the docstring.
+_EXPORTS = {
+    "AFTM": ("repro.static.aftm", "AFTM"),
+    "Adb": ("repro.adb.bridge", "Adb"),
+    "Device": ("repro.android.device", "Device"),
+    "ExplorationResult": ("repro.core.explorer", "ExplorationResult"),
+    "FragDroid": ("repro.core.explorer", "FragDroid"),
+    "FragDroidConfig": ("repro.core.config", "FragDroidConfig"),
+    "Solo": ("repro.robotium.solo", "Solo"),
+    "build_apk": ("repro.apk.builder", "build_apk"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

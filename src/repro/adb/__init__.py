@@ -1,0 +1,13 @@
+"""ADB bridge and manifest instrumentation.
+
+The paper drives the test phone through three ADB-based methods
+(Section VI-A): launching the entry Activity, running instrumented test
+packages (``am instrument``), and forcibly starting Activities whose
+manifest FragDroid rewrote to carry a MAIN action.  This subpackage
+reproduces all three.
+"""
+
+from repro.adb.bridge import Adb
+from repro.adb.instrumentation import instrument_manifest
+
+__all__ = ["Adb", "instrument_manifest"]

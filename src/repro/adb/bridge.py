@@ -1,0 +1,116 @@
+"""The Android Debug Bridge, as a thin command layer over the device.
+
+Mirrors the command surface the paper uses:
+
+* ``adb install`` / ``adb uninstall``;
+* ``am start -n <COMPONENT> -a android.intent.action.MAIN -c
+  android.intent.category.LAUNCHER`` to launch the entry Activity;
+* ``am start -n <COMPONENT>`` for forced starts (after manifest
+  instrumentation);
+* ``am instrument -w <TestPackageName> ...`` to run a packaged
+  Robotium test;
+* ``adb logcat``.
+
+Every call also records the equivalent shell command line, so a run's
+command transcript can be inspected — useful in tests and reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.android.device import Device
+from repro.apk.package import ApkPackage
+from repro.errors import ActivityNotFoundError, DeviceError, SecurityException
+from repro.types import ComponentName
+
+
+class Adb:
+    """A bridge bound to one device."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self.command_log: List[str] = []
+        self._instrumentation: Dict[str, Callable[[], None]] = {}
+
+    # -- package management ----------------------------------------------------
+
+    def install(self, apk: ApkPackage) -> str:
+        self.command_log.append(f"adb install {apk.apk_name}")
+        self.device.install(apk)
+        return "Success"
+
+    def uninstall(self, package: str) -> str:
+        self.command_log.append(f"adb uninstall {package}")
+        self.device.uninstall(package)
+        return "Success"
+
+    # -- activity manager ---------------------------------------------------------
+
+    def am_start(
+        self,
+        component: str,
+        action: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> bool:
+        """``am start -n <COMPONENT> [-a ACTION] [-c CATEGORY]``.
+
+        Returns True when the target Activity became resident.  Raises
+        :class:`SecurityException` for non-exported targets (real ``am``
+        prints the same error) and :class:`ActivityNotFoundError` for
+        unknown components.
+        """
+        parts = [f"adb shell am start -n {component}"]
+        if action:
+            parts.append(f"-a {action}")
+        if category:
+            parts.append(f"-c {category}")
+        self.command_log.append(" ".join(parts))
+        name = ComponentName.parse(component)
+        return self.device.start_activity(name, action=action)
+
+    def am_start_launcher(self, package: str) -> bool:
+        """The paper's app-launch command: MAIN action, LAUNCHER category."""
+        launcher = self.device.manifest_of(package).launcher_activity
+        if launcher is None:
+            raise ActivityNotFoundError(f"{package}: no launcher")
+        return self.am_start(
+            f"{package}/{launcher.name}",
+            action="android.intent.action.MAIN",
+            category="android.intent.category.LAUNCHER",
+        )
+
+    def am_force_start(self, component: str) -> bool:
+        """Forced start with an *empty* Intent (Section VI-C)."""
+        return self.am_start(component)
+
+    # -- instrumentation ---------------------------------------------------------------
+
+    def register_instrumentation(self, test_package: str,
+                                 runner: Callable[[], None]) -> None:
+        """Register a packaged test (the Ant-built Robotium APK of
+        Section VI-A).  ``runner`` replays the packaged test case."""
+        self._instrumentation[test_package] = runner
+
+    def am_instrument(self, test_package: str) -> None:
+        """``am instrument -w <TestPackageName>
+        android.test.InstrumentationTestRunner``"""
+        self.command_log.append(
+            f"adb shell am instrument -w {test_package} "
+            "android.test.InstrumentationTestRunner"
+        )
+        try:
+            runner = self._instrumentation[test_package]
+        except KeyError:
+            raise DeviceError(
+                f"instrumentation {test_package} not installed"
+            ) from None
+        runner()
+
+    # -- logs --------------------------------------------------------------------------------
+
+    def logcat(self, tag: Optional[str] = None) -> List[str]:
+        self.command_log.append(
+            "adb logcat" + (f" -s {tag}" if tag else "")
+        )
+        return [str(e) for e in self.device.logcat.entries(tag=tag)]

@@ -1,0 +1,32 @@
+"""Android UI runtime emulator.
+
+This is the substitute for the paper's customized Android phone: it
+installs :class:`~repro.apk.package.ApkPackage` apps, runs Activity and
+Fragment lifecycles with real FragmentManager/FragmentTransaction
+semantics, resolves Intents against the manifest, lays widgets out with
+deterministic coordinates, models navigation drawers, dialogs, popup
+menus and force-closes, and hooks every sensitive-API invocation
+(the XPrivacy role).
+
+Automation code interacts with the device only through launch / click /
+type / swipe / back and the widget-tree dump — the same observation
+channel an instrumented phone gives FragDroid.
+"""
+
+from repro.android.api_monitor import ApiMonitor
+from repro.android.device import Device
+from repro.android.intent import Intent
+from repro.android.logcat import Logcat, LogEntry
+from repro.android.reflection import reflective_fragment_switch
+from repro.android.views import Rect, RuntimeWidget
+
+__all__ = [
+    "ApiMonitor",
+    "Device",
+    "Intent",
+    "LogEntry",
+    "Logcat",
+    "Rect",
+    "RuntimeWidget",
+    "reflective_fragment_switch",
+]

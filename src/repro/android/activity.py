@@ -1,0 +1,214 @@
+"""Runtime Activity instances: lifecycle, view tree, overlays, drawer.
+
+An ActivityInstance owns its content widgets, a FragmentManager for
+managed fragments, a list of *directly attached* (unmanaged) fragments,
+modal overlays (dialogs and popup menus) and the navigation-drawer
+state.  :meth:`visible_widgets` is the single source of truth for what
+is on screen, with the modality rules the paper's Case 3 relies on:
+dialogs/popups eclipse everything; an open drawer eclipses the content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.apk.appspec import ActivitySpec, WidgetSpec
+from repro.android.fragment import FragmentInstance
+from repro.android.fragment_manager import FragmentManager
+from repro.android.intent import Intent
+from repro.android.views import (
+    RuntimeWidget,
+    dialog_bounds,
+    layout_content,
+    layout_dialog,
+    layout_drawer,
+    Rect,
+    synthetic_id,
+)
+from repro.types import ComponentName, InvocationSource, WidgetKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.app_runtime import AppProcess
+
+
+@dataclass
+class Overlay:
+    """A modal dialog or popup menu."""
+
+    kind: str  # "dialog" | "popup"
+    message: str
+    widgets: List[RuntimeWidget] = field(default_factory=list)
+    window: Rect = field(default_factory=lambda: dialog_bounds(1))
+
+
+class ActivityInstance:
+    """One live Activity on the stack."""
+
+    def __init__(self, spec: ActivitySpec, app: "AppProcess",
+                 intent: Intent) -> None:
+        self.spec = spec
+        self.app = app
+        self.intent = intent
+        self.class_name = app.spec.qualify(spec.name)
+        self.fragment_manager = FragmentManager(self)
+        self.direct_fragments: List[FragmentInstance] = []
+        self.overlays: List[Overlay] = []
+        self.drawer_open = False
+        self.finished = False
+        self.content_widgets: List[RuntimeWidget] = []
+        self.drawer_widgets: List[RuntimeWidget] = []
+
+    @property
+    def component(self) -> ComponentName:
+        return ComponentName(self.app.package, self.class_name)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def on_create(self) -> bool:
+        """Run onCreate.  Returns False when the Activity finishes
+        immediately (missing Intent extras under a forced start)."""
+        if self.spec.requires_intent_extras and self.intent.is_empty:
+            self.app.device.logcat.log(
+                "W", "ActivityManager",
+                f"{self.class_name} finished in onCreate: missing extras",
+                self.app.device.steps,
+            )
+            self.finished = True
+            return False
+        device = self.app.device
+        for api in self.spec.api_calls:
+            device.api_monitor.record(
+                api, self.component, InvocationSource.ACTIVITY, device.steps
+            )
+        self._build_content_widgets()
+        if self.spec.initial_fragment:
+            self.app.attach_fragment(
+                self, self.spec.initial_fragment,
+                self.spec.container_id or "fragment_container",
+                mode="replace", via="transaction",
+            )
+        for container, fragment_name in self.spec.panes:
+            self.app.attach_fragment(
+                self, fragment_name, container,
+                mode="add", via="transaction",
+            )
+        return True
+
+    def _build_content_widgets(self) -> None:
+        resources = self.app.resources
+        drawer = self.spec.drawer
+        drawer_item_ids = {w.id for w in drawer.items} if drawer else set()
+        for widget_spec in self.spec.all_widgets():
+            rid = resources.get("id", widget_spec.id)
+            is_drawer_item = widget_spec.id in drawer_item_ids
+            nav_view_row = (is_drawer_item and drawer is not None
+                            and drawer.navigation_view)
+            widget = RuntimeWidget(
+                # NavigationView renders menu rows internally: they carry
+                # runtime IDs, not the layout resource IDs.
+                widget_id=synthetic_id(self.class_name, widget_spec.id)
+                if nav_view_row else widget_spec.id,
+                kind=widget_spec.kind,
+                text=widget_spec.text,
+                owner_class=self.class_name,
+                owner_is_fragment=False,
+                resource_value=None if nav_view_row
+                else (rid.value if rid else None),
+                clickable=not nav_view_row
+                and (widget_spec.on_click is not None
+                     or widget_spec.kind.clickable),
+            )
+            if is_drawer_item:
+                widget.layer = "drawer"
+                self.drawer_widgets.append(widget)
+            else:
+                self.content_widgets.append(widget)
+            if not nav_view_row:
+                self.app.register_handler(widget, widget_spec, owner=self)
+
+    # -- fragments ------------------------------------------------------------
+
+    def all_fragments(self) -> List[FragmentInstance]:
+        return self.fragment_manager.fragments() + list(self.direct_fragments)
+
+    # -- overlays ----------------------------------------------------------------
+
+    def show_dialog(self, message: str, buttons: List[WidgetSpec],
+                    shown_by_class: str, shown_by_fragment: bool) -> Overlay:
+        overlay = Overlay(kind="dialog", message=message)
+        self._populate_overlay(overlay, buttons, shown_by_class,
+                               shown_by_fragment)
+        self.overlays.append(overlay)
+        return overlay
+
+    def show_popup(self, items: List[WidgetSpec], shown_by_class: str,
+                   shown_by_fragment: bool) -> Overlay:
+        overlay = Overlay(kind="popup", message="")
+        self._populate_overlay(overlay, items, shown_by_class,
+                               shown_by_fragment)
+        self.overlays.append(overlay)
+        return overlay
+
+    def _populate_overlay(self, overlay: Overlay, specs: List[WidgetSpec],
+                          owner_class: str, owner_is_fragment: bool) -> None:
+        if overlay.kind == "dialog":
+            # Every AlertDialog shows its message; a button-less builder
+            # still gets the default OK button.
+            message_row = RuntimeWidget(
+                widget_id=synthetic_id(owner_class, "dialog_message"),
+                kind=WidgetKind.TEXT_VIEW,
+                text=overlay.message,
+                owner_class=owner_class,
+                owner_is_fragment=owner_is_fragment,
+                clickable=False,
+                layer="dialog",
+            )
+            overlay.widgets.append(message_row)
+            if not specs:
+                specs = [WidgetSpec(id="dialog_ok", text="OK")]
+        for widget_spec in specs:
+            widget = RuntimeWidget(
+                widget_id=synthetic_id(owner_class, widget_spec.id),
+                kind=widget_spec.kind,
+                text=widget_spec.text or widget_spec.id,
+                owner_class=owner_class,
+                owner_is_fragment=owner_is_fragment,
+                resource_value=None,
+                clickable=True,
+                layer=overlay.kind,
+            )
+            overlay.widgets.append(widget)
+            self.app.register_handler(widget, widget_spec, owner=self)
+        overlay.window = dialog_bounds(len(overlay.widgets))
+        layout_dialog(overlay.widgets)
+
+    def dismiss_top_overlay(self) -> bool:
+        if self.overlays:
+            self.overlays.pop()
+            return True
+        return False
+
+    @property
+    def top_overlay(self) -> Optional[Overlay]:
+        return self.overlays[-1] if self.overlays else None
+
+    # -- screen ----------------------------------------------------------------------
+
+    def visible_widgets(self) -> List[RuntimeWidget]:
+        """What is on screen right now, layout refreshed."""
+        overlay = self.top_overlay
+        if overlay is not None:
+            layout_dialog(overlay.widgets)
+            return list(overlay.widgets)
+        if self.drawer_open:
+            layout_drawer(self.drawer_widgets)
+            return list(self.drawer_widgets)
+        widgets = list(self.content_widgets)
+        for fragment in self.all_fragments():
+            widgets.extend(fragment.widgets)
+        layout_content(widgets)
+        return widgets
+
+    def __repr__(self) -> str:
+        return f"<Activity {self.spec.name}>"

@@ -1,0 +1,59 @@
+"""Structured input-event logging (the ``adb shell getevent`` analogue).
+
+Every input the device receives — taps, text, back presses, swipes,
+activity starts — is recorded with its step number and payload.  The
+explorer, Monkey, and the recorder all feed it implicitly; tests and
+post-mortems read it to reconstruct exactly what a run injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class InputEvent:
+    """One injected input event."""
+
+    step: int
+    kind: str        # tap | click | text | back | swipe | start
+    x: int = 0
+    y: int = 0
+    target: str = "" # widget id or component
+    text: str = ""
+
+    def __str__(self) -> str:
+        if self.kind == "tap":
+            return f"{self.step:06d} tap ({self.x},{self.y})"
+        if self.kind == "text":
+            return f"{self.step:06d} text {self.target}={self.text!r}"
+        if self.target:
+            return f"{self.step:06d} {self.kind} {self.target}"
+        return f"{self.step:06d} {self.kind}"
+
+
+class EventLog:
+    """Append-only input-event history."""
+
+    def __init__(self) -> None:
+        self._events: List[InputEvent] = []
+
+    def record(self, event: InputEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[InputEvent]:
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> List[InputEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def since(self, step: int) -> List[InputEvent]:
+        return [e for e in self._events if e.step >= step]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def dump(self) -> str:
+        return "\n".join(str(e) for e in self._events)

@@ -1,0 +1,79 @@
+"""Runtime Fragment instances.
+
+A Fragment instance is created when a FragmentTransaction commits (or,
+for unmanaged fragments, when the app attaches the view directly); its
+``onCreateView`` builds runtime widgets and fires the fragment's
+sensitive-API calls through the monitor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.apk.appspec import FragmentSpec
+from repro.android.views import RuntimeWidget, synthetic_id
+from repro.types import ComponentName, InvocationSource, WidgetKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.android.activity import ActivityInstance
+
+
+class FragmentInstance:
+    """One attached Fragment."""
+
+    def __init__(self, spec: FragmentSpec, host: "ActivityInstance",
+                 container_id: str, via: str) -> None:
+        self.spec = spec
+        self.host = host
+        self.container_id = container_id
+        self.via = via  # "transaction" | "direct" | "reflection"
+        self.class_name = host.app.spec.qualify(spec.name)
+        self.widgets: List[RuntimeWidget] = []
+        self._created = False
+
+    @property
+    def component(self) -> ComponentName:
+        return ComponentName(self.host.app.package, self.class_name)
+
+    @property
+    def managed(self) -> bool:
+        return self.spec.managed
+
+    def on_create_view(self) -> None:
+        """Inflate widgets and run the fragment's onCreateView API calls."""
+        if self._created:
+            return
+        self._created = True
+        device = self.host.app.device
+        for api in self.spec.api_calls:
+            device.api_monitor.record(
+                api, self.component, InvocationSource.FRAGMENT, device.steps
+            )
+        resources = self.host.app.resources
+        for widget_spec in self.spec.widgets:
+            if self.managed:
+                rid = resources.get("id", widget_spec.id)
+                widget_id = widget_spec.id
+                resource_value = rid.value if rid else None
+            else:
+                # Programmatic views: IDs generated at runtime, invisible
+                # to the resource dependency (the dubsmash failure mode).
+                widget_id = synthetic_id(self.class_name, widget_spec.id)
+                resource_value = None
+            self.widgets.append(
+                RuntimeWidget(
+                    widget_id=widget_id,
+                    kind=widget_spec.kind,
+                    text=widget_spec.text,
+                    owner_class=self.class_name,
+                    owner_is_fragment=True,
+                    resource_value=resource_value,
+                    clickable=widget_spec.on_click is not None
+                    or widget_spec.kind.clickable,
+                )
+            )
+            self.host.app.register_handler(self.widgets[-1], widget_spec,
+                                           owner=self)
+
+    def __repr__(self) -> str:
+        return f"<Fragment {self.spec.name} in {self.host.spec.name}>"

@@ -1,0 +1,42 @@
+"""Intents: the messages that start Activities.
+
+Supports the two forms Algorithm 1 cares about — explicit
+(``new Intent(ctx, Target.class)``) and implicit
+(``new Intent("action.string")`` resolved against the manifest) — plus
+the *empty* Intents FragDroid uses for forced starts (Section VI-C),
+which carry no extras and therefore trip activities that require them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.types import ComponentName
+
+
+@dataclass
+class Intent:
+    """An explicit or implicit intent."""
+
+    component: Optional[ComponentName] = None
+    action: Optional[str] = None
+    extras: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_explicit(self) -> bool:
+        return self.component is not None
+
+    @property
+    def is_empty(self) -> bool:
+        """An 'empty Intent' in the paper's sense: no extras, used for
+        forcible invocation of unvisited Activities."""
+        return not self.extras
+
+    def put_extra(self, key: str, value: str) -> "Intent":
+        self.extras[key] = value
+        return self
+
+    def __str__(self) -> str:
+        target = self.component.flat if self.component else f"action={self.action}"
+        return f"Intent({target}, extras={sorted(self.extras)})"

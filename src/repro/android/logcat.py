@@ -1,0 +1,54 @@
+"""Logcat: the device's line-oriented log buffer.
+
+The explorer reads it the way real FragDroid reads ``adb logcat``: to
+spot force-closes and to trace what the run did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    level: str  # V/D/I/W/E
+    tag: str
+    message: str
+    step: int
+
+    def __str__(self) -> str:
+        return f"{self.step:06d} {self.level}/{self.tag}: {self.message}"
+
+
+class Logcat:
+    """An append-only log with tag/level filtering."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+
+    def log(self, level: str, tag: str, message: str, step: int = 0) -> None:
+        self._entries.append(LogEntry(level, tag, message, step))
+
+    def entries(self, tag: Optional[str] = None,
+                level: Optional[str] = None) -> List[LogEntry]:
+        out = self._entries
+        if tag is not None:
+            out = [e for e in out if e.tag == tag]
+        if level is not None:
+            out = [e for e in out if e.level == level]
+        return list(out)
+
+    def crashes(self) -> List[LogEntry]:
+        """Force-close records (tag AndroidRuntime, level E)."""
+        return [e for e in self._entries
+                if e.tag == "AndroidRuntime" and e.level == "E"]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def dump(self) -> str:
+        return "\n".join(str(e) for e in self._entries)

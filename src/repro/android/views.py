@@ -1,0 +1,122 @@
+"""Runtime view objects and deterministic screen layout.
+
+The emulator lays every visible widget out in a vertical column on a
+1080×1920 screen, giving each a concrete bounding box.  FragDroid's
+Case 3 handling ("get all coordinates of the controls that can be
+clicked … clicking events will be injected from top to bottom, from left
+to right") depends on those coordinates being real and ordered.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.types import WidgetKind
+
+SCREEN_WIDTH = 1080
+SCREEN_HEIGHT = 1920
+ROW_HEIGHT = 120
+TOP_MARGIN = 80
+DRAWER_WIDTH = 560
+DIALOG_MARGIN_X = 140
+DIALOG_TOP = 640
+
+def synthetic_id(owner_class: str, hint: str) -> str:
+    """An ID for widgets created in code with no layout resource (dialog
+    buttons, popup items, NavigationView rows, dubsmash-style
+    programmatic views).  These have no entry in the resource table, so
+    Algorithm 3 cannot bind them to a component.  The value is
+    deterministic per (owner, hint) so identical UI states produce
+    identical widget trees across app restarts — as on a real device,
+    where the *content* of a rebuilt screen is stable even though
+    ``View.generateViewId()`` values are not."""
+    return f"anon:{owner_class.rsplit('.', 1)[-1]}:{hint}"
+
+
+@dataclass(frozen=True)
+class Rect:
+    left: int
+    top: int
+    right: int
+    bottom: int
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.left <= x < self.right and self.top <= y < self.bottom
+
+    @property
+    def center(self) -> Tuple[int, int]:
+        return ((self.left + self.right) // 2, (self.top + self.bottom) // 2)
+
+
+@dataclass
+class RuntimeWidget:
+    """A widget as it exists on screen.
+
+    ``owner`` is the ground-truth owning component class (used by the
+    monitor and the test suite); automation tools must not read it —
+    they identify ownership through the resource dependency, as the
+    paper does.
+    """
+
+    widget_id: str
+    kind: WidgetKind
+    text: str
+    owner_class: str
+    owner_is_fragment: bool
+    resource_value: Optional[int] = None
+    bounds: Rect = field(default_factory=lambda: Rect(0, 0, 0, 0))
+    clickable: bool = True
+    layer: str = "content"  # content | drawer | dialog | popup
+    checked: bool = False
+    entered_text: str = ""
+
+    @property
+    def accepts_text(self) -> bool:
+        return self.kind.accepts_text
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}[{self.widget_id}]"
+
+
+def layout_column(widgets: List[RuntimeWidget], left: int, width: int,
+                  top: int = TOP_MARGIN) -> None:
+    """Assign vertical-stack bounds to a list of widgets, in order."""
+    y = top
+    for widget in widgets:
+        widget.bounds = Rect(left, y, left + width, y + ROW_HEIGHT - 8)
+        y += ROW_HEIGHT
+
+
+def layout_content(widgets: List[RuntimeWidget]) -> None:
+    layout_column(widgets, left=0, width=SCREEN_WIDTH)
+
+
+def layout_drawer(widgets: List[RuntimeWidget]) -> None:
+    layout_column(widgets, left=0, width=DRAWER_WIDTH)
+
+
+def layout_dialog(widgets: List[RuntimeWidget]) -> None:
+    layout_column(
+        widgets,
+        left=DIALOG_MARGIN_X,
+        width=SCREEN_WIDTH - 2 * DIALOG_MARGIN_X,
+        top=DIALOG_TOP,
+    )
+
+
+def dialog_bounds(n_widgets: int) -> Rect:
+    """The modal window's own rectangle; taps outside it are 'blank
+    space' and dismiss the overlay (paper Case 3)."""
+    height = max(1, n_widgets) * ROW_HEIGHT + 40
+    return Rect(DIALOG_MARGIN_X - 20, DIALOG_TOP - 20,
+                SCREEN_WIDTH - DIALOG_MARGIN_X + 20, DIALOG_TOP + height)
+
+
+def widget_at(widgets: List[RuntimeWidget], x: int, y: int) -> Optional[RuntimeWidget]:
+    """Topmost widget containing the point (later layers drawn on top)."""
+    for widget in reversed(widgets):
+        if widget.bounds.contains(x, y):
+            return widget
+    return None

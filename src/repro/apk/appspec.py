@@ -1,0 +1,394 @@
+"""Declarative application specifications.
+
+An :class:`AppSpec` describes an Android app the way its developer wrote
+it: Activities hosting Fragments, widgets with click handlers, navigation
+drawers, login gates, sensitive-API calls.  Two independent consumers use
+a spec:
+
+* :func:`repro.apk.builder.build_apk` *compiles* it into static artifacts
+  (manifest XML, smali classes, layout XML) that the FragDroid static
+  analyzer parses — warts and all (runtime-computed actions, custom
+  fragment factories, packed DEX);
+* :mod:`repro.android.app_runtime` *executes* it inside the device
+  emulator, so the dynamic explorer sees real lifecycle, navigation and
+  API behaviour.
+
+The tool under test only ever touches the compiled artifacts and the
+emulator UI, never the spec itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ApkError
+from repro.types import WidgetKind
+
+FRAGMENT_BASE = "android.app.Fragment"
+SUPPORT_FRAGMENT_BASE = "android.support.v4.app.Fragment"
+ACTIVITY_BASE = "android.app.Activity"
+SUPPORT_ACTIVITY_BASE = "android.support.v4.app.FragmentActivity"
+
+
+# ---------------------------------------------------------------------------
+# Actions: what a click handler does
+# ---------------------------------------------------------------------------
+
+class Action:
+    """Base class for widget behaviours. Purely declarative."""
+
+    def children(self) -> Sequence["Action"]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Noop(Action):
+    """The click is handled but nothing observable happens."""
+
+
+@dataclass(frozen=True)
+class StartActivity(Action):
+    """``startActivity(new Intent(this, Target.class))``.
+
+    ``dynamic`` models targets computed at runtime (class loaded via
+    reflection or a name built from strings): the compiled smali carries
+    no ``const-class``, so static analysis cannot add the edge, but the
+    emulator still performs the transition — exactly the situation that
+    forces AFTM updates during dynamic testing.
+    """
+
+    target: str  # simple or fully-qualified activity class name
+    dynamic: bool = False
+
+
+@dataclass(frozen=True)
+class StartActivityByAction(Action):
+    """``startActivity(new Intent("some.action.STRING"))``."""
+
+    action: str
+    dynamic: bool = False
+
+
+@dataclass(frozen=True)
+class ShowFragment(Action):
+    """A FragmentTransaction replacing/adding a fragment in a container.
+
+    ``add_to_back_stack`` mirrors ``FragmentTransaction.addToBackStack``:
+    the back key then reverses the transaction before popping the
+    Activity.
+    """
+
+    fragment: str
+    container_id: str
+    mode: str = "replace"  # or "add"
+    add_to_back_stack: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("replace", "add"):
+            raise ApkError(f"bad fragment transaction mode: {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class OpenDrawer(Action):
+    """Open the navigation drawer (Figure 2's hidden slide menu)."""
+
+
+@dataclass(frozen=True)
+class ShowDialog(Action):
+    """Pop a modal dialog with the given message and button widgets."""
+
+    message: str
+    buttons: Sequence["WidgetSpec"] = ()
+
+
+@dataclass(frozen=True)
+class ShowPopupMenu(Action):
+    """Anchor a popup menu (the action-bar overflows of Section VII-B)."""
+
+    items: Sequence["WidgetSpec"] = ()
+
+
+@dataclass(frozen=True)
+class InvokeApi(Action):
+    """Invoke a sensitive API (XPrivacy-catalogued) from this component."""
+
+    api: str
+
+
+@dataclass(frozen=True)
+class Crash(Action):
+    """Force-close the app (FC) — Section VI-A's crash handling path."""
+
+    reason: str = "RuntimeException"
+
+
+@dataclass(frozen=True)
+class FinishActivity(Action):
+    """``finish()`` the current activity."""
+
+
+@dataclass(frozen=True)
+class ToggleWidget(Action):
+    """Flip a checkbox/switch state; no navigation effect."""
+
+    widget_id: str
+
+
+@dataclass(frozen=True)
+class Chain(Action):
+    """Run several actions in order (e.g. log an API then navigate)."""
+
+    actions: Sequence[Action]
+
+    def children(self) -> Sequence[Action]:
+        return tuple(self.actions)
+
+
+@dataclass(frozen=True)
+class SubmitForm(Action):
+    """Validate EditText contents and branch.
+
+    Models login screens and strict search boxes (the
+    ``com.weather.Weather`` failure in Section VII-B): ``required`` maps
+    EditText widget ids to the exact accepted value, and ``rules`` maps
+    widget ids to named value classes ("city", "email", ... — see
+    :mod:`repro.apk.inputs`).  All constraints must hold for
+    ``on_success`` to run; otherwise ``on_failure`` (default: an error
+    dialog).
+    """
+
+    required: Dict[str, str] = None  # type: ignore[assignment]
+    on_success: Action = Noop()
+    on_failure: Action = ShowDialog("Invalid input")
+    rules: Dict[str, str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.required is None:
+            object.__setattr__(self, "required", {})
+        if self.rules is None:
+            object.__setattr__(self, "rules", {})
+        if not self.required and not self.rules:
+            raise ApkError("SubmitForm needs at least one constraint")
+
+    def field_ids(self) -> Sequence[str]:
+        return tuple(sorted(set(self.required) | set(self.rules)))
+
+    def children(self) -> Sequence[Action]:
+        return (self.on_success, self.on_failure)
+
+
+# ---------------------------------------------------------------------------
+# Widgets, fragments, activities
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WidgetSpec:
+    """A single widget with an optional click behaviour."""
+
+    id: str
+    kind: WidgetKind = WidgetKind.BUTTON
+    text: str = ""
+    on_click: Optional[Action] = None
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ApkError("widget id must be non-empty")
+        if self.on_click is not None and not self.kind.clickable:
+            raise ApkError(
+                f"widget {self.id!r} of kind {self.kind.name} cannot have a handler"
+            )
+
+
+class FragmentFactory(enum.Enum):
+    """How the host code constructs the fragment instance.
+
+    Algorithm 1 recognises ``new F1()`` and ``F1.newInstance()``; a
+    ``CUSTOM`` factory (dependency-injected or reflective construction)
+    is invisible to static analysis and the edge only appears at runtime.
+    """
+
+    NEW = "new"
+    NEW_INSTANCE = "newInstance"
+    CUSTOM = "custom"
+
+
+@dataclass
+class FragmentSpec:
+    """One Fragment class.
+
+    ``managed`` is False for fragments inflated straight into the view
+    hierarchy without a FragmentManager (the ``com.mobilemotion.dubsmash``
+    failure mode); ``requires_args`` is True when ``newInstance`` needs
+    parameters, so reflective instantiation fails (the
+    ``com.inditex.zara`` failure mode).
+    """
+
+    name: str
+    widgets: List[WidgetSpec] = field(default_factory=list)
+    api_calls: List[str] = field(default_factory=list)
+    base_class: str = FRAGMENT_BASE
+    factory: FragmentFactory = FragmentFactory.NEW
+    managed: bool = True
+    requires_args: bool = False
+    # Extra superclass hops between this class and the fragment base,
+    # exercising the transitive .super-chain scan of Section IV-B.2.
+    intermediate_bases: List[str] = field(default_factory=list)
+
+    @property
+    def layout_name(self) -> str:
+        return f"fragment_{_snake(self.name)}"
+
+
+@dataclass
+class DrawerSpec:
+    """A navigation drawer: hidden until opened via icon or swipe.
+
+    ``navigation_view`` models the material-design NavigationView whose
+    rows are menu entries rendered by the widget internally, not child
+    Views — "the transition of Activities in navigation view drawer
+    cannot be operated directly" (Section VII-B).  Automation tools see
+    the rows but cannot click them; the transitions they hide are only
+    reachable through forced starts.
+    """
+
+    items: List[WidgetSpec] = field(default_factory=list)
+    # The id of the hamburger icon that opens the drawer (auto-added).
+    toggle_id: str = "drawer_toggle"
+    navigation_view: bool = False
+
+
+@dataclass
+class ActivitySpec:
+    """One Activity class with its layout, fragments and behaviours."""
+
+    name: str
+    widgets: List[WidgetSpec] = field(default_factory=list)
+    api_calls: List[str] = field(default_factory=list)
+    hosted_fragments: List[str] = field(default_factory=list)
+    initial_fragment: Optional[str] = None
+    container_id: Optional[str] = None
+    launcher: bool = False
+    exported: bool = False
+    intent_actions: List[str] = field(default_factory=list)
+    base_class: str = ACTIVITY_BASE
+    drawer: Optional[DrawerSpec] = None
+    # Multi-pane UIs (Section II-B): additional (container_id, fragment)
+    # pairs attached in onCreate alongside the initial fragment, so
+    # several Fragments are on screen simultaneously.
+    panes: List[Tuple[str, str]] = field(default_factory=list)
+    # Forced starts deliver an empty Intent; activities whose onCreate
+    # requires extras finish immediately (Section VII-B, material-design
+    # navigation targets).
+    requires_intent_extras: bool = False
+    # Crash in onCreate — makes the activity unreachable dynamically.
+    crashes_on_launch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.initial_fragment and self.initial_fragment not in self.hosted_fragments:
+            self.hosted_fragments.append(self.initial_fragment)
+        for _container, fragment in self.panes:
+            if fragment not in self.hosted_fragments:
+                self.hosted_fragments.append(fragment)
+        if (self.hosted_fragments or self.initial_fragment) and not self.container_id:
+            self.container_id = "fragment_container"
+
+    @property
+    def layout_name(self) -> str:
+        return f"activity_{_snake(self.name)}"
+
+    @property
+    def uses_support_library(self) -> bool:
+        return self.base_class == SUPPORT_ACTIVITY_BASE
+
+    def all_widgets(self) -> List[WidgetSpec]:
+        """Layout widgets plus the drawer toggle and items when present."""
+        widgets = list(self.widgets)
+        if self.drawer:
+            widgets.append(
+                WidgetSpec(
+                    id=self.drawer.toggle_id,
+                    kind=WidgetKind.BUTTON,
+                    text="≡",
+                    on_click=OpenDrawer(),
+                )
+            )
+            widgets.extend(self.drawer.items)
+        return widgets
+
+
+@dataclass
+class AppSpec:
+    """A whole application."""
+
+    package: str
+    activities: List[ActivitySpec] = field(default_factory=list)
+    fragments: List[FragmentSpec] = field(default_factory=list)
+    category: str = "Tools"
+    downloads: str = "500,000+"
+    packed: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        names = [a.name for a in self.activities]
+        if len(names) != len(set(names)):
+            raise ApkError(f"duplicate activity names in {self.package}")
+        fnames = [f.name for f in self.fragments]
+        if len(fnames) != len(set(fnames)):
+            raise ApkError(f"duplicate fragment names in {self.package}")
+        launchers = [a for a in self.activities if a.launcher]
+        if self.activities and len(launchers) != 1:
+            raise ApkError(
+                f"{self.package}: expected exactly one launcher activity, "
+                f"got {len(launchers)}"
+            )
+        known = set(fnames)
+        for activity in self.activities:
+            for fragment in activity.hosted_fragments:
+                if fragment not in known:
+                    raise ApkError(
+                        f"{self.package}: activity {activity.name} hosts "
+                        f"undeclared fragment {fragment}"
+                    )
+
+    def qualify(self, simple_name: str) -> str:
+        """Fully qualify a class name against this package."""
+        if "." in simple_name:
+            return simple_name
+        return f"{self.package}.{simple_name}"
+
+    def activity(self, name: str) -> ActivitySpec:
+        simple = name.rsplit(".", 1)[-1]
+        for spec in self.activities:
+            if spec.name == simple:
+                return spec
+        raise ApkError(f"{self.package}: no activity named {name!r}")
+
+    def fragment(self, name: str) -> FragmentSpec:
+        simple = name.rsplit(".", 1)[-1]
+        for spec in self.fragments:
+            if spec.name == simple:
+                return spec
+        raise ApkError(f"{self.package}: no fragment named {name!r}")
+
+    @property
+    def launcher(self) -> ActivitySpec:
+        for spec in self.activities:
+            if spec.launcher:
+                return spec
+        raise ApkError(f"{self.package}: no launcher activity")
+
+    def uses_fragments(self) -> bool:
+        return bool(self.fragments)
+
+
+def _snake(name: str) -> str:
+    out = []
+    for index, char in enumerate(name):
+        if char.isupper() and index:
+            out.append("_")
+        out.append(char.lower())
+    return "".join(out)

@@ -1,0 +1,80 @@
+"""Input validation rules for form widgets.
+
+Real apps accept *classes* of values — an existing city name for a
+weather search, a well-formed email for a signup form — rather than one
+magic string.  A :class:`~repro.apk.appspec.SubmitForm` can therefore
+constrain a field either to an exact value (``required``) or to a named
+rule (``rules``), validated here.  The heuristic input generator
+(:mod:`repro.core.inputgen`) produces values that satisfy these rules
+from widget-context keywords, reproducing the paper's cited
+input-generation techniques (Section V-C) and its future-work direction
+(Section VIII).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict
+
+# A small gazetteer: the values a weather app's place search would
+# accept.  The heuristic generator draws from the same list; a random
+# filler like "abc" is rejected, as the paper describes for
+# TheWeatherChannel.
+KNOWN_CITIES = frozenset(
+    {"Boston", "Beijing", "Berlin", "Bogota", "Cairo", "Delhi", "Jinan",
+     "Lagos", "Lima", "London", "Madrid", "Moscow", "Nairobi", "Osaka",
+     "Paris", "Quito", "Rome", "Seoul", "Sydney", "Tokyo"}
+)
+
+_EMAIL_RE = re.compile(r"^[\w.+-]+@[\w-]+\.[\w.]+$")
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+_PHONE_RE = re.compile(r"^\+?\d{7,15}$")
+_URL_RE = re.compile(r"^https?://[\w.-]+(/.*)?$")
+
+
+def _nonempty(value: str) -> bool:
+    return bool(value.strip())
+
+
+def _city(value: str) -> bool:
+    return value in KNOWN_CITIES
+
+
+def _email(value: str) -> bool:
+    return _EMAIL_RE.match(value) is not None
+
+
+def _numeric(value: str) -> bool:
+    return value.isdigit() and bool(value)
+
+
+def _date(value: str) -> bool:
+    return _DATE_RE.match(value) is not None
+
+
+def _phone(value: str) -> bool:
+    return _PHONE_RE.match(value) is not None
+
+
+def _url(value: str) -> bool:
+    return _URL_RE.match(value) is not None
+
+
+VALIDATORS: Dict[str, Callable[[str], bool]] = {
+    "nonempty": _nonempty,
+    "city": _city,
+    "email": _email,
+    "numeric": _numeric,
+    "date": _date,
+    "phone": _phone,
+    "url": _url,
+}
+
+
+def validate(rule: str, value: str) -> bool:
+    """Does ``value`` satisfy the named rule?"""
+    try:
+        validator = VALIDATORS[rule]
+    except KeyError:
+        raise KeyError(f"unknown input rule: {rule!r}") from None
+    return validator(value)

@@ -1,0 +1,54 @@
+"""The compiled APK package.
+
+An :class:`ApkPackage` holds *text* artifacts — manifest XML, smali files,
+layout XML, the resource table's ``public.xml`` — exactly the shapes
+Apktool produces from a real APK.  The originating :class:`AppSpec` is
+retained on a private attribute for the device emulator (which plays the
+role of the Dalvik VM executing the DEX); analysis code must never touch
+it, and the test suite enforces that the static pipeline works from the
+text artifacts alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apk.appspec import AppSpec
+
+
+@dataclass
+class ApkPackage:
+    """One installable app package."""
+
+    package: str
+    manifest_xml: str
+    smali_files: Dict[str, str]  # "com/foo/Bar.smali" -> smali text
+    layout_files: Dict[str, str]  # "res/layout/activity_main.xml" -> xml
+    public_xml: str
+    packed: bool = False
+    version_name: str = "1.0"
+    _spec: "AppSpec" = field(default=None, repr=False)  # type: ignore[assignment]
+
+    @property
+    def apk_name(self) -> str:
+        return f"{self.package}-{self.version_name}.apk"
+
+    def size_estimate(self) -> int:
+        """Rough byte size of the package contents (for reporting)."""
+        total = len(self.manifest_xml) + len(self.public_xml)
+        total += sum(len(t) for t in self.smali_files.values())
+        total += sum(len(t) for t in self.layout_files.values())
+        return total
+
+    def runtime_spec(self) -> "AppSpec":
+        """The behavioural spec, for the device emulator only.
+
+        The emulator stands in for the Dalvik VM: where a real phone
+        executes the DEX bytecode, our device executes the spec this
+        package was compiled from (see DESIGN.md, substitution table).
+        """
+        if self._spec is None:
+            raise ValueError(f"package {self.package} has no runtime spec")
+        return self._spec

@@ -1,0 +1,237 @@
+"""JSON serialization of app specs.
+
+The behavioural spec is the package's executable payload (the DEX
+role), so a saved ``.apk`` must carry it; this module round-trips every
+spec type — including the full Action algebra — through plain dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.apk.appspec import (
+    Action,
+    ActivitySpec,
+    AppSpec,
+    Chain,
+    Crash,
+    DrawerSpec,
+    FinishActivity,
+    FragmentFactory,
+    FragmentSpec,
+    InvokeApi,
+    Noop,
+    OpenDrawer,
+    ShowDialog,
+    ShowFragment,
+    ShowPopupMenu,
+    StartActivity,
+    StartActivityByAction,
+    SubmitForm,
+    ToggleWidget,
+    WidgetSpec,
+)
+from repro.errors import ApkError
+from repro.types import WidgetKind
+
+
+# -- actions -----------------------------------------------------------------
+
+def action_to_dict(action: Action) -> Dict[str, Any]:
+    if isinstance(action, Noop):
+        return {"type": "noop"}
+    if isinstance(action, StartActivity):
+        return {"type": "start_activity", "target": action.target,
+                "dynamic": action.dynamic}
+    if isinstance(action, StartActivityByAction):
+        return {"type": "start_by_action", "action": action.action,
+                "dynamic": action.dynamic}
+    if isinstance(action, ShowFragment):
+        return {"type": "show_fragment", "fragment": action.fragment,
+                "container_id": action.container_id, "mode": action.mode,
+                "add_to_back_stack": action.add_to_back_stack}
+    if isinstance(action, OpenDrawer):
+        return {"type": "open_drawer"}
+    if isinstance(action, ShowDialog):
+        return {"type": "show_dialog", "message": action.message,
+                "buttons": [widget_to_dict(w) for w in action.buttons]}
+    if isinstance(action, ShowPopupMenu):
+        return {"type": "show_popup",
+                "items": [widget_to_dict(w) for w in action.items]}
+    if isinstance(action, InvokeApi):
+        return {"type": "invoke_api", "api": action.api}
+    if isinstance(action, Crash):
+        return {"type": "crash", "reason": action.reason}
+    if isinstance(action, FinishActivity):
+        return {"type": "finish"}
+    if isinstance(action, ToggleWidget):
+        return {"type": "toggle", "widget_id": action.widget_id}
+    if isinstance(action, Chain):
+        return {"type": "chain",
+                "actions": [action_to_dict(a) for a in action.actions]}
+    if isinstance(action, SubmitForm):
+        return {"type": "submit_form", "required": dict(action.required),
+                "rules": dict(action.rules),
+                "on_success": action_to_dict(action.on_success),
+                "on_failure": action_to_dict(action.on_failure)}
+    raise ApkError(f"cannot serialize action {type(action).__name__}")
+
+
+def action_from_dict(data: Dict[str, Any]) -> Action:
+    kind = data["type"]
+    if kind == "noop":
+        return Noop()
+    if kind == "start_activity":
+        return StartActivity(data["target"], dynamic=data.get("dynamic", False))
+    if kind == "start_by_action":
+        return StartActivityByAction(data["action"],
+                                     dynamic=data.get("dynamic", False))
+    if kind == "show_fragment":
+        return ShowFragment(data["fragment"], data["container_id"],
+                            mode=data.get("mode", "replace"),
+                            add_to_back_stack=data.get("add_to_back_stack",
+                                                       False))
+    if kind == "open_drawer":
+        return OpenDrawer()
+    if kind == "show_dialog":
+        return ShowDialog(data["message"],
+                          buttons=tuple(widget_from_dict(w)
+                                        for w in data.get("buttons", [])))
+    if kind == "show_popup":
+        return ShowPopupMenu(items=tuple(widget_from_dict(w)
+                                         for w in data.get("items", [])))
+    if kind == "invoke_api":
+        return InvokeApi(data["api"])
+    if kind == "crash":
+        return Crash(data.get("reason", "RuntimeException"))
+    if kind == "finish":
+        return FinishActivity()
+    if kind == "toggle":
+        return ToggleWidget(data["widget_id"])
+    if kind == "chain":
+        return Chain(actions=tuple(action_from_dict(a)
+                                   for a in data["actions"]))
+    if kind == "submit_form":
+        return SubmitForm(
+            required=dict(data.get("required", {})),
+            rules=dict(data.get("rules", {})),
+            on_success=action_from_dict(data["on_success"]),
+            on_failure=action_from_dict(data["on_failure"]),
+        )
+    raise ApkError(f"unknown action type {kind!r}")
+
+
+# -- widgets / fragments / activities ----------------------------------------------
+
+def widget_to_dict(widget: WidgetSpec) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"id": widget.id, "kind": widget.kind.name,
+                           "text": widget.text}
+    if widget.on_click is not None:
+        out["on_click"] = action_to_dict(widget.on_click)
+    return out
+
+
+def widget_from_dict(data: Dict[str, Any]) -> WidgetSpec:
+    on_click = (action_from_dict(data["on_click"])
+                if "on_click" in data else None)
+    return WidgetSpec(id=data["id"], kind=WidgetKind[data["kind"]],
+                      text=data.get("text", ""), on_click=on_click)
+
+
+def fragment_to_dict(fragment: FragmentSpec) -> Dict[str, Any]:
+    return {
+        "name": fragment.name,
+        "widgets": [widget_to_dict(w) for w in fragment.widgets],
+        "api_calls": list(fragment.api_calls),
+        "base_class": fragment.base_class,
+        "factory": fragment.factory.value,
+        "managed": fragment.managed,
+        "requires_args": fragment.requires_args,
+        "intermediate_bases": list(fragment.intermediate_bases),
+    }
+
+
+def fragment_from_dict(data: Dict[str, Any]) -> FragmentSpec:
+    return FragmentSpec(
+        name=data["name"],
+        widgets=[widget_from_dict(w) for w in data.get("widgets", [])],
+        api_calls=list(data.get("api_calls", [])),
+        base_class=data["base_class"],
+        factory=FragmentFactory(data.get("factory", "new")),
+        managed=data.get("managed", True),
+        requires_args=data.get("requires_args", False),
+        intermediate_bases=list(data.get("intermediate_bases", [])),
+    )
+
+
+def activity_to_dict(activity: ActivitySpec) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "name": activity.name,
+        "widgets": [widget_to_dict(w) for w in activity.widgets],
+        "api_calls": list(activity.api_calls),
+        "hosted_fragments": list(activity.hosted_fragments),
+        "initial_fragment": activity.initial_fragment,
+        "container_id": activity.container_id,
+        "launcher": activity.launcher,
+        "exported": activity.exported,
+        "intent_actions": list(activity.intent_actions),
+        "base_class": activity.base_class,
+        "panes": [list(pane) for pane in activity.panes],
+        "requires_intent_extras": activity.requires_intent_extras,
+        "crashes_on_launch": activity.crashes_on_launch,
+    }
+    if activity.drawer is not None:
+        out["drawer"] = {
+            "items": [widget_to_dict(w) for w in activity.drawer.items],
+            "toggle_id": activity.drawer.toggle_id,
+            "navigation_view": activity.drawer.navigation_view,
+        }
+    return out
+
+
+def activity_from_dict(data: Dict[str, Any]) -> ActivitySpec:
+    drawer = None
+    if "drawer" in data:
+        drawer = DrawerSpec(
+            items=[widget_from_dict(w) for w in data["drawer"]["items"]],
+            toggle_id=data["drawer"].get("toggle_id", "drawer_toggle"),
+            navigation_view=data["drawer"].get("navigation_view", False),
+        )
+    return ActivitySpec(
+        name=data["name"],
+        widgets=[widget_from_dict(w) for w in data.get("widgets", [])],
+        api_calls=list(data.get("api_calls", [])),
+        hosted_fragments=list(data.get("hosted_fragments", [])),
+        initial_fragment=data.get("initial_fragment"),
+        container_id=data.get("container_id"),
+        launcher=data.get("launcher", False),
+        exported=data.get("exported", False),
+        intent_actions=list(data.get("intent_actions", [])),
+        base_class=data["base_class"],
+        drawer=drawer,
+        panes=[tuple(pane) for pane in data.get("panes", [])],
+        requires_intent_extras=data.get("requires_intent_extras", False),
+        crashes_on_launch=data.get("crashes_on_launch", False),
+    )
+
+
+def spec_to_dict(spec: AppSpec) -> Dict[str, Any]:
+    return {
+        "package": spec.package,
+        "category": spec.category,
+        "downloads": spec.downloads,
+        "packed": spec.packed,
+        "activities": [activity_to_dict(a) for a in spec.activities],
+        "fragments": [fragment_to_dict(f) for f in spec.fragments],
+    }
+
+
+def spec_from_dict(data: Dict[str, Any]) -> AppSpec:
+    return AppSpec(
+        package=data["package"],
+        activities=[activity_from_dict(a) for a in data["activities"]],
+        fragments=[fragment_from_dict(f) for f in data.get("fragments", [])],
+        category=data.get("category", "Tools"),
+        downloads=data.get("downloads", "500,000+"),
+        packed=data.get("packed", False),
+    )

@@ -1,0 +1,25 @@
+"""Baseline explorers for comparison (paper Sections I, VII-C, IX).
+
+* :class:`~repro.baselines.monkey.Monkey` — Google's random-event
+  exerciser, the paper's example of an unprogrammable tool that "can
+  occasionally reach these Fragments" but cannot be controlled;
+* :class:`~repro.baselines.activity_explorer.ActivityExplorer` — the
+  "traditional approach" of Activity-level model-based testing
+  (A3E/TrimDroid style): model the Activity transition graph, treat
+  every Activity as one fixed UI state, never switch Fragments
+  deliberately, attribute every API call to the current Activity;
+* :class:`~repro.baselines.depth_first.DepthFirstExplorer` — A3E's
+  depth-first systematic strategy, for the runtime comparison.
+"""
+
+from repro.baselines.activity_explorer import ActivityExplorer, ActivityOnlyResult
+from repro.baselines.depth_first import DepthFirstExplorer
+from repro.baselines.monkey import Monkey, MonkeyResult
+
+__all__ = [
+    "ActivityExplorer",
+    "ActivityOnlyResult",
+    "DepthFirstExplorer",
+    "Monkey",
+    "MonkeyResult",
+]

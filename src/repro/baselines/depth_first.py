@@ -1,0 +1,105 @@
+"""Depth-first systematic exploration (A3E's second strategy).
+
+Mimics user interactions in depth-first order: click the first
+unexplored widget of the current interface, recurse into whatever it
+opens, backtrack with the back key when an interface is exhausted.  Like
+A3E it is Activity-grained ("more systematic, albeit slower") — included
+for the runtime/coverage comparison bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.adb.bridge import Adb
+from repro.android.device import Device
+from repro.apk.package import ApkPackage
+from repro.errors import DeviceError, ReproError
+from repro.robotium.solo import Solo
+
+
+@dataclass
+class DepthFirstResult:
+    package: str
+    visited_activities: Set[str] = field(default_factory=set)
+    visited_fragment_classes: Set[str] = field(default_factory=set)
+    events: int = 0
+    max_depth_reached: int = 0
+
+
+class DepthFirstExplorer:
+    """Stack-based DFS over interfaces, keyed by Activity."""
+
+    def __init__(self, device: Device, max_events: int = 20000,
+                 max_depth: int = 12) -> None:
+        self.device = device
+        self.adb = Adb(device)
+        self.solo = Solo(device)
+        self.max_events = max_events
+        self.max_depth = max_depth
+
+    def run(self, apk: ApkPackage) -> DepthFirstResult:
+        self.adb.install(apk)
+        result = DepthFirstResult(package=apk.package)
+        try:
+            self.adb.am_start_launcher(apk.package)
+        except DeviceError:
+            return result
+        # Per-activity set of widgets already tried (activity-grained
+        # state, as in A3E).
+        tried: Dict[str, Set[str]] = {}
+        self._observe(result)
+        self._dfs(result, tried, depth=0)
+        result.events = self.device.steps
+        return result
+
+    def _dfs(self, result: DepthFirstResult,
+             tried: Dict[str, Set[str]], depth: int) -> None:
+        result.max_depth_reached = max(result.max_depth_reached, depth)
+        if depth >= self.max_depth or self.device.steps >= self.max_events:
+            return
+        activity = self.device.current_activity_name()
+        if activity is None:
+            return
+        seen = tried.setdefault(activity, set())
+        while self.device.steps < self.max_events:
+            widget_id = self._next_widget(seen)
+            if widget_id is None:
+                return
+            seen.add(widget_id)
+            before = self.device.current_activity_name()
+            try:
+                self.solo.click_on_view(widget_id)
+            except ReproError:
+                continue
+            self._observe(result)
+            if not self.device.app_alive:
+                try:
+                    self.adb.am_start_launcher(result.package)
+                except DeviceError:
+                    return
+                continue
+            after = self.device.current_activity_name()
+            if after != before:
+                self._dfs(result, tried, depth + 1)
+                self.solo.go_back()
+                self._observe(result)
+                if not self.device.app_alive:
+                    try:
+                        self.adb.am_start_launcher(result.package)
+                    except DeviceError:
+                        return
+
+    def _next_widget(self, seen: Set[str]) -> Optional[str]:
+        for widget in self.solo.clickable_widgets():
+            if widget.widget_id not in seen:
+                return widget.widget_id
+        return None
+
+    def _observe(self, result: DepthFirstResult) -> None:
+        activity = self.device.current_activity_name()
+        if activity:
+            result.visited_activities.add(activity)
+        for fragment in self.device.current_fragment_classes():
+            result.visited_fragment_classes.add(fragment)

@@ -1,0 +1,93 @@
+"""The UI/Application Exerciser Monkey.
+
+A faithful miniature of ``adb shell monkey``: a seeded pseudo-random
+stream of taps, text, back presses and edge swipes fired at whatever is
+on screen.  It has no model, cannot be targeted, and restarts the app
+when it falls off — the paper's archetype of "random input tests …
+not programmable and cannot be controlled accurately".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.adb.bridge import Adb
+from repro.android.device import Device
+from repro.android.views import SCREEN_HEIGHT, SCREEN_WIDTH
+from repro.apk.package import ApkPackage
+from repro.errors import DeviceError
+
+
+@dataclass
+class MonkeyResult:
+    package: str
+    events: int
+    visited_activities: Set[str] = field(default_factory=set)
+    visited_fragment_classes: Set[str] = field(default_factory=set)
+    crashes: int = 0
+
+
+class Monkey:
+    """``monkey -p <package> -s <seed> <count>``."""
+
+    # Event mix loosely follows monkey's default profile: mostly touches.
+    TOUCH_WEIGHT = 0.70
+    TEXT_WEIGHT = 0.10
+    BACK_WEIGHT = 0.10
+    SWIPE_WEIGHT = 0.10
+
+    def __init__(self, device: Device, seed: int = 0) -> None:
+        self.device = device
+        self.adb = Adb(device)
+        self.rng = random.Random(seed)
+
+    def run(self, apk: ApkPackage, event_count: int = 500) -> MonkeyResult:
+        self.adb.install(apk)
+        package = apk.package
+        result = MonkeyResult(package=package, events=event_count)
+        try:
+            self.adb.am_start_launcher(package)
+        except DeviceError:
+            return result
+        self._observe(result)
+        for _ in range(event_count):
+            if not self.device.app_alive:
+                # Monkey relaunches the target when it exits or crashes.
+                try:
+                    self.adb.am_start_launcher(package)
+                except DeviceError:
+                    break
+            roll = self.rng.random()
+            if roll < self.TOUCH_WEIGHT:
+                self.device.tap(
+                    self.rng.randrange(SCREEN_WIDTH),
+                    self.rng.randrange(SCREEN_HEIGHT),
+                )
+            elif roll < self.TOUCH_WEIGHT + self.TEXT_WEIGHT:
+                self._random_text()
+            elif roll < self.TOUCH_WEIGHT + self.TEXT_WEIGHT + self.BACK_WEIGHT:
+                self.device.press_back()
+            else:
+                self.device.swipe_from_left()
+            self._observe(result)
+        result.crashes = self.device.crash_count
+        return result
+
+    def _random_text(self) -> None:
+        for widget in self.device.ui_dump():
+            if widget.accepts_text:
+                letters = "abcdefghijklmnopqrstuvwxyz"
+                text = "".join(self.rng.choice(letters) for _ in range(4))
+                self.device.enter_text(widget.widget_id, text)
+                return
+
+    def _observe(self, result: MonkeyResult) -> None:
+        activity = self.device.current_activity_name()
+        if activity:
+            result.visited_activities.add(activity)
+        # Monkey itself has no notion of fragments; this oracle view is
+        # recorded for the comparison benches only.
+        for fragment in self.device.current_fragment_classes():
+            result.visited_fragment_classes.add(fragment)

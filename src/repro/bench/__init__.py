@@ -1,0 +1,27 @@
+"""Shared experiment runners for the benchmark harness.
+
+Each function regenerates one of the paper's results end-to-end and
+returns both the structured data and a rendered text table; the
+``benchmarks/`` directory wires them into pytest-benchmark and persists
+the rendered artifacts under ``benchmarks/results/``.
+"""
+
+from repro.bench.runner import (
+    AblationResult,
+    BaselineComparison,
+    UsageStudyResult,
+    run_ablation,
+    run_baseline_comparison,
+    run_table1,
+    run_usage_study,
+)
+
+__all__ = [
+    "AblationResult",
+    "BaselineComparison",
+    "UsageStudyResult",
+    "run_ablation",
+    "run_baseline_comparison",
+    "run_table1",
+    "run_usage_study",
+]

@@ -1,0 +1,44 @@
+"""Parallel corpus sweeps.
+
+Each app's exploration is fully independent — its own Device, its own
+process state — so a market-scale deployment runs apps concurrently
+(the paper's A3E comparison point is exactly this cost).  The pool is
+thread-based: the emulator is pure Python and each exploration is
+short, so threads keep the API simple while still overlapping any
+interpreter-released work.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Sequence
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.apk import build_apk
+from repro.core.explorer import ExplorationResult
+from repro.corpus import TABLE1_PLANS, build_app
+from repro.corpus.synth import AppPlan
+
+
+def explore_one(plan: AppPlan,
+                config: Optional[FragDroidConfig] = None) -> ExplorationResult:
+    """Build, install and explore one app on a fresh device."""
+    device = Device()
+    return FragDroid(device, config).explore(build_apk(build_app(plan)))
+
+
+def explore_many(
+    plans: Sequence[AppPlan] = tuple(TABLE1_PLANS),
+    config: Optional[FragDroidConfig] = None,
+    max_workers: int = 4,
+) -> Dict[str, ExplorationResult]:
+    """Explore a set of apps concurrently; results keyed by package."""
+    results: Dict[str, ExplorationResult] = {}
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            pool.submit(explore_one, plan, config): plan.package
+            for plan in plans
+        }
+        for future, package in futures.items():
+            results[package] = future.result()
+    return results

@@ -1,0 +1,327 @@
+"""Experiment runners behind the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.apk import build_apk
+from repro.baselines import ActivityExplorer, DepthFirstExplorer, Monkey
+from repro.core.coverage import CoverageReport, CoverageRow
+from repro.core.explorer import ExplorationResult
+from repro.core.sensitive_analysis import SensitiveApiReport, build_api_report
+from repro.corpus import TABLE1_PLANS, build_app, generate_market
+from repro.corpus.synth import LOGIN_SECRET, AppPlan
+from repro.corpus.table1_apps import (
+    PAPER_MEAN_ACTIVITY_RATE,
+    PAPER_MEAN_FRAGMENT_RATE,
+    TABLE1_EXPECTED,
+)
+from repro.errors import PackedApkError
+from repro.smali.apktool import Apktool
+from repro.static.effective import fragment_subclasses
+from repro.types import InvocationSource
+
+
+# ---------------------------------------------------------------------------
+# Table I + Table II
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table1Run:
+    results: Dict[str, ExplorationResult]
+    report: CoverageReport
+    api_report: SensitiveApiReport
+
+    def render_table1(self) -> str:
+        lines = [self.report.render(), ""]
+        lines.append(
+            f"mean activity rate: {self.report.mean_activity_rate:.2%} "
+            f"(paper: {PAPER_MEAN_ACTIVITY_RATE:.2%})"
+        )
+        lines.append(
+            f"mean fragment rate: {self.report.mean_fragment_rate:.2%} "
+            f"(paper: {PAPER_MEAN_FRAGMENT_RATE:.2%})"
+        )
+        lines.append(
+            f"mean fragments-in-visited-activities rate: "
+            f"{self.report.mean_fiva_rate:.2%} (paper: >50%)"
+        )
+        lines.append(
+            f"apps with 100% FiVA: {self.report.full_fiva_apps()} "
+            f"(paper: 5 of 15)"
+        )
+        lines.append("")
+        lines.append("per-app comparison against the paper's Table I:")
+        lines.append(
+            f"{'package':34} {'A got':>7} {'A paper':>8} "
+            f"{'F got':>7} {'F paper':>8}"
+        )
+        for package, result in sorted(self.results.items()):
+            exp = TABLE1_EXPECTED[package]
+            lines.append(
+                f"{package:34} "
+                f"{len(result.visited_activities):3d}/{result.activity_total:<3d}"
+                f" {exp[0]:3d}/{exp[1]:<4d}"
+                f"{len(result.visited_fragments):3d}/{result.fragment_total:<3d}"
+                f" {exp[2]:3d}/{exp[3]:<4d}"
+            )
+        return "\n".join(lines)
+
+    def render_table2(self) -> str:
+        lines = [self.api_report.render(), ""]
+        raw = sum(len(r.api_invocations) for r in self.results.values())
+        distinct = len(
+            {(i.api, i.component, i.source)
+             for r in self.results.values() for i in r.api_invocations}
+        )
+        lines.append(f"raw invocation records: {raw} "
+                     f"(distinct: {distinct}; paper reports 269 invocations)")
+        lines.append(
+            f"APIs found: {self.api_report.distinct_apis_found} (paper: 46)"
+        )
+        lines.append(
+            f"fragment-associated relations: "
+            f"{self.api_report.fragment_associated_share:.1%} (paper: 49%)"
+        )
+        lines.append(
+            f"fragment-only relations (missed by Activity-level tools): "
+            f"{self.api_report.fragment_only_share:.1%} (paper: >=9.6%)"
+        )
+        return "\n".join(lines)
+
+
+def run_table1(config: Optional[FragDroidConfig] = None) -> Table1Run:
+    """Run FragDroid over the 15 evaluation apps."""
+    results: Dict[str, ExplorationResult] = {}
+    rows: List[CoverageRow] = []
+    for plan in TABLE1_PLANS:
+        device = Device()
+        result = FragDroid(device, config).explore(build_apk(build_app(plan)))
+        results[plan.package] = result
+        rows.append(CoverageRow.from_result(result, downloads=plan.downloads))
+    return Table1Run(
+        results=results,
+        report=CoverageReport(rows),
+        api_report=build_api_report(results.values()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Usage study (Section I / VII-A)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class UsageStudyResult:
+    total: int
+    packed: int
+    analyzable: int
+    with_fragments: int
+    categories: int
+
+    @property
+    def share(self) -> float:
+        return self.with_fragments / self.analyzable if self.analyzable else 0.0
+
+    def render(self) -> str:
+        return (
+            f"apps: {self.total} across {self.categories} categories; "
+            f"packed (ruled out): {self.packed}; "
+            f"using Fragments: {self.with_fragments}/{self.analyzable} "
+            f"= {self.share:.1%} (paper: 91%)"
+        )
+
+
+def run_usage_study(count: int = 217, seed: int = 2018) -> UsageStudyResult:
+    market = generate_market(count=count, seed=seed)
+    tool = Apktool()
+    packed = 0
+    analyzable = 0
+    with_fragments = 0
+    for app in market:
+        try:
+            decoded = tool.decode(app.build())
+        except PackedApkError:
+            packed += 1
+            continue
+        analyzable += 1
+        if fragment_subclasses(decoded):
+            with_fragments += 1
+    return UsageStudyResult(
+        total=len(market),
+        packed=packed,
+        analyzable=analyzable,
+        with_fragments=with_fragments,
+        categories=len({a.category for a in market}),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+# ---------------------------------------------------------------------------
+
+COMPARISON_PACKAGES = (
+    "com.advancedprocessmanager",
+    "com.aircrunch.shopalerts",
+    "com.inditex.zara",
+    "com.cnn.mobile.android.phone",
+    "imoblife.toolbox.full",
+)
+
+
+@dataclass
+class BaselineComparison:
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def render(self) -> str:
+        header = (
+            f"{'package':30} {'tool':16} {'acts':>6} {'frags':>6} "
+            f"{'APIs':>5} {'frag-miss':>9} {'misattrib':>9} {'events':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row['package']:30} {row['tool']:16} "
+                f"{row['activities']:>6} {row['fragments']:>6} "
+                f"{row['apis']:>5} {row['fragment_misses']:>9} "
+                f"{row.get('misattributed', '-'):>9} {row['events']:>7}"
+            )
+        return "\n".join(lines)
+
+
+def _plan_for(package: str) -> AppPlan:
+    for plan in TABLE1_PLANS:
+        if plan.package == package:
+            return plan
+    raise KeyError(package)
+
+
+def run_baseline_comparison(
+    packages: Tuple[str, ...] = COMPARISON_PACKAGES,
+) -> BaselineComparison:
+    """FragDroid vs Activity-level MBT vs DFS vs Monkey, equal budget."""
+    comparison = BaselineComparison()
+    for package in packages:
+        plan = _plan_for(package)
+
+        frag = FragDroid(Device()).explore(build_apk(build_app(plan)))
+        frag_apis = {i.api for i in frag.api_invocations}
+        frag_fragment_apis = {
+            i.api for i in frag.api_invocations
+            if i.source is InvocationSource.FRAGMENT
+        }
+        budget = max(frag.stats.events, 50)
+        comparison.rows.append({
+            "package": package, "tool": "FragDroid",
+            "activities": len(frag.visited_activities),
+            "fragments": len(frag.visited_fragments),
+            "apis": len(frag_apis),
+            "fragment_misses": 0,
+            "events": frag.stats.events,
+        })
+
+        base = ActivityExplorer(Device(), max_events=budget).run(
+            build_apk(build_app(plan))
+        )
+        base_apis = base.detected_apis()
+        misattributed = len({
+            (i.api, i.component)
+            for i in base.ground_truth
+            if i.source is InvocationSource.FRAGMENT
+        })
+        comparison.rows.append({
+            "package": package, "tool": "Activity-MBT",
+            "activities": len(base.visited_activities),
+            "fragments": 0,
+            "apis": len(base_apis),
+            "fragment_misses": len(frag_fragment_apis - base_apis),
+            "misattributed": misattributed,
+            "events": base.events,
+        })
+
+        dfs = DepthFirstExplorer(Device(), max_events=budget).run(
+            build_apk(build_app(plan))
+        )
+        comparison.rows.append({
+            "package": package, "tool": "DFS (A3E)",
+            "activities": len(dfs.visited_activities),
+            "fragments": len(dfs.visited_fragment_classes),
+            "apis": "-",
+            "fragment_misses": "-",
+            "events": dfs.events,
+        })
+
+        monkey_device = Device()
+        monkey = Monkey(monkey_device, seed=2018).run(
+            build_apk(build_app(plan)), event_count=budget
+        )
+        comparison.rows.append({
+            "package": package, "tool": "Monkey",
+            "activities": len(monkey.visited_activities),
+            "fragments": len(monkey.visited_fragment_classes),
+            "apis": len({
+                i.api for i in monkey_device.api_monitor.invocations
+            }),
+            "fragment_misses": "-",
+            "events": monkey.events,
+        })
+    return comparison
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+ABLATION_PACKAGES = (
+    "com.advancedprocessmanager",   # reflection-only fragments
+    "com.cnn.mobile.android.phone",  # forced-start targets
+    "com.weather.Weather",           # strict inputs
+)
+
+
+@dataclass
+class AblationResult:
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def render(self) -> str:
+        header = (
+            f"{'package':30} {'variant':22} {'acts':>6} {'frags':>6} "
+            f"{'events':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row['package']:30} {row['variant']:22} "
+                f"{row['activities']:>6} {row['fragments']:>6} "
+                f"{row['events']:>7}"
+            )
+        return "\n".join(lines)
+
+
+def run_ablation(
+    packages: Tuple[str, ...] = ABLATION_PACKAGES,
+) -> AblationResult:
+    """Disable each FragDroid mechanism in turn."""
+    secrets = {f"password_{i:02d}": LOGIN_SECRET for i in range(10)}
+    variants = [
+        ("full", FragDroidConfig()),
+        ("no-reflection", FragDroidConfig(enable_reflection=False)),
+        ("no-forced-start", FragDroidConfig(enable_forced_start=False)),
+        ("no-click-sweep", FragDroidConfig(enable_click_exploration=False)),
+        ("analyst-inputs", FragDroidConfig(input_values=secrets)),
+    ]
+    ablation = AblationResult()
+    for package in packages:
+        plan = _plan_for(package)
+        for name, config in variants:
+            result = FragDroid(Device(), config).explore(
+                build_apk(build_app(plan))
+            )
+            ablation.rows.append({
+                "package": package, "variant": name,
+                "activities": len(result.visited_activities),
+                "fragments": len(result.visited_fragments),
+                "events": result.stats.events,
+            })
+    return ablation

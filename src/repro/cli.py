@@ -1,0 +1,329 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the corpus apps and figure demos available by name;
+* ``static <app>`` — run Static Information Extraction, print the AFTM
+  summary (``--dot`` for Graphviz, ``--json`` for the model);
+* ``explore <app>`` — run the full FragDroid pipeline, print the
+  coverage report (``--json`` for the structured run report);
+* ``audit <app>`` — explore and print the sensitive-API relations;
+* ``table1`` / ``table2`` / ``study`` / ``compare`` / ``ablate`` —
+  regenerate the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.apk import build_apk
+from repro.apk.appspec import AppSpec
+from repro.bench import (
+    run_ablation,
+    run_baseline_comparison,
+    run_table1,
+    run_usage_study,
+)
+from repro.core.report import aftm_to_json, result_to_json
+from repro.core.sensitive_analysis import build_api_report
+from repro.corpus import (
+    build_table1_app,
+    demo_aftm_example,
+    demo_drawer_app,
+    demo_tabbed_app,
+    table1_packages,
+)
+from repro.static import extract_static_info
+
+DEMOS: Dict[str, Callable[[], AppSpec]] = {
+    "demo:tabs": demo_tabbed_app,
+    "demo:drawer": demo_drawer_app,
+    "demo:aftm": demo_aftm_example,
+}
+
+
+def _resolve_apk(name: str):
+    """An app by corpus name, demo name, or .apk file path."""
+    import pathlib
+
+    if name.endswith(".apk") and pathlib.Path(name).exists():
+        from repro.apk.apkfile import load_apk
+
+        return load_apk(name)
+    if name in DEMOS:
+        return build_apk(DEMOS[name]())
+    if name in table1_packages():
+        return build_apk(build_table1_app(name))
+    raise SystemExit(
+        f"unknown app {name!r}; run `python -m repro list` for choices, "
+        "or pass a path to a saved .apk"
+    )
+
+
+def _config_from(args: argparse.Namespace) -> FragDroidConfig:
+    return FragDroidConfig(
+        enable_reflection=not args.no_reflection,
+        enable_forced_start=not args.no_forced_start,
+        enable_click_exploration=not args.no_click_sweep,
+        input_strategy="heuristic" if args.heuristic_inputs else "default",
+        max_events=args.max_events,
+    )
+
+
+def _add_explore_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", help="corpus package or demo:* name")
+    parser.add_argument("--no-reflection", action="store_true")
+    parser.add_argument("--no-forced-start", action="store_true")
+    parser.add_argument("--no-click-sweep", action="store_true")
+    parser.add_argument("--heuristic-inputs", action="store_true")
+    parser.add_argument("--max-events", type=int, default=20000)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the structured JSON report")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the exploration trace")
+    parser.add_argument("--save", metavar="DIR",
+                        help="persist all run artifacts under DIR")
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("figure demos:")
+    for name in sorted(DEMOS):
+        print(f"  {name}")
+    print("evaluation corpus (Tables I & II):")
+    for name in table1_packages():
+        print(f"  {name}")
+    return 0
+
+
+def cmd_static(args: argparse.Namespace) -> int:
+    info = extract_static_info(_resolve_apk(args.app))
+    if args.json:
+        print(aftm_to_json(info.aftm))
+        return 0
+    print(info.aftm.summary())
+    for edge in sorted(info.aftm.edges):
+        print(f"  {edge.src} -> {edge.dst}  [{edge.kind.name}]")
+    if args.dot:
+        print(info.aftm.to_dot())
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    result = FragDroid(Device(), _config_from(args)).explore(
+        _resolve_apk(args.app)
+    )
+    if args.json:
+        print(result_to_json(result))
+    else:
+        print(result.coverage_report())
+    if args.trace:
+        print(result.trace_text())
+    if args.save:
+        from repro.core.artifacts import save_artifacts
+
+        written = save_artifacts(result, args.save)
+        print(f"wrote {len(written)} artifacts under {args.save}")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    result = FragDroid(Device(), _config_from(args)).explore(
+        _resolve_apk(args.app)
+    )
+    report = build_api_report([result])
+    print(report.render())
+    return 0
+
+
+def cmd_target(args: argparse.Namespace) -> int:
+    """Explore, then drive straight to a sensitive API (SmartDroid-style)."""
+    from repro.core.targeted import components_invoking, drive_to_api
+
+    apk = _resolve_apk(args.app)
+    result = FragDroid(Device(), _config_from(args)).explore(apk)
+    candidates = components_invoking(result, args.api)
+    if not candidates:
+        print(f"{args.api} was never observed in {args.app}")
+        return 1
+    device = Device()
+    case, component = drive_to_api(result, apk, device, args.api)
+    print(f"drove to {component}; {args.api} fired.")
+    print()
+    print(case.to_robotium_java())
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    """Compile an app and write it to disk as a .apk archive."""
+    from repro.apk.apkfile import save_apk
+    from repro.apk.lint import lint_apk
+
+    apk = _resolve_apk(args.app)
+    report = lint_apk(apk)
+    if not report.ok:
+        print(report.render())
+        return 1
+    path = save_apk(apk, args.output)
+    print(f"wrote {path} ({path.stat().st_size} bytes, "
+          f"{len(apk.smali_files)} classes)")
+    return 0
+
+
+def cmd_export_corpus(args: argparse.Namespace) -> int:
+    """Write the whole evaluation corpus to .apk files."""
+    import pathlib
+
+    from repro.apk.apkfile import save_apk
+
+    out = pathlib.Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    for package in table1_packages():
+        path = save_apk(build_apk(build_table1_app(package)),
+                        out / f"{package}.apk")
+        print(f"  {path}")
+    print(f"exported {len(table1_packages())} apps to {out}")
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Explore every .apk in a directory; write artifacts + summary CSV."""
+    import csv
+    import pathlib
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.apk.apkfile import load_apk
+    from repro.core.artifacts import save_artifacts
+
+    in_dir = pathlib.Path(args.directory)
+    out_dir = pathlib.Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    apk_paths = sorted(in_dir.glob("*.apk"))
+    if not apk_paths:
+        print(f"no .apk files under {in_dir}")
+        return 1
+
+    def run(path: pathlib.Path):
+        apk = load_apk(path)
+        result = FragDroid(Device()).explore(apk)
+        save_artifacts(result, out_dir / apk.package)
+        return result
+
+    with ThreadPoolExecutor(max_workers=args.workers) as pool:
+        results = list(pool.map(run, apk_paths))
+
+    summary = out_dir / "summary.csv"
+    with summary.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "package", "activities_visited", "activities_sum",
+            "fragments_visited", "fragments_sum", "api_relations",
+            "events", "crashes",
+        ])
+        for result in results:
+            writer.writerow([
+                result.package,
+                len(result.visited_activities), result.activity_total,
+                len(result.visited_fragments), result.fragment_total,
+                len({(i.api, i.source) for i in result.api_invocations}),
+                result.stats.events, result.stats.crashes,
+            ])
+    print(f"explored {len(results)} apps; summary at {summary}")
+    return 0
+
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    print(run_table1().render_table1())
+    return 0
+
+
+def cmd_table2(_args: argparse.Namespace) -> int:
+    print(run_table1().render_table2())
+    return 0
+
+
+def cmd_study(_args: argparse.Namespace) -> int:
+    print(run_usage_study().render())
+    return 0
+
+
+def cmd_compare(_args: argparse.Namespace) -> int:
+    print(run_baseline_comparison().render())
+    return 0
+
+
+def cmd_ablate(_args: argparse.Namespace) -> int:
+    print(run_ablation().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FragDroid (DSN 2018) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="available apps").set_defaults(func=cmd_list)
+
+    static = sub.add_parser("static", help="static information extraction")
+    static.add_argument("app")
+    static.add_argument("--dot", action="store_true")
+    static.add_argument("--json", action="store_true")
+    static.set_defaults(func=cmd_static)
+
+    explore = sub.add_parser("explore", help="run the full pipeline")
+    _add_explore_flags(explore)
+    explore.set_defaults(func=cmd_explore)
+
+    audit = sub.add_parser("audit", help="sensitive-API audit")
+    _add_explore_flags(audit)
+    audit.set_defaults(func=cmd_audit)
+
+    target = sub.add_parser(
+        "target", help="drive straight to a sensitive API"
+    )
+    _add_explore_flags(target)
+    target.add_argument("api", help='e.g. "phone/getDeviceId"')
+    target.set_defaults(func=cmd_target)
+
+    build = sub.add_parser("build", help="write an app to a .apk file")
+    build.add_argument("app")
+    build.add_argument("-o", "--output", required=True,
+                       help="output .apk path")
+    build.set_defaults(func=cmd_build)
+
+    export = sub.add_parser("export-corpus",
+                            help="write all 15 evaluation apps as .apk")
+    export.add_argument("-o", "--output", required=True,
+                        help="output directory")
+    export.set_defaults(func=cmd_export_corpus)
+
+    batch = sub.add_parser("batch",
+                           help="explore every .apk in a directory")
+    batch.add_argument("directory")
+    batch.add_argument("-o", "--output", required=True,
+                       help="artifacts directory")
+    batch.add_argument("--workers", type=int, default=4)
+    batch.set_defaults(func=cmd_batch)
+
+    for name, func, help_text in (
+        ("table1", cmd_table1, "regenerate Table I"),
+        ("table2", cmd_table2, "regenerate Table II"),
+        ("study", cmd_study, "the 217-app usage study"),
+        ("compare", cmd_compare, "baseline comparison"),
+        ("ablate", cmd_ablate, "mechanism ablations"),
+    ):
+        sub.add_parser(name, help=help_text).set_defaults(func=func)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""FragDroid core: the evolutionary test case generation loop.
+
+The paper's right-hand pipeline (Figure 4): the UI transition queue is
+seeded from the static AFTM by breadth-first traversal; queue items are
+compiled to Robotium test cases and executed; the UI driver identifies
+the reached interface on the Fragment level and applies the Case 1/2/3
+rules; AFTM updates feed new queue items until the queue drains with no
+model change, after which unvisited Activities are forcibly started with
+empty Intents (Section VI-C).
+"""
+
+from repro.core.config import FragDroidConfig
+from repro.core.coverage import CoverageReport, CoverageRow
+from repro.core.explorer import ExplorationResult, FragDroid
+from repro.core.queue import Operation, UIQueue, UIQueueItem
+from repro.core.sensitive_analysis import SensitiveApiReport, build_api_report
+from repro.core.testcase import TestCase
+
+__all__ = [
+    "CoverageReport",
+    "CoverageRow",
+    "ExplorationResult",
+    "FragDroid",
+    "FragDroidConfig",
+    "Operation",
+    "SensitiveApiReport",
+    "TestCase",
+    "UIQueue",
+    "UIQueueItem",
+    "build_api_report",
+]

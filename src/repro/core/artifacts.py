@@ -1,0 +1,71 @@
+"""Persist a run's artifacts to disk.
+
+A FragDroid run produces inspectable artifacts — the generated Robotium
+test programs, the AFTM (JSON and Graphviz), the structured report and
+the trace.  :func:`save_artifacts` lays them out the way the paper's
+tooling would leave them next to an Ant build.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Union
+
+from repro.core.explorer import ExplorationResult
+from repro.core.report import aftm_to_json, result_to_json
+
+
+def save_artifacts(result: ExplorationResult,
+                   directory: Union[str, pathlib.Path]) -> List[pathlib.Path]:
+    """Write all artifacts of a run under ``directory``.
+
+    Layout::
+
+        <dir>/report.json          structured run report
+        <dir>/report.html          self-contained HTML report
+        <dir>/aftm.json            the final AFTM
+        <dir>/aftm.dot             Graphviz rendering
+        <dir>/trace.log            the exploration trace
+        <dir>/coverage.txt         the human-readable summary
+        <dir>/testcases/*.java     every generated Robotium program
+
+    Returns the written paths.
+    """
+    base = pathlib.Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    written: List[pathlib.Path] = []
+
+    def _write(relative: str, content: str) -> None:
+        path = base / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+        written.append(path)
+
+    from repro.core.htmlreport import render_html_report
+
+    _write("report.json", result_to_json(result))
+    _write("report.html", render_html_report(result))
+    _write("aftm.json", aftm_to_json(result.aftm))
+    _write("aftm.dot", result.aftm.to_dot())
+    _write("trace.log", result.trace_text())
+    _write("coverage.txt", result.coverage_report())
+    for case in result.test_cases:
+        _write(f"testcases/{case.name}.java", case.to_robotium_java())
+    return written
+
+
+def coverage_curve(result: ExplorationResult) -> List[tuple]:
+    """Discovery progress over the run: ``(step, activities, fragments)``
+    sampled at every new visit (derived from the trace)."""
+    curve: List[tuple] = [(0, 0, 0)]
+    activities = 0
+    fragments = 0
+    for event in result.trace:
+        if event.kind != "visit":
+            continue
+        if event.detail.startswith("activity "):
+            activities += 1
+        else:
+            fragments += 1
+        curve.append((event.step, activities, fragments))
+    return curve

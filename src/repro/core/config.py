@@ -1,0 +1,52 @@
+"""Configuration for a FragDroid run.
+
+The flags map one-to-one onto the paper's design choices, so the
+ablation benchmarks can disable each mechanism independently:
+
+* ``enable_reflection`` — Case 1/2's Java-reflection fragment switching;
+* ``enable_forced_start`` — the second loop's empty-Intent starts of
+  unvisited Activities (requires the instrumented manifest);
+* ``enable_input_file`` — the analyst-filled input dependency
+  (Section V-C); off means every EditText gets the "abc" filler;
+* ``enable_click_exploration`` — Case 3's exhaustive clickable sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class FragDroidConfig:
+    enable_reflection: bool = True
+    enable_forced_start: bool = True
+    enable_input_file: bool = True
+    enable_click_exploration: bool = True
+    # Analyst-provided values for the input-dependency file.
+    input_values: Dict[str, str] = field(default_factory=dict)
+    # "default": the random-ish "abc" filler the paper criticises;
+    # "heuristic": context-driven value generation (Section VIII's
+    # future-work direction, repro.core.inputgen).
+    input_strategy: str = "default"
+    # Queue maintenance strategy: "breadth" (the paper's width-first
+    # queue) or "depth" (A3E-style), for the strategy ablation.
+    queue_order: str = "breadth"
+
+    def __post_init__(self) -> None:
+        if self.input_strategy not in ("default", "heuristic"):
+            raise ValueError(
+                f"unknown input strategy: {self.input_strategy!r}"
+            )
+        if self.queue_order not in ("breadth", "depth"):
+            raise ValueError(f"unknown queue order: {self.queue_order!r}")
+    # Safety rails: a real run is bounded by wall-clock; ours by events.
+    max_events: int = 20000
+    max_queue_items: int = 2000
+    max_restarts_per_item: int = 10
+
+    @classmethod
+    def activity_only(cls) -> "FragDroidConfig":
+        """The 'traditional approach' configuration: no fragment-aware
+        mechanisms (used by the baseline comparison)."""
+        return cls(enable_reflection=False)

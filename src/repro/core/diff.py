@@ -1,0 +1,97 @@
+"""Diffing two exploration runs.
+
+Pairs with the regression workflow: besides replaying the old suite on
+the new version, explore the new version fresh and diff the outcomes —
+which components and API relations appeared, disappeared, or changed
+attribution between versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.explorer import ExplorationResult
+from repro.core.sensitive_analysis import relations_from_invocations
+
+
+@dataclass
+class RunDiff:
+    """What changed between a baseline run and a new run."""
+
+    package: str
+    activities_gained: Set[str] = field(default_factory=set)
+    activities_lost: Set[str] = field(default_factory=set)
+    fragments_gained: Set[str] = field(default_factory=set)
+    fragments_lost: Set[str] = field(default_factory=set)
+    apis_gained: Set[str] = field(default_factory=set)
+    apis_lost: Set[str] = field(default_factory=set)
+    attribution_changed: List[Tuple[str, str, str]] = field(
+        default_factory=list
+    )  # (api, old symbol, new symbol)
+
+    @property
+    def is_empty(self) -> bool:
+        return not any([
+            self.activities_gained, self.activities_lost,
+            self.fragments_gained, self.fragments_lost,
+            self.apis_gained, self.apis_lost, self.attribution_changed,
+        ])
+
+    def render(self) -> str:
+        if self.is_empty:
+            return f"{self.package}: no behavioural difference detected"
+        lines = [f"diff for {self.package}:"]
+        for label, values in (
+            ("activities gained", self.activities_gained),
+            ("activities lost", self.activities_lost),
+            ("fragments gained", self.fragments_gained),
+            ("fragments lost", self.fragments_lost),
+            ("APIs gained", self.apis_gained),
+            ("APIs lost", self.apis_lost),
+        ):
+            if values:
+                lines.append(f"  {label}: "
+                             + ", ".join(sorted(values)))
+        for api, old, new in self.attribution_changed:
+            lines.append(f"  attribution changed: {api} {old} -> {new}")
+        return "\n".join(lines)
+
+
+def diff_runs(baseline: ExplorationResult,
+              current: ExplorationResult) -> RunDiff:
+    """Compare two runs of (versions of) the same package."""
+    if baseline.package != current.package:
+        raise ValueError(
+            f"cannot diff {baseline.package} against {current.package}"
+        )
+
+    def symbols(result: ExplorationResult) -> Dict[str, str]:
+        return {
+            relation.api: relation.symbol
+            for relation in relations_from_invocations(
+                result.package, result.api_invocations
+            )
+        }
+
+    old_symbols = symbols(baseline)
+    new_symbols = symbols(current)
+    changed = [
+        (api, old_symbols[api], new_symbols[api])
+        for api in sorted(set(old_symbols) & set(new_symbols))
+        if old_symbols[api] != new_symbols[api]
+    ]
+    return RunDiff(
+        package=baseline.package,
+        activities_gained=(current.visited_activities
+                           - baseline.visited_activities),
+        activities_lost=(baseline.visited_activities
+                         - current.visited_activities),
+        fragments_gained=(current.visited_fragments
+                          - baseline.visited_fragments),
+        fragments_lost=(baseline.visited_fragments
+                        - current.visited_fragments),
+        apis_gained=set(new_symbols) - set(old_symbols),
+        apis_lost=set(old_symbols) - set(new_symbols),
+        attribution_changed=changed,
+    )

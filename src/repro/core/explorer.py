@@ -1,0 +1,504 @@
+"""FragDroid: the evolutionary exploration loop (paper Sections III & VI).
+
+The run proceeds exactly as Figure 4 describes:
+
+1. *Static Information Extraction* builds the initial AFTM and the
+   dependency metadata.
+2. The manifest is instrumented (every Activity gains a MAIN action) and
+   the repackaged APK is installed.
+3. The UI transition queue is seeded and then maintained width-first;
+   each item is compiled into a Robotium test case, installed, and run
+   through ``am instrument``.
+4. After every run the UI driver identifies the reached interface on the
+   Fragment level and the three cases of Section VI-A apply:
+
+   * **Case 1** — an unvisited Activity: enqueue one reflection item per
+     dependent Fragment (when the Activity uses a FragmentManager);
+   * **Case 2** — an unvisited Fragment: mark it visited; explicit click
+     paths later replace reflection as the preferred trigger;
+   * **Case 3** — a visited interface: complete the input fields and
+     click every clickable control top-to-bottom / left-to-right,
+     dismissing popups via blank space, restarting after crashes, and
+     recording every interface change as an AFTM update.
+
+5. When the queue drains and the AFTM stops changing, unvisited
+   Activities are forcibly invoked through empty Intents (Section VI-C)
+   and handled with normal processing; a second drain ends the test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.adb.bridge import Adb
+from repro.adb.instrumentation import instrument_manifest
+from repro.android.device import Device
+from repro.apk.package import ApkPackage
+from repro.core.config import FragDroidConfig
+from repro.core.queue import (
+    Operation,
+    OpKind,
+    UIQueue,
+    UIQueueItem,
+    click_op,
+    force_start_op,
+    launch_op,
+    reflect_op,
+)
+from repro.core.testcase import TestCase
+from repro.core.ui_driver import UiDriver, UiSnapshot
+from repro.errors import (
+    ActivityNotFoundError,
+    ReflectionError,
+    SecurityException,
+    TestCaseError,
+)
+from repro.robotium.solo import Solo
+from repro.static.aftm import AFTM, Node, NodeKind, activity_node, fragment_node
+from repro.static.extractor import StaticInfo, extract_static_info
+from repro.types import ApiInvocation
+
+
+@dataclass
+class ExplorationStats:
+    test_cases: int = 0
+    failed_items: int = 0
+    reflection_failures: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    events: int = 0
+    aftm_updates: int = 0
+    # Distinct fragment-level UI states processed — the quantity
+    # Challenge 1 is about: an Activity-grained tool sees at most one
+    # state per Activity, a Fragment-aware one sees each transformation.
+    distinct_interfaces: int = 0
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One line of the run trace: what the explorer did and saw."""
+
+    step: int
+    kind: str    # item | visit | transition | crash | reflection-failure | forced-start
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.step:06d} {self.kind:19} {self.detail}"
+
+
+@dataclass
+class ExplorationResult:
+    """Everything a FragDroid run produces for one app."""
+
+    package: str
+    info: StaticInfo
+    aftm: AFTM
+    visited_activities: Set[str]
+    visited_fragments: Set[str]
+    api_invocations: List[ApiInvocation]
+    test_cases: List[TestCase]
+    stats: ExplorationStats
+    trace: List[TraceEvent] = field(default_factory=list)
+    # First recorded operation path that reached each visited component
+    # (class name -> operations).  The targeted mode replays these.
+    paths: Dict[str, Tuple] = field(default_factory=dict)
+    # The subset of test_cases that executed successfully — the suite a
+    # regression run replays (probe cases that failed by design, like
+    # reflection attempts on args-fragments, are excluded).
+    passing_test_cases: List[TestCase] = field(default_factory=list)
+
+    def trace_text(self) -> str:
+        """The run trace as readable lines."""
+        return "\n".join(str(event) for event in self.trace)
+
+    # -- Table I quantities ----------------------------------------------------
+
+    @property
+    def activity_total(self) -> int:
+        return len(self.info.activities)
+
+    @property
+    def fragment_total(self) -> int:
+        return len(self.info.fragments)
+
+    @property
+    def activity_rate(self) -> float:
+        total = self.activity_total
+        return len(self.visited_activities) / total if total else 0.0
+
+    @property
+    def fragment_rate(self) -> float:
+        total = self.fragment_total
+        return len(self.visited_fragments) / total if total else 0.0
+
+    def fragments_in_visited_activities(self) -> Tuple[int, int]:
+        """(visited, total) over Fragments whose host Activity was
+        visited — Table I's third column group."""
+        total = 0
+        visited = 0
+        for fragment in self.info.fragments:
+            hosts = self.info.fragment_hosts.get(fragment, [])
+            if not any(host in self.visited_activities for host in hosts):
+                continue
+            total += 1
+            if fragment in self.visited_fragments:
+                visited += 1
+        return visited, total
+
+    def coverage_report(self) -> str:
+        fiva_visited, fiva_total = self.fragments_in_visited_activities()
+        lines = [
+            f"package: {self.package}",
+            f"activities: {len(self.visited_activities)}/{self.activity_total}"
+            f" ({self.activity_rate:.2%})",
+            f"fragments:  {len(self.visited_fragments)}/{self.fragment_total}"
+            f" ({self.fragment_rate:.2%})",
+            f"fragments in visited activities: {fiva_visited}/{fiva_total}",
+            f"sensitive API invocations: {len(self.api_invocations)}",
+            f"test cases: {self.stats.test_cases}, "
+            f"events: {self.stats.events}, crashes: {self.stats.crashes}",
+        ]
+        return "\n".join(lines)
+
+
+class FragDroid:
+    """The exploration framework, bound to one device."""
+
+    def __init__(self, device: Device,
+                 config: Optional[FragDroidConfig] = None) -> None:
+        self.device = device
+        self.config = config or FragDroidConfig()
+        self.adb = Adb(device)
+        self.solo = Solo(device)
+
+    # -- public API ----------------------------------------------------------------
+
+    def explore(self, apk: ApkPackage,
+                info: Optional[StaticInfo] = None) -> ExplorationResult:
+        """Run the full pipeline on one APK."""
+        config = self.config
+        if info is None:
+            info = extract_static_info(
+                apk,
+                input_values=config.input_values
+                if config.enable_input_file else None,
+            )
+        installed = (instrument_manifest(apk)
+                     if config.enable_forced_start else apk)
+        self.adb.install(installed)
+
+        run = _Run(self, apk.package, info)
+        run.seed_queue()
+        run.drain_queue()
+        if config.enable_forced_start:
+            run.enqueue_forced_starts()
+            run.drain_queue()
+        return run.result()
+
+
+class _Run:
+    """Mutable state of one exploration run."""
+
+    def __init__(self, frag: FragDroid, package: str, info: StaticInfo) -> None:
+        self.frag = frag
+        self.config = frag.config
+        self.device = frag.device
+        self.adb = frag.adb
+        self.solo = frag.solo
+        self.package = package
+        self.info = info
+        self.aftm = info.aftm
+        self.driver = UiDriver(
+            frag.solo, info,
+            use_input_file=frag.config.enable_input_file,
+            input_strategy=frag.config.input_strategy,
+        )
+        self.queue = UIQueue(limit=frag.config.max_queue_items,
+                             order=frag.config.queue_order)
+        self.stats = ExplorationStats()
+        self.test_cases: List[TestCase] = []
+        self.passing_test_cases: List[TestCase] = []
+        self.trace: List[TraceEvent] = []
+        self._paths: Dict[str, Tuple[Operation, ...]] = {}
+        self._processed_signatures: Set[Tuple] = set()
+        self._case1_done: Set[str] = set()
+        self._api_start = len(self.device.api_monitor.invocations)
+
+    # -- queue management ---------------------------------------------------------
+
+    def seed_queue(self) -> None:
+        """Initialize the UI transition queue from the original AFTM.
+
+        The entry item is the only one with concrete operations; every
+        other statically known node becomes reachable as Cases 1–3
+        attach operations to discovered paths (the BFS order of the
+        model is preserved through FIFO processing)."""
+        entry = self.aftm.entry
+        self.queue.push(
+            UIQueueItem(
+                method="launch",
+                start=None,
+                target=entry,
+                operations=(launch_op(),),
+            )
+        )
+
+    def drain_queue(self) -> None:
+        while self.queue and not self._budget_exhausted():
+            item = self.queue.pop()
+            if not self._execute_item(item):
+                continue
+            self._process_interface(item)
+
+    def enqueue_forced_starts(self) -> None:
+        """Section VI-C: forcibly invoke unvisited Activities through
+        empty Intents."""
+        for node in self.aftm.unvisited_activities():
+            component = f"{self.package}/{node.name}"
+            self.queue.push(
+                UIQueueItem(
+                    method="forced-start",
+                    start=None,
+                    target=node,
+                    operations=(force_start_op(component),),
+                )
+            )
+
+    def _budget_exhausted(self) -> bool:
+        return self.device.steps >= self.config.max_events
+
+    def _in_target_app(self) -> bool:
+        foreground = self.device.foreground
+        return foreground is not None and foreground.package == self.package
+
+    def _trace(self, kind: str, detail: str) -> None:
+        self.trace.append(TraceEvent(self.device.steps, kind, detail))
+
+    # -- item execution --------------------------------------------------------------
+
+    def _execute_item(self, item: UIQueueItem) -> bool:
+        """Compile the item to a Robotium test case and run it."""
+        self.device.force_stop(self.package)
+        case = TestCase(
+            package=self.package,
+            name=f"GeneratedTest{self.stats.test_cases:04d}",
+            operations=item.operations,
+        )
+        self.stats.test_cases += 1
+        self.test_cases.append(case)
+        self._trace("item", str(item))
+        try:
+            case.install_and_run(self.solo, self.adb)
+        except ReflectionError as exc:
+            self.stats.reflection_failures += 1
+            self._trace("reflection-failure", str(exc))
+            return False
+        except (TestCaseError, ActivityNotFoundError, SecurityException) as exc:
+            self.stats.failed_items += 1
+            self._trace("item-failed", str(exc))
+            return False
+        self.passing_test_cases.append(case)
+        return True
+
+    def _replay(self, operations: Tuple[Operation, ...]) -> bool:
+        """Restart the app and re-run a path (Case 3 restart handling)."""
+        self.stats.restarts += 1
+        self.device.force_stop(self.package)
+        case = TestCase(self.package, "Replay", operations)
+        try:
+            case.run(self.solo, self.adb)
+        except (TestCaseError, ReflectionError, ActivityNotFoundError,
+                SecurityException):
+            return False
+        return True
+
+    # -- interface processing ------------------------------------------------------------
+
+    def _process_interface(self, item: UIQueueItem) -> None:
+        snapshot = self.driver.snapshot()
+        if not snapshot.alive:
+            return
+        if not self._in_target_app():
+            # An implicit intent escaped to another app: out of scope,
+            # like a tester pressing Home. Back out and drop the item.
+            self._trace("left-app", snapshot.activity or "?")
+            self.solo.go_back()
+            return
+        self._register_visit(snapshot, item)
+        if snapshot.signature in self._processed_signatures:
+            return
+        self._processed_signatures.add(snapshot.signature)
+        if self.config.enable_click_exploration:
+            self._click_sweep(item, snapshot)
+
+    def _register_visit(self, snapshot: UiSnapshot,
+                        item: UIQueueItem) -> None:
+        """Mark visited nodes and apply Case 1 / Case 2."""
+        activity = snapshot.activity
+        assert activity is not None
+        a_node = activity_node(activity)
+        newly_visited = self.aftm.mark_visited(a_node)
+        if newly_visited:
+            self._trace("visit", f"activity {activity}")
+        self._paths.setdefault(activity, item.operations)
+        for fragment in snapshot.fragments:
+            if fragment_node(fragment) not in self.aftm.visited:
+                self._trace("visit", f"fragment {fragment}")
+            self._paths.setdefault(fragment, item.operations)
+        if newly_visited or activity not in self._case1_done:
+            self._case1_done.add(activity)
+            self._case1_enqueue_fragments(activity, item)
+        for fragment in snapshot.fragments:
+            self.aftm.mark_visited(fragment_node(fragment))
+
+    def _case1_enqueue_fragments(self, activity: str,
+                                 item: UIQueueItem) -> None:
+        """Case 1: for an Activity that switches Fragments dynamically,
+        enqueue one reflection item per dependent Fragment."""
+        if not self.config.enable_reflection:
+            return
+        if not self.info.uses_manager.get(activity, False):
+            return
+        for fragment in self.info.dependency.get(activity, ()):
+            node = fragment_node(fragment)
+            if node in self.aftm.visited:
+                continue
+            self.queue.push(
+                item.extended("reflection", node, reflect_op(fragment))
+            )
+
+    # -- Case 3: the click sweep -----------------------------------------------------------
+
+    def _click_sweep(self, item: UIQueueItem, origin: UiSnapshot) -> None:
+        """Trigger all clickable widgets of a settled interface one by
+        one, restarting and replaying the path whenever a click changes
+        the interface or crashes the app."""
+        text_operations = tuple(self.driver.fill_inputs())
+        base_operations = item.operations + text_operations
+        widget_ids = self.driver.clickable_ids()
+        needs_replay = False
+        restarts = 0
+        for widget_id in widget_ids:
+            if self._budget_exhausted():
+                return
+            if needs_replay:
+                restarts += 1
+                if restarts > self.config.max_restarts_per_item:
+                    return
+                if not self._replay(base_operations):
+                    return
+                needs_replay = False
+            before = self.driver.snapshot()
+            if not before.alive:
+                return
+            try:
+                self.solo.click_on_view(widget_id)
+            except Exception:
+                continue
+            if not self.device.app_alive:
+                # FC: restart and continue under clicking (Case 3).
+                self.stats.crashes += 1
+                needs_replay = True
+                continue
+            if not self._in_target_app():
+                # The click fired an implicit intent into another app.
+                self._trace("left-app",
+                            self.device.current_activity_name() or "?")
+                self.solo.go_back()
+                needs_replay = True
+                continue
+            after = self.driver.snapshot()
+            if after.signature == before.signature:
+                continue
+            if after.overlay is not None and before.overlay is None:
+                # A dialog/menu popped up: remove it via blank space.
+                self.driver.dismiss_overlay()
+                if self.driver.snapshot().signature != before.signature:
+                    needs_replay = True
+                continue
+            # The interface changed: update the AFTM and enqueue the new
+            # interface, then restart for the remaining clicks.
+            self._record_transition(before, after, widget_id)
+            self._trace(
+                "transition",
+                f"{before.activity} --[{widget_id}]--> "
+                f"{after.activity} fragments={sorted(after.fragments)}",
+            )
+            follow_up = UIQueueItem(
+                method="click",
+                start=item.target,
+                target=self._node_of(after),
+                operations=base_operations + (click_op(widget_id),),
+            )
+            self.queue.push(follow_up)
+            needs_replay = True
+
+    def _node_of(self, snapshot: UiSnapshot) -> Optional[Node]:
+        if snapshot.fragments:
+            return fragment_node(sorted(snapshot.fragments)[0])
+        if snapshot.activity is not None:
+            return activity_node(snapshot.activity)
+        return None
+
+    def _record_transition(self, before: UiSnapshot, after: UiSnapshot,
+                           widget_id: str) -> None:
+        """Task 3 of the UI driving module: AFTM update on state change."""
+        assert before.activity is not None and after.activity is not None
+        src = self._source_node(before, widget_id)
+        changed = False
+        if after.activity != before.activity:
+            changed |= self.aftm.add_raw_transition(
+                src, activity_node(after.activity),
+                src_host=before.activity, trigger=widget_id,
+            )
+        new_fragments = after.fragments - before.fragments
+        for fragment in sorted(new_fragments):
+            changed |= self.aftm.add_raw_transition(
+                src, fragment_node(fragment),
+                src_host=before.activity, dst_host=after.activity,
+                trigger=widget_id,
+            )
+        if changed:
+            self.stats.aftm_updates += 1
+
+    def _source_node(self, before: UiSnapshot, widget_id: str) -> Node:
+        """The transition source is the component owning the clicked
+        widget (resource dependency), falling back to the Activity."""
+        assert before.activity is not None
+        owner_activity, owner_fragment = self.info.resource_dep.owner_of(
+            widget_id
+        )
+        if owner_fragment is not None and owner_fragment in before.fragments:
+            return fragment_node(owner_fragment)
+        return activity_node(before.activity)
+
+    # -- result -----------------------------------------------------------------------------
+
+    def result(self) -> ExplorationResult:
+        self.stats.events = self.device.steps
+        self.stats.distinct_interfaces = len(self._processed_signatures)
+        invocations = [
+            inv
+            for inv in self.device.api_monitor.invocations[self._api_start:]
+            if inv.component.package == self.package
+        ]
+        visited_activities = {
+            n.name for n in self.aftm.visited if n.kind is NodeKind.ACTIVITY
+        }
+        visited_fragments = {
+            n.name for n in self.aftm.visited if n.kind is NodeKind.FRAGMENT
+        }
+        return ExplorationResult(
+            package=self.package,
+            info=self.info,
+            aftm=self.aftm,
+            visited_activities=visited_activities,
+            visited_fragments=visited_fragments,
+            api_invocations=invocations,
+            test_cases=self.test_cases,
+            stats=self.stats,
+            trace=self.trace,
+            paths=dict(self._paths),
+            passing_test_cases=self.passing_test_cases,
+        )

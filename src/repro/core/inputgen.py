@@ -1,0 +1,66 @@
+"""Heuristic input generation (paper Sections V-C and VIII).
+
+FragDroid "utilizes some techniques of these works to ensure that it
+could generate inputs as accurate as possible" — citing TrimDroid's
+widget relationships and Chen et al.'s context-driven value generation —
+and names better input generation as future work.  This module
+implements the context-driven part: a widget's resource name and label
+are matched against keyword classes, and a plausible value of that class
+is produced.  Analyst-provided values from the input-dependency file
+always take precedence (Section V-C: "FragDroid will use these values
+with a preference").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.android.views import RuntimeWidget
+from repro.apk.inputs import KNOWN_CITIES
+from repro.static.input_dep import DEFAULT_TEXT, InputDependency
+
+# Keyword classes, checked in order; first match wins.
+_HEURISTICS: Sequence[Tuple[Tuple[str, ...], str]] = (
+    (("mail",), "user@example.com"),
+    (("city", "place", "town", "location", "destination"),
+     sorted(KNOWN_CITIES)[0]),
+    (("phone", "mobile", "tel"), "5551234567"),
+    (("date", "birthday", "dob"), "2018-06-25"),
+    (("url", "link", "website"), "http://example.com"),
+    (("zip", "postal"), "02134"),
+    (("age", "count", "number", "amount", "qty", "quantity"), "42"),
+    (("user", "name", "login"), "alice"),
+    (("search", "query", "keyword"), "weather"),
+)
+
+
+class HeuristicInputGenerator:
+    """Context-driven value generation for input widgets."""
+
+    def __init__(self, input_dep: Optional[InputDependency] = None) -> None:
+        self.input_dep = input_dep
+
+    def value_for(self, widget: RuntimeWidget) -> str:
+        """The value to type into a widget.
+
+        Preference order: analyst input file > keyword heuristics >
+        the random-ish default filler.
+        """
+        if self.input_dep is not None and self.input_dep.has_value(
+            widget.widget_id
+        ):
+            return self.input_dep.value_for(widget.widget_id)
+        context = f"{widget.widget_id} {widget.text}".lower()
+        for keywords, value in _HEURISTICS:
+            if any(keyword in context for keyword in keywords):
+                return value
+        return DEFAULT_TEXT
+
+    @staticmethod
+    def classify(context: str) -> Optional[str]:
+        """The keyword class a widget context falls into (for reports)."""
+        lowered = context.lower()
+        for keywords, _value in _HEURISTICS:
+            if any(keyword in lowered for keyword in keywords):
+                return keywords[0]
+        return None

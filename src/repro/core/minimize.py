@@ -1,0 +1,100 @@
+"""Test-suite minimization (TrimDroid's theme, applied to our output).
+
+TrimDroid's contribution is "a comparable coverage … using fewer test
+cases"; after a FragDroid run we can do the same to our own generated
+suite: pick the smallest subset of passing test cases that still
+reaches every visited component.  Greedy set cover — optimal is
+NP-hard, greedy is the standard ln(n)-approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.adb.bridge import Adb
+from repro.adb.instrumentation import instrument_manifest
+from repro.android.device import Device
+from repro.apk.package import ApkPackage
+from repro.core.explorer import ExplorationResult
+from repro.core.testcase import TestCase
+from repro.errors import ReproError
+from repro.robotium.solo import Solo
+
+
+@dataclass
+class MinimizedSuite:
+    cases: List[TestCase]
+    covered: Set[str]
+    original_size: int
+
+    @property
+    def reduction(self) -> float:
+        if not self.original_size:
+            return 0.0
+        return 1.0 - len(self.cases) / self.original_size
+
+    def render(self) -> str:
+        return (
+            f"minimized suite: {len(self.cases)}/{self.original_size} "
+            f"test cases ({self.reduction:.0%} fewer) covering "
+            f"{len(self.covered)} components"
+        )
+
+
+def _coverage_of_case(case: TestCase, apk: ApkPackage,
+                      known_components: Set[str]) -> Set[str]:
+    """Replay one case on a scratch device; observe which components
+    appear (activity on top after each op + attached fragments)."""
+    device = Device()
+    adb = Adb(device)
+    adb.install(instrument_manifest(apk))
+    solo = Solo(device)
+    covered: Set[str] = set()
+
+    try:
+        # Replay op by op, sampling after each step.
+        from repro.core.queue import OpKind
+
+        for index in range(1, len(case.operations) + 1):
+            prefix = TestCase(case.package, "Probe",
+                              case.operations[:index])
+            device.force_stop(case.package)
+            prefix.run(solo, adb)
+            activity = device.current_activity_name()
+            if activity in known_components:
+                covered.add(activity)
+            for fragment in device.current_fragment_classes():
+                if fragment in known_components:
+                    covered.add(fragment)
+    except ReproError:
+        pass
+    return covered
+
+
+def minimize_suite(result: ExplorationResult,
+                   apk: ApkPackage) -> MinimizedSuite:
+    """Greedy set cover of visited components by passing test cases."""
+    universe = set(result.visited_activities) | set(result.visited_fragments)
+    coverage: Dict[int, Set[str]] = {}
+    for index, case in enumerate(result.passing_test_cases):
+        coverage[index] = _coverage_of_case(case, apk, universe)
+
+    chosen: List[TestCase] = []
+    covered: Set[str] = set()
+    remaining = dict(coverage)
+    while covered != universe and remaining:
+        best_index, best_gain = None, -1
+        for index, cov in remaining.items():
+            gain = len(cov - covered)
+            if gain > best_gain:
+                best_index, best_gain = index, gain
+        if best_index is None or best_gain <= 0:
+            break
+        covered |= remaining.pop(best_index)
+        chosen.append(result.passing_test_cases[best_index])
+    return MinimizedSuite(
+        cases=chosen,
+        covered=covered,
+        original_size=len(result.passing_test_cases),
+    )

@@ -1,0 +1,181 @@
+"""Sensitive-API invocation analysis — Table II (paper Section VII-C).
+
+For each app and each Table II API, classify the discovered invocation
+relation:
+
+* ``●`` invoked by Activity only;
+* ``◗`` invoked by Fragment only (what Activity-level tools must miss);
+* ``⊙`` invoked by both.
+
+Also computes the paper's aggregates: total invocation relations,
+the share associated with Fragments (paper: 49%), and the share an
+Activity-based approach misses because it is Fragment-only (paper:
+at least 9.6%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.explorer import ExplorationResult
+from repro.static.sensitive import SENSITIVE_API_CATALOG
+from repro.types import ApiInvocation, InvocationSource
+
+SYMBOL_ACTIVITY = "●"
+SYMBOL_FRAGMENT = "◗"
+SYMBOL_BOTH = "⊙"
+
+
+@dataclass(frozen=True)
+class ApiRelation:
+    """One cell of Table II: an (app, api) invocation relation."""
+
+    package: str
+    api: str
+    by_activity: bool
+    by_fragment: bool
+
+    @property
+    def symbol(self) -> str:
+        if self.by_activity and self.by_fragment:
+            return SYMBOL_BOTH
+        if self.by_fragment:
+            return SYMBOL_FRAGMENT
+        return SYMBOL_ACTIVITY
+
+    @property
+    def fragment_associated(self) -> bool:
+        return self.by_fragment
+
+
+@dataclass
+class SensitiveApiReport:
+    """The Table II matrix plus its aggregates."""
+
+    relations: List[ApiRelation] = field(default_factory=list)
+
+    @property
+    def packages(self) -> List[str]:
+        return sorted({r.package for r in self.relations})
+
+    @property
+    def apis(self) -> List[str]:
+        return sorted({r.api for r in self.relations})
+
+    def relation(self, package: str, api: str) -> Optional[ApiRelation]:
+        for rel in self.relations:
+            if rel.package == package and rel.api == api:
+                return rel
+        return None
+
+    # -- aggregates -------------------------------------------------------------
+
+    @property
+    def total_relations(self) -> int:
+        return len(self.relations)
+
+    @property
+    def distinct_apis_found(self) -> int:
+        return len(self.apis)
+
+    @property
+    def fragment_associated_share(self) -> float:
+        """Share of relations invoked by a Fragment (◗ or ⊙) — the
+        paper reports 49%."""
+        if not self.relations:
+            return 0.0
+        hits = sum(1 for r in self.relations if r.fragment_associated)
+        return hits / len(self.relations)
+
+    @property
+    def fragment_only_share(self) -> float:
+        """Share an Activity-based tool must miss (◗ only) — the paper
+        reports at least 9.6%."""
+        if not self.relations:
+            return 0.0
+        hits = sum(
+            1 for r in self.relations if r.by_fragment and not r.by_activity
+        )
+        return hits / len(self.relations)
+
+    def by_category(self) -> Dict[str, List[ApiRelation]]:
+        """Relations grouped by the Table II category (the row groups
+        Browser / Identification / Internet / … of the paper)."""
+        grouped: Dict[str, List[ApiRelation]] = {}
+        for relation in self.relations:
+            category = relation.api.split("/", 1)[0]
+            grouped.setdefault(category, []).append(relation)
+        return grouped
+
+    def render_category_summary(self) -> str:
+        """Per-category counts: relations, fragment-associated share."""
+        header = (f"{'category':18} {'APIs':>5} {'relations':>10} "
+                  f"{'frag-assoc':>11}")
+        lines = [header, "-" * len(header)]
+        for category, relations in sorted(self.by_category().items()):
+            apis = len({r.api for r in relations})
+            frag = sum(1 for r in relations if r.fragment_associated)
+            lines.append(
+                f"{category:18} {apis:>5} {len(relations):>10} "
+                f"{frag / len(relations):>11.0%}"
+            )
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """A compact Table II rendering: APIs as rows, apps as columns."""
+        packages = self.packages
+        short = [p.split(".")[-1][:10] for p in packages]
+        width = max((len(api) for api in self.apis), default=20)
+        header = f"{'Sensitive API':{width}} " + " ".join(
+            f"{name:>10}" for name in short
+        )
+        lines = [header, "-" * len(header)]
+        for api in self.apis:
+            cells = []
+            for package in packages:
+                rel = self.relation(package, api)
+                cells.append(f"{rel.symbol if rel else '':>10}")
+            lines.append(f"{api:{width}} " + " ".join(cells))
+        lines.append("-" * len(header))
+        lines.append(
+            f"APIs found: {self.distinct_apis_found}; "
+            f"relations: {self.total_relations}; "
+            f"fragment-associated: {self.fragment_associated_share:.1%}; "
+            f"fragment-only (missed by Activity-level tools): "
+            f"{self.fragment_only_share:.1%}"
+        )
+        return "\n".join(lines)
+
+
+def relations_from_invocations(
+    package: str, invocations: Iterable[ApiInvocation]
+) -> List[ApiRelation]:
+    """Fold raw monitor records into per-API relations for one app."""
+    by_api: Dict[str, Set[InvocationSource]] = {}
+    for invocation in invocations:
+        by_api.setdefault(invocation.api, set()).add(invocation.source)
+    catalog = {api.name for api in SENSITIVE_API_CATALOG}
+    relations = []
+    for api, sources in sorted(by_api.items()):
+        if api not in catalog:
+            continue
+        relations.append(
+            ApiRelation(
+                package=package,
+                api=api,
+                by_activity=InvocationSource.ACTIVITY in sources,
+                by_fragment=InvocationSource.FRAGMENT in sources,
+            )
+        )
+    return relations
+
+
+def build_api_report(results: Iterable[ExplorationResult]) -> SensitiveApiReport:
+    """Build the Table II report from a set of exploration results."""
+    report = SensitiveApiReport()
+    for result in results:
+        report.relations.extend(
+            relations_from_invocations(result.package, result.api_invocations)
+        )
+    return report

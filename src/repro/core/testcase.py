@@ -1,0 +1,147 @@
+"""Test case generation: queue items → executable Robotium programs.
+
+The paper's test case generation module "transforms the items in the UI
+queue into executable test cases" from a Robotium template, packages
+them with Ant and runs them through ``am instrument`` (Sections III and
+VI).  We keep the whole shape: a :class:`TestCase` renders itself as
+Robotium-style Java source (an inspectable artifact of every run) and
+registers an equivalent operation-replay with the adb instrumentation
+layer, which executes against the :class:`~repro.robotium.solo.Solo`
+driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.android.reflection import reflective_fragment_switch
+from repro.core.queue import OpKind, Operation
+from repro.errors import TestCaseError, WidgetNotFoundError
+from repro.types import ComponentName
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.adb.bridge import Adb
+    from repro.robotium.solo import Solo
+
+
+@dataclass
+class TestCase:
+    """One generated test program."""
+
+    package: str
+    name: str
+    operations: Sequence[Operation]
+
+    @property
+    def test_package(self) -> str:
+        return f"{self.package}.test.{self.name}"
+
+    # -- rendering --------------------------------------------------------------
+
+    def to_robotium_java(self) -> str:
+        """The Robotium template instantiated with this operation list."""
+        lines = [
+            f"package {self.package}.test;",
+            "",
+            "import com.robotium.solo.Solo;",
+            "import android.test.ActivityInstrumentationTestCase2;",
+            "",
+            f"public class {self.name} extends "
+            "ActivityInstrumentationTestCase2 {",
+            "    private Solo solo;",
+            "",
+            "    public void setUp() throws Exception {",
+            "        solo = new Solo(getInstrumentation(), getActivity());",
+            "    }",
+            "",
+            "    public void testRun() throws Exception {",
+        ]
+        for op in self.operations:
+            lines.append(f"        {self._java_statement(op)}")
+        lines.extend(
+            [
+                "    }",
+                "",
+                "    public void tearDown() throws Exception {",
+                "        solo.finishOpenedActivities();",
+                "    }",
+                "}",
+            ]
+        )
+        return "\n".join(lines)
+
+    def _java_statement(self, op: Operation) -> str:
+        if op.kind is OpKind.LAUNCH:
+            return "getActivity();  // launch entry activity"
+        if op.kind is OpKind.CLICK:
+            return f'solo.clickOnView(solo.getView("{op.target}"));'
+        if op.kind is OpKind.ENTER_TEXT:
+            return (f'solo.enterText((EditText) solo.getView("{op.target}"), '
+                    f'"{op.value}");')
+        if op.kind is OpKind.SWIPE_OPEN:
+            return "solo.drag(0, 540, 960, 960, 10);  // open drawer"
+        if op.kind is OpKind.REFLECT:
+            return (
+                "// reflective fragment switch (Section VI-B template)\n"
+                "        FragmentManager fm = (FragmentManager) activity"
+                ".getClass().getMethod(\"getFragmentManager\")"
+                ".invoke(activity);\n"
+                "        fm.beginTransaction().replace(containerId, "
+                f"(Fragment) Class.forName(\"{op.target}\")"
+                ".newInstance()).commit();"
+            )
+        if op.kind is OpKind.FORCE_START:
+            return (f'// adb shell am start -n {op.target}  (empty intent)')
+        if op.kind is OpKind.BACK:
+            return "solo.goBack();"
+        raise TestCaseError(f"cannot render {op.kind}")
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, solo: "Solo", adb: "Adb") -> None:
+        """Replay the operation list against the device.
+
+        Raises :class:`TestCaseError` when an operation cannot be
+        applied (missing widget, failed start) — the explorer treats
+        that as a broken path and drops the item.
+        """
+        device = solo.device
+        for op in self.operations:
+            if op.kind is OpKind.LAUNCH:
+                if not adb.am_start_launcher(self.package):
+                    raise TestCaseError(f"{self.package}: launcher did not start")
+            elif op.kind is OpKind.CLICK:
+                try:
+                    solo.click_on_view(op.target)
+                except WidgetNotFoundError as exc:
+                    raise TestCaseError(f"click failed: {exc}") from exc
+            elif op.kind is OpKind.ENTER_TEXT:
+                try:
+                    solo.enter_text(op.target, op.value)
+                except WidgetNotFoundError as exc:
+                    raise TestCaseError(f"enterText failed: {exc}") from exc
+            elif op.kind is OpKind.SWIPE_OPEN:
+                solo.swipe_right()
+            elif op.kind is OpKind.REFLECT:
+                reflective_fragment_switch(device, op.target)
+            elif op.kind is OpKind.FORCE_START:
+                component = ComponentName.parse(op.target)
+                if not device.start_activity(component):
+                    raise TestCaseError(f"forced start failed: {op.target}")
+            elif op.kind is OpKind.BACK:
+                solo.go_back()
+            else:
+                raise TestCaseError(f"cannot execute {op.kind}")
+            if not device.app_alive:
+                raise TestCaseError(
+                    f"app left foreground after {op} (crash or finish)"
+                )
+
+    def install_and_run(self, solo: "Solo", adb: "Adb") -> None:
+        """The full Section VI-A method 2 flow: package the script,
+        install it, run it via ``am instrument``."""
+        adb.register_instrumentation(
+            self.test_package, lambda: self.run(solo, adb)
+        )
+        adb.am_instrument(self.test_package)

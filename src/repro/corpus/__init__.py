@@ -1,0 +1,40 @@
+"""Evaluation corpus (paper Section VII-A).
+
+The paper evaluates on real Google Play APKs; offline we regenerate the
+same *population*: the 15 named apps of Tables I/II with their
+ground-truth component counts and the per-app obstacles the paper's
+failure analysis describes, plus a 217-app market for the Section I
+usage study.  See DESIGN.md for how the substitution keeps the tool
+honest (static analysis sees only compiled artifacts; the explorer sees
+only the device UI).
+"""
+
+from repro.corpus.demos import (
+    demo_aftm_example,
+    demo_drawer_app,
+    demo_tabbed_app,
+)
+from repro.corpus.market import MarketApp, generate_market
+from repro.corpus.synth import AppPlan, build_app
+from repro.corpus.table1_apps import (
+    TABLE1_EXPECTED,
+    TABLE1_PLANS,
+    build_table1_app,
+    table1_packages,
+)
+from repro.corpus.table2_truth import API_PLAN
+
+__all__ = [
+    "API_PLAN",
+    "AppPlan",
+    "MarketApp",
+    "TABLE1_EXPECTED",
+    "TABLE1_PLANS",
+    "build_app",
+    "build_table1_app",
+    "demo_aftm_example",
+    "demo_drawer_app",
+    "demo_tabbed_app",
+    "generate_market",
+    "table1_packages",
+]

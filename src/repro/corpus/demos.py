@@ -1,0 +1,172 @@
+"""Demo apps for the paper's motivating figures.
+
+* :func:`demo_tabbed_app` — Figure 1: a wallpaper browser whose
+  CATEGORIES/RECENT tabs swap Fragments inside one Activity;
+* :func:`demo_drawer_app` — Figure 2: two Fragments whose only bridge is
+  a hidden slide menu;
+* :func:`demo_aftm_example` — Figure 5: a small app exhibiting all three
+  AFTM edge kinds (E1, E2, E3).
+"""
+
+from __future__ import annotations
+
+from repro.apk.appspec import (
+    ActivitySpec,
+    AppSpec,
+    Chain,
+    DrawerSpec,
+    FragmentSpec,
+    InvokeApi,
+    ShowFragment,
+    StartActivity,
+    WidgetSpec,
+)
+from repro.types import WidgetKind
+
+
+def demo_tabbed_app() -> AppSpec:
+    """Figure 1: tab clicks transform the Fragment below while the
+    Activity stays the same."""
+    return AppSpec(
+        package="com.example.wallpapers",
+        activities=[
+            ActivitySpec(
+                name="GalleryActivity",
+                launcher=True,
+                initial_fragment="CategoriesFragment",
+                widgets=[
+                    WidgetSpec(
+                        id="tab_categories", kind=WidgetKind.TAB,
+                        text="CATEGORIES",
+                        on_click=ShowFragment("CategoriesFragment",
+                                              "fragment_container"),
+                    ),
+                    WidgetSpec(
+                        id="tab_recent", kind=WidgetKind.TAB,
+                        text="RECENT",
+                        on_click=ShowFragment("RecentFragment",
+                                              "fragment_container"),
+                    ),
+                ],
+            ),
+            ActivitySpec(name="DetailActivity"),
+        ],
+        fragments=[
+            FragmentSpec(
+                name="CategoriesFragment",
+                widgets=[
+                    WidgetSpec(id="category_row", kind=WidgetKind.LIST_ITEM,
+                               text="Nature",
+                               on_click=StartActivity("DetailActivity")),
+                ],
+            ),
+            FragmentSpec(
+                name="RecentFragment",
+                api_calls=["internet/Connectivity.getActiveNetworkInfo"],
+                widgets=[
+                    WidgetSpec(id="recent_row", kind=WidgetKind.LIST_ITEM,
+                               text="Yesterday"),
+                ],
+            ),
+        ],
+        category="Personalization",
+    )
+
+
+def demo_drawer_app() -> AppSpec:
+    """Figure 2: the hidden slide menu is the only bridge between the
+    wallpapers Fragment and the favorites Fragment."""
+    return AppSpec(
+        package="com.example.slidemenu",
+        activities=[
+            ActivitySpec(
+                name="HomeActivity",
+                launcher=True,
+                initial_fragment="WallpapersFragment",
+                drawer=DrawerSpec(
+                    items=[
+                        WidgetSpec(
+                            id="menu_wallpapers",
+                            kind=WidgetKind.DRAWER_ITEM,
+                            text="Wallpapers",
+                            on_click=ShowFragment("WallpapersFragment",
+                                                  "fragment_container"),
+                        ),
+                        WidgetSpec(
+                            id="menu_favorites",
+                            kind=WidgetKind.DRAWER_ITEM,
+                            text="Favorites",
+                            on_click=ShowFragment("FavoritesFragment",
+                                                  "fragment_container"),
+                        ),
+                    ]
+                ),
+            ),
+        ],
+        fragments=[
+            FragmentSpec(
+                name="WallpapersFragment",
+                widgets=[WidgetSpec(id="wall_grid", kind=WidgetKind.LIST_ITEM,
+                                    text="wallpaper")],
+            ),
+            FragmentSpec(
+                name="FavoritesFragment",
+                api_calls=["storage/getExternalStorageState"],
+                widgets=[WidgetSpec(id="fav_grid", kind=WidgetKind.LIST_ITEM,
+                                    text="favorite")],
+            ),
+        ],
+        category="Personalization",
+    )
+
+
+def demo_aftm_example() -> AppSpec:
+    """Figure 5: an AFTM exhibiting E1 (A→A), E2 (A→F) and E3 (F→F)."""
+    return AppSpec(
+        package="com.example.aftm",
+        activities=[
+            ActivitySpec(
+                name="A0Activity", launcher=True,
+                initial_fragment="F0Fragment",
+                widgets=[
+                    WidgetSpec(id="btn_a1", text="to A1",
+                               on_click=StartActivity("A1Activity")),
+                ],
+            ),
+            ActivitySpec(
+                name="A1Activity",
+                initial_fragment="F2Fragment",
+                widgets=[
+                    WidgetSpec(id="btn_a0", text="back to A0",
+                               on_click=StartActivity("A0Activity")),
+                ],
+            ),
+        ],
+        fragments=[
+            FragmentSpec(
+                name="F0Fragment",
+                widgets=[
+                    WidgetSpec(
+                        id="btn_f1", text="to F1",
+                        on_click=Chain(
+                            actions=(
+                                InvokeApi("location/isProviderEnabled"),
+                                ShowFragment("F1Fragment",
+                                             "fragment_container"),
+                            )
+                        ),
+                    ),
+                ],
+            ),
+            FragmentSpec(
+                name="F1Fragment",
+                widgets=[WidgetSpec(id="f1_row", kind=WidgetKind.LIST_ITEM,
+                                    text="F1")],
+            ),
+            FragmentSpec(
+                name="F2Fragment",
+                widgets=[WidgetSpec(id="f2_row", kind=WidgetKind.LIST_ITEM,
+                                    text="F2")],
+            ),
+        ],
+    )

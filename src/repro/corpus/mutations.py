@@ -1,0 +1,73 @@
+"""Spec mutations: synthetic "next versions" of an app.
+
+Used by the regression-testing tests and examples: each operator
+returns a deep-copied spec with one realistic developer change — a
+renamed widget, a removed handler, a swapped start screen, or a newly
+introduced crash.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import replace
+from typing import Optional
+
+from repro.apk.appspec import AppSpec, Crash, WidgetSpec
+from repro.errors import ApkError
+
+
+def _clone(spec: AppSpec) -> AppSpec:
+    return copy.deepcopy(spec)
+
+
+def _find_widget_owner(spec: AppSpec, widget_id: str):
+    for activity in spec.activities:
+        for index, widget in enumerate(activity.widgets):
+            if widget.id == widget_id:
+                return activity.widgets, index
+        if activity.drawer:
+            for index, widget in enumerate(activity.drawer.items):
+                if widget.id == widget_id:
+                    return activity.drawer.items, index
+    for fragment in spec.fragments:
+        for index, widget in enumerate(fragment.widgets):
+            if widget.id == widget_id:
+                return fragment.widgets, index
+    raise ApkError(f"no widget {widget_id!r} in {spec.package}")
+
+
+def rename_widget(spec: AppSpec, widget_id: str, new_id: str) -> AppSpec:
+    """The developer renamed a view ID — recorded paths go stale."""
+    mutated = _clone(spec)
+    widgets, index = _find_widget_owner(mutated, widget_id)
+    widgets[index] = replace(widgets[index], id=new_id)
+    return mutated
+
+
+def remove_handler(spec: AppSpec, widget_id: str) -> AppSpec:
+    """The click handler was dropped — the path silently dead-ends."""
+    mutated = _clone(spec)
+    widgets, index = _find_widget_owner(mutated, widget_id)
+    widgets[index] = replace(widgets[index], on_click=None)
+    return mutated
+
+
+def inject_crash(spec: AppSpec, widget_id: str,
+                 reason: str = "regression") -> AppSpec:
+    """The new version crashes where the old one navigated."""
+    mutated = _clone(spec)
+    widgets, index = _find_widget_owner(mutated, widget_id)
+    widgets[index] = replace(widgets[index], on_click=Crash(reason))
+    return mutated
+
+
+def swap_initial_fragment(spec: AppSpec, activity_name: str,
+                          fragment_name: str) -> AppSpec:
+    """The start screen changed — state identification must follow."""
+    mutated = _clone(spec)
+    activity = mutated.activity(activity_name)
+    if fragment_name not in activity.hosted_fragments:
+        activity.hosted_fragments.append(fragment_name)
+    activity.initial_fragment = fragment_name
+    mutated.validate()
+    return mutated

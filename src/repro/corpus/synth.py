@@ -1,0 +1,566 @@
+"""Parameterized synthetic app generator.
+
+Builds an :class:`~repro.apk.appspec.AppSpec` from a compact
+:class:`AppPlan` describing the app's reachable structure and its
+obstacles.  Each obstacle reproduces one failure narrative from the
+paper's Section VII coverage analysis:
+
+* ``login_locked`` — Activities behind a form requiring exact input the
+  analyst did not provide (``com.weather.Weather``); statically the edge
+  is visible (flow-insensitive), dynamically it never triggers, and the
+  target also demands Intent extras so forced starts bounce.
+* ``popup_locked`` — Activities only reachable through popup-menu items;
+  FragDroid dismisses popups via blank space (Case 3), so the click
+  never happens (``com.adobe.reader``, ``com.where2get.android.app``).
+* ``navdrawer_locked`` / ``navdrawer_forced`` — material-design
+  NavigationView targets that "cannot be operated directly"
+  (``com.cnn.mobile.android.phone``): the locked ones also require
+  extras (forced start fails), the forced ones are recovered by the
+  second loop's empty-Intent starts.
+* ``unmanaged_fragments`` — attached without a FragmentManager
+  (``com.mobilemotion.dubsmash``): statically counted, dynamically
+  unidentifiable and un-switchable.
+* ``args_fragments`` — ``newInstance`` requires parameters
+  (``com.inditex.zara``): reflection switching fails, and the only
+  explicit path hides inside a popup.
+* ``hidden_fragments`` — hosted by locked Activities, so they sit in
+  the Sum column but outside any reachable path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apk.appspec import (
+    ActivitySpec,
+    AppSpec,
+    Chain,
+    DrawerSpec,
+    FragmentFactory,
+    FragmentSpec,
+    InvokeApi,
+    ShowDialog,
+    ShowFragment,
+    ShowPopupMenu,
+    StartActivity,
+    SubmitForm,
+    WidgetSpec,
+    ACTIVITY_BASE,
+    FRAGMENT_BASE,
+    SUPPORT_ACTIVITY_BASE,
+    SUPPORT_FRAGMENT_BASE,
+)
+from repro.types import WidgetKind
+
+# The password planted in login gates.  The analyst's input file does NOT
+# contain it for the Table I runs (the paper's "special inputs … are not
+# given manually in advance"); the ablation bench supplies it to show the
+# input-dependency mechanism working.
+LOGIN_SECRET = "s3cret-passphrase"
+
+_FANOUT = 4
+
+
+@dataclass
+class AppPlan:
+    """The shape of one synthetic app."""
+
+    package: str
+    downloads: str = "1,000,000+"
+    category: str = "Tools"
+    # Click-reachable activities, including the launcher.
+    visited_activities: int = 3
+    login_locked: int = 0
+    # Activities behind a rule-based form (e.g. a weather place search
+    # that accepts real city names): the default "abc" filler fails, the
+    # heuristic input generator succeeds.
+    input_gated: int = 0
+    popup_locked: int = 0
+    navdrawer_locked: int = 0
+    navdrawer_forced: int = 0
+    visited_fragments: int = 0
+    args_fragments: int = 0
+    unmanaged_fragments: int = 0
+    hidden_fragments: int = 0
+    use_support: bool = False
+    api_plan: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def total_activities(self) -> int:
+        return (self.visited_activities + self.login_locked
+                + self.input_gated + self.popup_locked
+                + self.navdrawer_locked + self.navdrawer_forced)
+
+    @property
+    def total_fragments(self) -> int:
+        return (self.visited_fragments + self.args_fragments
+                + self.unmanaged_fragments + self.hidden_fragments)
+
+    @property
+    def expected_visited_activities(self) -> int:
+        """Click-reachable plus forced-start-recoverable."""
+        return self.visited_activities + self.navdrawer_forced
+
+    @property
+    def expected_visited_fragments(self) -> int:
+        return self.visited_fragments
+
+    def __post_init__(self) -> None:
+        if self.visited_activities < 1:
+            raise ValueError("an app needs at least the launcher activity")
+        if self.hidden_fragments and not (
+            self.login_locked + self.input_gated + self.popup_locked
+            + self.navdrawer_locked
+        ):
+            raise ValueError("hidden fragments need a locked host activity")
+
+
+# Sensitive APIs planted in *locked* components: present in the code
+# (the static call graph sees them) but never executed because their
+# hosts are unreachable — the API-level face of the coverage gap.
+DARK_APIS = ("internet/connect", "storage/sdcard", "phone/getDeviceId",
+             "location/requestLocationUpdates")
+
+
+def build_app(plan: AppPlan) -> AppSpec:
+    """Compile a plan into a full application spec (deterministic)."""
+    return _Synth(plan).build()
+
+
+class _Synth:
+    def __init__(self, plan: AppPlan) -> None:
+        self.plan = plan
+        self.seed = zlib.crc32(plan.package.encode())
+        self.activity_base = (SUPPORT_ACTIVITY_BASE if plan.use_support
+                              else ACTIVITY_BASE)
+        self.fragment_base = (SUPPORT_FRAGMENT_BASE if plan.use_support
+                              else FRAGMENT_BASE)
+        self.activities: List[ActivitySpec] = []
+        self.fragments: List[FragmentSpec] = []
+        # Per-activity widget staging (applied at the end).
+        self._extra_widgets: Dict[str, List[WidgetSpec]] = {}
+
+    # -- naming ------------------------------------------------------------------
+
+    @staticmethod
+    def _reachable_name(index: int) -> str:
+        return "MainActivity" if index == 0 else f"Screen{index:02d}Activity"
+
+    def build(self) -> AppSpec:
+        plan = self.plan
+        reachable = [self._reachable_name(i)
+                     for i in range(plan.visited_activities)]
+        self._build_reachable(reachable)
+        self._build_visited_fragments(reachable)
+        self._build_login_locked(reachable)
+        self._build_input_gated(reachable)
+        self._build_popup_locked(reachable)
+        self._build_navdrawer(reachable)
+        self._distribute_remaining_hidden()
+        self._build_args_fragments(reachable)
+        self._build_unmanaged_fragments(reachable)
+        self._apply_api_plan(reachable)
+        self._plant_dark_apis()
+        self._flush_widgets()
+        return AppSpec(
+            package=plan.package,
+            activities=self.activities,
+            fragments=self.fragments,
+            category=plan.category,
+            downloads=plan.downloads,
+        )
+
+    # -- reachable activity tree -----------------------------------------------------
+
+    def _build_reachable(self, reachable: List[str]) -> None:
+        for index, name in enumerate(reachable):
+            spec = ActivitySpec(
+                name=name,
+                launcher=(index == 0),
+                base_class=self.activity_base,
+                widgets=[
+                    WidgetSpec(id=f"label_{index:02d}",
+                               kind=WidgetKind.TEXT_VIEW,
+                               text=f"screen {index}"),
+                ],
+            )
+            self.activities.append(spec)
+            self._extra_widgets[name] = []
+        # A breadth-first button tree over the reachable activities.
+        for child_index in range(1, len(reachable)):
+            parent = reachable[(child_index - 1) // _FANOUT]
+            child = reachable[child_index]
+            self._extra_widgets[parent].append(
+                WidgetSpec(
+                    id=f"btn_goto_{child_index:02d}",
+                    text=f"open {child}",
+                    on_click=StartActivity(child),
+                )
+            )
+
+    def _activity(self, name: str) -> ActivitySpec:
+        for spec in self.activities:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    # -- visited fragments --------------------------------------------------------------
+
+    def _build_visited_fragments(self, reachable: List[str]) -> None:
+        plan = self.plan
+        host_cycle = itertools.cycle(reachable)
+        host_of: Dict[str, str] = {}
+        menu_only: set = set()
+        for index in range(plan.visited_fragments):
+            name = f"Pane{index:02d}Fragment"
+            host = next(host_cycle)
+            intermediate = ([f"Base{index % 3}Fragment"]
+                            if index % 3 == 0 else [])
+            factory = (FragmentFactory.NEW_INSTANCE if index % 4 == 1
+                       else FragmentFactory.NEW)
+            fragment = FragmentSpec(
+                name=name,
+                base_class=self.fragment_base,
+                factory=factory,
+                intermediate_bases=intermediate,
+                widgets=[
+                    WidgetSpec(id=f"row_{index:02d}",
+                               kind=WidgetKind.LIST_ITEM,
+                               text=f"row {index}"),
+                ],
+            )
+            self.fragments.append(fragment)
+            host_of[name] = host
+            host_spec = self._activity(host)
+            host_spec.hosted_fragments.append(name)
+            container = host_spec.container_id or "fragment_container"
+            host_spec.container_id = container
+            if host_spec.initial_fragment is None:
+                host_spec.initial_fragment = name
+            elif index % 4 == 2:
+                # No directly clickable path: the switch hides inside an
+                # options menu the exploration dismisses, so only the
+                # Case 1 reflection mechanism can show this fragment.
+                menu_only.add(name)
+                self._extra_widgets[host].append(
+                    WidgetSpec(
+                        id=f"btn_more_{index:02d}",
+                        text="⋮",
+                        on_click=ShowPopupMenu(
+                            items=(
+                                WidgetSpec(
+                                    id=f"menu_pane_{index:02d}",
+                                    kind=WidgetKind.MENU_ITEM,
+                                    text=name,
+                                    on_click=ShowFragment(name, container),
+                                ),
+                            )
+                        ),
+                    )
+                )
+            else:
+                # A tab switching to this fragment (Figure 1 style).
+                self._extra_widgets[host].append(
+                    WidgetSpec(
+                        id=f"tab_{index:02d}",
+                        kind=WidgetKind.TAB,
+                        text=name.replace("Fragment", ""),
+                        on_click=ShowFragment(name, container),
+                    )
+                )
+        # F -> F chains: every third fragment links to its same-host
+        # successor, giving the AFTM genuine E3 edges.
+        by_host: Dict[str, List[FragmentSpec]] = {}
+        for fragment in self.fragments:
+            by_host.setdefault(host_of[fragment.name], []).append(fragment)
+        for host, group in by_host.items():
+            container = self._activity(host).container_id or "fragment_container"
+            for left, right in zip(group, group[1:]):
+                if right.name in menu_only or left.name in menu_only:
+                    # Menu-only fragments stay reachable solely through
+                    # reflection: no E3 click path in or out.
+                    continue
+                left.widgets.append(
+                    WidgetSpec(
+                        id=f"link_{left.name.lower()}_{right.name.lower()}",
+                        text=f"more {right.name}",
+                        on_click=ShowFragment(right.name, container),
+                    )
+                )
+
+    # -- locked activities ----------------------------------------------------------------
+
+    def _build_login_locked(self, reachable: List[str]) -> None:
+        host_cycle = itertools.cycle(reachable)
+        for index in range(self.plan.login_locked):
+            name = f"Locked{index:02d}Activity"
+            self.activities.append(
+                ActivitySpec(name=name, base_class=self.activity_base,
+                             requires_intent_extras=True)
+            )
+            host = next(host_cycle)
+            field_id = f"password_{index:02d}"
+            self._extra_widgets[host].extend(
+                [
+                    WidgetSpec(id=field_id, kind=WidgetKind.EDIT_TEXT,
+                               text=""),
+                    WidgetSpec(
+                        id=f"btn_login_{index:02d}",
+                        text="Sign in",
+                        on_click=SubmitForm(
+                            required={field_id: LOGIN_SECRET},
+                            on_success=StartActivity(name),
+                            on_failure=ShowDialog("Wrong credentials"),
+                        ),
+                    ),
+                ]
+            )
+            self._host_hidden_fragment(name, index)
+
+    def _build_input_gated(self, reachable: List[str]) -> None:
+        host_cycle = itertools.cycle(reachable)
+        for index in range(self.plan.input_gated):
+            name = f"Search{index:02d}Activity"
+            self.activities.append(
+                ActivitySpec(name=name, base_class=self.activity_base,
+                             requires_intent_extras=True)
+            )
+            host = next(host_cycle)
+            field_id = f"city_input_{index:02d}"
+            self._extra_widgets[host].extend(
+                [
+                    WidgetSpec(id=field_id, kind=WidgetKind.EDIT_TEXT,
+                               text="Enter a city"),
+                    WidgetSpec(
+                        id=f"btn_search_{index:02d}",
+                        text="Search",
+                        on_click=SubmitForm(
+                            rules={field_id: "city"},
+                            on_success=StartActivity(name),
+                            on_failure=ShowDialog("No such place"),
+                        ),
+                    ),
+                ]
+            )
+            self._host_hidden_fragment(name, 3000 + index)
+
+    def _build_popup_locked(self, reachable: List[str]) -> None:
+        host_cycle = itertools.cycle(reachable)
+        for index in range(self.plan.popup_locked):
+            name = f"Overflow{index:02d}Activity"
+            self.activities.append(
+                ActivitySpec(name=name, base_class=self.activity_base,
+                             requires_intent_extras=True)
+            )
+            host = next(host_cycle)
+            self._extra_widgets[host].append(
+                WidgetSpec(
+                    id=f"btn_overflow_{index:02d}",
+                    text="⋮",
+                    on_click=ShowPopupMenu(
+                        items=(
+                            WidgetSpec(
+                                id=f"menu_open_{index:02d}",
+                                kind=WidgetKind.MENU_ITEM,
+                                text=f"Open {name}",
+                                on_click=StartActivity(name),
+                            ),
+                        )
+                    ),
+                )
+            )
+            self._host_hidden_fragment(name, 1000 + index)
+
+    def _build_navdrawer(self, reachable: List[str]) -> None:
+        plan = self.plan
+        count = plan.navdrawer_locked + plan.navdrawer_forced
+        if count == 0:
+            return
+        items = []
+        for index in range(count):
+            locked = index < plan.navdrawer_locked
+            name = (f"Nav{index:02d}Activity" if locked
+                    else f"Section{index:02d}Activity")
+            self.activities.append(
+                ActivitySpec(
+                    name=name,
+                    base_class=self.activity_base,
+                    requires_intent_extras=locked,
+                )
+            )
+            items.append(
+                WidgetSpec(
+                    id=f"nav_item_{index:02d}",
+                    kind=WidgetKind.DRAWER_ITEM,
+                    text=name,
+                    on_click=StartActivity(name),
+                )
+            )
+            if locked:
+                self._host_hidden_fragment(name, 2000 + index)
+        main = self._activity(reachable[0])
+        main.drawer = DrawerSpec(items=items, navigation_view=True)
+
+    def _host_hidden_fragment(self, locked_activity: str, salt: int) -> None:
+        """Attach one of the plan's hidden fragments to a locked host."""
+        already = sum(1 for f in self.fragments
+                      if f.name.startswith("Hidden"))
+        if already >= self.plan.hidden_fragments:
+            return
+        name = f"Hidden{already:02d}Fragment"
+        self.fragments.append(
+            FragmentSpec(
+                name=name,
+                base_class=self.fragment_base,
+                widgets=[WidgetSpec(id=f"hidden_row_{already:02d}",
+                                    kind=WidgetKind.LIST_ITEM,
+                                    text="hidden")],
+            )
+        )
+        host = self._activity(locked_activity)
+        host.hosted_fragments.append(name)
+        host.initial_fragment = host.initial_fragment or name
+
+    def _distribute_remaining_hidden(self) -> None:
+        """When a plan has more hidden fragments than locked activities,
+        the extras are stacked onto the locked hosts as tab fragments —
+        still statically visible, still dynamically unreachable."""
+        locked = [a for a in self.activities if a.requires_intent_extras]
+        if not locked:
+            return
+        cycle = itertools.cycle(locked)
+        while (sum(1 for f in self.fragments if f.name.startswith("Hidden"))
+               < self.plan.hidden_fragments):
+            index = sum(1 for f in self.fragments
+                        if f.name.startswith("Hidden"))
+            name = f"Hidden{index:02d}Fragment"
+            self.fragments.append(
+                FragmentSpec(
+                    name=name,
+                    base_class=self.fragment_base,
+                    widgets=[WidgetSpec(id=f"hidden_row_{index:02d}",
+                                        kind=WidgetKind.LIST_ITEM,
+                                        text="hidden")],
+                )
+            )
+            host = next(cycle)
+            host.hosted_fragments.append(name)
+            container = host.container_id or "fragment_container"
+            host.container_id = container
+            if host.initial_fragment is None:
+                host.initial_fragment = name
+            else:
+                host.widgets.append(
+                    WidgetSpec(
+                        id=f"tab_hidden_{index:02d}",
+                        kind=WidgetKind.TAB,
+                        text=name,
+                        on_click=ShowFragment(name, container),
+                    )
+                )
+
+    # -- fragment obstacles ---------------------------------------------------------------------
+
+    def _build_args_fragments(self, reachable: List[str]) -> None:
+        host_cycle = itertools.cycle(reachable)
+        for index in range(self.plan.args_fragments):
+            name = f"Detail{index:02d}Fragment"
+            self.fragments.append(
+                FragmentSpec(
+                    name=name,
+                    base_class=self.fragment_base,
+                    factory=FragmentFactory.NEW_INSTANCE,
+                    requires_args=True,
+                    widgets=[WidgetSpec(id=f"detail_row_{index:02d}",
+                                        kind=WidgetKind.LIST_ITEM,
+                                        text="detail")],
+                )
+            )
+            host_name = next(host_cycle)
+            host = self._activity(host_name)
+            host.hosted_fragments.append(name)
+            container = host.container_id or "fragment_container"
+            host.container_id = container
+            # The only explicit path hides inside a popup menu that the
+            # exploration dismisses (Case 3), so reflection — which fails
+            # on the required args — is the only attempt FragDroid makes.
+            self._extra_widgets[host_name].append(
+                WidgetSpec(
+                    id=f"btn_detail_menu_{index:02d}",
+                    text="…",
+                    on_click=ShowPopupMenu(
+                        items=(
+                            WidgetSpec(
+                                id=f"menu_detail_{index:02d}",
+                                kind=WidgetKind.MENU_ITEM,
+                                text=f"Show {name}",
+                                on_click=ShowFragment(name, container),
+                            ),
+                        )
+                    ),
+                )
+            )
+
+    def _build_unmanaged_fragments(self, reachable: List[str]) -> None:
+        host_cycle = itertools.cycle(reachable)
+        for index in range(self.plan.unmanaged_fragments):
+            name = f"Raw{index:02d}Fragment"
+            self.fragments.append(
+                FragmentSpec(
+                    name=name,
+                    base_class=self.fragment_base,
+                    managed=False,
+                    widgets=[WidgetSpec(id=f"raw_row_{index:02d}",
+                                        kind=WidgetKind.LIST_ITEM,
+                                        text="raw")],
+                )
+            )
+            host_name = next(host_cycle)
+            host = self._activity(host_name)
+            host.hosted_fragments.append(name)
+            container = host.container_id or "fragment_container"
+            host.container_id = container
+            self._extra_widgets[host_name].append(
+                WidgetSpec(
+                    id=f"btn_raw_{index:02d}",
+                    text=f"load {name}",
+                    on_click=ShowFragment(name, container),
+                )
+            )
+
+    # -- sensitive APIs ----------------------------------------------------------------------------
+
+    def _apply_api_plan(self, reachable: List[str]) -> None:
+        visited_fragments = [
+            f for f in self.fragments if f.name.startswith("Pane")
+        ]
+        activity_cycle = itertools.cycle(reachable)
+        fragment_cycle = (itertools.cycle(visited_fragments)
+                          if visited_fragments else None)
+        for api, placement in self.plan.api_plan:
+            if placement in ("A", "B"):
+                self._activity(next(activity_cycle)).api_calls.append(api)
+            if placement in ("F", "B"):
+                if fragment_cycle is None:
+                    raise ValueError(
+                        f"{self.plan.package}: api plan places {api!r} in a "
+                        "fragment but the plan has no visited fragments"
+                    )
+                next(fragment_cycle).api_calls.append(api)
+
+    def _plant_dark_apis(self) -> None:
+        """Locked activities call sensitive APIs in code the exploration
+        never reaches — discoverable statically, silent dynamically."""
+        cycle = itertools.cycle(DARK_APIS)
+        for activity in self.activities:
+            if activity.requires_intent_extras:
+                activity.api_calls.append(next(cycle))
+
+    # -- finalize -------------------------------------------------------------------------------------
+
+    def _flush_widgets(self) -> None:
+        for name, widgets in self._extra_widgets.items():
+            self._activity(name).widgets.extend(widgets)

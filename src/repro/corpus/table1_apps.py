@@ -1,0 +1,155 @@
+"""The 15 evaluation apps of Tables I and II.
+
+Each plan's component totals match the paper's "Sum" columns exactly,
+and the obstacle mix follows the paper's per-app failure narrative
+(Section VII-B): adobe.reader's action-bar popups, cnn's NavigationView
+drawer, weather's strict inputs, dubsmash's manager-less fragments,
+zara's parameterised ``newInstance``, and so on.  The "Visited" numbers
+are *not* hard-coded anywhere — they emerge from running FragDroid
+against these apps; ``TABLE1_EXPECTED`` records the paper's measurements
+for side-by-side comparison in the bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.apk.appspec import AppSpec
+from repro.corpus.synth import AppPlan, build_app
+from repro.corpus.table2_truth import API_PLAN
+
+
+def _plan(package: str, downloads: str, category: str, **kwargs) -> AppPlan:
+    return AppPlan(
+        package=package,
+        downloads=downloads,
+        category=category,
+        api_plan=API_PLAN.get(package, []),
+        **kwargs,
+    )
+
+
+TABLE1_PLANS: List[AppPlan] = [
+    _plan(
+        "au.com.digitalstampede.formula", "50,000+", "Entertainment",
+        visited_activities=1, login_locked=1,
+        visited_fragments=2,
+    ),
+    _plan(
+        "com.adobe.reader", "100,000,000+", "Business Office",
+        visited_activities=7, popup_locked=6,
+        visited_fragments=5,
+    ),
+    _plan(
+        "com.advancedprocessmanager", "10,000,000+", "Tools",
+        visited_activities=5, popup_locked=1, login_locked=1,
+        visited_fragments=10,
+    ),
+    _plan(
+        "com.aircrunch.shopalerts", "1,000,000+", "Shopping",
+        visited_activities=7, navdrawer_locked=2, popup_locked=1,
+        visited_fragments=8, hidden_fragments=2, args_fragments=2,
+        unmanaged_fragments=1, use_support=True,
+    ),
+    _plan(
+        "com.c51", "5,000,000+", "Shopping",
+        visited_activities=28, navdrawer_locked=3, popup_locked=2,
+        login_locked=2,
+        visited_fragments=2, args_fragments=1,
+    ),
+    _plan(
+        "com.cnn.mobile.android.phone", "10,000,000+", "News Magazine",
+        visited_activities=14, navdrawer_locked=7, navdrawer_forced=2,
+        visited_fragments=3, hidden_fragments=4, args_fragments=3,
+        use_support=True,
+    ),
+    _plan(
+        "com.happy2.bbmanga", "1,000,000+", "Entertainment",
+        visited_activities=2, login_locked=3,
+        visited_fragments=3, hidden_fragments=2,
+    ),
+    _plan(
+        "com.inditex.zara", "10,000,000+", "Shopping",
+        visited_activities=7, popup_locked=2,
+        visited_fragments=7, args_fragments=6, hidden_fragments=2,
+        use_support=True,
+    ),
+    _plan(
+        "com.mobilemotion.dubsmash", "100,000,000+", "Entertainment",
+        visited_activities=10, login_locked=1,
+        unmanaged_fragments=3,
+    ),
+    _plan(
+        "com.ovuline.pregnancy", "1,000,000+", "Health",
+        visited_activities=17, navdrawer_locked=4, popup_locked=3,
+        login_locked=3,
+        visited_fragments=8, hidden_fragments=11, args_fragments=12,
+        unmanaged_fragments=6, use_support=True,
+    ),
+    _plan(
+        "com.weather.Weather", "50,000,000+", "Weather",
+        visited_activities=13, login_locked=2, input_gated=2,
+        visited_fragments=1,
+    ),
+    _plan(
+        "com.where2get.android.app", "500,000+", "Shopping",
+        visited_activities=9, popup_locked=4, login_locked=3,
+        visited_fragments=4, hidden_fragments=2, args_fragments=2,
+    ),
+    _plan(
+        "imoblife.toolbox.full", "10,000,000+", "Tools",
+        visited_activities=14,
+        visited_fragments=8, args_fragments=1,
+    ),
+    _plan(
+        "net.aviascanner.aviascanner", "1,000,000+", "Travel",
+        visited_activities=7,
+        visited_fragments=4,
+    ),
+    _plan(
+        "org.rbc.odb", "1,000,000+", "Books and Reference",
+        visited_activities=4, popup_locked=1,
+        visited_fragments=5, hidden_fragments=2, args_fragments=1,
+    ),
+]
+
+# The paper's Table I measurements:
+# package -> (act_visited, act_sum, frag_visited, frag_sum,
+#             fiva_visited, fiva_sum)
+TABLE1_EXPECTED: Dict[str, Tuple[int, int, int, int, int, int]] = {
+    "au.com.digitalstampede.formula": (1, 2, 2, 2, 1, 1),
+    "com.adobe.reader": (7, 13, 5, 5, 2, 2),
+    "com.advancedprocessmanager": (5, 7, 10, 10, 10, 10),
+    "com.aircrunch.shopalerts": (7, 10, 8, 13, 4, 6),
+    "com.c51": (28, 35, 2, 3, 2, 3),
+    "com.cnn.mobile.android.phone": (16, 23, 3, 10, 2, 4),
+    "com.happy2.bbmanga": (2, 5, 3, 5, 0, 2),
+    "com.inditex.zara": (7, 9, 7, 15, 2, 10),
+    "com.mobilemotion.dubsmash": (10, 11, 0, 3, 0, 3),
+    "com.ovuline.pregnancy": (17, 27, 8, 37, 8, 26),
+    "com.weather.Weather": (13, 17, 1, 1, 1, 1),
+    "com.where2get.android.app": (9, 16, 4, 8, 0, 4),
+    "imoblife.toolbox.full": (14, 14, 8, 9, 4, 5),
+    "net.aviascanner.aviascanner": (7, 7, 4, 4, 4, 4),
+    "org.rbc.odb": (4, 5, 5, 8, 2, 3),
+}
+
+# Paper-quoted aggregates for the bench summaries.
+PAPER_MEAN_ACTIVITY_RATE = 0.7194
+PAPER_MEAN_FRAGMENT_RATE = 0.66
+
+
+def table1_packages() -> List[str]:
+    return [plan.package for plan in TABLE1_PLANS]
+
+
+def plan_for(package: str) -> AppPlan:
+    for plan in TABLE1_PLANS:
+        if plan.package == package:
+            return plan
+    raise KeyError(package)
+
+
+def build_table1_app(package: str) -> AppSpec:
+    """Build one of the 15 evaluation apps by package name."""
+    return build_app(plan_for(package))

@@ -1,0 +1,109 @@
+"""Exception hierarchy for the FragDroid reproduction.
+
+Every layer of the stack (APK model, smali toolchain, device emulator,
+explorer) raises subclasses of :class:`ReproError` so callers can catch
+errors from one layer without accidentally swallowing another layer's bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# APK / packaging layer
+# --------------------------------------------------------------------------
+
+class ApkError(ReproError):
+    """Malformed or inconsistent APK package."""
+
+
+class ManifestError(ApkError):
+    """Invalid AndroidManifest content (duplicate components, bad names)."""
+
+
+class ResourceError(ApkError):
+    """Resource table violation (duplicate IDs, unknown resource names)."""
+
+
+class PackedApkError(ApkError):
+    """The APK is packed/encrypted and cannot be decoded.
+
+    Mirrors the apps the paper had to rule out of the 217 before selecting
+    the 15 evaluation targets (Section VII-A).
+    """
+
+
+# --------------------------------------------------------------------------
+# Smali toolchain
+# --------------------------------------------------------------------------
+
+class SmaliError(ReproError):
+    """Problems assembling or parsing smali code."""
+
+
+class DecompileError(SmaliError):
+    """The Java decompiler could not process a smali class."""
+
+
+# --------------------------------------------------------------------------
+# Device emulator
+# --------------------------------------------------------------------------
+
+class DeviceError(ReproError):
+    """Generic device-level failure."""
+
+
+class AppNotInstalledError(DeviceError):
+    """Operation targeted a package that is not installed."""
+
+
+class ActivityNotFoundError(DeviceError):
+    """Intent resolution failed: no matching activity.
+
+    Matches the ``android.content.ActivityNotFoundException`` semantics.
+    """
+
+
+class SecurityException(DeviceError):
+    """Component not exported and caller lacks permission to start it."""
+
+
+class AppCrashError(DeviceError):
+    """The app force-closed (FC) while handling an event."""
+
+    def __init__(self, package: str, component: str, reason: str) -> None:
+        super().__init__(f"FC in {package} ({component}): {reason}")
+        self.package = package
+        self.component = component
+        self.reason = reason
+
+
+class ReflectionError(DeviceError):
+    """A reflective fragment switch failed.
+
+    Covers both paper-reported failure modes: missing constructor
+    parameters (com.inditex.zara) and fragments not managed by a
+    FragmentManager (com.mobilemotion.dubsmash).
+    """
+
+
+class WidgetNotFoundError(DeviceError):
+    """A driver operation referenced a widget absent from the current UI."""
+
+
+# --------------------------------------------------------------------------
+# Explorer
+# --------------------------------------------------------------------------
+
+class ExplorationError(ReproError):
+    """FragDroid's exploration loop hit an unrecoverable condition."""
+
+
+class TestCaseError(ExplorationError):
+    """A generated test case could not be compiled or replayed."""
+
+    # Not a pytest class, despite the name.
+    __test__ = False

@@ -1,0 +1,12 @@
+"""Record & replay (paper Section I's R&R technique, RERAN-style).
+
+The paper positions record-and-replay as the pre-MBT state of the art:
+a human tester's UI events are recorded as a script and replayed on
+other devices.  This subpackage implements that technique over the
+emulator — both as a baseline to compare against and as a practical
+tool for reproducing manually-found paths.
+"""
+
+from repro.rnr.recorder import Recorder, RecordedEvent, ReplayScript
+
+__all__ = ["RecordedEvent", "Recorder", "ReplayScript"]

@@ -1,0 +1,141 @@
+"""Event recording and script replay.
+
+A :class:`Recorder` proxies a tester's session: every injected event is
+forwarded to the device and appended to the script.  The resulting
+:class:`ReplayScript` serialises to JSON ("translate them to scripts",
+Section I) and replays against any device with the app installed.
+
+Like the real technique, replay is *coordinate- and id-literal*: it
+re-injects exactly what was recorded, so it reproduces the recorded
+path cheaply but breaks when the UI changes — the maintenance cost the
+paper cites as the reason MBT superseded R&R.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.adb.bridge import Adb
+from repro.android.device import Device
+from repro.errors import ReproError
+
+EVENT_KINDS = ("launch", "tap", "click", "text", "back", "swipe")
+
+
+@dataclass(frozen=True)
+class RecordedEvent:
+    kind: str
+    x: int = 0
+    y: int = 0
+    widget_id: str = ""
+    text: str = ""
+    step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ReproError(f"unknown event kind: {self.kind!r}")
+
+
+@dataclass
+class ReplayScript:
+    """An ordered, serialisable event script for one package."""
+
+    package: str
+    events: List[RecordedEvent]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "package": self.package,
+                "events": [
+                    {
+                        "kind": e.kind, "x": e.x, "y": e.y,
+                        "widget_id": e.widget_id, "text": e.text,
+                        "step": e.step,
+                    }
+                    for e in self.events
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReplayScript":
+        data = json.loads(text)
+        return cls(
+            package=data["package"],
+            events=[RecordedEvent(**event) for event in data["events"]],
+        )
+
+    def replay(self, device: Device) -> int:
+        """Re-inject the script on a device; returns events applied.
+
+        Raises :class:`ReproError` (via the device) when the UI has
+        drifted and a recorded widget no longer exists — the fragility
+        that motivates model-based approaches.
+        """
+        adb = Adb(device)
+        applied = 0
+        for event in self.events:
+            if event.kind == "launch":
+                adb.am_start_launcher(self.package)
+            elif event.kind == "tap":
+                device.tap(event.x, event.y)
+            elif event.kind == "click":
+                device.click_widget(event.widget_id)
+            elif event.kind == "text":
+                device.enter_text(event.widget_id, event.text)
+            elif event.kind == "back":
+                device.press_back()
+            elif event.kind == "swipe":
+                device.swipe_from_left()
+            applied += 1
+        return applied
+
+
+class Recorder:
+    """A recording session bound to one device and package."""
+
+    def __init__(self, device: Device, package: str) -> None:
+        self.device = device
+        self.package = package
+        self._adb = Adb(device)
+        self._events: List[RecordedEvent] = []
+
+    def _log(self, kind: str, **kwargs) -> None:
+        self._events.append(
+            RecordedEvent(kind=kind, step=self.device.steps, **kwargs)
+        )
+
+    # -- the tester's verbs (forward + record) ------------------------------
+
+    def launch(self) -> None:
+        self._adb.am_start_launcher(self.package)
+        self._log("launch")
+
+    def tap(self, x: int, y: int) -> None:
+        self.device.tap(x, y)
+        self._log("tap", x=x, y=y)
+
+    def click(self, widget_id: str) -> None:
+        self.device.click_widget(widget_id)
+        self._log("click", widget_id=widget_id)
+
+    def enter_text(self, widget_id: str, text: str) -> None:
+        self.device.enter_text(widget_id, text)
+        self._log("text", widget_id=widget_id, text=text)
+
+    def back(self) -> None:
+        self.device.press_back()
+        self._log("back")
+
+    def swipe(self) -> None:
+        self.device.swipe_from_left()
+        self._log("swipe")
+
+    # -- output ---------------------------------------------------------------
+
+    def script(self) -> ReplayScript:
+        return ReplayScript(package=self.package, events=list(self._events))

@@ -1,0 +1,5 @@
+"""Robotium-style automation driver (the paper's AF/A layer)."""
+
+from repro.robotium.solo import Solo
+
+__all__ = ["Solo"]

@@ -1,0 +1,78 @@
+"""``Solo``: the Robotium driver API.
+
+The paper generates test cases "based on the library of Robotium"
+(Section III); our generated test programs run against this driver,
+which exposes the same high-level verbs — click on view, enter text,
+wait for activity, go back — over the emulated device.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.android.device import Device
+from repro.android.views import RuntimeWidget
+from repro.errors import WidgetNotFoundError
+
+
+class Solo:
+    """A Robotium session bound to one device."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+
+    # -- observation -------------------------------------------------------------
+
+    def get_current_views(self) -> List[RuntimeWidget]:
+        return self.device.ui_dump()
+
+    def get_current_activity(self) -> Optional[str]:
+        """Robotium's ``getCurrentActivity().getClass().getName()``."""
+        return self.device.current_activity_name()
+
+    def get_view(self, widget_id: str) -> RuntimeWidget:
+        for widget in self.get_current_views():
+            if widget.widget_id == widget_id:
+                return widget
+        raise WidgetNotFoundError(widget_id)
+
+    def search_text(self, text: str) -> bool:
+        return any(w.text == text for w in self.get_current_views())
+
+    def wait_for_activity(self, simple_name: str) -> bool:
+        """The emulator settles synchronously, so waiting is a check."""
+        current = self.get_current_activity()
+        return current is not None and current.endswith(simple_name)
+
+    # -- interaction ----------------------------------------------------------------
+
+    def click_on_view(self, widget_id: str) -> None:
+        self.device.click_widget(widget_id)
+
+    def click_on_text(self, text: str) -> None:
+        for widget in self.get_current_views():
+            if widget.text == text:
+                x, y = widget.bounds.center
+                self.device.tap(x, y)
+                return
+        raise WidgetNotFoundError(f"text={text!r}")
+
+    def click_on_screen(self, x: int, y: int) -> None:
+        self.device.tap(x, y)
+
+    def enter_text(self, widget_id: str, text: str) -> None:
+        self.device.enter_text(widget_id, text)
+
+    def go_back(self) -> None:
+        self.device.press_back()
+
+    def swipe_right(self) -> None:
+        """Edge swipe (opens navigation drawers)."""
+        self.device.swipe_from_left()
+
+    def clickable_widgets(self) -> List[RuntimeWidget]:
+        """All clickable widgets, top-to-bottom then left-to-right —
+        the Case 3 click-enumeration order."""
+        widgets = [w for w in self.get_current_views() if w.clickable]
+        widgets.sort(key=lambda w: (w.bounds.top, w.bounds.left))
+        return widgets

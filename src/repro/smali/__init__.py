@@ -1,0 +1,36 @@
+"""Smali toolchain: dalvik class model, assembler, Apktool and jd-core
+equivalents.
+
+The paper's static phase is built on two external tools — Apktool (APK →
+smali + manifest) and jd-core (smali → Java).  This subpackage rebuilds
+both against our APK package model, emitting the same artifact shapes the
+paper's Algorithms 1–3 consume.
+"""
+
+from repro.smali.assemble import parse_class, print_class
+from repro.smali.apktool import Apktool, DecodedApk
+from repro.smali.javagen import JavaDecompiler
+from repro.smali.model import (
+    Instruction,
+    MethodRef,
+    SmaliClass,
+    SmaliField,
+    SmaliMethod,
+    jvm_type,
+    java_name,
+)
+
+__all__ = [
+    "Apktool",
+    "DecodedApk",
+    "Instruction",
+    "JavaDecompiler",
+    "MethodRef",
+    "SmaliClass",
+    "SmaliField",
+    "SmaliMethod",
+    "java_name",
+    "jvm_type",
+    "parse_class",
+    "print_class",
+]

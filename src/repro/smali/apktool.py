@@ -1,0 +1,73 @@
+"""Apktool equivalent: decode an :class:`ApkPackage` into analyzable form.
+
+Mirrors the paper's first static step (Section IV-B.1): "We use Apktool to
+decompile the target APK file to get the smali code and its
+AndroidManifest.xml file."  Decoding parses the package's *text* artifacts
+— it does not shortcut through any in-memory structures — and fails on
+packed/encrypted apps exactly like the real tool does on packers (the apps
+the paper had to rule out before selecting its 15 targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.apk.layout import Layout
+from repro.apk.manifest import Manifest
+from repro.apk.package import ApkPackage
+from repro.apk.resources import ResourceTable
+from repro.errors import PackedApkError
+from repro.smali.assemble import parse_class
+from repro.smali.model import SmaliClass
+
+
+@dataclass
+class DecodedApk:
+    """The output directory of an ``apktool d`` run, as structured data."""
+
+    package: str
+    manifest: Manifest
+    classes: List[SmaliClass] = field(default_factory=list)
+    layouts: Dict[str, Layout] = field(default_factory=dict)
+    resources: ResourceTable = None  # type: ignore[assignment]
+
+    def class_by_name(self, name: str) -> SmaliClass:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(f"no class {name!r} in decoded {self.package}")
+
+    def has_class(self, name: str) -> bool:
+        return any(cls.name == name for cls in self.classes)
+
+    def inner_classes_of(self, name: str) -> List[SmaliClass]:
+        """All ``Name$...`` companions of a class (Algorithm 2's
+        ``getInnerClass``)."""
+        prefix = name + "$"
+        return [cls for cls in self.classes if cls.name.startswith(prefix)]
+
+
+class Apktool:
+    """Stateless decoder with the same responsibilities as Apktool."""
+
+    def decode(self, apk: ApkPackage) -> DecodedApk:
+        """Decode a package; raises :class:`PackedApkError` on packers."""
+        if apk.packed:
+            raise PackedApkError(
+                f"{apk.package}: DEX is packed/encrypted; cannot decode"
+            )
+        manifest = Manifest.from_xml(apk.manifest_xml)
+        classes = [parse_class(text) for _, text in sorted(apk.smali_files.items())]
+        layouts: Dict[str, Layout] = {}
+        for path, text in sorted(apk.layout_files.items()):
+            name = path.rsplit("/", 1)[-1].removesuffix(".xml")
+            layouts[name] = Layout.from_xml(name, text)
+        resources = ResourceTable.from_public_xml(apk.package, apk.public_xml)
+        return DecodedApk(
+            package=apk.package,
+            manifest=manifest,
+            classes=classes,
+            layouts=layouts,
+            resources=resources,
+        )

@@ -1,0 +1,217 @@
+"""jd-core equivalent: pattern-directed smali → Java decompilation.
+
+Section IV-B.1: "we further convert the smali code to the corresponding
+Java code through jd-core for the last step — transition edge
+calculation."  Algorithm 1 then greps the Java source for idioms like
+``new Intent(A0, A1.class)`` and ``new F1()``.
+
+This decompiler performs a linear register-tracking pass over each method
+body and emits one Java-like statement per interesting invoke.  Like a
+real decompiler it is faithful to what the bytecode *contains*: a target
+loaded via ``Class.forName(decode(...))`` decompiles to
+``new Intent(this, FragmentRouter.resolveTarget())`` — a line no regex
+can resolve to a class name, which is exactly how runtime-computed
+navigation escapes static analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.smali.model import Instruction, MethodRef, SmaliClass, SmaliMethod
+
+_FRAGMENT_MANAGER_GETTERS = ("getFragmentManager", "getSupportFragmentManager")
+
+
+class JavaDecompiler:
+    """Decompile smali classes to Java-like source text."""
+
+    def decompile_class(self, cls: SmaliClass) -> str:
+        """Render one class (inner classes are rendered separately; use
+        :meth:`decompile_unit` to merge them as jd-core does)."""
+        lines: List[str] = []
+        package, _, simple = cls.name.rpartition(".")
+        if package and not cls.is_inner:
+            lines.append(f"package {package};")
+            lines.append("")
+        implements = (
+            " implements " + ", ".join(cls.interfaces) if cls.interfaces else ""
+        )
+        lines.append(
+            f"public class {simple.replace('$', '_')} "
+            f"extends {cls.super_name}{implements} {{"
+        )
+        for method in cls.methods:
+            lines.extend(f"    {line}" for line in self._method_lines(method))
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def decompile_unit(self, outer: SmaliClass,
+                       inners: List[SmaliClass]) -> str:
+        """One ``.java`` file: the outer class with its inner classes —
+        the unit Algorithm 1 scans as ``A0.java`` / ``F0.java``."""
+        parts = [self.decompile_class(outer)]
+        for inner in sorted(inners, key=lambda c: c.name):
+            parts.append(self.decompile_class(inner))
+        return "\n".join(parts)
+
+    # -- statement generation -------------------------------------------------
+
+    def _method_lines(self, method: SmaliMethod) -> List[str]:
+        params = ", ".join(
+            f"{ptype} p{index + 1}" for index, ptype in enumerate(method.params)
+        )
+        flags = "public static" if method.static else "public"
+        name = "ctor" if method.name == "<init>" else method.name
+        lines = [f"{flags} {method.ret} {name}({params}) {{"]
+        state = _RegisterState()
+        for instruction in method.instructions:
+            statement = self._step(instruction, state)
+            if statement:
+                lines.append(f"    {statement}")
+        lines.append("}")
+        return lines
+
+    def _step(self, instruction: Instruction,
+              state: "_RegisterState") -> Optional[str]:
+        op = instruction.opcode
+        args = instruction.args
+        if op == "const-string":
+            reg, literal = args
+            state.set(str(reg), _Value("string", str(literal)))
+            return None
+        if op == "const-class":
+            reg, cls_name = args
+            state.set(str(reg), _Value("class", str(cls_name)))
+            return None
+        if op in ("const", "const/4"):
+            reg, number = args
+            state.set(str(reg), _Value("int", str(int(number))))  # type: ignore[arg-type]
+            return None
+        if op == "new-instance":
+            reg, cls_name = args
+            state.set(str(reg), _Value("new", str(cls_name)))
+            return None
+        if op == "move-result-object" or op == "move-result":
+            (reg,) = args
+            state.set(str(reg), state.pending or _Value("expr", "result"))
+            state.pending = None
+            return None
+        if op == "check-cast":
+            reg, cls_name = args
+            state.set(str(reg), _Value("expr", f"(({cls_name})local)"))
+            return None
+        if op == "iget-object":
+            reg = str(args[0])
+            state.set(reg, _Value("expr", "this$0"))
+            return None
+        if op in ("if-eqz", "if-nez"):
+            # The branch jumps to the else-label, so the fall-through is
+            # the taken 'if' body: if-eqz guards the truthy path.
+            reg, _label = args
+            negation = "" if op == "if-eqz" else "!"
+            return f"if ({negation}{self._render(state, str(reg))}) {{"
+        if op == "goto":
+            return None  # structural; rendered via the labels
+        if op == "label":
+            (name,) = args
+            if str(name).startswith("cond_fail"):
+                return "} else {"
+            if str(name).startswith("cond_end"):
+                return "}"
+            return None
+        if instruction.is_invoke:
+            return self._invoke_statement(instruction, state)
+        return None
+
+    def _invoke_statement(self, instruction: Instruction,
+                          state: "_RegisterState") -> Optional[str]:
+        ref = instruction.method
+        regs = [a for a in instruction.args[:-1] if isinstance(a, str)]
+
+        # Constructor calls merge with the pending new-instance.
+        if ref.name == "<init>":
+            receiver = regs[0] if regs else None
+            value = state.get(receiver) if receiver else None
+            if value is not None and value.kind == "new":
+                rendered_args = ", ".join(
+                    self._render(state, reg) for reg in regs[1:]
+                )
+                expression = f"new {value.text}({rendered_args})"
+                if value.text == "android.content.Intent":
+                    state.set(receiver, _Value("expr", "localIntent"))  # type: ignore[arg-type]
+                    return f"Intent localIntent = {expression};"
+                state.set(receiver, _Value("expr", expression))  # type: ignore[arg-type]
+                return f"{value.text} local = {expression};"
+            return None
+
+        rendered_args = ", ".join(self._render(state, reg) for reg in regs[1:])
+        receiver_text = self._render(state, regs[0]) if regs else ref.cls
+
+        if ref.name in _FRAGMENT_MANAGER_GETTERS:
+            state.pending = _Value("expr", f"{ref.name}()")
+            return f"FragmentManager localManager = {ref.name}();"
+        if ref.name == "beginTransaction":
+            state.pending = _Value("expr", "localTransaction")
+            return ("FragmentTransaction localTransaction = "
+                    "localManager.beginTransaction();")
+        if ref.name in ("replace", "add") and "FragmentTransaction" in ref.cls:
+            return f"localTransaction.{ref.name}({rendered_args});"
+        if ref.name == "commit" and "FragmentTransaction" in ref.cls:
+            return "localTransaction.commit();"
+        if ref.name == "newInstance":
+            call = f"{ref.cls}.newInstance({rendered_args})"
+            state.pending = _Value("expr", call)
+            # Static factory: all registers are arguments.
+            all_args = ", ".join(self._render(state, reg) for reg in regs)
+            return f"{ref.cls} localFragment = {ref.cls}.newInstance({all_args});"
+        if ref.name == "startActivity":
+            return f"startActivity({rendered_args});"
+        if ref.name == "setContentView":
+            return f"setContentView({rendered_args});"
+        if ref.name in ("setClass", "setAction"):
+            return f"localIntent.{ref.name}({rendered_args});"
+        if instruction.opcode == "invoke-static":
+            all_args = ", ".join(self._render(state, reg) for reg in regs)
+            call = f"{ref.cls}.{ref.name}({all_args})"
+            state.pending = _Value("expr", call)
+            return f"{call};"
+        if instruction.opcode == "invoke-super":
+            return f"super.{ref.name}({rendered_args});"
+
+        call = f"{receiver_text}.{ref.name}({rendered_args})"
+        state.pending = _Value("expr", call)
+        return f"{call};"
+
+    def _render(self, state: "_RegisterState", reg: str) -> str:
+        value = state.get(reg)
+        if value is None:
+            return "this" if reg.startswith("p") else reg
+        if value.kind == "string":
+            escaped = value.text.replace('"', '\\"')
+            return f'"{escaped}"'
+        if value.kind == "class":
+            return f"{value.text}.class"
+        if value.kind == "new":
+            return f"new {value.text}()"
+        return value.text
+
+
+class _Value:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind
+        self.text = text
+
+
+class _RegisterState:
+    def __init__(self) -> None:
+        self._regs: Dict[str, _Value] = {}
+        self.pending: Optional[_Value] = None
+
+    def set(self, reg: str, value: _Value) -> None:
+        self._regs[reg] = value
+
+    def get(self, reg: str) -> Optional[_Value]:
+        return self._regs.get(reg)

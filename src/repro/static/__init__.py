@@ -1,0 +1,44 @@
+"""Static Information Extraction (paper Sections IV and V).
+
+Everything here consumes only decoded APK artifacts (manifest XML, smali
+text, layout XML) — never the behavioural app spec — mirroring the
+black-box setting of the paper's static phase.
+
+The extractor is re-exported lazily: it depends on the smali decoder,
+which in turn sits below the APK compiler that needs this package's
+sensitive-API catalog, so an eager import here would close a cycle.
+"""
+
+from repro.static.aftm import AFTM, EdgeKind, Node, NodeKind, Transition
+from repro.static.sensitive import (
+    SENSITIVE_API_CATALOG,
+    SensitiveApi,
+    api_for_method,
+    method_for_api,
+)
+
+__all__ = [
+    "AFTM",
+    "EdgeKind",
+    "Node",
+    "NodeKind",
+    "SENSITIVE_API_CATALOG",
+    "SensitiveApi",
+    "StaticInfo",
+    "Transition",
+    "api_for_method",
+    "extract_static_info",
+    "method_for_api",
+]
+
+_LAZY = {"StaticInfo", "extract_static_info"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.static import extractor
+
+        return getattr(extractor, name)
+    raise AttributeError(
+        f"module 'repro.static' has no attribute {name!r}"
+    )

@@ -1,0 +1,149 @@
+"""Method-level call graph over decoded smali.
+
+Definition 1 situates the AFTM inside "the call graph of the app"; this
+module builds that graph explicitly: nodes are declared methods, edges
+are ``invoke-*`` instructions.  Two analyses ride on it:
+
+* :func:`reachable_methods` — which declared methods are reachable from
+  a component's lifecycle roots (onCreate/onCreateView/onClick);
+* :func:`statically_reachable_apis` — which sensitive APIs each
+  component can possibly call, an over-approximation the dynamic phase
+  refines (statics can't tell which branches execute; dynamics can't
+  see unvisited code — the cross-check bench quantifies the gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.smali.apktool import DecodedApk
+from repro.smali.model import MethodRef
+from repro.static.sensitive import api_for_method
+
+LIFECYCLE_ROOTS = ("onCreate", "onCreateView", "onClick", "onResume",
+                   "<init>", "newInstance")
+
+
+@dataclass(frozen=True)
+class MethodNode:
+    """A declared method, identified by class and name."""
+
+    cls: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.cls}->{self.name}"
+
+
+class CallGraph:
+    """The app's method-level call graph."""
+
+    def __init__(self) -> None:
+        self._nodes: Set[MethodNode] = set()
+        self._edges: Dict[MethodNode, Set[MethodNode]] = {}
+        # invokes whose target is not declared in the app (framework /
+        # library calls), kept for API matching.
+        self._external: Dict[MethodNode, List[MethodRef]] = {}
+
+    @property
+    def nodes(self) -> Set[MethodNode]:
+        return set(self._nodes)
+
+    def callees(self, node: MethodNode) -> Set[MethodNode]:
+        return set(self._edges.get(node, ()))
+
+    def external_calls(self, node: MethodNode) -> List[MethodRef]:
+        return list(self._external.get(node, ()))
+
+    def add_node(self, node: MethodNode) -> None:
+        self._nodes.add(node)
+        self._edges.setdefault(node, set())
+        self._external.setdefault(node, [])
+
+    def add_edge(self, src: MethodNode, dst: MethodNode) -> None:
+        self.add_node(src)
+        self.add_node(dst)
+        self._edges[src].add(dst)
+
+    def add_external(self, src: MethodNode, ref: MethodRef) -> None:
+        self.add_node(src)
+        self._external[src].append(ref)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+def build_call_graph(decoded: DecodedApk) -> CallGraph:
+    """One pass over every declared method's invokes."""
+    graph = CallGraph()
+    declared: Set[Tuple[str, str]] = {
+        (cls.name, method.name)
+        for cls in decoded.classes
+        for method in cls.methods
+    }
+    for cls in decoded.classes:
+        for method in cls.methods:
+            src = MethodNode(cls.name, method.name)
+            graph.add_node(src)
+            for ref in method.invokes():
+                if (ref.cls, ref.name) in declared:
+                    graph.add_edge(src, MethodNode(ref.cls, ref.name))
+                else:
+                    graph.add_external(src, ref)
+    return graph
+
+
+def component_roots(decoded: DecodedApk, component: str) -> List[MethodNode]:
+    """The lifecycle/entry methods of a component, including its inner
+    (listener) classes."""
+    roots: List[MethodNode] = []
+    classes = []
+    if decoded.has_class(component):
+        classes.append(decoded.class_by_name(component))
+    classes.extend(decoded.inner_classes_of(component))
+    for cls in classes:
+        for method in cls.methods:
+            if method.name in LIFECYCLE_ROOTS:
+                roots.append(MethodNode(cls.name, method.name))
+    return roots
+
+
+def reachable_methods(graph: CallGraph,
+                      roots: List[MethodNode]) -> Set[MethodNode]:
+    """BFS closure over declared-method edges."""
+    seen: Set[MethodNode] = set()
+    frontier = [root for root in roots if root in graph.nodes]
+    seen.update(frontier)
+    while frontier:
+        next_frontier: List[MethodNode] = []
+        for node in frontier:
+            for callee in graph.callees(node):
+                if callee not in seen:
+                    seen.add(callee)
+                    next_frontier.append(callee)
+        frontier = next_frontier
+    return seen
+
+
+def statically_reachable_apis(decoded: DecodedApk,
+                              components: List[str]) -> Dict[str, Set[str]]:
+    """Per component: the sensitive APIs reachable from its roots.
+
+    Over-approximate by construction — every branch is assumed taken,
+    every popup item assumed clicked.  The dynamic phase reports the
+    subset that actually fires; the difference is exactly the coverage
+    story of Section VII.
+    """
+    graph = build_call_graph(decoded)
+    out: Dict[str, Set[str]] = {}
+    for component in components:
+        apis: Set[str] = set()
+        closure = reachable_methods(graph, component_roots(decoded, component))
+        for node in closure:
+            for ref in graph.external_calls(node):
+                api = api_for_method(ref)
+                if api is not None:
+                    apis.add(api)
+        out[component] = apis
+    return out

@@ -1,0 +1,76 @@
+"""Activity & Fragment dependency (paper Algorithm 2).
+
+For every Activity, walk the classes it uses — including from its inner
+classes like ``ExampleActivity$1`` — and test each used class's
+inheritance chain for ``android.app.Fragment`` or
+``android.support.v4.app.Fragment``.  The result R = (A, F) lists which
+Fragments each Activity depends on; the UI driver consults it in Case 1
+to enqueue reflection switches for every dependent Fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.smali.apktool import DecodedApk
+from repro.static.effective import FRAGMENT_BASES, super_chain
+
+
+def activity_fragment_dependency(
+    decoded: DecodedApk, activities: List[str]
+) -> Dict[str, List[str]]:
+    """Algorithm 2: map each Activity to the Fragment classes it uses."""
+    dependency: Dict[str, List[str]] = {}
+    for activity in activities:
+        dependent: List[str] = []
+        all_classes = []
+        if decoded.has_class(activity):
+            all_classes.append(decoded.class_by_name(activity))
+        all_classes.extend(decoded.inner_classes_of(activity))
+        for cls in all_classes:
+            for used in cls.referenced_classes():
+                if used in dependent:
+                    continue
+                chain = super_chain(decoded, used)
+                terminal = chain[-1] if chain else None
+                in_chain = any(base in chain for base in FRAGMENT_BASES)
+                direct = used not in dependent and _is_fragment_base_direct(
+                    decoded, used
+                )
+                if in_chain or direct or terminal in FRAGMENT_BASES:
+                    dependent.append(used)
+        dependency[activity] = sorted(dependent)
+    return dependency
+
+
+def _is_fragment_base_direct(decoded: DecodedApk, class_name: str) -> bool:
+    if not decoded.has_class(class_name):
+        return False
+    return decoded.class_by_name(class_name).super_name in FRAGMENT_BASES
+
+
+def uses_fragment_manager(decoded: DecodedApk, activity: str) -> bool:
+    """Does the Activity (or its inner classes) call
+    ``getFragmentManager()`` / ``getSupportFragmentManager()``?
+
+    Case 1 of Section VI-A uses this to decide whether reflection-based
+    fragment switches should be enqueued for a newly reached Activity.
+    """
+    classes = []
+    if decoded.has_class(activity):
+        classes.append(decoded.class_by_name(activity))
+    classes.extend(decoded.inner_classes_of(activity))
+    for cls in classes:
+        for method in cls.methods:
+            for ref in method.invokes():
+                if ref.name in ("getFragmentManager",
+                                "getSupportFragmentManager"):
+                    return True
+    return False
+
+
+def support_library_activity(decoded: DecodedApk, activity: str) -> bool:
+    """True when the Activity derives from the support library — the
+    reflection template then targets ``getSupportFragmentManager``."""
+    chain = super_chain(decoded, activity)
+    return any("support" in base for base in chain)

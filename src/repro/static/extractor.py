@@ -1,0 +1,153 @@
+"""The Static Information Extraction phase (paper Section III, left half).
+
+Given an APK, produce everything the evolutionary phase needs:
+
+* the initial AFTM (Algorithm 1 over effective components),
+* the Activity & Fragment dependency (Algorithm 2),
+* the resource dependency / AFRM (Algorithm 3),
+* the input-dependency file template (Section V-C),
+* the view-components JSON ("a JSON file that records all view
+  components and the locations they appear", Section III),
+* per-Activity FragmentManager usage and support-library flags (consumed
+  by Case 1 and by the reflection template),
+* a static sensitive-API scan (which component code contains which
+  hooked invokes) used for cross-checking the dynamic results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apk.package import ApkPackage
+from repro.smali.apktool import Apktool, DecodedApk
+from repro.static.aftm import AFTM
+from repro.static.dependency import (
+    activity_fragment_dependency,
+    support_library_activity,
+    uses_fragment_manager,
+)
+from repro.static.edges import build_aftm
+from repro.static.effective import (
+    declared_activities,
+    effective_fragments,
+    fragment_hosts,
+    fragment_subclasses,
+)
+from repro.static.input_dep import InputDependency, extract_input_dependency
+from repro.static.resource_dep import ResourceDependency, extract_resource_dependency
+from repro.static.sensitive import api_for_method
+
+
+@dataclass
+class StaticInfo:
+    """Everything the static phase hands to the dynamic phase."""
+
+    package: str
+    aftm: AFTM
+    activities: List[str]
+    fragments: List[str]
+    fragment_hosts: Dict[str, List[str]]
+    dependency: Dict[str, List[str]]  # Algorithm 2: activity -> fragments
+    resource_dep: ResourceDependency
+    input_dep: InputDependency
+    uses_manager: Dict[str, bool]
+    support_library: Dict[str, bool]
+    static_api_map: Dict[str, List[str]]  # component class -> api names
+    view_components_json: str
+    decoded: DecodedApk = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def activity_count(self) -> int:
+        return len(self.activities)
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self.fragments)
+
+
+def extract_static_info(apk: ApkPackage,
+                        input_values: Optional[Dict[str, str]] = None) -> StaticInfo:
+    """Run the full static pipeline on one APK.
+
+    ``input_values`` plays the analyst's role for the input-dependency
+    file: widget resource-IDs mapped to correct values, filled in advance
+    (Section V-C).
+    """
+    decoded = Apktool().decode(apk)
+    activities = declared_activities(decoded)
+    fragments = effective_fragments(decoded, activities)
+    hosts = fragment_hosts(decoded, activities, fragments)
+    aftm = build_aftm(decoded, activities, fragments, hosts)
+
+    # Effective = working: only components surviving the isolation prune.
+    effective_activity_names = sorted(n.name for n in aftm.activities)
+    effective_fragment_names = sorted(n.name for n in aftm.fragments)
+
+    dependency = activity_fragment_dependency(decoded, effective_activity_names)
+    resource_dep = extract_resource_dependency(
+        decoded, effective_activity_names, effective_fragment_names
+    )
+    input_dep = extract_input_dependency(decoded)
+    if input_values:
+        for widget_id, value in input_values.items():
+            input_dep.provide(widget_id, value)
+
+    uses_manager = {
+        activity: uses_fragment_manager(decoded, activity)
+        for activity in effective_activity_names
+    }
+    support = {
+        activity: support_library_activity(decoded, activity)
+        for activity in effective_activity_names
+    }
+    return StaticInfo(
+        package=apk.package,
+        aftm=aftm,
+        activities=effective_activity_names,
+        fragments=effective_fragment_names,
+        fragment_hosts=hosts,
+        dependency=dependency,
+        resource_dep=resource_dep,
+        input_dep=input_dep,
+        uses_manager=uses_manager,
+        support_library=support,
+        static_api_map=_scan_sensitive_invokes(decoded),
+        view_components_json=_view_components_json(decoded),
+        decoded=decoded,
+    )
+
+
+def _scan_sensitive_invokes(decoded: DecodedApk) -> Dict[str, List[str]]:
+    """Which component code (outer class) contains which hooked invokes."""
+    api_map: Dict[str, List[str]] = {}
+    for cls in decoded.classes:
+        owner = cls.outer_name or cls.name
+        for method in cls.methods:
+            for ref in method.invokes():
+                api = api_for_method(ref)
+                if api is None:
+                    continue
+                api_map.setdefault(owner, [])
+                if api not in api_map[owner]:
+                    api_map[owner].append(api)
+    return {owner: sorted(apis) for owner, apis in sorted(api_map.items())}
+
+
+def _view_components_json(decoded: DecodedApk) -> str:
+    """The Section III JSON: every view component and where it appears."""
+    records = []
+    for layout_name, layout in sorted(decoded.layouts.items()):
+        for element in layout.elements:
+            rid = decoded.resources.get("id", element.widget_id)
+            records.append(
+                {
+                    "widget": element.widget_id,
+                    "kind": element.kind.name,
+                    "layout": layout_name,
+                    "resource_id": rid.hex if rid else None,
+                    "clickable": element.clickable,
+                }
+            )
+    return json.dumps(records, indent=2, sort_keys=True)

@@ -1,0 +1,95 @@
+"""AFTM graph metrics.
+
+The AFTM "could be treated as a map for dynamic analysis" (Section IV);
+these metrics quantify that map: size, edge-kind mix, connectivity, and
+how much of it the dynamic phase actually walked.  Built on networkx so
+downstream users can export the graph for their own analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import networkx as nx
+
+from repro.static.aftm import AFTM, EdgeKind, NodeKind
+
+
+def to_networkx(aftm: AFTM) -> "nx.DiGraph":
+    """Export the AFTM as a networkx digraph (nodes keyed by class
+    name, with ``kind``/``visited`` attributes; edges carry ``kind``,
+    ``host`` and ``trigger``)."""
+    graph = nx.DiGraph(package=aftm.package)
+    visited = {n.name for n in aftm.visited}
+    for node in aftm.nodes:
+        graph.add_node(node.name, kind=node.kind.value,
+                       visited=node.name in visited)
+    for edge in aftm.edges:
+        graph.add_edge(edge.src.name, edge.dst.name,
+                       kind=edge.kind.name, host=edge.host,
+                       trigger=edge.trigger)
+    return graph
+
+
+@dataclass(frozen=True)
+class AftmMetrics:
+    """Summary statistics of one model."""
+
+    activities: int
+    fragments: int
+    e1: int
+    e2: int
+    e3: int
+    reachable_ratio: float     # nodes reachable from A0 / all nodes
+    visited_ratio: float       # visited nodes / all nodes
+    diameter: int              # longest shortest path among reachable nodes
+    max_out_degree: int
+    dynamic_edge_ratio: float  # edges with a concrete click trigger
+
+    @property
+    def edges(self) -> int:
+        return self.e1 + self.e2 + self.e3
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "activities": self.activities,
+            "fragments": self.fragments,
+            "e1": self.e1, "e2": self.e2, "e3": self.e3,
+            "reachable_ratio": self.reachable_ratio,
+            "visited_ratio": self.visited_ratio,
+            "diameter": self.diameter,
+            "max_out_degree": self.max_out_degree,
+            "dynamic_edge_ratio": self.dynamic_edge_ratio,
+        }
+
+
+def compute_metrics(aftm: AFTM) -> AftmMetrics:
+    graph = to_networkx(aftm)
+    total = len(aftm)
+    reachable = aftm.reachable_from_entry()
+    diameter = 0
+    if aftm.entry is not None and reachable:
+        lengths = nx.single_source_shortest_path_length(
+            graph, aftm.entry.name
+        )
+        diameter = max(lengths.values(), default=0)
+    edges = aftm.edges
+    dynamic = sum(
+        1 for e in edges if e.trigger not in ("static", "reflection",
+                                              "forced-start")
+    )
+    return AftmMetrics(
+        activities=len(aftm.activities),
+        fragments=len(aftm.fragments),
+        e1=len(aftm.edges_of_kind(EdgeKind.E1)),
+        e2=len(aftm.edges_of_kind(EdgeKind.E2)),
+        e3=len(aftm.edges_of_kind(EdgeKind.E3)),
+        reachable_ratio=len(reachable) / total if total else 0.0,
+        visited_ratio=len(aftm.visited) / total if total else 0.0,
+        diameter=diameter,
+        max_out_degree=max(
+            (len(aftm.successors(n)) for n in aftm.nodes), default=0
+        ),
+        dynamic_edge_ratio=dynamic / len(edges) if edges else 0.0,
+    )

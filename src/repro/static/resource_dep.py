@@ -1,0 +1,155 @@
+"""Resource dependency (paper Algorithm 3).
+
+Matches widget resource-IDs from layout files against the IDs referenced
+in component code, producing the AFRM model M = (A, F, RID): for every
+widget, the Activity *or* Fragment it belongs to.  The dynamic UI driver
+uses this to decide, from the IDs visible on screen, which Activity and
+which Fragment the current UI state is (Section V-B: "the listener of the
+tab belongs to an Activity, but the list below is implemented in a
+Fragment").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.smali.apktool import DecodedApk
+from repro.smali.model import SmaliClass
+
+
+@dataclass(frozen=True)
+class ResourceBinding:
+    """One row of the AFRM model: a widget and its owning component."""
+
+    widget_id: str
+    resource_value: int
+    activity: Optional[str]  # exactly one of activity/fragment is set
+    fragment: Optional[str]
+
+
+@dataclass
+class ResourceDependency:
+    """The complete AFRM model for one app."""
+
+    bindings: List[ResourceBinding] = field(default_factory=list)
+    _by_widget: Dict[str, ResourceBinding] = field(default_factory=dict)
+
+    def add(self, binding: ResourceBinding) -> None:
+        self.bindings.append(binding)
+        self._by_widget.setdefault(binding.widget_id, binding)
+
+    def owner_of(self, widget_id: str) -> Tuple[Optional[str], Optional[str]]:
+        """``(activity, fragment)`` owning a widget; ``(None, None)`` for
+        widgets created at runtime without a stable resource-ID."""
+        binding = self._by_widget.get(widget_id)
+        if binding is None:
+            return (None, None)
+        return (binding.activity, binding.fragment)
+
+    def widgets_of_fragment(self, fragment: str) -> List[str]:
+        return [b.widget_id for b in self.bindings if b.fragment == fragment]
+
+    def widgets_of_activity(self, activity: str) -> List[str]:
+        return [b.widget_id for b in self.bindings if b.activity == activity]
+
+    def identify_fragments(self, widget_ids: List[str]) -> Set[str]:
+        """The Fragments whose widgets appear in the given on-screen IDs —
+        the driver's Fragment-identification primitive."""
+        found: Set[str] = set()
+        for widget_id in widget_ids:
+            _, fragment = self.owner_of(widget_id)
+            if fragment is not None:
+                found.add(fragment)
+        return found
+
+
+def _ids_referenced_by(decoded: DecodedApk, class_name: str) -> Set[int]:
+    """All ``const`` operands in a class (plus inners) that are id-type
+    resources — ``getAID`` / ``getFID`` of Algorithm 3."""
+    values: Set[int] = set()
+    classes: List[SmaliClass] = []
+    if decoded.has_class(class_name):
+        classes.append(decoded.class_by_name(class_name))
+    classes.extend(decoded.inner_classes_of(class_name))
+    for cls in classes:
+        for method in cls.methods:
+            for instruction in method.instructions:
+                if instruction.opcode == "const":
+                    value = instruction.args[-1]
+                    if isinstance(value, int):
+                        values.add(value)
+    return values
+
+
+def _layouts_referenced_by(decoded: DecodedApk, class_name: str) -> Set[str]:
+    """Layout names a component inflates (``setContentView``/``inflate``
+    consts that are layout-type resources)."""
+    names: Set[str] = set()
+    for value in _ids_referenced_by(decoded, class_name):
+        try:
+            rtype, name = decoded.resources.reverse(value)
+        except Exception:
+            continue
+        if rtype == "layout":
+            names.add(name)
+    return names
+
+
+def extract_resource_dependency(
+    decoded: DecodedApk,
+    activities: List[str],
+    fragments: List[str],
+) -> ResourceDependency:
+    """Algorithm 3, with the same precedence: try Activities first, then
+    Fragments; non-interactive widgets never declared in code are ruled
+    out by the ``l ∈ a`` layout check."""
+    model = ResourceDependency()
+    activity_layouts = {a: _layouts_referenced_by(decoded, a) for a in activities}
+    fragment_layouts = {f: _layouts_referenced_by(decoded, f) for f in fragments}
+    activity_ids = {a: _ids_referenced_by(decoded, a) for a in activities}
+    fragment_ids = {f: _ids_referenced_by(decoded, f) for f in fragments}
+
+    for layout_name, layout in sorted(decoded.layouts.items()):
+        for widget_id in layout.widget_ids():
+            rid = decoded.resources.get("id", widget_id)
+            if rid is None:
+                continue
+            is_find = False
+            for activity in activities:
+                if (rid.value in activity_ids[activity]
+                        and layout_name in activity_layouts[activity]):
+                    model.add(ResourceBinding(widget_id, rid.value,
+                                              activity, None))
+                    is_find = True
+                    break
+            if is_find:
+                continue
+            for fragment in fragments:
+                if (rid.value in fragment_ids[fragment]
+                        and layout_name in fragment_layouts[fragment]):
+                    model.add(ResourceBinding(widget_id, rid.value,
+                                              None, fragment))
+                    is_find = True
+                    break
+            if is_find:
+                continue
+            # Layout-membership fallback: a widget that no code declares
+            # still belongs to the component that inflates its layout —
+            # the "repeatedly appears in both layout and resource files"
+            # reading of Section V-B.  Without this, fragments composed
+            # purely of passive widgets would be unidentifiable.
+            for activity in activities:
+                if layout_name in activity_layouts[activity]:
+                    model.add(ResourceBinding(widget_id, rid.value,
+                                              activity, None))
+                    is_find = True
+                    break
+            if is_find:
+                continue
+            for fragment in fragments:
+                if layout_name in fragment_layouts[fragment]:
+                    model.add(ResourceBinding(widget_id, rid.value,
+                                              None, fragment))
+                    break
+    return model

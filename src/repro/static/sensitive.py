@@ -1,0 +1,184 @@
+"""The sensitive-API catalog (Table II / XPrivacy function list).
+
+The paper selects "common sensitive operation functions defined by
+XPrivacy"; its Table II lists 46 APIs across 13 categories.  Each catalog
+entry binds the paper's ``category/name`` identifier to the concrete
+framework method whose invocation the API monitor hooks (the XPrivacy
+equivalent) and whose smali ``invoke-*`` the static scanner recognises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.smali.model import MethodRef
+
+
+@dataclass(frozen=True)
+class SensitiveApi:
+    """One hooked API: Table II identifier plus its framework method."""
+
+    name: str  # e.g. "phone/getDeviceId"
+    method: MethodRef
+
+    @property
+    def category(self) -> str:
+        return self.name.split("/", 1)[0]
+
+
+def _api(name: str, cls: str, method: str,
+         params: Tuple[str, ...] = (), ret: str = "void") -> SensitiveApi:
+    return SensitiveApi(name, MethodRef(cls, method, params, ret))
+
+
+# The 46 rows of Table II, in table order.
+SENSITIVE_API_CATALOG: Tuple[SensitiveApi, ...] = (
+    # Browser
+    _api("browser/Downloads", "android.provider.Downloads", "query",
+         ("java.lang.String",), "android.database.Cursor"),
+    # Identification
+    _api("identification//proc", "java.io.File", "readProc",
+         ("java.lang.String",), "java.lang.String"),
+    _api("identification/getString", "android.provider.Settings$Secure",
+         "getString", ("java.lang.String",), "java.lang.String"),
+    _api("identification/SERIAL", "android.os.Build", "getSerial",
+         (), "java.lang.String"),
+    # Internet
+    _api("internet/connect", "java.net.Socket", "connect",
+         ("java.lang.String",)),
+    _api("internet/Connectivity.getActiveNetworkInfo",
+         "android.net.ConnectivityManager", "getActiveNetworkInfo",
+         (), "android.net.NetworkInfo"),
+    _api("internet/Connectivity.getNetworkInfo",
+         "android.net.ConnectivityManager", "getNetworkInfo",
+         ("int",), "android.net.NetworkInfo"),
+    _api("internet/inet", "libcore.io.Posix", "inet",
+         (), "java.lang.Object"),
+    _api("internet/InetAddress.getAllByName", "java.net.InetAddress",
+         "getAllByName", ("java.lang.String",), "java.net.InetAddress[]"),
+    _api("internet/InetAddress.getByAddress", "java.net.InetAddress",
+         "getByAddress", ("byte[]",), "java.net.InetAddress"),
+    _api("internet/InetAddress.getByName", "java.net.InetAddress",
+         "getByName", ("java.lang.String",), "java.net.InetAddress"),
+    _api("internet/IpPrefix.getAddress", "android.net.IpPrefix",
+         "getAddress", (), "java.net.InetAddress"),
+    _api("internet/LinkProperties.getLinkAddresses",
+         "android.net.LinkProperties", "getLinkAddresses",
+         (), "java.util.List"),
+    _api("internet/NetworkInfo.getDetailedState", "android.net.NetworkInfo",
+         "getDetailedState", (), "android.net.NetworkInfo$DetailedState"),
+    _api("internet/NetworkInfo.isConnected", "android.net.NetworkInfo",
+         "isConnected", (), "boolean"),
+    _api("internet/NetworkInfo.isConnectedOrConnecting",
+         "android.net.NetworkInfo", "isConnectedOrConnecting",
+         (), "boolean"),
+    _api("internet/NetworkInterface.getNetworkInterfaces",
+         "java.net.NetworkInterface", "getNetworkInterfaces",
+         (), "java.util.Enumeration"),
+    _api("internet/WiFi.getConnectionInfo", "android.net.wifi.WifiManager",
+         "getConnectionInfo", (), "android.net.wifi.WifiInfo"),
+    # IPC
+    _api("ipc/Binder", "android.os.Binder", "transact",
+         ("int",), "boolean"),
+    # Location
+    _api("location/getAllProviders", "android.location.LocationManager",
+         "getAllProviders", (), "java.util.List"),
+    _api("location/getProviders", "android.location.LocationManager",
+         "getProviders", ("boolean",), "java.util.List"),
+    _api("location/isProviderEnabled", "android.location.LocationManager",
+         "isProviderEnabled", ("java.lang.String",), "boolean"),
+    _api("location/requestLocationUpdates",
+         "android.location.LocationManager", "requestLocationUpdates",
+         ("java.lang.String",)),
+    # Media
+    _api("media/Camera.setPreviewTexture", "android.hardware.Camera",
+         "setPreviewTexture", ("android.graphics.SurfaceTexture",)),
+    _api("media/Camera.startPreview", "android.hardware.Camera",
+         "startPreview", ()),
+    # Messages
+    _api("messages/MmsProvider", "android.provider.Telephony$Mms", "query",
+         ("java.lang.String",), "android.database.Cursor"),
+    # Network
+    _api("network/NetworkInterface.getInetAddresses",
+         "java.net.NetworkInterface", "getInetAddresses",
+         (), "java.util.Enumeration"),
+    _api("network/WiFi.getConfiguredNetworks", "android.net.wifi.WifiManager",
+         "getConfiguredNetworks", (), "java.util.List"),
+    # Table II lists WiFi.getConnectionInfo under both "internet" and
+    # "network"; XPrivacy hooks it at two restriction points.  We bind the
+    # network-category row to the two-arg overload so the two catalog
+    # entries stay distinguishable at the invoke level.
+    _api("network/WiFi.getConnectionInfo", "android.net.wifi.WifiManager",
+         "getConnectionInfo", ("int",), "android.net.wifi.WifiInfo"),
+    # Phone
+    _api("phone/Configuration.MCC", "android.content.res.Configuration",
+         "getMcc", (), "int"),
+    _api("phone/Configuration.MNC", "android.content.res.Configuration",
+         "getMnc", (), "int"),
+    _api("phone/getDeviceId", "android.telephony.TelephonyManager",
+         "getDeviceId", (), "java.lang.String"),
+    _api("phone/getNetworkCountryIso", "android.telephony.TelephonyManager",
+         "getNetworkCountryIso", (), "java.lang.String"),
+    _api("phone/getNetworkOperatorName", "android.telephony.TelephonyManager",
+         "getNetworkOperatorName", (), "java.lang.String"),
+    # Shell
+    _api("shell/loadLibrary", "java.lang.System", "loadLibrary",
+         ("java.lang.String",)),
+    # Storage
+    _api("storage/getExternalStorageState", "android.os.Environment",
+         "getExternalStorageState", (), "java.lang.String"),
+    _api("storage/open", "libcore.io.IoBridge", "open",
+         ("java.lang.String", "int"), "java.io.FileDescriptor"),
+    _api("storage/sdcard", "android.os.Environment",
+         "getExternalStorageDirectory", (), "java.io.File"),
+    # System
+    _api("system/getInstalledApplications", "android.content.pm.PackageManager",
+         "getInstalledApplications", ("int",), "java.util.List"),
+    _api("system/getRunningAppProcesses", "android.app.ActivityManager",
+         "getRunningAppProcesses", (), "java.util.List"),
+    _api("system/queryIntentActivities", "android.content.pm.PackageManager",
+         "queryIntentActivities", ("android.content.Intent", "int"),
+         "java.util.List"),
+    _api("system/queryIntentServices", "android.content.pm.PackageManager",
+         "queryIntentServices", ("android.content.Intent", "int"),
+         "java.util.List"),
+    # View
+    _api("view/getUserAgentString", "android.webkit.WebSettings",
+         "getUserAgentString", (), "java.lang.String"),
+    _api("view/initUserAgentString", "android.webkit.WebSettings",
+         "initUserAgentString", ("java.lang.String",)),
+    _api("view/loadUrl", "android.webkit.WebView", "loadUrl",
+         ("java.lang.String",)),
+    _api("view/setUserAgentString", "android.webkit.WebSettings",
+         "setUserAgentString", ("java.lang.String",)),
+)
+
+assert len(SENSITIVE_API_CATALOG) == 46, "Table II lists exactly 46 APIs"
+
+_BY_NAME: Dict[str, SensitiveApi] = {a.name: a for a in SENSITIVE_API_CATALOG}
+_BY_METHOD: Dict[str, SensitiveApi] = {
+    a.method.descriptor(): a for a in SENSITIVE_API_CATALOG
+}
+
+CATEGORIES: Tuple[str, ...] = tuple(
+    dict.fromkeys(a.category for a in SENSITIVE_API_CATALOG)
+)
+
+
+def method_for_api(name: str) -> MethodRef:
+    """The framework method hooked for a Table II API identifier."""
+    try:
+        return _BY_NAME[name].method
+    except KeyError:
+        raise KeyError(f"unknown sensitive API: {name!r}") from None
+
+
+def api_for_method(ref: MethodRef) -> Optional[str]:
+    """Reverse lookup: is this invoke target a hooked sensitive API?"""
+    api = _BY_METHOD.get(ref.descriptor())
+    return api.name if api else None
+
+
+def is_sensitive_api(name: str) -> bool:
+    return name in _BY_NAME

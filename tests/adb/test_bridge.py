@@ -1,0 +1,53 @@
+"""ADB bridge: commands, logs, instrumentation runner."""
+
+import pytest
+
+from repro.errors import DeviceError, SecurityException
+
+
+def test_install_logs_command(adb, demo_apk):
+    assert adb.install(demo_apk) == "Success"
+    assert adb.command_log[0].startswith("adb install com.example.demo")
+
+
+def test_am_start_launcher_command_shape(adb, demo_apk):
+    adb.install(demo_apk)
+    assert adb.am_start_launcher("com.example.demo")
+    command = adb.command_log[-1]
+    assert "am start -n com.example.demo/com.example.demo.MainActivity" in command
+    assert "-a android.intent.action.MAIN" in command
+    assert "-c android.intent.category.LAUNCHER" in command
+
+
+def test_am_start_unexported_denied(adb, demo_apk):
+    adb.install(demo_apk)
+    with pytest.raises(SecurityException):
+        adb.am_start("com.example.demo/.SecondActivity")
+
+
+def test_uninstall(adb, demo_apk):
+    adb.install(demo_apk)
+    adb.uninstall("com.example.demo")
+    assert not adb.device.is_installed("com.example.demo")
+
+
+def test_instrumentation_registration_and_run(adb, demo_apk):
+    adb.install(demo_apk)
+    ran = []
+    adb.register_instrumentation("com.example.demo.test.T1",
+                                 lambda: ran.append(True))
+    adb.am_instrument("com.example.demo.test.T1")
+    assert ran == [True]
+    assert any("am instrument -w com.example.demo.test.T1" in c
+               for c in adb.command_log)
+
+
+def test_instrumentation_unknown_package(adb):
+    with pytest.raises(DeviceError):
+        adb.am_instrument("com.nope.test.T")
+
+
+def test_logcat_passthrough(adb, demo_apk):
+    adb.install(demo_apk)
+    lines = adb.logcat(tag="PackageManager")
+    assert lines and "installed" in lines[0]

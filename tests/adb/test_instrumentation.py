@@ -1,0 +1,43 @@
+"""Manifest instrumentation: the forced-start rewrite of Section VI-A."""
+
+from repro.adb import Adb, instrument_manifest
+from repro.apk.manifest import ACTION_MAIN, Manifest
+
+
+def test_every_activity_gains_main_action(demo_apk):
+    instrumented = instrument_manifest(demo_apk)
+    manifest = Manifest.from_xml(instrumented.manifest_xml)
+    for decl in manifest.activities:
+        assert decl.exported
+        assert any(ACTION_MAIN in f.actions for f in decl.intent_filters)
+
+
+def test_original_manifest_untouched(demo_apk):
+    before = demo_apk.manifest_xml
+    instrument_manifest(demo_apk)
+    assert demo_apk.manifest_xml == before
+    manifest = Manifest.from_xml(before)
+    assert not manifest.activity(".SecondActivity").exported
+
+
+def test_forced_start_works_after_instrumentation(device, demo_apk):
+    adb = Adb(device)
+    adb.install(instrument_manifest(demo_apk))
+    assert adb.am_force_start("com.example.demo/.SecondActivity")
+    assert device.current_activity_name() == "com.example.demo.SecondActivity"
+
+
+def test_instrumented_version_name_marked(demo_apk):
+    instrumented = instrument_manifest(demo_apk)
+    assert "instrumented" in instrumented.version_name
+    assert instrumented.runtime_spec() is demo_apk.runtime_spec()
+
+
+def test_launcher_filter_not_duplicated(demo_apk):
+    instrumented = instrument_manifest(demo_apk)
+    manifest = Manifest.from_xml(instrumented.manifest_xml)
+    launcher = manifest.activity(".MainActivity")
+    main_count = sum(
+        1 for f in launcher.intent_filters if ACTION_MAIN in f.actions
+    )
+    assert main_count == 1

@@ -1,0 +1,149 @@
+"""Action execution semantics not covered elsewhere."""
+
+import pytest
+
+from repro.apk import (
+    ActivitySpec,
+    AppSpec,
+    Chain,
+    FinishActivity,
+    FragmentSpec,
+    InvokeApi,
+    Noop,
+    StartActivity,
+    StartActivityByAction,
+    ToggleWidget,
+    WidgetSpec,
+    build_apk,
+)
+from repro.types import WidgetKind
+
+
+def install_and_launch(device, adb, spec):
+    adb.install(build_apk(spec))
+    adb.am_start_launcher(spec.package)
+
+
+def test_toggle_widget_action(device, adb):
+    spec = AppSpec(
+        package="com.act.toggle",
+        activities=[ActivitySpec(
+            name="MainActivity", launcher=True,
+            widgets=[
+                WidgetSpec(id="the_switch", kind=WidgetKind.SWITCH),
+                WidgetSpec(id="btn_flip", text="flip",
+                           on_click=ToggleWidget("the_switch")),
+            ],
+        )],
+    )
+    install_and_launch(device, adb, spec)
+    device.click_widget("btn_flip")
+    switch = next(w for w in device.ui_dump()
+                  if w.widget_id == "the_switch")
+    assert switch.checked
+    device.click_widget("btn_flip")
+    switch = next(w for w in device.ui_dump()
+                  if w.widget_id == "the_switch")
+    assert not switch.checked
+
+
+def test_unresolvable_action_is_nonfatal(device, adb):
+    spec = AppSpec(
+        package="com.act.badaction",
+        activities=[ActivitySpec(
+            name="MainActivity", launcher=True,
+            widgets=[WidgetSpec(
+                id="btn_go",
+                on_click=StartActivityByAction("com.external.MISSING"),
+            )],
+        )],
+    )
+    install_and_launch(device, adb, spec)
+    device.click_widget("btn_go")
+    assert device.current_activity_name() == "com.act.badaction.MainActivity"
+    warnings = device.logcat.entries(level="W", tag="ActivityManager")
+    assert any("MISSING" in w.message for w in warnings)
+
+
+def test_finish_from_fragment_pops_activity(device, adb):
+    spec = AppSpec(
+        package="com.act.finish",
+        activities=[
+            ActivitySpec(name="MainActivity", launcher=True, widgets=[
+                WidgetSpec(id="btn_next",
+                           on_click=StartActivity("SecondActivity")),
+            ]),
+            ActivitySpec(name="SecondActivity",
+                         initial_fragment="CloserFragment"),
+        ],
+        fragments=[FragmentSpec(
+            name="CloserFragment",
+            widgets=[WidgetSpec(id="btn_close", text="close",
+                                on_click=FinishActivity())],
+        )],
+    )
+    install_and_launch(device, adb, spec)
+    device.click_widget("btn_next")
+    assert device.current_activity_name() == "com.act.finish.SecondActivity"
+    device.click_widget("btn_close")
+    assert device.current_activity_name() == "com.act.finish.MainActivity"
+
+
+def test_chain_runs_in_order(device, adb):
+    spec = AppSpec(
+        package="com.act.chain",
+        activities=[
+            ActivitySpec(name="MainActivity", launcher=True, widgets=[
+                WidgetSpec(
+                    id="btn_all",
+                    on_click=Chain(actions=(
+                        Noop(),
+                        InvokeApi("ipc/Binder"),
+                        InvokeApi("shell/loadLibrary"),
+                        StartActivity("EndActivity"),
+                    )),
+                ),
+            ]),
+            ActivitySpec(name="EndActivity"),
+        ],
+    )
+    install_and_launch(device, adb, spec)
+    device.click_widget("btn_all")
+    apis = [i.api for i in device.api_monitor.invocations]
+    assert apis == ["ipc/Binder", "shell/loadLibrary"]
+    assert device.current_activity_name() == "com.act.chain.EndActivity"
+
+
+def test_every_catalog_api_compiles_and_decompiles():
+    from repro.smali.apktool import Apktool
+    from repro.smali.javagen import JavaDecompiler
+    from repro.static.sensitive import SENSITIVE_API_CATALOG
+
+    spec = AppSpec(
+        package="com.act.allapis",
+        activities=[ActivitySpec(
+            name="MainActivity", launcher=True,
+            api_calls=[api.name for api in SENSITIVE_API_CATALOG],
+        )],
+    )
+    decoded = Apktool().decode(build_apk(spec))
+    cls = decoded.class_by_name("com.act.allapis.MainActivity")
+    java = JavaDecompiler().decompile_class(cls)
+    for api in SENSITIVE_API_CATALOG:
+        assert api.method.name in java, api.name
+
+
+def test_all_catalog_apis_fire_at_runtime(device, adb):
+    from repro.static.sensitive import SENSITIVE_API_CATALOG
+
+    spec = AppSpec(
+        package="com.act.allapis2",
+        activities=[ActivitySpec(
+            name="MainActivity", launcher=True,
+            api_calls=[api.name for api in SENSITIVE_API_CATALOG],
+        )],
+    )
+    install_and_launch(device, adb, spec)
+    assert device.api_monitor.apis_seen() == {
+        api.name for api in SENSITIVE_API_CATALOG
+    }

@@ -1,0 +1,136 @@
+"""Crashes (FC), the API monitor, logcat, and reflection switching."""
+
+import pytest
+
+from repro.android import reflective_fragment_switch
+from repro.errors import ReflectionError
+from repro.types import InvocationSource
+
+
+# -- crashes ---------------------------------------------------------------
+
+def test_crash_force_closes_app(launched):
+    launched.click_widget("btn_next")
+    launched.click_widget("btn_crash")
+    assert not launched.app_alive
+    assert launched.crash_count == 1
+    assert launched.logcat.crashes()
+
+
+def test_app_relaunches_after_crash(launched):
+    launched.click_widget("btn_next")
+    launched.click_widget("btn_crash")
+    assert launched.launch_app("com.example.demo")
+    assert launched.current_activity_name() == "com.example.demo.MainActivity"
+
+
+def test_crash_on_launch(device, adb):
+    from repro.apk import ActivitySpec, AppSpec, build_apk
+
+    spec = AppSpec(
+        package="com.crashy",
+        activities=[ActivitySpec(name="MainActivity", launcher=True,
+                                 crashes_on_launch=True)],
+    )
+    adb.install(build_apk(spec))
+    assert not adb.am_start_launcher("com.crashy")
+    assert device.crash_count == 1
+
+
+# -- forced starts and intent extras ---------------------------------------------
+
+def test_forced_start_without_extras_bounces(launched):
+    from repro.adb import Adb, instrument_manifest
+    # Reinstall instrumented so VaultActivity is force-startable at all.
+    adb = Adb(launched)
+    apk = launched._installed["com.example.demo"].apk
+    adb.install(instrument_manifest(apk))
+    assert not adb.am_force_start("com.example.demo/.VaultActivity")
+    # In-app navigation (with extras) works:
+    adb.am_start_launcher("com.example.demo")
+    launched.enter_text("password", "hunter2")
+    launched.click_widget("btn_login")
+    assert launched.current_activity_name() == "com.example.demo.VaultActivity"
+
+
+# -- API monitor --------------------------------------------------------------------
+
+def test_monitor_attributes_sources(launched):
+    launched.click_widget("home_list")  # fragment API call
+    sources = {(i.api, i.source) for i in launched.api_monitor.invocations}
+    assert ("phone/getDeviceId", InvocationSource.ACTIVITY) in sources
+    assert ("location/getAllProviders", InvocationSource.FRAGMENT) in sources
+
+
+def test_monitor_distinct_and_by_api(launched):
+    launched.click_widget("home_list")
+    by_api = launched.api_monitor.by_api()
+    assert "location/getAllProviders" in by_api
+    assert len(launched.api_monitor.distinct()) <= len(
+        launched.api_monitor.invocations
+    )
+
+
+def test_monitor_category_property(launched):
+    invocation = launched.api_monitor.invocations[0]
+    assert invocation.category == invocation.api.split("/")[0]
+
+
+# -- logcat ------------------------------------------------------------------------------
+
+def test_logcat_records_installs(launched):
+    entries = launched.logcat.entries(tag="PackageManager")
+    assert entries
+    assert "installed" in entries[0].message
+
+
+def test_logcat_filtering(launched):
+    assert launched.logcat.entries(level="E") == []
+    launched.logcat.log("E", "Custom", "boom", 1)
+    assert len(launched.logcat.entries(level="E", tag="Custom")) == 1
+
+
+# -- reflection ---------------------------------------------------------------------------
+
+def test_reflective_switch_attaches_fragment(launched):
+    instance = reflective_fragment_switch(
+        launched, "com.example.demo.NewsFragment"
+    )
+    assert instance.via == "reflection"
+    assert launched.current_fragment_classes() == [
+        "com.example.demo.NewsFragment"
+    ]
+
+
+def test_reflection_fails_without_foreground(device):
+    with pytest.raises(ReflectionError):
+        reflective_fragment_switch(device, "com.example.demo.NewsFragment")
+
+
+def test_reflection_fails_on_unknown_class(launched):
+    with pytest.raises(ReflectionError):
+        reflective_fragment_switch(launched, "com.example.demo.Ghost")
+
+
+def test_reflection_fails_on_unmanaged_fragment(launched):
+    with pytest.raises(ReflectionError, match="FragmentManager"):
+        reflective_fragment_switch(launched, "com.example.demo.RawFragment")
+
+
+def test_reflection_fails_on_args_fragment(launched):
+    with pytest.raises(ReflectionError, match="parameters"):
+        reflective_fragment_switch(launched, "com.example.demo.ArgsFragment")
+
+
+def test_reflection_fails_without_container(device, adb):
+    from repro.apk import ActivitySpec, AppSpec, FragmentSpec, build_apk
+
+    spec = AppSpec(
+        package="com.nocontainer",
+        activities=[ActivitySpec(name="MainActivity", launcher=True)],
+        fragments=[FragmentSpec(name="LooseFragment")],
+    )
+    adb.install(build_apk(spec))
+    adb.am_start_launcher("com.nocontainer")
+    with pytest.raises(ReflectionError, match="container"):
+        reflective_fragment_switch(device, "com.nocontainer.LooseFragment")

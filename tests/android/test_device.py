@@ -1,0 +1,95 @@
+"""Device basics: install, launch, intent resolution, exported checks."""
+
+import pytest
+
+from repro.android import Device
+from repro.apk import build_apk
+from repro.errors import (
+    ActivityNotFoundError,
+    AppNotInstalledError,
+    SecurityException,
+)
+from repro.types import ComponentName
+
+
+def test_install_and_list(device, demo_apk):
+    device.install(demo_apk)
+    assert device.is_installed("com.example.demo")
+    assert device.installed_packages() == ["com.example.demo"]
+
+
+def test_uninstall(device, demo_apk):
+    device.install(demo_apk)
+    device.uninstall("com.example.demo")
+    assert not device.is_installed("com.example.demo")
+
+
+def test_launch_requires_install(device):
+    with pytest.raises(AppNotInstalledError):
+        device.launch_app("com.example.demo")
+
+
+def test_launch_app(device, demo_apk):
+    device.install(demo_apk)
+    assert device.launch_app("com.example.demo")
+    assert device.current_activity_name() == "com.example.demo.MainActivity"
+    assert device.app_alive
+
+
+def test_initial_fragment_attached_on_launch(launched):
+    assert launched.current_fragment_classes() == [
+        "com.example.demo.HomeFragment"
+    ]
+
+
+def test_shell_start_of_unexported_activity_denied(device, demo_apk):
+    device.install(demo_apk)
+    with pytest.raises(SecurityException):
+        device.start_activity(
+            ComponentName("com.example.demo", ".SecondActivity")
+        )
+
+
+def test_start_unknown_activity(device, demo_apk):
+    device.install(demo_apk)
+    with pytest.raises(ActivityNotFoundError):
+        device.start_activity(ComponentName("com.example.demo", ".Ghost"))
+
+
+def test_implicit_intent_resolution(device, demo_apk):
+    device.install(demo_apk)
+    with pytest.raises(ActivityNotFoundError):
+        device.start_activity(action="com.example.demo.action.MISSING")
+
+
+def test_force_stop_clears_foreground(launched):
+    launched.force_stop("com.example.demo")
+    assert not launched.app_alive
+    assert launched.current_activity_name() is None
+    assert launched.ui_dump() == []
+
+
+def test_ui_dump_lists_content_widgets(launched):
+    ids = [w.widget_id for w in launched.ui_dump()]
+    assert "btn_next" in ids
+    assert "home_list" in ids  # fragment widget included
+    assert "nav_settings" not in ids  # drawer hidden until opened
+
+
+def test_steps_increment_on_events(launched):
+    before = launched.steps
+    launched.press_back()
+    launched.swipe_from_left()
+    assert launched.steps == before + 2
+
+
+def test_two_apps_coexist(device, demo_apk):
+    from tests.conftest import make_demo_spec
+
+    device.install(demo_apk)
+    other = build_apk(make_demo_spec("com.other.app"))
+    device.install(other)
+    assert device.launch_app("com.other.app")
+    assert device.current_activity_name() == "com.other.app.MainActivity"
+    assert device.launch_app("com.example.demo")
+    assert device.current_activity_name() == "com.example.demo.MainActivity"

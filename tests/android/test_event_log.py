@@ -1,0 +1,55 @@
+"""The device input-event log (the getevent analogue)."""
+
+from repro.android.events import EventLog, InputEvent
+
+
+def test_every_input_kind_recorded(launched):
+    launched.enter_text("password", "abc")
+    launched.tap(1070, 1910)  # blank space
+    launched.press_back()
+    kinds = [e.kind for e in launched.event_log.events]
+    assert kinds[0] == "start"
+    assert "tap" in kinds
+    assert "text" in kinds
+    assert "back" in kinds
+
+
+def test_click_widget_recorded_as_tap(launched):
+    before = len(launched.event_log)
+    launched.click_widget("btn_next")
+    taps = launched.event_log.events[before:]
+    assert len(taps) == 1 and taps[0].kind == "tap"
+
+
+def test_steps_monotonic_in_log(launched):
+    launched.swipe_from_left()
+    launched.press_back()
+    steps = [e.step for e in launched.event_log.events]
+    assert steps == sorted(steps)
+
+
+def test_filtering_and_dump(launched):
+    launched.swipe_from_left()
+    assert launched.event_log.of_kind("swipe")
+    assert launched.event_log.since(0) == launched.event_log.events
+    assert "swipe" in launched.event_log.dump()
+
+
+def test_event_rendering():
+    assert "tap (3,4)" in str(InputEvent(step=1, kind="tap", x=3, y=4))
+    assert "text field='x'" in str(
+        InputEvent(step=2, kind="text", target="field", text="x")
+    )
+
+
+def test_monkey_leaves_full_event_trail():
+    from repro.android import Device
+    from repro.apk import build_apk
+    from repro.baselines import Monkey
+    from tests.conftest import make_full_demo_spec
+
+    device = Device()
+    Monkey(device, seed=9).run(build_apk(make_full_demo_spec()),
+                               event_count=60)
+    # Every injected event is visible in the log (starts + inputs).
+    assert len(device.event_log) >= 60

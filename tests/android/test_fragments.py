@@ -1,0 +1,86 @@
+"""Fragment lifecycle and FragmentManager semantics."""
+
+import pytest
+
+from repro.android.fragment_manager import FragmentTransaction
+from repro.errors import DeviceError
+
+
+def top_activity(device):
+    return device.foreground.top_activity
+
+
+def test_replace_swaps_container_content(launched):
+    launched.click_widget("btn_tab")
+    launched.click_widget("btn_tab")  # idempotent replace
+    assert launched.current_fragment_classes() == [
+        "com.example.demo.NewsFragment"
+    ]
+
+
+def test_manager_records_managed_fragments(launched):
+    manager = top_activity(launched).fragment_manager
+    fragments = manager.fragments()
+    assert [f.spec.name for f in fragments] == ["HomeFragment"]
+    assert manager.find_by_class("com.example.demo.HomeFragment") is not None
+    assert manager.find_by_class("com.example.demo.Ghost") is None
+
+
+def test_transaction_add_stacks_fragments(launched):
+    activity = top_activity(launched)
+    app = launched.foreground
+    app.attach_fragment(activity, "NewsFragment", "fragment_container",
+                        mode="add", via="transaction")
+    names = [f.spec.name for f in activity.fragment_manager.fragments()]
+    assert names == ["HomeFragment", "NewsFragment"]
+
+
+def test_transaction_commit_once(launched):
+    manager = top_activity(launched).fragment_manager
+    transaction = manager.begin_transaction()
+    transaction.commit()
+    with pytest.raises(DeviceError):
+        transaction.commit()
+
+
+def test_transaction_remove(launched):
+    activity = top_activity(launched)
+    manager = activity.fragment_manager
+    fragment = manager.fragments()[0]
+    manager.begin_transaction().remove(fragment).commit()
+    assert manager.fragments() == []
+
+
+def test_unmanaged_fragment_not_in_manager(launched):
+    launched.click_widget("btn_next")
+    launched.click_widget("btn_raw")
+    activity = top_activity(launched)
+    assert activity.fragment_manager.fragments() == []
+    assert [f.spec.name for f in activity.direct_fragments] == ["RawFragment"]
+
+
+def test_unmanaged_widgets_synthetic_and_stable(launched):
+    launched.click_widget("btn_next")
+    launched.click_widget("btn_raw")
+    first = [w.widget_id for w in launched.ui_dump()
+             if w.owner_is_fragment]
+    launched.click_widget("btn_raw")  # re-attach replaces, ids stable
+    second = [w.widget_id for w in launched.ui_dump()
+              if w.owner_is_fragment]
+    assert first == second
+    assert all(i.startswith("anon:") for i in first)
+
+
+def test_fragment_api_calls_fire_on_attach(launched):
+    apis = launched.api_monitor.apis_seen()
+    assert "phone/getDeviceId" in apis       # activity onCreate
+    assert "internet/connect" not in apis    # NewsFragment not attached yet
+    launched.click_widget("btn_tab")
+    assert "internet/connect" in launched.api_monitor.apis_seen()
+
+
+def test_fragment_widgets_carry_resource_ids(launched):
+    widget = next(w for w in launched.ui_dump()
+                  if w.widget_id == "home_list")
+    assert widget.owner_is_fragment
+    assert widget.resource_value is not None

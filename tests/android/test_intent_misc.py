@@ -1,0 +1,80 @@
+"""Intent semantics and remaining small units."""
+
+import pytest
+
+from repro.android.intent import Intent
+from repro.types import ComponentName
+
+
+def test_explicit_intent():
+    intent = Intent(component=ComponentName("com.a", ".Main"))
+    assert intent.is_explicit
+    assert intent.is_empty
+    assert "com.a/com.a.Main" in str(intent)
+
+
+def test_empty_means_no_extras():
+    intent = Intent(action="a.b.C")
+    assert intent.is_empty
+    intent.put_extra("k", "v")
+    assert not intent.is_empty
+    assert "k" in str(intent)
+
+
+def test_put_extra_chains():
+    intent = Intent().put_extra("a", "1").put_extra("b", "2")
+    assert intent.extras == {"a": "1", "b": "2"}
+
+
+def test_forced_start_carries_empty_intent(device, adb, demo_apk):
+    from repro.adb import instrument_manifest
+
+    adb.install(instrument_manifest(demo_apk))
+    adb.am_force_start("com.example.demo/.SecondActivity")
+    activity = device.foreground.top_activity
+    assert activity.intent.is_empty
+
+
+def test_click_navigation_carries_origin_extra(launched):
+    launched.click_widget("btn_next")
+    activity = launched.foreground.top_activity
+    assert activity.intent.extras["origin"] == \
+        "com.example.demo.MainActivity"
+
+
+def test_aftm_predecessors():
+    from repro.static.aftm import AFTM, activity_node, fragment_node
+
+    model = AFTM("com.p", entry=activity_node("com.p.A0"))
+    model.add_transition(activity_node("com.p.A0"),
+                         fragment_node("com.p.F0"), host="com.p.A0")
+    model.add_transition(activity_node("com.p.A0"),
+                         activity_node("com.p.A1"))
+    preds = model.predecessors(fragment_node("com.p.F0"))
+    assert len(preds) == 1 and preds[0].src == activity_node("com.p.A0")
+    assert model.node("A1") == activity_node("com.p.A1")
+    assert model.node("com.p.A1") is not None
+    assert model.node("Nope") is None
+
+
+def test_solo_click_on_screen_coordinates(launched):
+    from repro.robotium import Solo
+
+    solo = Solo(launched)
+    target = solo.get_view("btn_next")
+    solo.click_on_screen(*target.bounds.center)
+    assert solo.wait_for_activity("SecondActivity")
+
+
+def test_logcat_dump_and_len(launched):
+    assert len(launched.logcat) > 0
+    assert "PackageManager" in launched.logcat.dump()
+    launched.logcat.clear()
+    assert len(launched.logcat) == 0
+
+
+def test_api_monitor_clear(launched):
+    assert len(launched.api_monitor) > 0
+    launched.api_monitor.clear()
+    assert len(launched.api_monitor) == 0
+    assert launched.api_monitor.apis_seen() == set()

@@ -1,0 +1,86 @@
+"""Dialogs, popup menus, drawers: modality and dismissal rules."""
+
+def drawer_open(device):
+    return any(w.layer == "drawer" for w in device.ui_dump())
+
+
+def overlay_open(device):
+    return any(w.layer in ("dialog", "popup") for w in device.ui_dump())
+
+
+def test_drawer_hidden_then_opened_by_toggle(launched):
+    assert not drawer_open(launched)
+    launched.click_widget("drawer_toggle")
+    assert drawer_open(launched)
+    ids = [w.widget_id for w in launched.ui_dump()]
+    assert ids == ["nav_settings"]
+
+
+def test_drawer_opened_by_swipe(launched):
+    launched.swipe_from_left()
+    assert drawer_open(launched)
+
+
+def test_drawer_item_click_navigates_and_closes(launched):
+    launched.click_widget("drawer_toggle")
+    launched.click_widget("nav_settings")
+    assert launched.current_activity_name() == \
+        "com.example.demo.SettingsActivity"
+    launched.press_back()
+    assert not drawer_open(launched)
+
+
+def test_back_closes_drawer_before_popping(launched):
+    launched.swipe_from_left()
+    launched.press_back()
+    assert not drawer_open(launched)
+    assert launched.current_activity_name() == "com.example.demo.MainActivity"
+
+
+def test_blank_tap_closes_drawer(launched):
+    launched.swipe_from_left()
+    launched.tap(1000, 1800)  # outside the drawer column
+    assert not drawer_open(launched)
+
+
+def test_popup_menu_is_modal(launched):
+    launched.click_widget("btn_menu")
+    assert overlay_open(launched)
+    ids = [w.widget_id for w in launched.ui_dump()]
+    assert len(ids) == 1  # only the menu item visible
+
+
+def test_popup_blank_space_dismisses(launched):
+    launched.click_widget("btn_menu")
+    launched.tap(1040, 1900)
+    assert not overlay_open(launched)
+
+
+def test_back_dismisses_popup(launched):
+    launched.click_widget("btn_menu")
+    launched.press_back()
+    assert not overlay_open(launched)
+    assert launched.current_activity_name() == "com.example.demo.MainActivity"
+
+
+def test_popup_item_click_acts_and_closes(launched):
+    launched.click_widget("btn_menu")
+    item = next(w for w in launched.ui_dump())
+    launched.tap(*item.bounds.center)
+    # menu_hidden targets HiddenActivity which requires extras; in-app
+    # starts carry extras, so it is reached.
+    assert launched.current_activity_name() == "com.example.demo.HiddenActivity"
+
+
+def test_dialog_from_failed_login_blocks_content(launched):
+    launched.click_widget("btn_login")  # empty password -> dialog
+    assert overlay_open(launched)
+    ids = [w.widget_id for w in launched.ui_dump()]
+    assert "btn_next" not in ids
+
+
+def test_overlay_widgets_have_synthetic_ids(launched):
+    launched.click_widget("btn_menu")
+    for widget in launched.ui_dump():
+        assert widget.widget_id.startswith("anon:")
+        assert widget.resource_value is None

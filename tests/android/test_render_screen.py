@@ -1,0 +1,36 @@
+"""The ASCII screen renderer."""
+
+def test_renders_activity_header(launched):
+    sketch = launched.render_screen()
+    assert "com.example.demo.MainActivity" in sketch
+    assert sketch.startswith("┌─")
+    assert sketch.rstrip().endswith("┘")
+
+
+def test_renders_widget_labels(launched):
+    sketch = launched.render_screen()
+    assert "Next" in sketch
+    assert "[Button]" in sketch
+
+
+def test_renders_entered_text(launched):
+    launched.enter_text("password", "secret")
+    assert "'secret'" in launched.render_screen()
+
+
+def test_renders_drawer_layer(launched):
+    launched.swipe_from_left()
+    sketch = launched.render_screen()
+    assert "≡" in sketch
+    assert "Settings" in sketch
+
+
+def test_renders_dialog_layer(launched):
+    launched.click_widget("btn_login")  # wrong creds -> dialog
+    sketch = launched.render_screen()
+    assert "□" in sketch
+    assert "Wrong password" in sketch
+
+
+def test_renders_empty_screen(device):
+    assert device.render_screen() == "[no app in foreground]"

@@ -1,0 +1,86 @@
+"""View geometry: layout, hit testing, synthetic IDs."""
+
+from repro.android.views import (
+    DRAWER_WIDTH,
+    ROW_HEIGHT,
+    SCREEN_WIDTH,
+    Rect,
+    RuntimeWidget,
+    dialog_bounds,
+    layout_content,
+    layout_dialog,
+    layout_drawer,
+    synthetic_id,
+    widget_at,
+)
+from repro.types import WidgetKind
+
+
+def make_widgets(n):
+    return [
+        RuntimeWidget(widget_id=f"w{i}", kind=WidgetKind.BUTTON, text="",
+                      owner_class="com.a.Main", owner_is_fragment=False)
+        for i in range(n)
+    ]
+
+
+def test_rect_contains_and_center():
+    rect = Rect(10, 20, 110, 120)
+    assert rect.contains(10, 20)
+    assert rect.contains(109, 119)
+    assert not rect.contains(110, 120)
+    assert rect.center == (60, 70)
+
+
+def test_content_layout_stacks_vertically():
+    widgets = make_widgets(4)
+    layout_content(widgets)
+    tops = [w.bounds.top for w in widgets]
+    assert tops == sorted(tops)
+    assert all(w.bounds.right == SCREEN_WIDTH for w in widgets)
+    assert widgets[1].bounds.top - widgets[0].bounds.top == ROW_HEIGHT
+
+
+def test_widgets_do_not_overlap():
+    widgets = make_widgets(6)
+    layout_content(widgets)
+    for first, second in zip(widgets, widgets[1:]):
+        assert first.bounds.bottom <= second.bounds.top
+
+
+def test_drawer_layout_is_narrow():
+    widgets = make_widgets(3)
+    layout_drawer(widgets)
+    assert all(w.bounds.right == DRAWER_WIDTH for w in widgets)
+
+
+def test_dialog_layout_inside_window():
+    widgets = make_widgets(2)
+    layout_dialog(widgets)
+    window = dialog_bounds(2)
+    for widget in widgets:
+        assert window.contains(widget.bounds.left, widget.bounds.top)
+
+
+def test_widget_at_topmost_wins():
+    widgets = make_widgets(2)
+    layout_content(widgets)
+    # Overlay the second widget exactly on the first.
+    widgets[1].bounds = widgets[0].bounds
+    hit = widget_at(widgets, *widgets[0].bounds.center)
+    assert hit is widgets[1]
+
+
+def test_widget_at_misses_blank_space():
+    widgets = make_widgets(1)
+    layout_content(widgets)
+    assert widget_at(widgets, 5, 1900) is None
+
+
+def test_synthetic_ids_deterministic_and_marked():
+    first = synthetic_id("com.a.RawFragment", "row_0")
+    second = synthetic_id("com.a.RawFragment", "row_0")
+    other = synthetic_id("com.a.RawFragment", "row_1")
+    assert first == second
+    assert first != other
+    assert first.startswith("anon:")

@@ -1,0 +1,120 @@
+"""AppSpec validation rules and derived properties."""
+
+import pytest
+
+from repro.apk import (
+    ActivitySpec,
+    AppSpec,
+    DrawerSpec,
+    FragmentSpec,
+    ShowFragment,
+    StartActivity,
+    WidgetSpec,
+)
+from repro.errors import ApkError
+from repro.types import WidgetKind
+
+
+def minimal(**kwargs):
+    defaults = dict(
+        package="com.t",
+        activities=[ActivitySpec(name="MainActivity", launcher=True)],
+        fragments=[],
+    )
+    defaults.update(kwargs)
+    return AppSpec(**defaults)
+
+
+def test_exactly_one_launcher_required():
+    with pytest.raises(ApkError):
+        minimal(activities=[ActivitySpec(name="A"), ActivitySpec(name="B")])
+    with pytest.raises(ApkError):
+        minimal(activities=[ActivitySpec(name="A", launcher=True),
+                            ActivitySpec(name="B", launcher=True)])
+
+
+def test_duplicate_activity_names_rejected():
+    with pytest.raises(ApkError):
+        minimal(activities=[ActivitySpec(name="A", launcher=True),
+                            ActivitySpec(name="A")])
+
+
+def test_duplicate_fragment_names_rejected():
+    with pytest.raises(ApkError):
+        minimal(fragments=[FragmentSpec(name="F"), FragmentSpec(name="F")])
+
+
+def test_hosted_fragment_must_be_declared():
+    with pytest.raises(ApkError):
+        minimal(
+            activities=[
+                ActivitySpec(name="MainActivity", launcher=True,
+                             hosted_fragments=["GhostFragment"])
+            ]
+        )
+
+
+def test_initial_fragment_auto_added_to_hosted():
+    spec = minimal(
+        activities=[ActivitySpec(name="MainActivity", launcher=True,
+                                 initial_fragment="HomeFragment")],
+        fragments=[FragmentSpec(name="HomeFragment")],
+    )
+    activity = spec.activity("MainActivity")
+    assert "HomeFragment" in activity.hosted_fragments
+    assert activity.container_id == "fragment_container"
+
+
+def test_qualify():
+    spec = minimal()
+    assert spec.qualify("Foo") == "com.t.Foo"
+    assert spec.qualify("com.other.Foo") == "com.other.Foo"
+
+
+def test_lookup_by_simple_or_qualified_name():
+    spec = minimal(fragments=[FragmentSpec(name="NewsFragment")])
+    assert spec.fragment("NewsFragment").name == "NewsFragment"
+    assert spec.fragment("com.t.NewsFragment").name == "NewsFragment"
+    with pytest.raises(ApkError):
+        spec.fragment("Nope")
+    with pytest.raises(ApkError):
+        spec.activity("Nope")
+
+
+def test_launcher_property():
+    spec = minimal()
+    assert spec.launcher.name == "MainActivity"
+
+
+def test_widget_handler_requires_clickable_kind():
+    with pytest.raises(ApkError):
+        WidgetSpec(id="t", kind=WidgetKind.TEXT_VIEW,
+                   on_click=StartActivity("X"))
+
+
+def test_empty_widget_id_rejected():
+    with pytest.raises(ApkError):
+        WidgetSpec(id="")
+
+
+def test_bad_fragment_transaction_mode_rejected():
+    with pytest.raises(ApkError):
+        ShowFragment("F", "c", mode="detach")
+
+
+def test_all_widgets_includes_drawer_toggle_and_items():
+    activity = ActivitySpec(
+        name="A", launcher=True,
+        widgets=[WidgetSpec(id="btn")],
+        drawer=DrawerSpec(items=[
+            WidgetSpec(id="nav_1", kind=WidgetKind.DRAWER_ITEM,
+                       on_click=StartActivity("B")),
+        ]),
+    )
+    ids = [w.id for w in activity.all_widgets()]
+    assert ids == ["btn", "drawer_toggle", "nav_1"]
+
+
+def test_uses_fragments():
+    assert not minimal().uses_fragments()
+    assert minimal(fragments=[FragmentSpec(name="F")]).uses_fragments()

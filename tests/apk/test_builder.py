@@ -1,0 +1,112 @@
+"""The AppSpec → ApkPackage compiler: artifact shapes and idioms."""
+
+import pytest
+
+from repro.apk import build_apk
+from repro.apk.builder import mangle
+from repro.apk.manifest import ACTION_MAIN, Manifest
+from repro.errors import PackedApkError
+from repro.smali.apktool import Apktool
+from repro.smali.assemble import parse_class
+
+
+@pytest.fixture
+def decoded(demo_apk):
+    return Apktool().decode(demo_apk)
+
+
+def test_manifest_declares_all_activities(demo_apk, demo_spec):
+    manifest = Manifest.from_xml(demo_apk.manifest_xml)
+    assert len(manifest.activities) == len(demo_spec.activities)
+    assert manifest.launcher_activity.name == "com.example.demo.MainActivity"
+
+
+def test_intent_action_filter_emitted(demo_apk):
+    manifest = Manifest.from_xml(demo_apk.manifest_xml)
+    about = manifest.activity("com.example.demo.AboutActivity")
+    assert about.handles_action("com.example.demo.action.ABOUT")
+
+
+def test_every_component_has_a_smali_file(demo_apk, demo_spec):
+    for activity in demo_spec.activities:
+        path = f"com/example/demo/{activity.name}.smali"
+        assert path in demo_apk.smali_files
+    for fragment in demo_spec.fragments:
+        path = f"com/example/demo/{fragment.name}.smali"
+        assert path in demo_apk.smali_files
+
+
+def test_listener_inner_classes_emitted(demo_apk):
+    inner = [p for p in demo_apk.smali_files if "MainActivity$" in p]
+    # MainActivity has several handled widgets, incl. the drawer item and
+    # the nested popup-menu item handler.
+    assert len(inner) >= 6
+
+
+def test_activity_oncreate_shape(decoded):
+    cls = decoded.class_by_name("com.example.demo.MainActivity")
+    on_create = cls.method("onCreate")
+    assert on_create is not None
+    names = [i.method.name for i in on_create.instructions if i.is_invoke]
+    assert "setContentView" in names
+    assert "getFragmentManager" in names  # initial fragment transaction
+    assert "beginTransaction" in names
+    assert "replace" in names
+    assert "commit" in names
+    assert "setOnClickListener" in names
+
+
+def test_fragment_super_class(decoded):
+    cls = decoded.class_by_name("com.example.demo.HomeFragment")
+    assert cls.super_name == "android.app.Fragment"
+
+
+def test_new_instance_factory_method(decoded):
+    cls = decoded.class_by_name("com.example.demo.DetailFragment")
+    factory = cls.method("newInstance")
+    assert factory is not None and factory.static
+    assert factory.ret == "com.example.demo.DetailFragment"
+
+
+def test_args_factory_takes_string(decoded):
+    cls = decoded.class_by_name("com.example.demo.ArgsFragment")
+    factory = cls.method("newInstance")
+    assert factory.params == ["java.lang.String"]
+
+
+def test_unmanaged_fragment_has_no_layout(demo_apk):
+    assert not any("raw_fragment" in p for p in demo_apk.layout_files)
+    assert "res/layout/fragment_home_fragment.xml" in demo_apk.layout_files
+
+
+def test_sensitive_api_invoke_emitted(decoded):
+    cls = decoded.class_by_name("com.example.demo.MainActivity")
+    refs = [r.descriptor() for m in cls.methods for r in m.invokes()]
+    assert any("getDeviceId" in r for r in refs)
+
+
+def test_packed_flag_propagates(demo_spec):
+    demo_spec.packed = True
+    apk = build_apk(demo_spec)
+    assert apk.packed
+    with pytest.raises(PackedApkError):
+        Apktool().decode(apk)
+
+
+def test_smali_files_parse_standalone(demo_apk):
+    for path, text in demo_apk.smali_files.items():
+        cls = parse_class(text)
+        assert cls.file_name == path
+
+
+def test_mangle_is_reversible_but_not_identity():
+    assert mangle("com.app.Foo") != "com.app.Foo"
+    assert mangle(mangle("com.app.Foo")) == "com.app.Foo"
+
+
+def test_size_estimate_positive(demo_apk):
+    assert demo_apk.size_estimate() > 1000
+
+
+def test_runtime_spec_round_trip(demo_apk, demo_spec):
+    assert demo_apk.runtime_spec() is demo_spec

@@ -1,0 +1,66 @@
+"""Layout model and XML round trips."""
+
+import pytest
+
+from repro.apk.layout import Layout, LayoutElement
+from repro.errors import ApkError
+from repro.types import WidgetKind
+
+
+def make_layout():
+    layout = Layout("activity_main", container_id="fragment_container")
+    layout.add(LayoutElement("btn_go", WidgetKind.BUTTON, text="Go"))
+    layout.add(LayoutElement("title", WidgetKind.TEXT_VIEW, text="Hi",
+                             clickable=False))
+    layout.add(LayoutElement("field", WidgetKind.EDIT_TEXT))
+    return layout
+
+
+def test_widget_ids_include_container():
+    layout = make_layout()
+    assert set(layout.widget_ids()) == {
+        "btn_go", "title", "field", "fragment_container"
+    }
+
+
+def test_duplicate_widget_id_rejected():
+    layout = make_layout()
+    with pytest.raises(ApkError):
+        layout.add(LayoutElement("btn_go", WidgetKind.BUTTON))
+
+
+def test_xml_round_trip():
+    layout = make_layout()
+    parsed = Layout.from_xml("activity_main", layout.to_xml())
+    assert parsed.container_id == "fragment_container"
+    assert [e.widget_id for e in parsed.elements] == [
+        e.widget_id for e in layout.elements
+    ]
+    assert [e.kind for e in parsed.elements] == [
+        e.kind for e in layout.elements
+    ]
+    assert [e.clickable for e in parsed.elements] == [
+        e.clickable for e in layout.elements
+    ]
+
+
+def test_xml_round_trip_preserves_text():
+    parsed = Layout.from_xml("x", make_layout().to_xml())
+    by_id = {e.widget_id: e for e in parsed.elements}
+    assert by_id["btn_go"].text == "Go"
+    assert by_id["title"].text == "Hi"
+
+
+def test_xml_has_android_namespace_shape():
+    xml = make_layout().to_xml()
+    assert xml.startswith('<?xml version="1.0"')
+    assert 'android:id="@+id/btn_go"' in xml
+    assert "<FrameLayout" in xml
+
+
+def test_layout_without_container():
+    layout = Layout("fragment_news")
+    layout.add(LayoutElement("row", WidgetKind.LIST_ITEM))
+    parsed = Layout.from_xml("fragment_news", layout.to_xml())
+    assert parsed.container_id is None
+    assert parsed.widget_ids() == ["row"]

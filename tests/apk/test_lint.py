@@ -1,0 +1,95 @@
+"""The APK lint checker."""
+
+import pytest
+
+from repro.apk import build_apk
+from repro.apk.lint import lint_apk
+from repro.apk.manifest import Manifest
+from repro.apk.package import ApkPackage
+from repro.corpus import TABLE1_PLANS, build_app, generate_market
+
+
+def test_demo_apk_is_clean(demo_apk):
+    report = lint_apk(demo_apk)
+    assert report.ok, report.render()
+    assert report.render() == "lint: clean" or report.warnings
+
+
+def test_whole_corpus_is_clean():
+    for plan in TABLE1_PLANS:
+        report = lint_apk(build_apk(build_app(plan)))
+        assert report.ok, f"{plan.package}\n{report.render()}"
+
+
+def test_market_sample_is_clean():
+    for app in generate_market(count=20):
+        if app.packed:
+            continue
+        report = lint_apk(app.build())
+        assert report.ok, f"{app.package}\n{report.render()}"
+
+
+def test_packed_apk_only_warns(demo_spec):
+    demo_spec.packed = True
+    report = lint_apk(build_apk(demo_spec))
+    assert report.ok
+    assert report.warnings and report.warnings[0].code == "packed"
+
+
+def _tamper(apk: ApkPackage, **overrides) -> ApkPackage:
+    fields = dict(
+        package=apk.package,
+        manifest_xml=apk.manifest_xml,
+        smali_files=dict(apk.smali_files),
+        layout_files=dict(apk.layout_files),
+        public_xml=apk.public_xml,
+        packed=apk.packed,
+        _spec=apk.runtime_spec(),
+    )
+    fields.update(overrides)
+    return ApkPackage(**fields)
+
+
+def test_missing_class_detected(demo_apk):
+    manifest = Manifest.from_xml(demo_apk.manifest_xml)
+    from repro.apk.manifest import ActivityDecl
+
+    manifest.add_activity(ActivityDecl(name="com.example.demo.GhostActivity"))
+    tampered = _tamper(demo_apk, manifest_xml=manifest.to_xml())
+    report = lint_apk(tampered)
+    assert not report.ok
+    assert any(f.code == "missing-class" for f in report.errors)
+
+
+def test_orphan_inner_class_detected(demo_apk):
+    smali = dict(demo_apk.smali_files)
+    orphan = (
+        ".class public Lcom/example/demo/Nowhere$1;\n"
+        ".super Ljava/lang/Object;\n"
+    )
+    smali["com/example/demo/Nowhere$1.smali"] = orphan
+    report = lint_apk(_tamper(demo_apk, smali_files=smali))
+    assert any(f.code == "orphan-inner" for f in report.errors)
+
+
+def test_dangling_resource_detected(demo_apk):
+    smali = dict(demo_apk.smali_files)
+    bad = (
+        ".class public Lcom/example/demo/Bad;\n"
+        ".super Ljava/lang/Object;\n\n"
+        ".method public m()V\n"
+        "    .registers 2\n"
+        "    const v0, 0x7f01ffff\n"
+        "    return-void\n"
+        ".end method\n"
+    )
+    smali["com/example/demo/Bad.smali"] = bad
+    report = lint_apk(_tamper(demo_apk, smali_files=smali))
+    assert any(f.code == "dangling-resource" for f in report.errors)
+
+
+def test_finding_rendering():
+    from repro.apk.lint import LintFinding
+
+    finding = LintFinding("error", "x", "boom")
+    assert str(finding) == "[error] x: boom"

@@ -1,0 +1,90 @@
+"""Manifest model: declarations, resolution, XML round trips."""
+
+import pytest
+
+from repro.apk.manifest import (
+    ACTION_MAIN,
+    CATEGORY_LAUNCHER,
+    ActivityDecl,
+    IntentFilter,
+    Manifest,
+)
+from repro.errors import ManifestError
+
+
+def make_manifest():
+    manifest = Manifest("com.app")
+    manifest.add_activity(
+        ActivityDecl(
+            name="com.app.MainActivity",
+            exported=True,
+            intent_filters=[
+                IntentFilter(actions=[ACTION_MAIN],
+                             categories=[CATEGORY_LAUNCHER])
+            ],
+        )
+    )
+    manifest.add_activity(ActivityDecl(name="com.app.SecondActivity"))
+    manifest.add_activity(
+        ActivityDecl(
+            name="com.app.ShareActivity",
+            exported=True,
+            intent_filters=[IntentFilter(actions=["com.app.action.SHARE"])],
+        )
+    )
+    return manifest
+
+
+def test_launcher_detection():
+    manifest = make_manifest()
+    assert manifest.launcher_activity.name == "com.app.MainActivity"
+
+
+def test_duplicate_activity_rejected():
+    manifest = make_manifest()
+    with pytest.raises(ManifestError):
+        manifest.add_activity(ActivityDecl(name="com.app.MainActivity"))
+
+
+def test_activity_lookup_accepts_shorthand():
+    manifest = make_manifest()
+    assert manifest.activity(".SecondActivity").name == "com.app.SecondActivity"
+    assert manifest.activity("com.app.SecondActivity") is not None
+    assert manifest.activity("com.app.Missing") is None
+
+
+def test_action_resolution():
+    manifest = make_manifest()
+    matches = manifest.resolve_action("com.app.action.SHARE")
+    assert [d.name for d in matches] == ["com.app.ShareActivity"]
+    assert manifest.resolve_action("com.app.action.NONE") == []
+
+
+def test_xml_round_trip():
+    manifest = make_manifest()
+    manifest.uses_permissions.append("android.permission.INTERNET")
+    parsed = Manifest.from_xml(manifest.to_xml())
+    assert parsed.package == "com.app"
+    assert [d.name for d in parsed.activities] == [
+        d.name for d in manifest.activities
+    ]
+    assert parsed.launcher_activity.name == "com.app.MainActivity"
+    assert parsed.activity("com.app.ShareActivity").handles_action(
+        "com.app.action.SHARE"
+    )
+    assert parsed.uses_permissions == ["android.permission.INTERNET"]
+    assert parsed.activity("com.app.SecondActivity").exported is False
+
+
+def test_intent_filter_matching():
+    ifilter = IntentFilter(actions=["a.b.C"], categories=["cat"])
+    assert ifilter.matches("a.b.C")
+    assert ifilter.matches("a.b.C", "cat")
+    assert not ifilter.matches("a.b.D")
+    assert not ifilter.matches("a.b.C", "other")
+    assert not ifilter.matches(None)
+
+
+def test_from_xml_requires_package():
+    with pytest.raises(ManifestError):
+        Manifest.from_xml("<manifest></manifest>")

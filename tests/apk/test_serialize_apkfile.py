@@ -1,0 +1,128 @@
+"""Spec JSON round trips and on-disk APK files."""
+
+import pytest
+
+from repro.apk import build_apk
+from repro.apk.apkfile import load_apk, save_apk
+from repro.apk.appspec import (
+    Chain,
+    Crash,
+    FinishActivity,
+    InvokeApi,
+    Noop,
+    OpenDrawer,
+    ShowDialog,
+    ShowFragment,
+    ShowPopupMenu,
+    StartActivity,
+    StartActivityByAction,
+    SubmitForm,
+    ToggleWidget,
+    WidgetSpec,
+)
+from repro.apk.serialize import (
+    action_from_dict,
+    action_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.errors import ApkError
+from tests.conftest import make_full_demo_spec
+
+
+@pytest.mark.parametrize(
+    "action",
+    [
+        Noop(),
+        StartActivity("SecondActivity"),
+        StartActivity("SecondActivity", dynamic=True),
+        StartActivityByAction("com.a.GO", dynamic=True),
+        ShowFragment("F", "c", mode="add", add_to_back_stack=True),
+        OpenDrawer(),
+        ShowDialog("msg", buttons=(WidgetSpec(id="ok", text="OK"),)),
+        ShowPopupMenu(items=(
+            WidgetSpec(id="m1", on_click=StartActivity("X")),
+        )),
+        InvokeApi("phone/getDeviceId"),
+        Crash("boom"),
+        FinishActivity(),
+        ToggleWidget("chk"),
+        Chain(actions=(InvokeApi("storage/sdcard"), FinishActivity())),
+        SubmitForm(required={"f": "v"}, rules={"g": "city"},
+                   on_success=StartActivity("X"),
+                   on_failure=ShowDialog("no")),
+    ],
+)
+def test_action_round_trip(action):
+    restored = action_from_dict(action_to_dict(action))
+    assert action_to_dict(restored) == action_to_dict(action)
+    assert type(restored) is type(action)
+
+
+def test_unknown_action_type_rejected():
+    with pytest.raises(ApkError):
+        action_from_dict({"type": "teleport"})
+
+
+def test_spec_round_trip_equivalent_compilation():
+    spec = make_full_demo_spec()
+    restored = spec_from_dict(spec_to_dict(spec))
+    original_apk = build_apk(spec)
+    restored_apk = build_apk(restored)
+    assert restored_apk.manifest_xml == original_apk.manifest_xml
+    assert restored_apk.smali_files == original_apk.smali_files
+    assert restored_apk.layout_files == original_apk.layout_files
+    assert restored_apk.public_xml == original_apk.public_xml
+
+
+def test_corpus_specs_round_trip():
+    from repro.corpus import TABLE1_PLANS, build_app
+
+    for plan in TABLE1_PLANS[:5]:
+        spec = build_app(plan)
+        restored = spec_from_dict(spec_to_dict(spec))
+        assert build_apk(restored).smali_files == build_apk(spec).smali_files
+
+
+# -- apk files ----------------------------------------------------------------------
+
+def test_apk_file_round_trip(tmp_path, demo_apk):
+    path = save_apk(demo_apk, tmp_path / "demo.apk")
+    loaded = load_apk(path)
+    assert loaded.package == demo_apk.package
+    assert loaded.manifest_xml == demo_apk.manifest_xml
+    assert loaded.smali_files == demo_apk.smali_files
+    assert loaded.layout_files == demo_apk.layout_files
+    assert loaded.public_xml == demo_apk.public_xml
+    assert loaded.packed == demo_apk.packed
+
+
+def test_loaded_apk_explores_identically(tmp_path, demo_apk):
+    from repro import Device, FragDroid
+
+    path = save_apk(demo_apk, tmp_path / "demo.apk")
+    original = FragDroid(Device()).explore(demo_apk)
+    loaded = FragDroid(Device()).explore(load_apk(path))
+    assert loaded.visited_activities == original.visited_activities
+    assert loaded.visited_fragments == original.visited_fragments
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(ApkError):
+        load_apk(tmp_path / "absent.apk")
+
+
+def test_truncated_archive_rejected(tmp_path, demo_apk):
+    import zipfile
+
+    path = tmp_path / "broken.apk"
+    with zipfile.ZipFile(path, "w") as archive:
+        archive.writestr("AndroidManifest.xml", demo_apk.manifest_xml)
+    with pytest.raises(ApkError):
+        load_apk(path)
+
+
+def test_packed_flag_survives(tmp_path, demo_spec):
+    demo_spec.packed = True
+    path = save_apk(build_apk(demo_spec), tmp_path / "packed.apk")
+    assert load_apk(path).packed

@@ -1,0 +1,51 @@
+"""The Activity-level MBT baseline: fixed-UI-state blindness."""
+
+import pytest
+
+from repro.android import Device
+from repro.apk import build_apk
+from repro.baselines import ActivityExplorer
+from repro.types import InvocationSource
+from tests.conftest import make_full_demo_spec
+
+
+@pytest.fixture(scope="module")
+def result():
+    device = Device()
+    return ActivityExplorer(device).run(build_apk(make_full_demo_spec()))
+
+
+def test_visits_activities(result):
+    simple = {a.rsplit(".", 1)[-1] for a in result.visited_activities}
+    assert {"MainActivity", "SecondActivity", "SettingsActivity"} <= simple
+
+
+def test_forced_start_recovers_exported_targets(result):
+    simple = {a.rsplit(".", 1)[-1] for a in result.visited_activities}
+    # AboutActivity is reachable by click; extras-gated ones are not.
+    assert "VaultActivity" not in simple
+    assert "HiddenActivity" not in simple
+
+
+def test_fragment_calls_misattributed_to_activities(result):
+    # Ground truth knows fragment calls happened...
+    fragment_calls = [i for i in result.ground_truth
+                      if i.source is InvocationSource.FRAGMENT]
+    assert fragment_calls
+    assert result.misattributed_fragment_calls() == len(fragment_calls)
+    # ...but the tool blamed activities for every one of them.
+    blamed = {blame for _, blame in result.attributed}
+    fragment_classes = {i.component.cls for i in fragment_calls}
+    assert not (blamed & fragment_classes)
+
+
+def test_detects_activity_apis(result):
+    assert "phone/getDeviceId" in result.detected_apis()
+
+
+def test_events_bounded():
+    device = Device()
+    capped = ActivityExplorer(device, max_events=30).run(
+        build_apk(make_full_demo_spec())
+    )
+    assert capped.events <= 80  # bounded overshoot per sweep step

@@ -1,0 +1,30 @@
+"""The A3E-style depth-first explorer."""
+
+from repro.android import Device
+from repro.apk import build_apk
+from repro.baselines import DepthFirstExplorer
+from tests.conftest import make_full_demo_spec
+
+
+def test_dfs_explores_activities():
+    result = DepthFirstExplorer(Device()).run(
+        build_apk(make_full_demo_spec())
+    )
+    simple = {a.rsplit(".", 1)[-1] for a in result.visited_activities}
+    assert "MainActivity" in simple
+    assert len(simple) >= 3
+    assert result.max_depth_reached >= 1
+
+
+def test_dfs_depth_limit_respected():
+    result = DepthFirstExplorer(Device(), max_depth=1).run(
+        build_apk(make_full_demo_spec())
+    )
+    assert result.max_depth_reached <= 1
+
+
+def test_dfs_event_budget():
+    result = DepthFirstExplorer(Device(), max_events=25).run(
+        build_apk(make_full_demo_spec())
+    )
+    assert result.events <= 60

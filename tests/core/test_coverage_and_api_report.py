@@ -1,0 +1,113 @@
+"""Coverage rows/report (Table I shape) and the Table II report."""
+
+import pytest
+
+from repro.core.coverage import CoverageReport, CoverageRow
+from repro.core.sensitive_analysis import (
+    ApiRelation,
+    SensitiveApiReport,
+    relations_from_invocations,
+)
+from repro.types import ApiInvocation, ComponentName, InvocationSource
+
+
+def row(package="com.a", av=2, asum=4, fv=1, fsum=2, fivav=1, fivas=1,
+        downloads="1,000+"):
+    return CoverageRow(package, downloads, av, asum, fv, fsum, fivav, fivas)
+
+
+def test_row_rates():
+    r = row()
+    assert r.activity_rate == 0.5
+    assert r.fragment_rate == 0.5
+    assert r.fiva_rate == 1.0
+
+
+def test_row_zero_denominator():
+    r = row(fv=0, fsum=0, fivav=0, fivas=0)
+    assert r.fragment_rate is None
+    assert r.fiva_rate is None
+
+
+def test_report_means_skip_undefined():
+    report = CoverageReport([row(), row(package="com.b", fv=0, fsum=0,
+                                        fivav=0, fivas=0)])
+    assert report.mean_fragment_rate == 0.5  # only com.a counts
+    assert report.mean_activity_rate == 0.5
+
+
+def test_report_overall_pooled_rates():
+    report = CoverageReport([
+        row(av=1, asum=2), row(package="com.b", av=3, asum=4),
+    ])
+    assert report.overall_activity_rate == 4 / 6
+
+
+def test_full_fiva_apps_counted():
+    report = CoverageReport([row(), row(package="com.b", fivav=0, fivas=2)])
+    assert report.full_fiva_apps() == 1
+
+
+def test_render_contains_rows_and_mean():
+    report = CoverageReport([row()])
+    text = report.render()
+    assert "com.a" in text and "MEAN" in text and "50.00%" in text
+
+
+# -- Table II report -------------------------------------------------------------
+
+def inv(api, cls, source):
+    return ApiInvocation(api, ComponentName("com.a", f"com.a.{cls}"), source)
+
+
+def test_relations_fold_sources():
+    invocations = [
+        inv("phone/getDeviceId", "Main", InvocationSource.ACTIVITY),
+        inv("phone/getDeviceId", "Home", InvocationSource.FRAGMENT),
+        inv("internet/connect", "Home", InvocationSource.FRAGMENT),
+        inv("storage/sdcard", "Main", InvocationSource.ACTIVITY),
+        inv("storage/sdcard", "Main", InvocationSource.ACTIVITY),  # dup
+    ]
+    relations = relations_from_invocations("com.a", invocations)
+    by_api = {r.api: r for r in relations}
+    assert by_api["phone/getDeviceId"].symbol == "⊙"
+    assert by_api["internet/connect"].symbol == "◗"
+    assert by_api["storage/sdcard"].symbol == "●"
+    assert len(relations) == 3
+
+
+def test_non_catalog_apis_ignored():
+    relations = relations_from_invocations(
+        "com.a", [inv("made/up", "Main", InvocationSource.ACTIVITY)]
+    )
+    assert relations == []
+
+
+def test_report_aggregates():
+    report = SensitiveApiReport(relations=[
+        ApiRelation("com.a", "phone/getDeviceId", True, True),
+        ApiRelation("com.a", "internet/connect", False, True),
+        ApiRelation("com.b", "storage/sdcard", True, False),
+        ApiRelation("com.b", "ipc/Binder", True, False),
+    ])
+    assert report.total_relations == 4
+    assert report.distinct_apis_found == 4
+    assert report.fragment_associated_share == 0.5
+    assert report.fragment_only_share == 0.25
+    assert report.packages == ["com.a", "com.b"]
+
+
+def test_report_render_matrix():
+    report = SensitiveApiReport(relations=[
+        ApiRelation("com.a", "phone/getDeviceId", True, True),
+    ])
+    text = report.render()
+    assert "phone/getDeviceId" in text
+    assert "⊙" in text
+    assert "fragment-associated" in text
+
+
+def test_empty_report():
+    report = SensitiveApiReport()
+    assert report.fragment_associated_share == 0.0
+    assert report.fragment_only_share == 0.0

@@ -1,0 +1,111 @@
+"""The FragDroid explorer end-to-end on the reference app."""
+
+import pytest
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.static.aftm import EdgeKind
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.apk import build_apk
+    from tests.conftest import make_full_demo_spec
+
+    device = Device()
+    return FragDroid(device).explore(build_apk(make_full_demo_spec()))
+
+
+def test_all_reachable_activities_visited(result):
+    simple = {a.rsplit(".", 1)[-1] for a in result.visited_activities}
+    assert {"MainActivity", "SecondActivity", "SettingsActivity",
+            "AboutActivity"} <= simple
+
+
+def test_extras_gated_activities_unvisited(result):
+    simple = {a.rsplit(".", 1)[-1] for a in result.visited_activities}
+    assert "VaultActivity" not in simple   # login secret not provided
+    assert "HiddenActivity" not in simple  # popup dismissed, extras needed
+
+
+def test_managed_fragments_visited(result):
+    simple = {f.rsplit(".", 1)[-1] for f in result.visited_fragments}
+    assert {"HomeFragment", "NewsFragment", "DetailFragment"} <= simple
+
+
+def test_obstacle_fragments_unvisited(result):
+    simple = {f.rsplit(".", 1)[-1] for f in result.visited_fragments}
+    assert "RawFragment" not in simple
+    assert "ArgsFragment" not in simple
+
+
+def test_reflection_failures_counted(result):
+    # ArgsFragment (needs args) and RawFragment (no manager) both fail.
+    assert result.stats.reflection_failures >= 2
+
+
+def test_dynamic_edges_recorded_with_triggers(result):
+    triggers = {e.trigger for e in result.aftm.edges}
+    assert "btn_next" in triggers or "btn_tab" in triggers
+
+
+def test_e3_edge_discovered(result):
+    e3 = {(e.src.simple_name, e.dst.simple_name)
+          for e in result.aftm.edges_of_kind(EdgeKind.E3)}
+    assert ("HomeFragment", "DetailFragment") in e3
+
+
+def test_api_invocations_attributed(result):
+    by_source = {(i.api, i.source.value) for i in result.api_invocations}
+    assert ("phone/getDeviceId", "activity") in by_source
+    assert ("internet/connect", "fragment") in by_source
+    assert ("location/getAllProviders", "fragment") in by_source
+
+
+def test_test_cases_rendered(result):
+    assert result.stats.test_cases == len(result.test_cases)
+    assert result.stats.test_cases >= 3
+    java = result.test_cases[0].to_robotium_java()
+    assert "public class GeneratedTest0000" in java
+
+
+def test_coverage_report_text(result):
+    report = result.coverage_report()
+    assert "activities:" in report and "fragments:" in report
+
+
+def test_rates(result):
+    assert 0 < result.activity_rate <= 1
+    assert 0 < result.fragment_rate <= 1
+    visited, total = result.fragments_in_visited_activities()
+    assert visited <= total <= result.fragment_total
+
+
+# -- configuration ablations -------------------------------------------------------
+
+def explore_with(config):
+    from repro.apk import build_apk
+    from tests.conftest import make_demo_spec
+
+    return FragDroid(Device(), config).explore(build_apk(make_demo_spec()))
+
+
+def test_input_file_unlocks_login_gate():
+    config = FragDroidConfig(input_values={"password": "hunter2"})
+    result = explore_with(config)
+    simple = {a.rsplit(".", 1)[-1] for a in result.visited_activities}
+    assert "VaultActivity" in simple
+
+
+def test_without_reflection_fragment_coverage_drops():
+    base = explore_with(FragDroidConfig())
+    no_reflect = explore_with(FragDroidConfig(enable_reflection=False))
+    assert len(no_reflect.visited_fragments) <= len(base.visited_fragments)
+    assert no_reflect.stats.reflection_failures == 0
+
+
+def test_event_budget_respected():
+    config = FragDroidConfig(max_events=10)
+    result = explore_with(config)
+    # Budget is checked between items/clicks, so slight overshoot is
+    # possible but bounded.
+    assert result.stats.events <= 40

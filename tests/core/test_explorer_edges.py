@@ -1,0 +1,72 @@
+"""Explorer edge conditions: packed apps, tiny queues, no-fragment apps."""
+
+import pytest
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.apk import ActivitySpec, AppSpec, StartActivity, WidgetSpec, build_apk
+from repro.errors import PackedApkError
+from tests.conftest import make_full_demo_spec
+
+
+def test_packed_apk_raises_cleanly():
+    spec = make_full_demo_spec()
+    spec.packed = True
+    with pytest.raises(PackedApkError):
+        FragDroid(Device()).explore(build_apk(spec))
+
+
+def test_tiny_queue_limit_still_terminates():
+    config = FragDroidConfig(max_queue_items=3)
+    result = FragDroid(Device(), config).explore(
+        build_apk(make_full_demo_spec())
+    )
+    # Coverage suffers, but the run ends and reports consistently.
+    assert result.stats.test_cases <= 4
+    assert result.visited_activities
+
+
+def test_fragmentless_app_explores_fully():
+    spec = AppSpec(
+        package="com.nofrags",
+        activities=[
+            ActivitySpec(name="MainActivity", launcher=True, widgets=[
+                WidgetSpec(id="a", on_click=StartActivity("SecondActivity")),
+            ]),
+            ActivitySpec(name="SecondActivity"),
+        ],
+    )
+    result = FragDroid(Device()).explore(build_apk(spec))
+    assert len(result.visited_activities) == 2
+    assert result.fragment_total == 0
+    assert result.fragment_rate == 0.0
+    visited, total = result.fragments_in_visited_activities()
+    assert (visited, total) == (0, 0)
+
+
+def test_single_activity_app():
+    spec = AppSpec(
+        package="com.single",
+        activities=[ActivitySpec(name="OnlyActivity", launcher=True)],
+    )
+    result = FragDroid(Device()).explore(build_apk(spec))
+    assert result.visited_activities == {"com.single.OnlyActivity"}
+    assert result.aftm.is_complete()
+
+
+def test_crash_on_launch_app_reported_unvisited():
+    spec = AppSpec(
+        package="com.bootcrash",
+        activities=[
+            ActivitySpec(name="MainActivity", launcher=True,
+                         crashes_on_launch=True,
+                         widgets=[WidgetSpec(
+                             id="a", on_click=StartActivity("NextActivity"))]),
+            ActivitySpec(name="NextActivity"),
+        ],
+    )
+    result = FragDroid(Device()).explore(build_apk(spec))
+    # The launcher crashes in onCreate and stays unvisited; the second
+    # loop's forced start still recovers the other activity.
+    assert "com.bootcrash.MainActivity" not in result.visited_activities
+    assert result.visited_activities <= {"com.bootcrash.NextActivity"}
+    assert result.stats.failed_items >= 1

@@ -1,0 +1,142 @@
+"""Input rules (repro.apk.inputs) and the heuristic generator."""
+
+import pytest
+
+from repro.android.views import RuntimeWidget
+from repro.apk.inputs import KNOWN_CITIES, validate
+from repro.core.inputgen import HeuristicInputGenerator
+from repro.static.input_dep import DEFAULT_TEXT, InputDependency
+from repro.types import WidgetKind
+
+
+# -- validators ----------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "rule,good,bad",
+    [
+        ("nonempty", "x", "   "),
+        ("city", "Boston", "abc"),
+        ("email", "a.b+c@example.org", "not-an-email"),
+        ("numeric", "123", "12a"),
+        ("date", "2018-06-25", "25/06/2018"),
+        ("phone", "+8613800000000", "call-me"),
+        ("url", "https://example.com/x", "example"),
+    ],
+)
+def test_validators(rule, good, bad):
+    assert validate(rule, good)
+    assert not validate(rule, bad)
+
+
+def test_unknown_rule_rejected():
+    with pytest.raises(KeyError):
+        validate("favourite-colour", "blue")
+
+
+def test_default_filler_fails_every_rule():
+    for rule in ("city", "email", "numeric", "date", "phone", "url"):
+        assert not validate(rule, DEFAULT_TEXT)
+
+
+# -- heuristic generator ----------------------------------------------------------
+
+def widget(widget_id, text=""):
+    return RuntimeWidget(
+        widget_id=widget_id, kind=WidgetKind.EDIT_TEXT, text=text,
+        owner_class="com.a.Main", owner_is_fragment=False,
+    )
+
+
+@pytest.mark.parametrize(
+    "widget_id,rule",
+    [
+        ("email_field", "email"),
+        ("city_input_00", "city"),
+        ("phone_number", "phone"),
+        ("birth_date", "date"),
+        ("website_url", "url"),
+        ("zip_code", "numeric"),
+    ],
+)
+def test_generated_values_satisfy_matching_rules(widget_id, rule):
+    generator = HeuristicInputGenerator()
+    value = generator.value_for(widget(widget_id))
+    assert validate(rule, value), (widget_id, value)
+
+
+def test_generator_uses_label_text_too():
+    generator = HeuristicInputGenerator()
+    value = generator.value_for(widget("field_1", text="Enter a city"))
+    assert value in KNOWN_CITIES
+
+
+def test_unmatched_context_falls_back_to_default():
+    generator = HeuristicInputGenerator()
+    assert generator.value_for(widget("xyzzy")) == DEFAULT_TEXT
+
+
+def test_analyst_values_take_precedence():
+    dep = InputDependency(package="com.a")
+    dep.provide("city_input_00", "Jinan")
+    generator = HeuristicInputGenerator(dep)
+    assert generator.value_for(widget("city_input_00")) == "Jinan"
+
+
+def test_classify():
+    assert HeuristicInputGenerator.classify("login_name") == "user"
+    assert HeuristicInputGenerator.classify("nothing-here") is None
+
+
+# -- config validation ----------------------------------------------------------------
+
+def test_config_rejects_unknown_strategy():
+    from repro.core.config import FragDroidConfig
+
+    with pytest.raises(ValueError):
+        FragDroidConfig(input_strategy="psychic")
+
+
+# -- SubmitForm rule semantics ----------------------------------------------------------
+
+def test_submit_form_needs_constraints():
+    from repro.apk.appspec import SubmitForm
+    from repro.errors import ApkError
+
+    with pytest.raises(ApkError):
+        SubmitForm()
+
+
+def test_rule_gated_form_end_to_end(device, adb):
+    from repro.apk import (ActivitySpec, AppSpec, ShowDialog, StartActivity,
+                           SubmitForm, WidgetSpec, build_apk)
+    from repro.types import WidgetKind
+
+    spec = AppSpec(
+        package="com.rules",
+        activities=[
+            ActivitySpec(
+                name="MainActivity", launcher=True,
+                widgets=[
+                    WidgetSpec(id="city_input", kind=WidgetKind.EDIT_TEXT),
+                    WidgetSpec(
+                        id="btn_go", text="Go",
+                        on_click=SubmitForm(
+                            rules={"city_input": "city"},
+                            on_success=StartActivity("ResultActivity"),
+                            on_failure=ShowDialog("No such place"),
+                        ),
+                    ),
+                ],
+            ),
+            ActivitySpec(name="ResultActivity"),
+        ],
+    )
+    adb.install(build_apk(spec))
+    adb.am_start_launcher("com.rules")
+    device.enter_text("city_input", "abc")
+    device.click_widget("btn_go")
+    assert device.current_activity_name() == "com.rules.MainActivity"
+    device.press_back()  # dismiss the error dialog
+    device.enter_text("city_input", "Boston")
+    device.click_widget("btn_go")
+    assert device.current_activity_name() == "com.rules.ResultActivity"

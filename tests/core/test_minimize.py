@@ -1,0 +1,46 @@
+"""Test-suite minimization."""
+
+import pytest
+
+from repro import Device, FragDroid
+from repro.apk import build_apk
+from repro.core.minimize import minimize_suite
+from repro.corpus import build_table1_app
+from tests.conftest import make_full_demo_spec
+
+
+@pytest.fixture(scope="module")
+def explored():
+    apk = build_apk(make_full_demo_spec())
+    return FragDroid(Device()).explore(apk), apk
+
+
+def test_minimized_suite_covers_everything(explored):
+    result, apk = explored
+    suite = minimize_suite(result, apk)
+    universe = set(result.visited_activities) | set(result.visited_fragments)
+    assert suite.covered == universe
+
+
+def test_minimization_actually_reduces(explored):
+    result, apk = explored
+    suite = minimize_suite(result, apk)
+    assert len(suite.cases) < suite.original_size
+    assert suite.reduction > 0
+    assert "fewer" in suite.render()
+
+
+def test_minimized_cases_are_passing_cases(explored):
+    result, apk = explored
+    suite = minimize_suite(result, apk)
+    originals = {case.name for case in result.passing_test_cases}
+    assert all(case.name in originals for case in suite.cases)
+
+
+def test_minimize_on_corpus_app():
+    apk = build_apk(build_table1_app("org.rbc.odb"))
+    result = FragDroid(Device()).explore(apk)
+    suite = minimize_suite(result, apk)
+    universe = set(result.visited_activities) | set(result.visited_fragments)
+    assert suite.covered == universe
+    assert len(suite.cases) <= suite.original_size

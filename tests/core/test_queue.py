@@ -1,0 +1,76 @@
+"""The UI transition queue and its operations."""
+
+from repro.core.queue import (
+    OpKind,
+    Operation,
+    UIQueue,
+    UIQueueItem,
+    click_op,
+    force_start_op,
+    launch_op,
+    reflect_op,
+    swipe_op,
+    text_op,
+)
+from repro.static.aftm import activity_node, fragment_node
+
+A0 = activity_node("com.t.A0")
+F0 = fragment_node("com.t.F0")
+
+
+def test_operation_rendering():
+    assert str(launch_op()) == "launch"
+    assert str(click_op("btn")) == "click(btn)"
+    assert str(text_op("field", "x")) == "enterText(field, 'x')"
+    assert str(reflect_op("com.t.F")) == "reflect(com.t.F)"
+
+
+def test_item_extension_appends_operations():
+    base = UIQueueItem("launch", None, A0, (launch_op(),))
+    extended = base.extended("reflection", F0, reflect_op(F0.name))
+    assert extended.start == A0
+    assert extended.target == F0
+    assert extended.operations == (launch_op(), reflect_op(F0.name))
+    # The original item is untouched.
+    assert base.operations == (launch_op(),)
+
+
+def test_queue_fifo_order():
+    queue = UIQueue()
+    first = UIQueueItem("launch", None, A0, (launch_op(),))
+    second = UIQueueItem("click", A0, F0, (launch_op(), click_op("b")))
+    queue.push(first)
+    queue.push(second)
+    assert queue.pop() is first
+    assert queue.pop() is second
+    assert not queue
+
+
+def test_duplicate_items_suppressed():
+    queue = UIQueue()
+    item = UIQueueItem("launch", None, A0, (launch_op(),))
+    assert queue.push(item)
+    assert not queue.push(UIQueueItem("launch", None, A0, (launch_op(),)))
+    assert len(queue) == 1
+
+
+def test_different_operations_not_duplicates():
+    queue = UIQueue()
+    queue.push(UIQueueItem("click", None, A0, (click_op("a"),)))
+    assert queue.push(UIQueueItem("click", None, A0, (click_op("b"),)))
+    assert len(queue) == 2
+
+
+def test_queue_limit_drops():
+    queue = UIQueue(limit=2)
+    for index in range(4):
+        queue.push(UIQueueItem("click", None, A0, (click_op(f"w{index}"),)))
+    assert len(queue) == 2
+    assert queue.dropped == 2
+
+
+def test_item_str():
+    item = UIQueueItem("forced-start", None, A0,
+                       (force_start_op("com.t/.A0"),))
+    text = str(item)
+    assert "forced-start" in text and "com.t/.A0" in text

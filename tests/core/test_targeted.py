@@ -1,0 +1,79 @@
+"""The targeted (SmartDroid-style) driving mode."""
+
+import pytest
+
+from repro import Device, FragDroid
+from repro.apk import build_apk
+from repro.core.targeted import (
+    components_invoking,
+    drive_to_api,
+    drive_to_component,
+    path_to_component,
+)
+from repro.errors import ExplorationError
+from tests.conftest import make_full_demo_spec
+
+
+@pytest.fixture(scope="module")
+def explored():
+    apk = build_apk(make_full_demo_spec())
+    result = FragDroid(Device()).explore(apk)
+    return result, apk
+
+
+def test_paths_recorded_for_visited_components(explored):
+    result, _ = explored
+    for activity in result.visited_activities:
+        assert activity in result.paths
+    for fragment in result.visited_fragments:
+        assert fragment in result.paths
+
+
+def test_path_to_unvisited_component_raises(explored):
+    result, _ = explored
+    with pytest.raises(ExplorationError):
+        path_to_component(result, "com.example.demo.VaultActivity")
+
+
+def test_components_invoking(explored):
+    result, _ = explored
+    assert components_invoking(result, "internet/connect") == [
+        "com.example.demo.NewsFragment"
+    ]
+    assert components_invoking(result, "made/up") == []
+
+
+def test_drive_to_activity(explored):
+    result, apk = explored
+    device = Device()
+    case = drive_to_component(result, apk, device,
+                              "com.example.demo.SettingsActivity")
+    assert device.current_activity_name() == \
+        "com.example.demo.SettingsActivity"
+    assert "solo" in case.to_robotium_java()
+
+
+def test_drive_to_fragment(explored):
+    result, apk = explored
+    device = Device()
+    drive_to_component(result, apk, device,
+                       "com.example.demo.NewsFragment")
+    assert device.current_fragment_classes() == [
+        "com.example.demo.NewsFragment"
+    ]
+
+
+def test_drive_to_api_fires_the_call(explored):
+    result, apk = explored
+    device = Device()
+    case, component = drive_to_api(result, apk, device,
+                                   "location/getAllProviders")
+    assert component == "com.example.demo.HomeFragment"
+    assert any(i.api == "location/getAllProviders"
+               for i in device.api_monitor.invocations)
+
+
+def test_drive_to_unobserved_api_raises(explored):
+    result, apk = explored
+    with pytest.raises(ExplorationError):
+        drive_to_api(result, apk, Device(), "messages/MmsProvider")

@@ -1,0 +1,100 @@
+"""Test case generation: Robotium rendering and operation replay."""
+
+import pytest
+
+from repro.adb import Adb, instrument_manifest
+from repro.core.queue import (
+    Operation,
+    OpKind,
+    click_op,
+    force_start_op,
+    launch_op,
+    reflect_op,
+    text_op,
+)
+from repro.core.testcase import TestCase
+from repro.errors import TestCaseError
+from repro.robotium import Solo
+
+
+@pytest.fixture
+def ready(device, demo_apk):
+    adb = Adb(device)
+    adb.install(instrument_manifest(demo_apk))
+    return Solo(device), adb
+
+
+def test_java_rendering_contains_template(demo_apk):
+    case = TestCase("com.example.demo", "GeneratedTest0001",
+                    (launch_op(), click_op("btn_next"),
+                     text_op("password", "x")))
+    java = case.to_robotium_java()
+    assert "package com.example.demo.test;" in java
+    assert "import com.robotium.solo.Solo;" in java
+    assert 'solo.clickOnView(solo.getView("btn_next"));' in java
+    assert 'solo.enterText((EditText) solo.getView("password"), "x");' in java
+    assert "public class GeneratedTest0001" in java
+
+
+def test_reflection_rendered_as_template(demo_apk):
+    case = TestCase("com.example.demo", "T",
+                    (reflect_op("com.example.demo.NewsFragment"),))
+    java = case.to_robotium_java()
+    assert "getFragmentManager" in java
+    assert 'Class.forName("com.example.demo.NewsFragment")' in java
+
+
+def test_run_replays_path(ready):
+    solo, adb = ready
+    case = TestCase("com.example.demo", "T",
+                    (launch_op(), click_op("btn_next")))
+    case.run(solo, adb)
+    assert solo.wait_for_activity("SecondActivity")
+
+
+def test_run_executes_reflection(ready):
+    solo, adb = ready
+    case = TestCase(
+        "com.example.demo", "T",
+        (launch_op(), reflect_op("com.example.demo.NewsFragment")),
+    )
+    case.run(solo, adb)
+    assert solo.device.current_fragment_classes() == [
+        "com.example.demo.NewsFragment"
+    ]
+
+
+def test_run_fails_on_missing_widget(ready):
+    solo, adb = ready
+    case = TestCase("com.example.demo", "T",
+                    (launch_op(), click_op("no_such")))
+    with pytest.raises(TestCaseError):
+        case.run(solo, adb)
+
+
+def test_run_fails_when_app_dies(ready):
+    solo, adb = ready
+    case = TestCase(
+        "com.example.demo", "T",
+        (launch_op(), click_op("btn_next"), click_op("btn_crash")),
+    )
+    with pytest.raises(TestCaseError):
+        case.run(solo, adb)
+
+
+def test_forced_start_operation(ready):
+    solo, adb = ready
+    case = TestCase(
+        "com.example.demo", "T",
+        (force_start_op("com.example.demo/.SecondActivity"),),
+    )
+    case.run(solo, adb)
+    assert solo.wait_for_activity("SecondActivity")
+
+
+def test_install_and_run_goes_through_am_instrument(ready):
+    solo, adb = ready
+    case = TestCase("com.example.demo", "GeneratedTest0002", (launch_op(),))
+    case.install_and_run(solo, adb)
+    assert any("am instrument -w com.example.demo.test.GeneratedTest0002" in c
+               for c in adb.command_log)

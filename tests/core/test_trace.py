@@ -1,0 +1,47 @@
+"""The exploration trace artifact."""
+
+import pytest
+
+from repro import Device, FragDroid
+from repro.apk import build_apk
+from repro.corpus import build_table1_app, demo_aftm_example
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return FragDroid(Device()).explore(build_apk(demo_aftm_example()))
+
+
+def test_trace_records_items_and_visits(traced):
+    kinds = {event.kind for event in traced.trace}
+    assert "item" in kinds
+    assert "visit" in kinds
+    visits = [e.detail for e in traced.trace if e.kind == "visit"]
+    assert any("A0Activity" in v for v in visits)
+    assert any("F1Fragment" in v for v in visits)
+
+
+def test_trace_records_transitions_with_triggers(traced):
+    transitions = [e for e in traced.trace if e.kind == "transition"]
+    assert transitions
+    assert any("btn_a1" in e.detail for e in transitions)
+
+
+def test_trace_steps_monotonic(traced):
+    steps = [event.step for event in traced.trace]
+    assert steps == sorted(steps)
+
+
+def test_trace_text_renders(traced):
+    text = traced.trace_text()
+    assert text.count("\n") + 1 == len(traced.trace)
+    assert "visit" in text
+
+
+def test_reflection_failures_traced():
+    result = FragDroid(Device()).explore(
+        build_apk(build_table1_app("com.inditex.zara"))
+    )
+    failures = [e for e in result.trace if e.kind == "reflection-failure"]
+    assert len(failures) == result.stats.reflection_failures
+    assert any("parameters" in e.detail for e in failures)

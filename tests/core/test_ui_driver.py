@@ -1,0 +1,87 @@
+"""The UI driver: snapshots, identification, input filling."""
+
+import pytest
+
+from repro.adb import Adb
+from repro.core.ui_driver import UiDriver
+from repro.robotium import Solo
+from repro.static import extract_static_info
+
+
+@pytest.fixture
+def driver(launched, demo_apk):
+    info = extract_static_info(demo_apk)
+    return UiDriver(Solo(launched), info)
+
+
+def test_snapshot_identifies_activity_and_fragment(driver):
+    snapshot = driver.snapshot()
+    assert snapshot.activity == "com.example.demo.MainActivity"
+    assert snapshot.fragments == {"com.example.demo.HomeFragment"}
+    assert snapshot.alive
+    assert snapshot.overlay is None
+    assert not snapshot.drawer_open
+
+
+def test_snapshot_signature_changes_with_fragment(driver, launched):
+    before = driver.snapshot().signature
+    launched.click_widget("btn_tab")
+    after = driver.snapshot().signature
+    assert before != after
+
+
+def test_snapshot_detects_overlay(driver, launched):
+    launched.click_widget("btn_menu")
+    snapshot = driver.snapshot()
+    assert snapshot.overlay == "popup"
+
+
+def test_snapshot_detects_drawer(driver, launched):
+    launched.swipe_from_left()
+    assert driver.snapshot().drawer_open
+
+
+def test_unidentifiable_fragment_absent(driver, launched):
+    launched.click_widget("btn_next")
+    launched.click_widget("btn_raw")
+    snapshot = driver.snapshot()
+    # RawFragment is attached (ground truth)...
+    assert launched.current_fragment_classes() == [
+        "com.example.demo.RawFragment"
+    ]
+    # ...but the tool cannot see it through the resource dependency.
+    assert snapshot.fragments == frozenset()
+
+
+def test_fill_inputs_uses_analyst_values(launched, demo_apk):
+    info = extract_static_info(demo_apk,
+                               input_values={"password": "hunter2"})
+    driver = UiDriver(Solo(launched), info)
+    operations = driver.fill_inputs()
+    assert any(op.target == "password" and op.value == "hunter2"
+               for op in operations)
+    widget = next(w for w in launched.ui_dump()
+                  if w.widget_id == "password")
+    assert widget.entered_text == "hunter2"
+
+
+def test_fill_inputs_default_without_file(launched, demo_apk):
+    info = extract_static_info(demo_apk)
+    driver = UiDriver(Solo(launched), info, use_input_file=False)
+    driver.fill_inputs()
+    widget = next(w for w in launched.ui_dump()
+                  if w.widget_id == "password")
+    assert widget.entered_text == "abc"
+
+
+def test_dismiss_overlay(driver, launched):
+    launched.click_widget("btn_menu")
+    driver.dismiss_overlay()
+    assert driver.snapshot().overlay is None
+
+
+def test_dead_snapshot(driver, launched):
+    launched.force_stop("com.example.demo")
+    snapshot = driver.snapshot()
+    assert not snapshot.alive
+    assert snapshot.activity is None

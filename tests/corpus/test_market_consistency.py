@@ -1,0 +1,52 @@
+"""Market honesty: metadata flags must match the generated artifacts."""
+
+import pytest
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.corpus import generate_market
+from repro.errors import PackedApkError
+from repro.smali.apktool import Apktool
+from repro.static.effective import fragment_subclasses
+
+
+@pytest.fixture(scope="module")
+def market():
+    return generate_market(count=40, seed=11)
+
+
+def test_fragment_flag_matches_generated_code(market):
+    tool = Apktool()
+    for app in market:
+        if app.packed:
+            continue
+        decoded = tool.decode(app.build())
+        has_fragments = bool(fragment_subclasses(decoded))
+        assert has_fragments == app.uses_fragments, app.package
+
+
+def test_packed_flag_matches_decode_behaviour(market):
+    tool = Apktool()
+    for app in market:
+        if app.packed:
+            with pytest.raises(PackedApkError):
+                tool.decode(app.build())
+        else:
+            tool.decode(app.build())
+
+
+def test_market_apps_explorable(market):
+    explorable = [a for a in market if not a.packed][:3]
+    for app in explorable:
+        result = FragDroid(
+            Device(), FragDroidConfig(max_events=2000)
+        ).explore(app.build())
+        assert result.visited_activities, app.package
+        if app.uses_fragments:
+            assert result.fragment_total > 0
+
+
+def test_download_counts_plausible(market):
+    for app in market:
+        assert app.downloads.endswith("+")
+        # The paper's population: "more than 500,000 downloads".
+        assert int(app.downloads[:-1].replace(",", "")) >= 500_000

@@ -1,0 +1,101 @@
+"""Per-app obstacle mechanics at the device level.
+
+Each Table I app's coverage gap must come from the *mechanism* the
+paper describes for it, not from generic failure — these tests poke the
+obstacles directly.
+"""
+
+import pytest
+
+from repro.adb import Adb, instrument_manifest
+from repro.android import Device, reflective_fragment_switch
+from repro.apk import build_apk
+from repro.corpus import build_table1_app
+from repro.errors import ReflectionError
+
+
+def launch(package):
+    device = Device()
+    adb = Adb(device)
+    adb.install(instrument_manifest(build_apk(build_table1_app(package))))
+    adb.am_start_launcher(package)
+    return device, adb
+
+
+def test_cnn_navigation_view_rows_not_clickable():
+    device, _ = launch("com.cnn.mobile.android.phone")
+    device.swipe_from_left()
+    drawer_widgets = [w for w in device.ui_dump() if w.layer == "drawer"]
+    assert drawer_widgets, "drawer must render rows"
+    assert all(not w.clickable for w in drawer_widgets)
+    assert all(w.widget_id.startswith("anon:") for w in drawer_widgets)
+
+
+def test_cnn_forced_start_splits_on_extras():
+    device, adb = launch("com.cnn.mobile.android.phone")
+    package = "com.cnn.mobile.android.phone"
+    # The recoverable NavigationView target:
+    assert adb.am_force_start(f"{package}/.Section07Activity")
+    # The extras-requiring one bounces:
+    assert not adb.am_force_start(f"{package}/.Nav00Activity")
+
+
+def test_weather_strict_inputs_block_search():
+    device, _ = launch("com.weather.Weather")
+    device.enter_text("city_input_00", "abc")
+    device.click_widget("btn_search_00")
+    # Error dialog, no navigation.
+    assert device.current_activity_name() == \
+        "com.weather.Weather.MainActivity"
+    device.press_back()
+    device.enter_text("city_input_00", "Boston")
+    device.click_widget("btn_search_00")
+    # In-app navigation carries extras, so the gate opens with the
+    # right input.
+    assert device.current_activity_name() == \
+        "com.weather.Weather.Search00Activity"
+
+
+def test_dubsmash_fragments_resist_reflection():
+    device, _ = launch("com.mobilemotion.dubsmash")
+    for index in range(3):
+        with pytest.raises(ReflectionError):
+            reflective_fragment_switch(
+                device, f"com.mobilemotion.dubsmash.Raw{index:02d}Fragment"
+            )
+
+
+def test_dubsmash_attached_fragments_carry_no_resource_ids():
+    device, _ = launch("com.mobilemotion.dubsmash")
+    device.click_widget("btn_raw_00")
+    fragment_widgets = [w for w in device.ui_dump() if w.owner_is_fragment]
+    assert fragment_widgets
+    assert all(w.resource_value is None for w in fragment_widgets)
+
+
+def test_zara_args_fragments_resist_reflection():
+    device, _ = launch("com.inditex.zara")
+    failures = 0
+    for index in range(6):
+        try:
+            reflective_fragment_switch(
+                device, f"com.inditex.zara.Detail{index:02d}Fragment"
+            )
+        except ReflectionError as exc:
+            assert "parameters" in str(exc)
+            failures += 1
+    assert failures == 6
+
+
+def test_adobe_popup_items_hide_the_targets():
+    device, _ = launch("com.adobe.reader")
+    # Open one of the overflow menus: the target is only inside it.
+    overflow = next(w.widget_id for w in device.ui_dump()
+                    if w.widget_id.startswith("btn_overflow"))
+    device.click_widget(overflow)
+    layers = {w.layer for w in device.ui_dump()}
+    assert layers == {"popup"}
+    # Dismissing via blank space (the explorer's behaviour) loses it.
+    device.tap(1060, 1900)
+    assert all(w.layer == "content" or w.layer == "drawer"
+               for w in device.ui_dump())

@@ -1,0 +1,94 @@
+"""The synthetic app generator: structure and obstacle mechanics."""
+
+import pytest
+
+from repro.apk import build_apk
+from repro.corpus.synth import AppPlan, LOGIN_SECRET, build_app
+from repro.static import extract_static_info
+
+
+def test_counts_match_plan():
+    plan = AppPlan(package="com.synth.counts", visited_activities=4,
+                   login_locked=1, popup_locked=2, navdrawer_locked=1,
+                   navdrawer_forced=1, visited_fragments=5,
+                   args_fragments=2, unmanaged_fragments=1,
+                   hidden_fragments=3)
+    spec = build_app(plan)
+    assert len(spec.activities) == plan.total_activities == 9
+    assert len(spec.fragments) == plan.total_fragments == 11
+
+
+def test_static_sums_equal_plan_totals():
+    plan = AppPlan(package="com.synth.sums", visited_activities=3,
+                   login_locked=1, popup_locked=1,
+                   visited_fragments=4, args_fragments=1,
+                   hidden_fragments=2)
+    info = extract_static_info(build_apk(build_app(plan)))
+    assert len(info.activities) == plan.total_activities
+    assert len(info.fragments) == plan.total_fragments
+
+
+def test_deterministic_for_same_plan():
+    plan = AppPlan(package="com.synth.det", visited_activities=3,
+                   visited_fragments=2)
+    first = build_apk(build_app(plan))
+    second = build_apk(build_app(plan))
+    assert first.manifest_xml == second.manifest_xml
+    assert first.smali_files == second.smali_files
+    assert first.layout_files == second.layout_files
+
+
+def test_hidden_fragments_need_locked_host():
+    with pytest.raises(ValueError):
+        AppPlan(package="com.synth.bad", visited_activities=2,
+                hidden_fragments=1)
+
+
+def test_launcher_required():
+    with pytest.raises(ValueError):
+        AppPlan(package="com.synth.bad", visited_activities=0)
+
+
+def test_api_plan_placement_requires_fragments():
+    plan = AppPlan(package="com.synth.apis", visited_activities=2,
+                   api_plan=[("phone/getDeviceId", "F")])
+    with pytest.raises(ValueError):
+        build_app(plan)
+
+
+def test_api_plan_placed_in_components():
+    plan = AppPlan(package="com.synth.apis2", visited_activities=2,
+                   visited_fragments=1,
+                   api_plan=[("phone/getDeviceId", "B"),
+                             ("storage/sdcard", "A")])
+    spec = build_app(plan)
+    activity_apis = [api for a in spec.activities for api in a.api_calls]
+    fragment_apis = [api for f in spec.fragments for api in f.api_calls]
+    assert "phone/getDeviceId" in activity_apis
+    assert "phone/getDeviceId" in fragment_apis
+    assert "storage/sdcard" in activity_apis
+    assert "storage/sdcard" not in fragment_apis
+
+
+def test_login_gate_uses_secret():
+    plan = AppPlan(package="com.synth.login", visited_activities=1,
+                   login_locked=1)
+    spec = build_app(plan)
+    main = spec.activity("MainActivity")
+    from repro.apk.appspec import SubmitForm
+
+    forms = [w.on_click for w in main.widgets
+             if isinstance(w.on_click, SubmitForm)]
+    assert forms and list(forms[0].required.values()) == [LOGIN_SECRET]
+
+
+def test_navdrawer_flags():
+    plan = AppPlan(package="com.synth.nav", visited_activities=2,
+                   navdrawer_locked=1, navdrawer_forced=1)
+    spec = build_app(plan)
+    main = spec.activity("MainActivity")
+    assert main.drawer is not None and main.drawer.navigation_view
+    locked = spec.activity("Nav00Activity")
+    forced = spec.activity("Section01Activity")
+    assert locked.requires_intent_extras
+    assert not forced.requires_intent_extras

@@ -1,0 +1,52 @@
+"""The 15 Table-I apps: sums match the paper, obstacles are in place."""
+
+import pytest
+
+from repro.apk import build_apk
+from repro.corpus import TABLE1_PLANS, build_table1_app, table1_packages
+from repro.corpus.table1_apps import TABLE1_EXPECTED, plan_for
+from repro.static import extract_static_info
+
+
+def test_fifteen_apps():
+    assert len(TABLE1_PLANS) == 15
+    assert len(table1_packages()) == 15
+    assert set(table1_packages()) == set(TABLE1_EXPECTED)
+
+
+@pytest.mark.parametrize("package", sorted(TABLE1_EXPECTED))
+def test_static_sums_match_paper(package):
+    expected = TABLE1_EXPECTED[package]
+    info = extract_static_info(build_apk(build_table1_app(package)))
+    assert len(info.activities) == expected[1], "activity Sum"
+    assert len(info.fragments) == expected[3], "fragment Sum"
+
+
+def test_plan_expected_visited_match_paper():
+    for plan in TABLE1_PLANS:
+        expected = TABLE1_EXPECTED[plan.package]
+        assert plan.expected_visited_activities == expected[0], plan.package
+        assert plan.expected_visited_fragments == expected[2], plan.package
+
+
+def test_dubsmash_has_only_unmanaged_fragments():
+    plan = plan_for("com.mobilemotion.dubsmash")
+    assert plan.visited_fragments == 0
+    assert plan.unmanaged_fragments == 3
+    assert plan.api_plan == []
+
+
+def test_zara_has_args_fragments():
+    plan = plan_for("com.inditex.zara")
+    assert plan.args_fragments == 6
+
+
+def test_cnn_uses_navigation_view():
+    plan = plan_for("com.cnn.mobile.android.phone")
+    assert plan.navdrawer_locked == 7
+    assert plan.navdrawer_forced == 2
+
+
+def test_unknown_package_rejected():
+    with pytest.raises(KeyError):
+        plan_for("com.nope")

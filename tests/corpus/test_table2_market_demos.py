@@ -1,0 +1,99 @@
+"""Table II ground truth, the 217-app market, and the figure demos."""
+
+from repro.apk import build_apk
+from repro.corpus import API_PLAN, generate_market
+from repro.corpus.demos import (
+    demo_aftm_example,
+    demo_drawer_app,
+    demo_tabbed_app,
+)
+from repro.corpus.market import CATEGORIES
+from repro.corpus.table1_apps import table1_packages
+from repro.static import extract_static_info
+from repro.static.sensitive import SENSITIVE_API_CATALOG, is_sensitive_api
+
+
+# -- Table II ground truth -----------------------------------------------------
+
+def test_api_plan_covers_table1_apps():
+    assert set(API_PLAN) == set(table1_packages())
+
+
+def test_all_planned_apis_are_catalogued():
+    for entries in API_PLAN.values():
+        for api, placement in entries:
+            assert is_sensitive_api(api), api
+            assert placement in ("A", "F", "B")
+
+
+def test_every_catalog_api_planned_somewhere():
+    planned = {api for entries in API_PLAN.values() for api, _ in entries}
+    catalog = {api.name for api in SENSITIVE_API_CATALOG}
+    assert planned == catalog
+
+
+def test_plan_shares_match_paper_targets():
+    symbols = [p for entries in API_PLAN.values() for _, p in entries]
+    total = len(symbols)
+    frag_assoc = sum(1 for s in symbols if s in ("F", "B")) / total
+    frag_only = symbols.count("F") / total
+    assert abs(frag_assoc - 0.49) < 0.03     # paper: 49%
+    assert abs(frag_only - 0.096) < 0.02     # paper: >= 9.6%
+
+
+def test_empty_columns_match_paper():
+    assert API_PLAN["com.mobilemotion.dubsmash"] == []
+    assert API_PLAN["com.where2get.android.app"] == []
+
+
+# -- market ---------------------------------------------------------------------
+
+def test_market_size_and_categories():
+    market = generate_market()
+    assert len(market) == 217
+    assert {a.category for a in market} <= set(CATEGORIES)
+    assert len({a.category for a in market}) == 27
+
+
+def test_market_fragment_share_near_91_percent():
+    market = generate_market()
+    share = sum(a.uses_fragments for a in market) / len(market)
+    assert abs(share - 0.91) < 0.01
+
+
+def test_market_deterministic():
+    first = generate_market(seed=5)
+    second = generate_market(seed=5)
+    assert [a.package for a in first] == [a.package for a in second]
+    assert [a.packed for a in first] == [a.packed for a in second]
+
+
+def test_market_specs_buildable():
+    market = generate_market(count=10)
+    for app in market:
+        apk = app.build()
+        assert apk.package == app.package
+
+
+# -- figure demos ------------------------------------------------------------------
+
+def test_demo_specs_compile():
+    for factory in (demo_tabbed_app, demo_drawer_app, demo_aftm_example):
+        apk = build_apk(factory())
+        info = extract_static_info(apk)
+        assert info.aftm.entry is not None
+
+
+def test_aftm_example_has_all_three_edge_kinds():
+    from repro.static.aftm import EdgeKind
+
+    info = extract_static_info(build_apk(demo_aftm_example()))
+    assert info.aftm.edges_of_kind(EdgeKind.E1)
+    assert info.aftm.edges_of_kind(EdgeKind.E2)
+    assert info.aftm.edges_of_kind(EdgeKind.E3)
+
+
+def test_drawer_demo_bridge_is_hidden():
+    info = extract_static_info(build_apk(demo_drawer_app()))
+    # Both fragments effective; the drawer is the only bridge.
+    assert len(info.fragments) == 2

@@ -1,0 +1,94 @@
+"""Determinism of the pipeline and shared-fragment semantics."""
+
+import pytest
+
+from repro import Device, FragDroid
+from repro.apk import (
+    ActivitySpec,
+    AppSpec,
+    FragmentSpec,
+    ShowFragment,
+    StartActivity,
+    WidgetSpec,
+    build_apk,
+)
+from repro.corpus import build_table1_app
+from repro.static import extract_static_info
+from repro.static.aftm import EdgeKind
+
+
+# -- determinism ---------------------------------------------------------------
+
+def test_exploration_fully_deterministic():
+    package = "com.aircrunch.shopalerts"
+    first = FragDroid(Device()).explore(build_apk(build_table1_app(package)))
+    second = FragDroid(Device()).explore(build_apk(build_table1_app(package)))
+    assert first.visited_activities == second.visited_activities
+    assert first.visited_fragments == second.visited_fragments
+    assert {(e.src, e.dst, e.kind, e.trigger) for e in first.aftm.edges} == {
+        (e.src, e.dst, e.kind, e.trigger) for e in second.aftm.edges
+    }
+    assert first.stats.test_cases == second.stats.test_cases
+    assert first.stats.events == second.stats.events
+    assert [str(e) for e in first.trace] == [str(e) for e in second.trace]
+
+
+def test_compiled_artifacts_deterministic():
+    first = build_apk(build_table1_app("com.c51"))
+    second = build_apk(build_table1_app("com.c51"))
+    assert first.manifest_xml == second.manifest_xml
+    assert first.smali_files == second.smali_files
+    assert first.public_xml == second.public_xml
+
+
+# -- fragment reuse across activities (paper Section II-B) -------------------------
+
+@pytest.fixture(scope="module")
+def shared_fragment_app():
+    """One Fragment hosted by two Activities — 'a Fragment may be used
+    in one or more Activities'."""
+    return AppSpec(
+        package="com.shared",
+        activities=[
+            ActivitySpec(
+                name="MainActivity", launcher=True,
+                initial_fragment="SharedFragment",
+                widgets=[WidgetSpec(id="btn_other",
+                                    on_click=StartActivity("OtherActivity"))],
+            ),
+            ActivitySpec(
+                name="OtherActivity",
+                hosted_fragments=["SharedFragment"],
+                container_id="fragment_container",
+                widgets=[WidgetSpec(
+                    id="btn_show",
+                    on_click=ShowFragment("SharedFragment",
+                                          "fragment_container"),
+                )],
+            ),
+        ],
+        fragments=[
+            FragmentSpec(name="SharedFragment", widgets=[
+                WidgetSpec(id="shared_row", text="row"),
+            ]),
+        ],
+    )
+
+
+def test_shared_fragment_has_two_hosts(shared_fragment_app):
+    info = extract_static_info(build_apk(shared_fragment_app))
+    hosts = info.fragment_hosts["com.shared.SharedFragment"]
+    assert set(hosts) == {"com.shared.MainActivity",
+                          "com.shared.OtherActivity"}
+    e2 = {(e.src.simple_name, e.host)
+          for e in info.aftm.edges_of_kind(EdgeKind.E2)}
+    assert ("MainActivity", "com.shared.MainActivity") in e2
+    assert ("OtherActivity", "com.shared.OtherActivity") in e2
+
+
+def test_shared_fragment_explored_once_counted_once(shared_fragment_app):
+    result = FragDroid(Device()).explore(build_apk(shared_fragment_app))
+    assert result.visited_fragments == {"com.shared.SharedFragment"}
+    assert result.fragment_total == 1
+    visited, total = result.fragments_in_visited_activities()
+    assert (visited, total) == (1, 1)

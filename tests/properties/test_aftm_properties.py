@@ -1,0 +1,109 @@
+"""Property-based AFTM invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.static.aftm import (
+    AFTM,
+    EdgeKind,
+    NodeKind,
+    activity_node,
+    fragment_node,
+)
+
+_activities = st.integers(0, 5).map(lambda i: activity_node(f"com.p.A{i}"))
+_fragments = st.integers(0, 5).map(lambda i: fragment_node(f"com.p.F{i}"))
+_nodes = st.one_of(_activities, _fragments)
+
+
+@st.composite
+def raw_transitions(draw):
+    src = draw(_nodes)
+    dst = draw(_nodes)
+    src_host = (draw(_activities).name
+                if src.kind is NodeKind.FRAGMENT else None)
+    dst_host = (draw(_activities).name
+                if dst.kind is NodeKind.FRAGMENT else None)
+    return (src, dst, src_host, dst_host)
+
+
+@st.composite
+def models(draw):
+    model = AFTM("com.p", entry=activity_node("com.p.A0"))
+    for src, dst, src_host, dst_host in draw(
+        st.lists(raw_transitions(), max_size=20)
+    ):
+        if src == dst:
+            continue
+        model.add_raw_transition(src, dst, src_host=src_host,
+                                 dst_host=dst_host)
+    return model
+
+
+@settings(max_examples=80, deadline=None)
+@given(models())
+def test_only_three_edge_kinds_exist(model):
+    for edge in model.edges:
+        assert edge.kind in (EdgeKind.E1, EdgeKind.E2, EdgeKind.E3)
+        if edge.kind is EdgeKind.E1:
+            assert edge.src.kind is NodeKind.ACTIVITY
+            assert edge.dst.kind is NodeKind.ACTIVITY
+        else:
+            assert edge.host is not None
+        # No fragment-to-activity edge survives the merge.
+        assert not (edge.src.kind is NodeKind.FRAGMENT
+                    and edge.dst.kind is NodeKind.ACTIVITY)
+
+
+@settings(max_examples=80, deadline=None)
+@given(models())
+def test_no_duplicate_edges(model):
+    keys = [(e.src, e.dst, e.host) for e in model.edges]
+    assert len(keys) == len(set(keys))
+
+
+@settings(max_examples=80, deadline=None)
+@given(models())
+def test_bfs_covers_exactly_reachable(model):
+    order = model.bfs_order()
+    assert len(order) == len(set(order))
+    assert set(order) == model.reachable_from_entry()
+    for node in order:
+        assert node in model
+
+
+@settings(max_examples=80, deadline=None)
+@given(models())
+def test_path_to_every_reachable_node(model):
+    for node in model.reachable_from_entry():
+        path = model.path_to(node)
+        assert path is not None
+        # Path is connected and ends at the target.
+        if path:
+            assert path[0].src == model.entry
+            assert path[-1].dst == node
+            for left, right in zip(path, path[1:]):
+                assert left.dst == right.src
+
+
+@settings(max_examples=80, deadline=None)
+@given(models())
+def test_prune_removes_exactly_isolated(model):
+    isolated = model.isolated_nodes()
+    removed = model.prune_isolated()
+    assert removed == isolated
+    assert model.isolated_nodes() == set()
+
+
+@settings(max_examples=50, deadline=None)
+@given(models(), st.data())
+def test_visited_monotonic(model, data):
+    nodes = sorted(model.nodes)
+    sample = data.draw(st.lists(st.sampled_from(nodes), max_size=10)
+                       if nodes else st.just([]))
+    seen = set()
+    for node in sample:
+        first = model.mark_visited(node)
+        assert first == (node not in seen)
+        seen.add(node)
+    assert model.visited == seen
+    assert model.unvisited() == model.nodes - seen

@@ -1,0 +1,45 @@
+"""Property: any generated app survives disk round trips intact."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apk import build_apk
+from repro.apk.apkfile import load_apk, save_apk
+from repro.apk.serialize import spec_from_dict, spec_to_dict
+from repro.corpus.synth import AppPlan, build_app
+
+
+@st.composite
+def plans(draw):
+    return AppPlan(
+        package=f"com.diskprop.a{draw(st.integers(0, 10**6))}",
+        visited_activities=draw(st.integers(1, 4)),
+        login_locked=draw(st.integers(0, 1)),
+        popup_locked=draw(st.integers(0, 1)),
+        navdrawer_locked=draw(st.integers(0, 1)),
+        visited_fragments=draw(st.integers(0, 4)),
+        args_fragments=draw(st.integers(0, 1)),
+        unmanaged_fragments=draw(st.integers(0, 1)),
+        use_support=draw(st.booleans()),
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(plans())
+def test_spec_dict_round_trip_compiles_identically(plan):
+    spec = build_app(plan)
+    restored = spec_from_dict(spec_to_dict(spec))
+    assert build_apk(restored).smali_files == build_apk(spec).smali_files
+    assert build_apk(restored).manifest_xml == build_apk(spec).manifest_xml
+
+
+@settings(max_examples=10, deadline=None)
+@given(plans())
+def test_disk_round_trip(tmp_path_factory, plan):
+    tmp = tmp_path_factory.mktemp("apks")
+    apk = build_apk(build_app(plan))
+    loaded = load_apk(save_apk(apk, tmp / f"{plan.package}.apk"))
+    assert loaded.smali_files == apk.smali_files
+    assert loaded.layout_files == apk.layout_files
+    assert loaded.public_xml == apk.public_xml
+    assert spec_to_dict(loaded.runtime_spec()) == \
+        spec_to_dict(apk.runtime_spec())

@@ -1,0 +1,106 @@
+"""Fuzzing the explorer with arbitrary app specs.
+
+Unlike the plan-based generator (which builds well-formed obstacle
+apps), this strategy wires random widgets to random actions — including
+crashes, dialogs, self-links and dead ends — and asserts the explorer's
+safety invariants: it never raises, never exceeds its budget by more
+than one sweep, and reports visited sets inside the static universe.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.apk import (
+    ActivitySpec,
+    AppSpec,
+    Crash,
+    FinishActivity,
+    FragmentSpec,
+    InvokeApi,
+    Noop,
+    OpenDrawer,
+    ShowDialog,
+    ShowFragment,
+    StartActivity,
+    WidgetSpec,
+    build_apk,
+)
+from repro.types import WidgetKind
+
+
+@st.composite
+def app_specs(draw):
+    index = draw(st.integers(0, 10**6))
+    n_activities = draw(st.integers(1, 4))
+    n_fragments = draw(st.integers(0, 3))
+    activity_names = [f"Act{i}Activity" for i in range(n_activities)]
+    fragment_names = [f"Frag{i}Fragment" for i in range(n_fragments)]
+
+    def actions():
+        choices = [
+            st.just(Noop()),
+            st.sampled_from(activity_names).map(StartActivity),
+            st.just(Crash("fuzz")),
+            st.just(FinishActivity()),
+            st.just(ShowDialog("fuzz dialog")),
+            st.just(InvokeApi("phone/getDeviceId")),
+        ]
+        if fragment_names:
+            choices.append(
+                st.sampled_from(fragment_names).map(
+                    lambda f: ShowFragment(f, "fragment_container")
+                )
+            )
+        return st.one_of(choices)
+
+    activities = []
+    for i, name in enumerate(activity_names):
+        widgets = [
+            WidgetSpec(id=f"w_{i}_{j}", text=f"w{j}",
+                       on_click=draw(actions()))
+            for j in range(draw(st.integers(0, 3)))
+        ]
+        activities.append(
+            ActivitySpec(
+                name=name,
+                launcher=(i == 0),
+                widgets=widgets,
+                hosted_fragments=list(fragment_names),
+                initial_fragment=(fragment_names[0]
+                                  if fragment_names and i == 0 else None),
+                container_id="fragment_container" if fragment_names else None,
+            )
+        )
+    fragments = [
+        FragmentSpec(
+            name=name,
+            widgets=[WidgetSpec(id=f"f_{k}_row", kind=WidgetKind.LIST_ITEM,
+                                text="row", on_click=draw(actions()))],
+        )
+        for k, name in enumerate(fragment_names)
+    ]
+    return AppSpec(package=f"com.fuzz.a{index}", activities=activities,
+                   fragments=fragments)
+
+
+@settings(max_examples=20, deadline=None)
+@given(app_specs())
+def test_explorer_never_crashes_on_arbitrary_apps(spec):
+    config = FragDroidConfig(max_events=600)
+    result = FragDroid(Device(), config).explore(build_apk(spec))
+    assert result.visited_activities <= set(result.info.activities)
+    assert result.visited_fragments <= set(result.info.fragments)
+    assert result.stats.events <= config.max_events + 50
+    # The trace and the stats agree on reflection failures.
+    failures = [e for e in result.trace if e.kind == "reflection-failure"]
+    assert len(failures) == result.stats.reflection_failures
+
+
+@settings(max_examples=10, deadline=None)
+@given(app_specs(), st.integers(0, 2**16))
+def test_monkey_never_crashes_on_arbitrary_apps(spec, seed):
+    from repro.baselines import Monkey
+
+    result = Monkey(Device(), seed=seed).run(build_apk(spec),
+                                             event_count=120)
+    assert result.events == 120

@@ -1,0 +1,73 @@
+"""Property-based checks over the app generator and the full pipeline.
+
+Any generated plan must compile to an APK whose static artifacts are
+self-consistent and whose exploration terminates with coverage exactly
+matching the plan's construction — the strongest invariant in the repo.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Device, FragDroid
+from repro.apk import build_apk
+from repro.corpus.synth import AppPlan, build_app
+from repro.smali.apktool import Apktool
+from repro.smali.assemble import parse_class
+from repro.static import extract_static_info
+
+
+@st.composite
+def plans(draw):
+    index = draw(st.integers(0, 10**6))
+    visited = draw(st.integers(1, 6))
+    login = draw(st.integers(0, 2))
+    popup = draw(st.integers(0, 2))
+    nav_locked = draw(st.integers(0, 2))
+    nav_forced = draw(st.integers(0, 2))
+    fragments = draw(st.integers(0, 6))
+    args = draw(st.integers(0, 2))
+    unmanaged = draw(st.integers(0, 2))
+    locked = login + popup + nav_locked
+    hidden = draw(st.integers(0, 3)) if locked else 0
+    return AppPlan(
+        package=f"com.prop.app{index}",
+        visited_activities=visited,
+        login_locked=login,
+        popup_locked=popup,
+        navdrawer_locked=nav_locked,
+        navdrawer_forced=nav_forced,
+        visited_fragments=fragments,
+        args_fragments=args,
+        unmanaged_fragments=unmanaged,
+        hidden_fragments=hidden,
+        use_support=draw(st.booleans()),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(plans())
+def test_generated_apps_compile_and_decode(plan):
+    apk = build_apk(build_app(plan))
+    decoded = Apktool().decode(apk)
+    # Every smali file re-parses and matches its path.
+    for path, text in apk.smali_files.items():
+        assert parse_class(text).file_name == path
+    assert decoded.manifest.launcher_activity is not None
+
+
+@settings(max_examples=20, deadline=None)
+@given(plans())
+def test_static_sums_always_match_plan(plan):
+    info = extract_static_info(build_apk(build_app(plan)))
+    assert len(info.activities) == plan.total_activities
+    assert len(info.fragments) == plan.total_fragments
+
+
+@settings(max_examples=10, deadline=None)
+@given(plans())
+def test_exploration_terminates_with_planned_coverage(plan):
+    result = FragDroid(Device()).explore(build_apk(build_app(plan)))
+    assert len(result.visited_activities) == plan.expected_visited_activities
+    assert len(result.visited_fragments) == plan.expected_visited_fragments
+    # Visited sets are subsets of the static universe.
+    assert result.visited_activities <= set(result.info.activities)
+    assert result.visited_fragments <= set(result.info.fragments)

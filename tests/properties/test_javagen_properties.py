@@ -1,0 +1,99 @@
+"""Decompiler robustness: jd-core equivalents must not crash on any
+class the assembler round-trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smali.javagen import JavaDecompiler
+from repro.smali.model import Instruction, MethodRef, SmaliClass, SmaliMethod
+
+_identifiers = st.from_regex(r"[a-z][a-z0-9]{0,6}", fullmatch=True)
+_class_names = st.builds(
+    lambda a, b: f"com.{a}.{b.capitalize()}", _identifiers, _identifiers
+)
+_registers = st.from_regex(r"[vp][0-9]", fullmatch=True)
+_types = st.sampled_from(
+    ["void", "int", "boolean", "java.lang.String", "android.view.View",
+     "android.content.Intent"]
+)
+
+
+@st.composite
+def any_instruction(draw):
+    choice = draw(st.integers(0, 11))
+    if choice == 0:
+        return Instruction("nop")
+    if choice == 1:
+        return Instruction("const-string",
+                           (draw(_registers), draw(st.text(max_size=12))))
+    if choice == 2:
+        return Instruction("const-class",
+                           (draw(_registers), draw(_class_names)))
+    if choice == 3:
+        return Instruction("const",
+                           (draw(_registers), draw(st.integers(0, 2**31 - 1))))
+    if choice == 4:
+        return Instruction("new-instance",
+                           (draw(_registers), draw(_class_names)))
+    if choice == 5:
+        return Instruction("move-result-object", (draw(_registers),))
+    if choice == 6:
+        return Instruction("check-cast",
+                           (draw(_registers), draw(_class_names)))
+    if choice == 7:
+        return Instruction("if-eqz", (draw(_registers), "cond_fail_1"))
+    if choice == 8:
+        return Instruction("goto", ("cond_end_1",))
+    if choice == 9:
+        return Instruction("label",
+                           (draw(st.sampled_from(
+                               ["cond_fail_1", "cond_end_1", "other"])),))
+    if choice == 10:
+        return Instruction(
+            "iget-object",
+            (draw(_registers), "p0", "com.x.Y->this$0:Lcom/x/Z;"),
+        )
+    ref = MethodRef(
+        draw(_class_names),
+        draw(st.sampled_from(
+            ["<init>", "startActivity", "newInstance", "beginTransaction",
+             "replace", "commit", "getFragmentManager", "setContentView",
+             "setAction", "randomMethod"]
+        )),
+        tuple(draw(st.lists(_types.filter(lambda t: t != "void"),
+                            max_size=3))),
+        draw(_types),
+    )
+    opcode = draw(st.sampled_from(
+        ["invoke-virtual", "invoke-static", "invoke-direct", "invoke-super"]
+    ))
+    regs = tuple(draw(st.lists(_registers, max_size=3, unique=True)))
+    return Instruction(opcode, regs + (ref,))
+
+
+@st.composite
+def arbitrary_classes(draw):
+    cls = SmaliClass(name=draw(_class_names), super_name=draw(_class_names))
+    for index in range(draw(st.integers(1, 3))):
+        method = SmaliMethod(name=f"m{index}")
+        method.instructions = draw(st.lists(any_instruction(), max_size=12))
+        method.instructions.append(Instruction("return-void"))
+        cls.methods.append(method)
+    return cls
+
+
+@settings(max_examples=100, deadline=None)
+@given(arbitrary_classes())
+def test_decompiler_total_on_arbitrary_instruction_streams(cls):
+    java = JavaDecompiler().decompile_class(cls)
+    assert java.startswith("package com.")
+    assert java.rstrip().endswith("}")
+
+
+@settings(max_examples=50, deadline=None)
+@given(arbitrary_classes())
+def test_decompile_unit_with_self_as_inner(cls):
+    inner = SmaliClass(name=f"{cls.name}$1", super_name="java.lang.Object")
+    inner.methods.append(SmaliMethod(name="onClick"))
+    inner.methods[0].instructions.append(Instruction("return-void"))
+    unit = JavaDecompiler().decompile_unit(cls, [inner])
+    assert "class" in unit

@@ -1,0 +1,64 @@
+"""The Robotium-style Solo driver."""
+
+import pytest
+
+from repro.errors import WidgetNotFoundError
+from repro.robotium import Solo
+
+
+@pytest.fixture
+def solo(launched):
+    return Solo(launched)
+
+
+def test_get_current_activity(solo):
+    assert solo.get_current_activity() == "com.example.demo.MainActivity"
+
+
+def test_wait_for_activity_by_simple_name(solo):
+    assert solo.wait_for_activity("MainActivity")
+    assert not solo.wait_for_activity("SecondActivity")
+
+
+def test_click_on_view_navigates(solo):
+    solo.click_on_view("btn_next")
+    assert solo.wait_for_activity("SecondActivity")
+
+
+def test_click_on_text(solo):
+    solo.click_on_text("Next")
+    assert solo.wait_for_activity("SecondActivity")
+    with pytest.raises(WidgetNotFoundError):
+        solo.click_on_text("No Such Label")
+
+
+def test_search_text(solo):
+    assert solo.search_text("Next")
+    assert not solo.search_text("Absent")
+
+
+def test_get_view(solo):
+    widget = solo.get_view("btn_next")
+    assert widget.text == "Next"
+    with pytest.raises(WidgetNotFoundError):
+        solo.get_view("ghost")
+
+
+def test_enter_text_and_go_back(solo):
+    solo.enter_text("password", "abc")
+    assert solo.get_view("password").entered_text == "abc"
+    solo.click_on_view("btn_next")
+    solo.go_back()
+    assert solo.wait_for_activity("MainActivity")
+
+
+def test_swipe_right_opens_drawer(solo):
+    solo.swipe_right()
+    assert [w.widget_id for w in solo.get_current_views()] == ["nav_settings"]
+
+
+def test_clickable_widgets_ordered_top_to_bottom(solo):
+    widgets = solo.clickable_widgets()
+    tops = [w.bounds.top for w in widgets]
+    assert tops == sorted(tops)
+    assert all(w.clickable for w in widgets)

@@ -1,0 +1,57 @@
+"""The Apktool-equivalent decoder."""
+
+import pytest
+
+from repro.errors import PackedApkError
+from repro.smali.apktool import Apktool
+
+
+@pytest.fixture
+def decoded(demo_apk):
+    return Apktool().decode(demo_apk)
+
+
+def test_decode_produces_manifest(decoded):
+    assert decoded.package == "com.example.demo"
+    assert decoded.manifest.launcher_activity is not None
+
+
+def test_decode_parses_all_classes(decoded, demo_apk):
+    assert len(decoded.classes) == len(demo_apk.smali_files)
+
+
+def test_decode_parses_layouts(decoded, demo_apk):
+    assert len(decoded.layouts) == len(demo_apk.layout_files)
+    assert "activity_main_activity" in decoded.layouts
+
+
+def test_class_lookup(decoded):
+    cls = decoded.class_by_name("com.example.demo.MainActivity")
+    assert cls.super_name == "android.app.Activity"
+    assert decoded.has_class("com.example.demo.HomeFragment")
+    assert not decoded.has_class("com.example.demo.Ghost")
+    with pytest.raises(KeyError):
+        decoded.class_by_name("com.example.demo.Ghost")
+
+
+def test_inner_classes_of(decoded):
+    inners = decoded.inner_classes_of("com.example.demo.MainActivity")
+    assert inners
+    assert all(c.name.startswith("com.example.demo.MainActivity$")
+               for c in inners)
+    # An inner class of another activity must not leak in.
+    assert not any("SecondActivity" in c.name for c in inners)
+
+
+def test_resources_round_trip(decoded):
+    rid = decoded.resources.get("id", "btn_next")
+    assert rid is not None
+    assert decoded.resources.reverse(rid.value) == ("id", "btn_next")
+
+
+def test_packed_apk_refused(demo_spec):
+    from repro.apk import build_apk
+
+    demo_spec.packed = True
+    with pytest.raises(PackedApkError):
+        Apktool().decode(build_apk(demo_spec))

@@ -1,0 +1,156 @@
+"""Smali text assembler/disassembler, incl. property-based round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smali.assemble import parse_class, print_class
+from repro.smali.model import (
+    Instruction,
+    MethodRef,
+    SmaliClass,
+    SmaliField,
+    SmaliMethod,
+)
+
+
+def build_sample_class():
+    cls = SmaliClass(
+        name="com.app.Main",
+        super_name="android.app.Activity",
+        interfaces=["android.view.View$OnClickListener"],
+        source="Main.java",
+    )
+    cls.fields.append(SmaliField("this$0", "com.app.Outer"))
+    cls.fields.append(SmaliField("TAG", "java.lang.String", static=True))
+    method = cls.add_method(
+        SmaliMethod(name="onCreate", params=["android.os.Bundle"])
+    )
+    method.emit("invoke-super", "p0", "p1",
+                MethodRef("android.app.Activity", "onCreate",
+                          ("android.os.Bundle",)))
+    method.emit("const", "v0", 0x7F020001)
+    method.emit("const-string", "v1", 'hello "quoted" \\ world')
+    method.emit("const-class", "v2", "com.app.Second")
+    method.emit("new-instance", "v3", "android.content.Intent")
+    method.emit("invoke-direct", "v3", "p0", "v2",
+                MethodRef("android.content.Intent", "<init>",
+                          ("android.content.Context", "java.lang.Class")))
+    method.emit("move-result-object", "v4")
+    method.emit("check-cast", "v4", "android.widget.EditText")
+    method.emit("instance-of", "v5", "v4", "com.app.NewsFragment")
+    method.emit("iget-object", "v5", "p0", "com.app.Main->this$0:Lcom/app/Outer;")
+    method.emit("const/4", "v6", 1)
+    method.emit("return-void")
+    getter = cls.add_method(
+        SmaliMethod(name="get", params=[], ret="java.lang.String",
+                    static=True)
+    )
+    getter.emit("const-string", "v0", "x")
+    getter.emit("return-object", "v0")
+    return cls
+
+
+def assert_classes_equal(a: SmaliClass, b: SmaliClass):
+    assert a.name == b.name
+    assert a.super_name == b.super_name
+    assert a.interfaces == b.interfaces
+    assert a.source == b.source
+    assert [(f.name, f.type, f.static) for f in a.fields] == [
+        (f.name, f.type, f.static) for f in b.fields
+    ]
+    assert len(a.methods) == len(b.methods)
+    for ma, mb in zip(a.methods, b.methods):
+        assert (ma.name, ma.params, ma.ret, ma.static) == (
+            mb.name, mb.params, mb.ret, mb.static
+        )
+        assert ma.instructions == mb.instructions
+
+
+def test_round_trip_sample():
+    cls = build_sample_class()
+    assert_classes_equal(cls, parse_class(print_class(cls)))
+
+
+def test_printed_format_looks_like_smali():
+    text = print_class(build_sample_class())
+    assert text.startswith(".class public Lcom/app/Main;")
+    assert ".super Landroid/app/Activity;" in text
+    assert ".implements Landroid/view/View$OnClickListener;" in text
+    assert ".method public onCreate(Landroid/os/Bundle;)V" in text
+    assert "invoke-super {p0, p1}" in text
+    assert ".end method" in text
+
+
+def test_parse_rejects_missing_class_directive():
+    with pytest.raises(Exception):
+        parse_class(".super Ljava/lang/Object;\n")
+
+
+# -- property-based round trip -------------------------------------------------
+
+_identifiers = st.from_regex(r"[a-z][a-z0-9]{0,8}", fullmatch=True)
+_class_names = st.builds(
+    lambda pkg, cls: f"com.{pkg}.{cls.capitalize()}", _identifiers, _identifiers
+)
+_registers = st.from_regex(r"[vp][0-9]", fullmatch=True)
+_types = st.sampled_from(
+    ["void", "int", "boolean", "java.lang.String", "android.view.View"]
+)
+
+
+@st.composite
+def instructions(draw):
+    choice = draw(st.integers(0, 7))
+    if choice == 0:
+        return Instruction("nop")
+    if choice == 1:
+        text = draw(st.text(
+            alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+            max_size=20,
+        ))
+        return Instruction("const-string", (draw(_registers), text))
+    if choice == 2:
+        return Instruction("const-class",
+                           (draw(_registers), draw(_class_names)))
+    if choice == 3:
+        return Instruction("const",
+                           (draw(_registers),
+                            draw(st.integers(0, 0x7FFFFFFF))))
+    if choice == 4:
+        return Instruction("new-instance",
+                           (draw(_registers), draw(_class_names)))
+    if choice == 5:
+        return Instruction("move-result-object", (draw(_registers),))
+    if choice == 6:
+        ref = MethodRef(draw(_class_names), draw(_identifiers),
+                        tuple(draw(st.lists(_types, max_size=3))),
+                        draw(_types))
+        regs = tuple(draw(st.lists(_registers, max_size=3, unique=True)))
+        return Instruction("invoke-virtual", regs + (ref,))
+    return Instruction("check-cast", (draw(_registers), draw(_class_names)))
+
+
+@st.composite
+def smali_classes(draw):
+    cls = SmaliClass(
+        name=draw(_class_names),
+        super_name=draw(_class_names),
+    )
+    for index in range(draw(st.integers(0, 3))):
+        method = SmaliMethod(
+            name=f"m{index}",
+            params=draw(st.lists(_types.filter(lambda t: t != "void"),
+                                 max_size=2)),
+            ret=draw(_types),
+            static=draw(st.booleans()),
+        )
+        method.instructions = draw(st.lists(instructions(), max_size=6))
+        method.instructions.append(Instruction("return-void"))
+        cls.methods.append(method)
+    return cls
+
+
+@settings(max_examples=60, deadline=None)
+@given(smali_classes())
+def test_round_trip_property(cls):
+    assert_classes_equal(cls, parse_class(print_class(cls)))

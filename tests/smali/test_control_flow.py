@@ -1,0 +1,54 @@
+"""Branch instructions: assembly round trip and structured decompilation."""
+
+from repro.smali.assemble import parse_class, print_class
+from repro.smali.javagen import JavaDecompiler
+from repro.smali.model import Instruction, MethodRef, SmaliClass, SmaliMethod
+
+
+def build_branching_class():
+    cls = SmaliClass(name="com.cf.Main", super_name="java.lang.Object")
+    method = cls.add_method(SmaliMethod(name="submit"))
+    method.emit("invoke-virtual", "p0",
+                MethodRef("com.cf.Main", "validateForm", (), "boolean"))
+    method.emit("move-result", "v0")
+    method.emit("if-eqz", "v0", "cond_fail_1")
+    method.emit("const-string", "v1", "ok")
+    method.emit("goto", "cond_end_1")
+    method.emit("label", "cond_fail_1")
+    method.emit("const-string", "v1", "fail")
+    method.emit("label", "cond_end_1")
+    method.emit("return-void")
+    return cls
+
+
+def test_branch_round_trip():
+    cls = build_branching_class()
+    parsed = parse_class(print_class(cls))
+    assert parsed.methods[0].instructions == cls.methods[0].instructions
+
+
+def test_printed_branch_format():
+    text = print_class(build_branching_class())
+    assert "if-eqz v0, :cond_fail_1" in text
+    assert "goto :cond_end_1" in text
+    assert "    :cond_fail_1" in text
+
+
+def test_decompiled_if_else_structure():
+    java = JavaDecompiler().decompile_class(build_branching_class())
+    lines = [line.strip() for line in java.splitlines()]
+    if_index = lines.index("if (this.validateForm()) {")
+    else_index = lines.index("} else {")
+    end_index = lines.index("}", else_index)
+    assert if_index < else_index < end_index
+
+
+def test_if_nez_negated():
+    cls = SmaliClass(name="com.cf.Neg", super_name="java.lang.Object")
+    method = cls.add_method(SmaliMethod(name="m"))
+    method.emit("const/4", "v0", 1)
+    method.emit("if-nez", "v0", "cond_fail_1")
+    method.emit("label", "cond_fail_1")
+    method.emit("return-void")
+    java = JavaDecompiler().decompile_class(cls)
+    assert "if (!1) {" in java

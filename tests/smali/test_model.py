@@ -1,0 +1,100 @@
+"""Dalvik class model: types, refs, instructions."""
+
+import pytest
+
+from repro.errors import SmaliError
+from repro.smali.model import (
+    Instruction,
+    MethodRef,
+    SmaliClass,
+    SmaliField,
+    SmaliMethod,
+    java_name,
+    jvm_type,
+)
+
+
+@pytest.mark.parametrize(
+    "java,descriptor",
+    [
+        ("void", "V"),
+        ("int", "I"),
+        ("boolean", "Z"),
+        ("java.lang.String", "Ljava/lang/String;"),
+        ("com.app.Main$1", "Lcom/app/Main$1;"),
+        ("byte[]", "[B"),
+        ("java.lang.String[]", "[Ljava/lang/String;"),
+    ],
+)
+def test_type_conversion_round_trip(java, descriptor):
+    assert jvm_type(java) == descriptor
+    assert java_name(descriptor) == java
+
+
+def test_java_name_rejects_garbage():
+    with pytest.raises(SmaliError):
+        java_name("Qnot-a-type")
+
+
+def test_method_ref_descriptor_round_trip():
+    ref = MethodRef("android.content.Intent", "<init>",
+                    ("android.content.Context", "java.lang.Class"), "void")
+    parsed = MethodRef.parse(ref.descriptor())
+    assert parsed == ref
+
+
+def test_method_ref_parse_rejects_garbage():
+    with pytest.raises(SmaliError):
+        MethodRef.parse("not a method")
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(SmaliError):
+        Instruction("fly-to-moon")
+
+
+def test_invoke_accessors():
+    ref = MethodRef("com.app.A", "go")
+    instruction = Instruction("invoke-virtual", ("v0", ref))
+    assert instruction.is_invoke
+    assert instruction.method == ref
+    assert instruction.registers == ("v0",)
+    with pytest.raises(SmaliError):
+        Instruction("nop").method  # noqa: B018
+
+
+def test_inner_class_properties():
+    inner = SmaliClass(name="com.app.Main$2")
+    assert inner.is_inner
+    assert inner.outer_name == "com.app.Main"
+    outer = SmaliClass(name="com.app.Main")
+    assert not outer.is_inner
+    assert outer.outer_name is None
+
+
+def test_referenced_classes_collects_all_mentions():
+    cls = SmaliClass(name="com.app.A", super_name="android.app.Activity")
+    cls.interfaces.append("java.lang.Runnable")
+    cls.fields.append(SmaliField("f", "com.app.Helper"))
+    method = cls.add_method(SmaliMethod(name="m"))
+    method.emit("new-instance", "v0", "com.app.NewsFragment")
+    method.emit("const-class", "v1", "com.app.Second")
+    method.emit("invoke-static",
+                MethodRef("com.app.Util", "x", (), "void"))
+    refs = cls.referenced_classes()
+    for expected in ("android.app.Activity", "java.lang.Runnable",
+                     "com.app.Helper", "com.app.NewsFragment",
+                     "com.app.Second", "com.app.Util"):
+        assert expected in refs
+    assert "com.app.A" not in refs
+
+
+def test_method_invokes_listing():
+    method = SmaliMethod(name="m")
+    method.emit("nop")
+    method.emit("invoke-virtual", "p0", MethodRef("com.a.B", "f"))
+    assert [r.name for r in method.invokes()] == ["f"]
+
+
+def test_class_file_name():
+    assert SmaliClass(name="com.app.Main").file_name == "com/app/Main.smali"

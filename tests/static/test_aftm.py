@@ -1,0 +1,182 @@
+"""The AFTM model: edge typing, the seven-to-three merge, traversal."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.static.aftm import (
+    AFTM,
+    EdgeKind,
+    NodeKind,
+    activity_node,
+    fragment_node,
+)
+
+A0 = activity_node("com.t.A0")
+A1 = activity_node("com.t.A1")
+A2 = activity_node("com.t.A2")
+F0 = fragment_node("com.t.F0")
+F1 = fragment_node("com.t.F1")
+F2 = fragment_node("com.t.F2")
+
+
+def make_model():
+    model = AFTM("com.t", entry=A0)
+    model.add_transition(A0, A1)
+    model.add_transition(A0, F0, host=A0.name)
+    model.add_transition(F0, F1, host=A0.name)
+    model.add_transition(A1, F2, host=A1.name)
+    return model
+
+
+def test_edge_kinds_classified():
+    model = make_model()
+    assert len(model.edges_of_kind(EdgeKind.E1)) == 1
+    assert len(model.edges_of_kind(EdgeKind.E2)) == 2
+    assert len(model.edges_of_kind(EdgeKind.E3)) == 1
+
+
+def test_entry_must_be_activity():
+    with pytest.raises(ReproError):
+        AFTM("com.t", entry=F0)
+
+
+def test_fragment_to_activity_direct_edge_rejected():
+    model = make_model()
+    with pytest.raises(ReproError):
+        model.add_transition(F0, A1)
+
+
+def test_inner_edge_requires_host():
+    model = AFTM("com.t", entry=A0)
+    with pytest.raises(ReproError):
+        model.add_transition(F0, F1)
+
+
+def test_duplicate_edges_not_added():
+    model = make_model()
+    assert not model.add_transition(A0, A1)
+    assert len(model.edges) == 4
+
+
+def test_dynamic_trigger_upgrades_static_edge():
+    model = make_model()
+    assert model.add_transition(A0, A1, trigger="btn_go")
+    edges = model.edges_of_kind(EdgeKind.E1)
+    assert len(edges) == 1
+    assert edges[0].trigger == "btn_go"
+    # A later static insert does not downgrade it.
+    assert not model.add_transition(A0, A1)
+    assert model.edges_of_kind(EdgeKind.E1)[0].trigger == "btn_go"
+
+
+# -- the seven-to-three merge (Section IV-A) --------------------------------------
+
+def test_raw_f_to_inner_a_is_dropped():
+    model = make_model()
+    assert not model.add_raw_transition(F0, A0, src_host=A0.name)
+
+
+def test_raw_f_to_outer_a_reroots_at_host():
+    model = make_model()
+    assert model.add_raw_transition(F0, A2, src_host=A0.name)
+    kinds = {(e.src, e.dst) for e in model.edges_of_kind(EdgeKind.E1)}
+    assert (A0, A2) in kinds
+
+
+def test_raw_f_to_outer_f_splits():
+    model = AFTM("com.t", entry=A0)
+    model.add_transition(A0, F0, host=A0.name)
+    changed = model.add_raw_transition(F0, F2, src_host=A0.name,
+                                       dst_host=A1.name)
+    assert changed
+    e1 = {(e.src, e.dst) for e in model.edges_of_kind(EdgeKind.E1)}
+    e2 = {(e.src, e.dst) for e in model.edges_of_kind(EdgeKind.E2)}
+    assert (A0, A1) in e1
+    assert (A1, F2) in e2
+    # Re-adding the same raw transition changes nothing.
+    assert not model.add_raw_transition(F0, F2, src_host=A0.name,
+                                        dst_host=A1.name)
+
+
+def test_raw_a_to_outer_f_splits():
+    model = AFTM("com.t", entry=A0)
+    model.add_raw_transition(A0, F2, dst_host=A1.name)
+    e1 = {(e.src, e.dst) for e in model.edges_of_kind(EdgeKind.E1)}
+    e2 = {(e.src, e.dst) for e in model.edges_of_kind(EdgeKind.E2)}
+    assert (A0, A1) in e1
+    assert (A1, F2) in e2
+
+
+def test_raw_same_host_f_to_f_is_e3():
+    model = make_model()
+    model.add_raw_transition(F1, F0, src_host=A0.name, dst_host=A0.name)
+    e3 = {(e.src, e.dst) for e in model.edges_of_kind(EdgeKind.E3)}
+    assert (F1, F0) in e3
+
+
+# -- traversal ----------------------------------------------------------------------
+
+def test_bfs_starts_at_entry():
+    order = make_model().bfs_order()
+    assert order[0] == A0
+    assert set(order) == {A0, A1, F0, F1, F2}
+
+
+def test_path_to_fragment():
+    model = make_model()
+    path = model.path_to(F1)
+    assert [e.dst for e in path] == [F0, F1]
+    assert model.path_to(A0) == []
+
+
+def test_path_to_unreachable_is_none():
+    model = make_model()
+    model.add_node(A2)
+    assert model.path_to(A2) is None
+
+
+def test_isolated_prune():
+    model = make_model()
+    model.add_node(A2)
+    assert model.isolated_nodes() == {A2}
+    assert model.prune_isolated() == {A2}
+    assert A2 not in model
+
+
+def test_entry_never_pruned():
+    model = AFTM("com.t", entry=A0)
+    assert model.prune_isolated() == set()
+    assert A0 in model
+
+
+# -- visiting ------------------------------------------------------------------------
+
+def test_mark_visited_first_time_only():
+    model = make_model()
+    assert model.mark_visited(A0)
+    assert not model.mark_visited(A0)
+    assert model.visited == {A0}
+
+
+def test_unvisited_activities_sorted():
+    model = make_model()
+    model.mark_visited(A0)
+    assert model.unvisited_activities() == [A1]
+    assert not model.is_complete()
+    for node in list(model.nodes):
+        model.mark_visited(node)
+    assert model.is_complete()
+
+
+def test_host_of():
+    model = make_model()
+    assert model.host_of(F1) == A0.name
+    assert model.host_of(F2) == A1.name
+
+
+def test_summary_and_dot():
+    model = make_model()
+    model.mark_visited(A0)
+    assert "|A|=2 |F|=3" in model.summary()
+    dot = model.to_dot()
+    assert "digraph" in dot and '"A0" -> "A1"' in dot

@@ -1,0 +1,63 @@
+"""Algorithm 2 (Activity & Fragment dependency) and manager detection."""
+
+import pytest
+
+from repro.smali.apktool import Apktool
+from repro.static.dependency import (
+    activity_fragment_dependency,
+    support_library_activity,
+    uses_fragment_manager,
+)
+from repro.static.effective import declared_activities
+
+
+@pytest.fixture
+def decoded(demo_apk):
+    return Apktool().decode(demo_apk)
+
+
+def test_dependency_via_direct_and_inner_classes(decoded):
+    activities = declared_activities(decoded)
+    dependency = activity_fragment_dependency(decoded, activities)
+    main = dependency["com.example.demo.MainActivity"]
+    assert "com.example.demo.HomeFragment" in main
+    assert "com.example.demo.NewsFragment" in main  # via listener inner class
+    second = dependency["com.example.demo.SecondActivity"]
+    assert "com.example.demo.RawFragment" in second
+    assert "com.example.demo.ArgsFragment" in second  # via popup listener
+
+
+def test_activity_without_fragments_has_empty_dependency(decoded):
+    dependency = activity_fragment_dependency(
+        decoded, declared_activities(decoded)
+    )
+    assert dependency["com.example.demo.AboutActivity"] == []
+
+
+def test_uses_fragment_manager(decoded):
+    assert uses_fragment_manager(decoded, "com.example.demo.MainActivity")
+    # SecondActivity only attaches RawFragment directly and shows a popup:
+    # no getFragmentManager call.  (ArgsFragment's transaction is in a
+    # popup listener, which IS an inner class of SecondActivity.)
+    assert uses_fragment_manager(decoded, "com.example.demo.SecondActivity")
+    assert not uses_fragment_manager(decoded, "com.example.demo.AboutActivity")
+
+
+def test_support_library_detection():
+    from repro.apk import ActivitySpec, AppSpec, FragmentSpec, build_apk
+    from repro.apk.appspec import SUPPORT_ACTIVITY_BASE, SUPPORT_FRAGMENT_BASE
+
+    spec = AppSpec(
+        package="com.sup",
+        activities=[ActivitySpec(name="MainActivity", launcher=True,
+                                 base_class=SUPPORT_ACTIVITY_BASE,
+                                 initial_fragment="HomeFragment")],
+        fragments=[FragmentSpec(name="HomeFragment",
+                                base_class=SUPPORT_FRAGMENT_BASE)],
+    )
+    decoded = Apktool().decode(build_apk(spec))
+    assert support_library_activity(decoded, "com.sup.MainActivity")
+    dependency = activity_fragment_dependency(
+        decoded, ["com.sup.MainActivity"]
+    )
+    assert dependency["com.sup.MainActivity"] == ["com.sup.HomeFragment"]

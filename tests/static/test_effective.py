@@ -1,0 +1,118 @@
+"""Effective-component discovery (Section IV-B.2)."""
+
+import pytest
+
+from repro.apk import (
+    ActivitySpec,
+    AppSpec,
+    FragmentSpec,
+    ShowFragment,
+    StartActivity,
+    WidgetSpec,
+    build_apk,
+)
+from repro.smali.apktool import Apktool
+from repro.static.effective import (
+    declared_activities,
+    effective_fragments,
+    fragment_hosts,
+    fragment_subclasses,
+    super_chain,
+)
+
+
+@pytest.fixture
+def decoded(demo_apk):
+    return Apktool().decode(demo_apk)
+
+
+def test_declared_activities_from_manifest(decoded, demo_spec):
+    names = declared_activities(decoded)
+    assert len(names) == len(demo_spec.activities)
+    assert "com.example.demo.MainActivity" in names
+
+
+def test_fragment_subclass_scan(decoded, demo_spec):
+    found = fragment_subclasses(decoded)
+    for fragment in demo_spec.fragments:
+        assert f"com.example.demo.{fragment.name}" in found
+    # Listener inner classes must not be classified as fragments.
+    assert not any("$" in name for name in found)
+
+
+def test_transitive_fragment_chain():
+    spec = AppSpec(
+        package="com.chain",
+        activities=[ActivitySpec(
+            name="MainActivity", launcher=True,
+            hosted_fragments=["LeafFragment"],
+            initial_fragment="LeafFragment",
+        )],
+        fragments=[FragmentSpec(
+            name="LeafFragment",
+            intermediate_bases=["MiddleFragment"],
+        )],
+    )
+    decoded = Apktool().decode(build_apk(spec))
+    found = fragment_subclasses(decoded)
+    # Both the intermediate base and the leaf are fragment subclasses...
+    assert "com.chain.MiddleFragment" in found
+    assert "com.chain.LeafFragment" in found
+    # ...but only the instantiated leaf is effective.
+    activities = declared_activities(decoded)
+    effective = effective_fragments(decoded, activities)
+    assert effective == ["com.chain.LeafFragment"]
+
+
+def test_effective_requires_instantiation(decoded, demo_spec):
+    activities = declared_activities(decoded)
+    effective = effective_fragments(decoded, activities)
+    assert f"com.example.demo.ArgsFragment" in effective  # via popup listener
+    assert f"com.example.demo.RawFragment" in effective   # via new F()
+    assert len(effective) == len(demo_spec.fragments)
+
+
+def test_fragment_reachable_via_other_fragment_is_effective():
+    spec = AppSpec(
+        package="com.ftof",
+        activities=[ActivitySpec(name="MainActivity", launcher=True,
+                                 initial_fragment="FirstFragment",
+                                 hosted_fragments=["SecondFragment"])],
+        fragments=[
+            FragmentSpec(
+                name="FirstFragment",
+                widgets=[WidgetSpec(
+                    id="go",
+                    on_click=ShowFragment("SecondFragment",
+                                          "fragment_container"),
+                )],
+            ),
+            FragmentSpec(name="SecondFragment"),
+        ],
+    )
+    decoded = Apktool().decode(build_apk(spec))
+    effective = effective_fragments(decoded, declared_activities(decoded))
+    assert "com.ftof.SecondFragment" in effective
+
+
+def test_super_chain_terminates_at_framework(decoded):
+    chain = super_chain(decoded, "com.example.demo.HomeFragment")
+    assert chain == ["android.app.Fragment"]
+    assert super_chain(decoded, "com.example.demo.Missing") == []
+
+
+def test_fragment_hosts(decoded):
+    activities = declared_activities(decoded)
+    fragments = effective_fragments(decoded, activities)
+    hosts = fragment_hosts(decoded, activities, fragments)
+    assert hosts["com.example.demo.HomeFragment"] == [
+        "com.example.demo.MainActivity"
+    ]
+    assert hosts["com.example.demo.RawFragment"] == [
+        "com.example.demo.SecondActivity"
+    ]
+    # DetailFragment is created from HomeFragment, so it inherits the
+    # host of HomeFragment.
+    assert "com.example.demo.MainActivity" in hosts[
+        "com.example.demo.DetailFragment"
+    ]

@@ -1,0 +1,63 @@
+"""AFTM graph metrics and the networkx export."""
+
+import networkx as nx
+import pytest
+
+from repro import Device, FragDroid
+from repro.apk import build_apk
+from repro.corpus import demo_aftm_example
+from repro.static.aftm import AFTM, activity_node, fragment_node
+from repro.static.metrics import compute_metrics, to_networkx
+
+
+def small_model():
+    model = AFTM("com.m", entry=activity_node("com.m.A0"))
+    model.add_transition(activity_node("com.m.A0"),
+                         activity_node("com.m.A1"), trigger="btn")
+    model.add_transition(activity_node("com.m.A0"),
+                         fragment_node("com.m.F0"), host="com.m.A0")
+    model.add_transition(fragment_node("com.m.F0"),
+                         fragment_node("com.m.F1"), host="com.m.A0")
+    model.mark_visited(activity_node("com.m.A0"))
+    return model
+
+
+def test_networkx_export():
+    graph = to_networkx(small_model())
+    assert isinstance(graph, nx.DiGraph)
+    assert graph.number_of_nodes() == 4
+    assert graph.number_of_edges() == 3
+    assert graph.nodes["com.m.A0"]["visited"]
+    assert not graph.nodes["com.m.A1"]["visited"]
+    assert graph.edges["com.m.A0", "com.m.A1"]["kind"] == "E1"
+    assert graph.edges["com.m.A0", "com.m.A1"]["trigger"] == "btn"
+
+
+def test_metrics_values():
+    metrics = compute_metrics(small_model())
+    assert metrics.activities == 2
+    assert metrics.fragments == 2
+    assert (metrics.e1, metrics.e2, metrics.e3) == (1, 1, 1)
+    assert metrics.edges == 3
+    assert metrics.reachable_ratio == 1.0
+    assert metrics.visited_ratio == 0.25
+    assert metrics.diameter == 2  # A0 -> F0 -> F1
+    assert metrics.max_out_degree == 2
+    assert metrics.dynamic_edge_ratio == pytest.approx(1 / 3)
+
+
+def test_metrics_empty_model():
+    model = AFTM("com.empty")
+    metrics = compute_metrics(model)
+    assert metrics.edges == 0
+    assert metrics.reachable_ratio == 0.0
+    assert metrics.diameter == 0
+
+
+def test_metrics_after_exploration():
+    result = FragDroid(Device()).explore(build_apk(demo_aftm_example()))
+    metrics = compute_metrics(result.aftm)
+    assert metrics.visited_ratio == 1.0
+    assert metrics.e1 >= 1 and metrics.e2 >= 1 and metrics.e3 >= 1
+    assert metrics.dynamic_edge_ratio > 0
+    assert metrics.as_dict()["activities"] == 2

@@ -1,0 +1,54 @@
+"""The sensitive-API catalog and static invoke scan."""
+
+import pytest
+
+from repro.static import extract_static_info
+from repro.static.sensitive import (
+    CATEGORIES,
+    SENSITIVE_API_CATALOG,
+    api_for_method,
+    is_sensitive_api,
+    method_for_api,
+)
+
+
+def test_catalog_has_exactly_46_apis():
+    assert len(SENSITIVE_API_CATALOG) == 46
+
+
+def test_catalog_names_unique():
+    names = [api.name for api in SENSITIVE_API_CATALOG]
+    assert len(names) == len(set(names))
+
+
+def test_catalog_methods_unique():
+    descriptors = [api.method.descriptor() for api in SENSITIVE_API_CATALOG]
+    assert len(descriptors) == len(set(descriptors))
+
+
+def test_thirteen_categories():
+    assert len(CATEGORIES) == 13
+    assert "internet" in CATEGORIES and "view" in CATEGORIES
+
+
+def test_lookup_round_trip():
+    for api in SENSITIVE_API_CATALOG:
+        assert method_for_api(api.name) == api.method
+        assert api_for_method(api.method) == api.name
+
+
+def test_unknown_api_rejected():
+    with pytest.raises(KeyError):
+        method_for_api("made/up")
+    assert not is_sensitive_api("made/up")
+    assert is_sensitive_api("phone/getDeviceId")
+
+
+def test_static_scan_finds_planted_apis(demo_apk):
+    info = extract_static_info(demo_apk)
+    main_apis = info.static_api_map.get("com.example.demo.MainActivity", [])
+    assert "phone/getDeviceId" in main_apis
+    home_apis = info.static_api_map.get("com.example.demo.HomeFragment", [])
+    assert "location/getAllProviders" in home_apis
+    settings = info.static_api_map.get("com.example.demo.SettingsActivity", [])
+    assert "storage/sdcard" in settings

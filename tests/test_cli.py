@@ -1,0 +1,134 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_list(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "demo:aftm" in out
+    assert "com.inditex.zara" in out
+
+
+def test_static_summary(capsys):
+    code, out = run_cli(capsys, "static", "demo:aftm")
+    assert code == 0
+    assert "|A|=2 |F|=3" in out
+    assert "[E3]" in out
+
+
+def test_static_dot(capsys):
+    code, out = run_cli(capsys, "static", "demo:aftm", "--dot")
+    assert "digraph" in out
+
+
+def test_static_json(capsys):
+    code, out = run_cli(capsys, "static", "demo:aftm", "--json")
+    data = json.loads(out)
+    assert data["package"] == "com.example.aftm"
+
+
+def test_explore_text(capsys):
+    code, out = run_cli(capsys, "explore", "demo:tabs")
+    assert code == 0
+    assert "activities: 2/2" in out
+    assert "fragments:  2/2" in out
+
+
+def test_explore_json(capsys):
+    code, out = run_cli(capsys, "explore", "demo:drawer", "--json")
+    data = json.loads(out)
+    assert data["coverage"]["fragments"]["sum"] == 2
+
+
+def test_explore_flags(capsys):
+    code, out = run_cli(capsys, "explore", "demo:drawer",
+                        "--no-reflection", "--max-events", "500")
+    assert code == 0
+
+
+def test_audit(capsys):
+    code, out = run_cli(capsys, "audit", "demo:tabs")
+    assert code == 0
+    assert "internet/Connectivity.getActiveNetworkInfo" in out
+
+
+def test_unknown_app_exits(capsys):
+    with pytest.raises(SystemExit):
+        main(["explore", "com.not.an.app"])
+
+
+def test_study(capsys):
+    code, out = run_cli(capsys, "study")
+    assert code == 0
+    assert "217" in out and "91%" in out
+
+
+def test_build_and_explore_apk_file(capsys, tmp_path):
+    apk_path = str(tmp_path / "tabs.apk")
+    code, out = run_cli(capsys, "build", "demo:tabs", "-o", apk_path)
+    assert code == 0 and "wrote" in out
+    code, out = run_cli(capsys, "explore", apk_path)
+    assert code == 0
+    assert "fragments:  2/2" in out
+
+
+def test_explore_save_artifacts(capsys, tmp_path):
+    out_dir = str(tmp_path / "run")
+    code, out = run_cli(capsys, "explore", "demo:aftm", "--save", out_dir)
+    assert code == 0 and "artifacts" in out
+    import pathlib
+
+    assert (pathlib.Path(out_dir) / "report.json").exists()
+
+
+def test_target_command(capsys):
+    code, out = run_cli(capsys, "target", "demo:tabs",
+                        "internet/Connectivity.getActiveNetworkInfo")
+    assert code == 0
+    assert "fired" in out
+
+
+def test_target_unobserved_api(capsys):
+    code, out = run_cli(capsys, "target", "demo:tabs", "messages/MmsProvider")
+    assert code == 1
+
+
+def test_export_and_batch(capsys, tmp_path):
+    import csv
+
+    corpus_dir = tmp_path / "corpus"
+    # Export two small apps only (build them directly to keep this fast).
+    from repro.apk import build_apk
+    from repro.apk.apkfile import save_apk
+    from repro.corpus import build_table1_app, demo_tabbed_app
+
+    save_apk(build_apk(demo_tabbed_app()), corpus_dir / "tabs.apk")
+    save_apk(build_apk(build_table1_app("org.rbc.odb")),
+             corpus_dir / "odb.apk")
+    out_dir = tmp_path / "results"
+    code, out = run_cli(capsys, "batch", str(corpus_dir),
+                        "-o", str(out_dir), "--workers", "2")
+    assert code == 0
+    with (out_dir / "summary.csv").open() as handle:
+        rows = list(csv.DictReader(handle))
+    by_package = {row["package"]: row for row in rows}
+    assert by_package["org.rbc.odb"]["activities_visited"] == "4"
+    assert by_package["com.example.wallpapers"]["fragments_visited"] == "2"
+    assert (out_dir / "org.rbc.odb" / "report.json").exists()
+
+
+def test_batch_empty_directory(capsys, tmp_path):
+    code, _ = run_cli(capsys, "batch", str(tmp_path), "-o",
+                      str(tmp_path / "out"))
+    assert code == 1

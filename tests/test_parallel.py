@@ -1,0 +1,37 @@
+"""The parallel sweep runner."""
+
+from repro.bench.parallel import explore_many, explore_one
+from repro.corpus import TABLE1_PLANS
+from repro.corpus.table1_apps import TABLE1_EXPECTED, plan_for
+
+
+def test_explore_one_matches_serial():
+    plan = plan_for("net.aviascanner.aviascanner")
+    result = explore_one(plan)
+    expected = TABLE1_EXPECTED[plan.package]
+    assert len(result.visited_activities) == expected[0]
+    assert len(result.visited_fragments) == expected[2]
+
+
+def test_explore_many_concurrent_results_match_paper():
+    plans = [plan_for(p) for p in (
+        "au.com.digitalstampede.formula",
+        "org.rbc.odb",
+        "com.happy2.bbmanga",
+        "net.aviascanner.aviascanner",
+    )]
+    results = explore_many(plans, max_workers=4)
+    assert set(results) == {p.package for p in plans}
+    for package, result in results.items():
+        expected = TABLE1_EXPECTED[package]
+        assert len(result.visited_activities) == expected[0], package
+        assert len(result.visited_fragments) == expected[2], package
+
+
+def test_devices_are_isolated():
+    plans = [plan_for("org.rbc.odb"), plan_for("com.happy2.bbmanga")]
+    results = explore_many(plans, max_workers=2)
+    # Each result only contains invocations from its own package.
+    for package, result in results.items():
+        assert all(i.component.package == package
+                   for i in result.api_invocations)

@@ -1,0 +1,42 @@
+"""The flat public API surface."""
+
+import pytest
+
+import repro
+
+
+@pytest.mark.parametrize("name", sorted(set(repro.__all__) - {"__version__"}))
+def test_every_export_resolves(name):
+    attribute = getattr(repro, name)
+    assert attribute is not None
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.not_a_thing  # noqa: B018
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_quickstart_docstring_workflow_runs():
+    """The workflow shown in the package docstring must actually work."""
+    from repro import Device, FragDroid, build_apk
+    from repro.corpus import demo_tabbed_app
+
+    device = Device()
+    apk = build_apk(demo_tabbed_app())
+    result = FragDroid(device).explore(apk)
+    assert "coverage" in result.coverage_report() or \
+        "activities" in result.coverage_report()
+
+
+def test_subpackages_importable():
+    import importlib
+
+    for name in ("repro.apk", "repro.smali", "repro.android", "repro.adb",
+                 "repro.robotium", "repro.static", "repro.core",
+                 "repro.baselines", "repro.corpus", "repro.bench",
+                 "repro.rnr", "repro.cli"):
+        importlib.import_module(name)

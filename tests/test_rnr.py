@@ -1,0 +1,75 @@
+"""Record & replay."""
+
+import pytest
+
+from repro.android import Device
+from repro.apk import build_apk
+from repro.errors import ReproError, WidgetNotFoundError
+from repro.rnr import RecordedEvent, Recorder, ReplayScript
+from tests.conftest import make_full_demo_spec
+
+
+@pytest.fixture
+def recorded(device, adb, demo_apk):
+    adb.install(demo_apk)
+    recorder = Recorder(device, demo_apk.package)
+    recorder.launch()
+    recorder.enter_text("password", "hunter2")
+    recorder.click("btn_login")
+    return recorder.script(), device
+
+
+def test_recording_forwards_events(recorded):
+    script, device = recorded
+    assert device.current_activity_name() == "com.example.demo.VaultActivity"
+    assert [e.kind for e in script.events] == ["launch", "text", "click"]
+
+
+def test_replay_reaches_same_state(recorded):
+    script, _ = recorded
+    fresh = Device()
+    fresh.install(build_apk(make_full_demo_spec()))
+    applied = script.replay(fresh)
+    assert applied == 3
+    assert fresh.current_activity_name() == "com.example.demo.VaultActivity"
+
+
+def test_script_json_round_trip(recorded):
+    script, _ = recorded
+    restored = ReplayScript.from_json(script.to_json())
+    assert restored.package == script.package
+    assert restored.events == script.events
+
+
+def test_replay_breaks_when_ui_drifts(recorded):
+    script, _ = recorded
+    drifted = make_full_demo_spec()
+    # The developer renamed the login button: the script is stale.
+    main = drifted.activity("MainActivity")
+    main.widgets = [
+        w if w.id != "btn_login" else
+        type(w)(id="btn_sign_in", text=w.text, on_click=w.on_click)
+        for w in main.widgets
+    ]
+    fresh = Device()
+    fresh.install(build_apk(drifted))
+    with pytest.raises(WidgetNotFoundError):
+        script.replay(fresh)
+
+
+def test_recorded_drawer_and_back(device, adb, demo_apk):
+    adb.install(demo_apk)
+    recorder = Recorder(device, demo_apk.package)
+    recorder.launch()
+    recorder.swipe()
+    recorder.click("nav_settings")
+    recorder.back()
+    fresh = Device()
+    fresh.install(build_apk(make_full_demo_spec()))
+    recorder.script().replay(fresh)
+    assert fresh.current_activity_name() == "com.example.demo.MainActivity"
+
+
+def test_unknown_event_kind_rejected():
+    with pytest.raises(ReproError):
+        RecordedEvent(kind="teleport")

@@ -1,0 +1,105 @@
+"""Foundation types and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.types import (
+    ApiInvocation,
+    ComponentName,
+    InvocationSource,
+    ResourceId,
+    WidgetKind,
+)
+
+
+# -- ComponentName -----------------------------------------------------------
+
+def test_component_name_normalises_shorthand():
+    name = ComponentName("com.app", ".MainActivity")
+    assert name.cls == "com.app.MainActivity"
+    assert name.simple_name == "MainActivity"
+    assert name.flat == "com.app/com.app.MainActivity"
+
+
+def test_component_name_parse_round_trip():
+    name = ComponentName.parse("com.app/.Main")
+    assert ComponentName.parse(name.flat) == name
+
+
+def test_component_name_rejects_empty():
+    with pytest.raises(ValueError):
+        ComponentName("", "X")
+    with pytest.raises(ValueError):
+        ComponentName.parse("no-slash-here")
+
+
+def test_component_name_ordering_and_hash():
+    a = ComponentName("com.app", "A")
+    b = ComponentName("com.app", "B")
+    assert a < b
+    assert len({a, ComponentName("com.app", "A")}) == 1
+
+
+# -- ResourceId ---------------------------------------------------------------
+
+def test_resource_id_range_enforced():
+    with pytest.raises(ValueError):
+        ResourceId(0x01010001, "android_attr")
+    rid = ResourceId(0x7F010001, "btn")
+    assert rid.hex == "0x7f010001"
+    assert "btn" in str(rid)
+
+
+# -- WidgetKind -----------------------------------------------------------------
+
+def test_widget_kind_clickability():
+    assert WidgetKind.BUTTON.clickable
+    assert WidgetKind.DRAWER_ITEM.clickable
+    assert not WidgetKind.TEXT_VIEW.clickable
+    assert not WidgetKind.IMAGE_VIEW.clickable
+
+
+def test_widget_kind_text_acceptance():
+    assert WidgetKind.EDIT_TEXT.accepts_text
+    assert not WidgetKind.BUTTON.accepts_text
+
+
+# -- ApiInvocation ----------------------------------------------------------------
+
+def test_api_invocation_category():
+    invocation = ApiInvocation(
+        "internet/connect", ComponentName("com.a", "X"),
+        InvocationSource.FRAGMENT,
+    )
+    assert invocation.category == "internet"
+
+
+# -- exception hierarchy --------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ApkError, errors.ManifestError, errors.ResourceError,
+        errors.PackedApkError, errors.SmaliError, errors.DecompileError,
+        errors.DeviceError, errors.AppNotInstalledError,
+        errors.ActivityNotFoundError, errors.SecurityException,
+        errors.ReflectionError, errors.WidgetNotFoundError,
+        errors.ExplorationError, errors.TestCaseError,
+    ],
+)
+def test_all_errors_are_repro_errors(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_crash_error_carries_context():
+    crash = errors.AppCrashError("com.a", "com.a.Main", "boom")
+    assert crash.package == "com.a"
+    assert crash.component == "com.a.Main"
+    assert "boom" in str(crash)
+
+
+def test_layer_separation():
+    # Catching device errors must not swallow APK errors, and vice versa.
+    assert not issubclass(errors.ApkError, errors.DeviceError)
+    assert not issubclass(errors.DeviceError, errors.ApkError)
+    assert not issubclass(errors.ExplorationError, errors.DeviceError)
