@@ -5,13 +5,13 @@ much of the statically-predicted model the dynamic phase converted into
 concrete click triggers.
 """
 
-from repro.bench.parallel import explore_many
+from repro.bench.parallel import explore_many, unwrap_results
 from repro.corpus import TABLE1_PLANS
 from repro.static.metrics import compute_metrics
 
 
 def _collect():
-    results = explore_many(TABLE1_PLANS, max_workers=4)
+    results = unwrap_results(explore_many(TABLE1_PLANS, max_workers=4))
     return {
         package: compute_metrics(result.aftm)
         for package, result in results.items()

@@ -1,0 +1,86 @@
+"""Observability opt-in contract (repro.obs).
+
+Two guarantees behind ``FragDroidConfig.tracer``:
+
+* results are tracer-independent — a traced Table-I sweep renders a
+  table byte-identical to the no-op run's;
+* the no-op path is ~free: the per-call cost of the null span/counter,
+  multiplied by the number of observability call sites a traced sweep
+  actually exercises, stays under 5% of the sweep's wall time.
+"""
+
+from time import perf_counter
+
+from repro import FragDroidConfig
+from repro.bench import run_table1
+from repro.obs import NULL_TRACER, Tracer
+
+
+def _null_call_cost(calls: int = 100_000) -> float:
+    """Seconds per (span + counter + histogram) no-op round."""
+    start = perf_counter()
+    for _ in range(calls):
+        with NULL_TRACER.span("x", app="y"):
+            NULL_TRACER.inc("c")
+            NULL_TRACER.observe("h", 1)
+    return (perf_counter() - start) / calls
+
+
+def _observability_call_sites(tracer: Tracer) -> int:
+    """How many tracer operations one traced sweep performed."""
+    spans = len(tracer.finished_spans())
+    counter_calls = sum(
+        stats["count"] for stats in
+        tracer.metrics.snapshot()["histograms"].values()
+    )
+    # Every counter increment is one call; the bulk accumulators
+    # (events.injected, apis.observed) are one call per app, the rest
+    # increment by 1 per call.
+    apps = int(tracer.metrics.counter("sweep.apps"))
+    for name, value in tracer.metrics.counters().items():
+        if name in ("events.injected", "apis.observed"):
+            counter_calls += apps
+        else:
+            counter_calls += int(value)
+    return spans + counter_calls
+
+
+def test_tracing_does_not_change_results(save_result):
+    noop = run_table1(max_workers=1)
+    tracer = Tracer()
+    traced = run_table1(FragDroidConfig(tracer=tracer), max_workers=1)
+    assert traced.render_table1() == noop.render_table1()
+    assert traced.render_table2() == noop.render_table2()
+    save_result("obs_traced_counters", tracer.metrics.render())
+
+
+def test_noop_tracer_overhead(benchmark, save_result):
+    run_table1(max_workers=1)  # warm caches before timing
+
+    start = perf_counter()
+    benchmark.pedantic(run_table1, kwargs={"max_workers": 1},
+                       rounds=1, iterations=1)
+    noop_seconds = perf_counter() - start
+
+    tracer = Tracer()
+    start = perf_counter()
+    run_table1(FragDroidConfig(tracer=tracer), max_workers=1)
+    traced_seconds = perf_counter() - start
+
+    call_sites = _observability_call_sites(tracer)
+    per_call = _null_call_cost()
+    noop_cost = per_call * call_sites
+    share = noop_cost / noop_seconds
+
+    lines = [
+        f"table-I sweep, no-op tracer:   {noop_seconds:8.3f} s",
+        f"table-I sweep, tracing on:     {traced_seconds:8.3f} s "
+        f"({traced_seconds / noop_seconds - 1:+.1%})",
+        f"observability call sites:      {call_sites:8d}",
+        f"null-path cost per call:       {per_call * 1e9:8.1f} ns",
+        f"null-path share of the sweep:  {share:8.2%} (budget: 5%)",
+    ]
+    save_result("obs_overhead", "\n".join(lines))
+    assert share < 0.05, (
+        f"no-op observability path costs {share:.2%} of a Table-I sweep"
+    )

@@ -7,12 +7,12 @@ processed versus the Activity count (the maximum any Activity-grained
 tool can distinguish).
 """
 
-from repro.bench.parallel import explore_many
+from repro.bench.parallel import explore_many, unwrap_results
 from repro.corpus import TABLE1_PLANS
 
 
 def _collect():
-    return explore_many(TABLE1_PLANS, max_workers=4)
+    return unwrap_results(explore_many(TABLE1_PLANS, max_workers=4))
 
 
 def test_state_abstraction(benchmark, save_result):

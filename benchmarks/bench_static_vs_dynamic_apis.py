@@ -10,16 +10,17 @@ fires).  This bench quantifies both directions across the corpus:
   the coverage gap of Table I, seen through the API lens.
 """
 
-from repro.bench.parallel import explore_many
+from repro.bench.parallel import explore_many, unwrap_results
 from repro.corpus import TABLE1_PLANS
 from repro.static.callgraph import statically_reachable_apis
 
 
 def _collect():
-    results = explore_many(TABLE1_PLANS, max_workers=4)
+    results = unwrap_results(explore_many(TABLE1_PLANS, max_workers=4))
     rows = []
     for package, result in sorted(results.items()):
         decoded = result.info.decoded
+        assert decoded is not None, "fresh extraction always carries the DEX"
         components = result.info.activities + result.info.fragments
         static_map = statically_reachable_apis(decoded, components)
         dynamic_map = {}

@@ -22,21 +22,25 @@ from typing import Callable, Dict, List, Optional
 from repro.android.device import Device
 from repro.apk.package import ApkPackage
 from repro.errors import ActivityNotFoundError, DeviceError, SecurityException
+from repro.obs import NULL_TRACER, Tracer
 from repro.types import ComponentName
 
 
 class Adb:
     """A bridge bound to one device."""
 
-    def __init__(self, device: Device) -> None:
+    def __init__(self, device: Device,
+                 tracer: Optional[Tracer] = None) -> None:
         self.device = device
         self.command_log: List[str] = []
         self._instrumentation: Dict[str, Callable[[], None]] = {}
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- package management ----------------------------------------------------
 
     def install(self, apk: ApkPackage) -> str:
         self.command_log.append(f"adb install {apk.apk_name}")
+        self.tracer.inc("adb.installs")
         self.device.install(apk)
         return "Success"
 
@@ -66,6 +70,7 @@ class Adb:
         if category:
             parts.append(f"-c {category}")
         self.command_log.append(" ".join(parts))
+        self.tracer.inc("adb.am_start")
         name = ComponentName.parse(component)
         return self.device.start_activity(name, action=action)
 
@@ -99,6 +104,7 @@ class Adb:
             f"adb shell am instrument -w {test_package} "
             "android.test.InstrumentationTestRunner"
         )
+        self.tracer.inc("adb.am_instrument")
         try:
             runner = self._instrumentation[test_package]
         except KeyError:

@@ -27,6 +27,7 @@ from repro.android.device import Device
 from repro.apk.package import ApkPackage
 from repro.core.ui_driver import UiDriver
 from repro.errors import DeviceError, ReproError
+from repro.obs import NULL_TRACER, Tracer
 from repro.robotium.solo import Solo
 from repro.static.extractor import StaticInfo, extract_static_info
 from repro.types import ApiInvocation, InvocationSource
@@ -61,17 +62,24 @@ class ActivityExplorer:
     """A systematic Activity-state explorer."""
 
     def __init__(self, device: Device, max_events: int = 20000,
-                 forced_start: bool = True) -> None:
+                 forced_start: bool = True,
+                 tracer: Optional[Tracer] = None) -> None:
         self.device = device
-        self.adb = Adb(device)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.adb = Adb(device, tracer=self.tracer)
         self.solo = Solo(device)
         self.max_events = max_events
         self.forced_start = forced_start
 
     def run(self, apk: ApkPackage,
             info: Optional[StaticInfo] = None) -> ActivityOnlyResult:
+        with self.tracer.span("baseline.activity_mbt", app=apk.package):
+            return self._run(apk, info)
+
+    def _run(self, apk: ApkPackage,
+             info: Optional[StaticInfo] = None) -> ActivityOnlyResult:
         if info is None:
-            info = extract_static_info(apk)
+            info = extract_static_info(apk, tracer=self.tracer)
         installed = instrument_manifest(apk) if self.forced_start else apk
         self.adb.install(installed)
         package = apk.package
@@ -142,6 +150,7 @@ class ActivityExplorer:
                     break
                 before = self.device.current_activity_name()
                 try:
+                    self.tracer.inc("clicks")
                     self.solo.click_on_view(widget_id)
                 except ReproError:
                     continue
@@ -177,4 +186,5 @@ class ActivityExplorer:
                         result.visited_activities.add(activity)
         result.events = self.device.steps
         result.crashes = self.device.crash_count
+        self.tracer.inc("events.injected", result.events)
         return result

@@ -16,6 +16,7 @@ from repro.adb.bridge import Adb
 from repro.android.device import Device
 from repro.apk.package import ApkPackage
 from repro.errors import DeviceError, ReproError
+from repro.obs import NULL_TRACER, Tracer
 from repro.robotium.solo import Solo
 
 
@@ -32,14 +33,20 @@ class DepthFirstExplorer:
     """Stack-based DFS over interfaces, keyed by Activity."""
 
     def __init__(self, device: Device, max_events: int = 20000,
-                 max_depth: int = 12) -> None:
+                 max_depth: int = 12,
+                 tracer: Optional[Tracer] = None) -> None:
         self.device = device
-        self.adb = Adb(device)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.adb = Adb(device, tracer=self.tracer)
         self.solo = Solo(device)
         self.max_events = max_events
         self.max_depth = max_depth
 
     def run(self, apk: ApkPackage) -> DepthFirstResult:
+        with self.tracer.span("baseline.dfs", app=apk.package):
+            return self._run(apk)
+
+    def _run(self, apk: ApkPackage) -> DepthFirstResult:
         self.adb.install(apk)
         result = DepthFirstResult(package=apk.package)
         try:
@@ -52,6 +59,7 @@ class DepthFirstExplorer:
         self._observe(result)
         self._dfs(result, tried, depth=0)
         result.events = self.device.steps
+        self.tracer.inc("events.injected", result.events)
         return result
 
     def _dfs(self, result: DepthFirstResult,
@@ -70,6 +78,7 @@ class DepthFirstExplorer:
             seen.add(widget_id)
             before = self.device.current_activity_name()
             try:
+                self.tracer.inc("clicks")
                 self.solo.click_on_view(widget_id)
             except ReproError:
                 continue

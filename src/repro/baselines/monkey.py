@@ -18,6 +18,7 @@ from repro.android.device import Device
 from repro.android.views import SCREEN_HEIGHT, SCREEN_WIDTH
 from repro.apk.package import ApkPackage
 from repro.errors import DeviceError
+from repro.obs import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -38,12 +39,18 @@ class Monkey:
     BACK_WEIGHT = 0.10
     SWIPE_WEIGHT = 0.10
 
-    def __init__(self, device: Device, seed: int = 0) -> None:
+    def __init__(self, device: Device, seed: int = 0,
+                 tracer: Optional[Tracer] = None) -> None:
         self.device = device
-        self.adb = Adb(device)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.adb = Adb(device, tracer=self.tracer)
         self.rng = random.Random(seed)
 
     def run(self, apk: ApkPackage, event_count: int = 500) -> MonkeyResult:
+        with self.tracer.span("baseline.monkey", app=apk.package):
+            return self._run(apk, event_count)
+
+    def _run(self, apk: ApkPackage, event_count: int) -> MonkeyResult:
         self.adb.install(apk)
         package = apk.package
         result = MonkeyResult(package=package, events=event_count)
@@ -61,6 +68,7 @@ class Monkey:
                     break
             roll = self.rng.random()
             if roll < self.TOUCH_WEIGHT:
+                self.tracer.inc("clicks")
                 self.device.tap(
                     self.rng.randrange(SCREEN_WIDTH),
                     self.rng.randrange(SCREEN_HEIGHT),
@@ -72,6 +80,7 @@ class Monkey:
             else:
                 self.device.swipe_from_left()
             self._observe(result)
+        self.tracer.inc("events.injected", result.events)
         result.crashes = self.device.crash_count
         return result
 

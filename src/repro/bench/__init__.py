@@ -6,6 +6,13 @@ returns both the structured data and a rendered text table; the
 the rendered artifacts under ``benchmarks/results/``.
 """
 
+from repro.bench.parallel import (
+    SweepOutcome,
+    explore_many,
+    explore_one,
+    successful_results,
+    unwrap_results,
+)
 from repro.bench.runner import (
     AblationResult,
     BaselineComparison,
@@ -19,9 +26,14 @@ from repro.bench.runner import (
 __all__ = [
     "AblationResult",
     "BaselineComparison",
+    "SweepOutcome",
     "UsageStudyResult",
+    "explore_many",
+    "explore_one",
     "run_ablation",
     "run_baseline_comparison",
     "run_table1",
     "run_usage_study",
+    "successful_results",
+    "unwrap_results",
 ]

@@ -6,11 +6,20 @@ process state — so a market-scale deployment runs apps concurrently
 thread-based: the emulator is pure Python and each exploration is
 short, so threads keep the API simple while still overlapping any
 interpreter-released work.
+
+Failure isolation: a market sweep deliberately contains apps that
+cannot be processed (packed APKs, build failures — the Section VII-A
+rule-outs), so each worker captures its own exception into a
+:class:`SweepOutcome` instead of letting one bad app abort the whole
+sweep.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Optional, Sequence
 
 from repro import Device, FragDroid, FragDroidConfig
@@ -18,27 +27,103 @@ from repro.apk import build_apk
 from repro.core.explorer import ExplorationResult
 from repro.corpus import TABLE1_PLANS, build_app
 from repro.corpus.synth import AppPlan
+from repro.obs import NULL_TRACER
+
+
+@dataclass
+class SweepOutcome:
+    """What one app contributed to a sweep: a result or a captured
+    failure (never both)."""
+
+    package: str
+    result: Optional[ExplorationResult] = None
+    error: Optional[BaseException] = None
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> ExplorationResult:
+        """The result, re-raising the captured exception on failure."""
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+def _default_workers(plan_count: int) -> int:
+    return max(1, min(plan_count, os.cpu_count() or 4))
 
 
 def explore_one(plan: AppPlan,
-                config: Optional[FragDroidConfig] = None) -> ExplorationResult:
-    """Build, install and explore one app on a fresh device."""
-    device = Device()
-    return FragDroid(device, config).explore(build_apk(build_app(plan)))
+                config: Optional[FragDroidConfig] = None) -> SweepOutcome:
+    """Build, install and explore one app on a fresh device.
+
+    Build and exploration failures alike are captured into the returned
+    :class:`SweepOutcome` — a packed APK (``PackedApkError``) reports as
+    a failed outcome, it does not raise.
+    """
+    tracer = config.tracer if config is not None else NULL_TRACER
+    started = perf_counter()
+    with tracer.span("sweep.app", app=plan.package) as span:
+        try:
+            apk = build_apk(build_app(plan))
+            result = FragDroid(Device(), config).explore(apk)
+        except Exception as exc:
+            tracer.inc("sweep.failures")
+            span.set_attribute("error", repr(exc))
+            return SweepOutcome(package=plan.package, error=exc,
+                                duration=perf_counter() - started)
+    tracer.inc("sweep.apps")
+    return SweepOutcome(package=plan.package, result=result,
+                        duration=perf_counter() - started)
 
 
 def explore_many(
     plans: Sequence[AppPlan] = tuple(TABLE1_PLANS),
     config: Optional[FragDroidConfig] = None,
-    max_workers: int = 4,
-) -> Dict[str, ExplorationResult]:
-    """Explore a set of apps concurrently; results keyed by package."""
-    results: Dict[str, ExplorationResult] = {}
+    max_workers: Optional[int] = None,
+) -> Dict[str, SweepOutcome]:
+    """Explore a set of apps concurrently; outcomes keyed by package.
+
+    ``max_workers`` defaults to ``min(len(plans), os.cpu_count() or 4)``.
+    The sweep always completes: per-app failures are carried inside the
+    outcomes (see :class:`SweepOutcome`), never raised from here.
+    """
+    plans = list(plans)
+    if not plans:
+        return {}
+    if max_workers is None:
+        max_workers = _default_workers(len(plans))
+    outcomes: Dict[str, SweepOutcome] = {}
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
         futures = {
             pool.submit(explore_one, plan, config): plan.package
             for plan in plans
         }
         for future, package in futures.items():
-            results[package] = future.result()
-    return results
+            outcomes[package] = future.result()
+    return outcomes
+
+
+def unwrap_results(
+    outcomes: Dict[str, SweepOutcome],
+) -> Dict[str, ExplorationResult]:
+    """Results keyed by package; re-raises the first captured failure.
+
+    The strict accessor for sweeps expected to be fully healthy (the
+    Table I corpus); use :func:`successful_results` to tolerate
+    failures instead.
+    """
+    return {package: outcome.unwrap()
+            for package, outcome in outcomes.items()}
+
+
+def successful_results(
+    outcomes: Dict[str, SweepOutcome],
+) -> Dict[str, ExplorationResult]:
+    """Only the successful results, failures silently skipped."""
+    return {package: outcome.result
+            for package, outcome in outcomes.items()
+            if outcome.ok and outcome.result is not None}

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Tuple
 from repro import Device, FragDroid, FragDroidConfig
 from repro.apk import build_apk
 from repro.baselines import ActivityExplorer, DepthFirstExplorer, Monkey
+from repro.bench.parallel import explore_many
 from repro.core.coverage import CoverageReport, CoverageRow
 from repro.core.explorer import ExplorationResult
 from repro.core.sensitive_analysis import SensitiveApiReport, build_api_report
@@ -92,13 +93,20 @@ class Table1Run:
         return "\n".join(lines)
 
 
-def run_table1(config: Optional[FragDroidConfig] = None) -> Table1Run:
-    """Run FragDroid over the 15 evaluation apps."""
+def run_table1(config: Optional[FragDroidConfig] = None,
+               max_workers: Optional[int] = None) -> Table1Run:
+    """Run FragDroid over the 15 evaluation apps.
+
+    The sweep runs through :func:`repro.bench.parallel.explore_many`;
+    the evaluation corpus is expected healthy, so a captured per-app
+    failure is re-raised here (``SweepOutcome.unwrap``).
+    """
+    outcomes = explore_many(TABLE1_PLANS, config=config,
+                            max_workers=max_workers)
     results: Dict[str, ExplorationResult] = {}
     rows: List[CoverageRow] = []
     for plan in TABLE1_PLANS:
-        device = Device()
-        result = FragDroid(device, config).explore(build_apk(build_app(plan)))
+        result = outcomes[plan.package].unwrap()
         results[plan.package] = result
         rows.append(CoverageRow.from_result(result, downloads=plan.downloads))
     return Table1Run(

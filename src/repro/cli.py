@@ -8,6 +8,8 @@ Commands:
 * ``explore <app>`` — run the full FragDroid pipeline, print the
   coverage report (``--json`` for the structured run report);
 * ``audit <app>`` — explore and print the sensitive-API relations;
+* ``trace-summary <run.jsonl>`` — per-phase timing and top-N slowest
+  spans of a traced run (written with ``explore --trace-jsonl``);
 * ``table1`` / ``table2`` / ``study`` / ``compare`` / ``ablate`` —
   regenerate the paper's experiments.
 """
@@ -64,13 +66,24 @@ def _resolve_apk(name: str):
 
 
 def _config_from(args: argparse.Namespace) -> FragDroidConfig:
-    return FragDroidConfig(
+    config = FragDroidConfig(
         enable_reflection=not args.no_reflection,
         enable_forced_start=not args.no_forced_start,
         enable_click_exploration=not args.no_click_sweep,
         input_strategy="heuristic" if args.heuristic_inputs else "default",
         max_events=args.max_events,
     )
+    if getattr(args, "trace_jsonl", None):
+        from repro.obs import JsonlSink, Tracer
+
+        try:
+            sink = JsonlSink(args.trace_jsonl)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot open trace file {args.trace_jsonl!r}: {exc}"
+            ) from exc
+        config.tracer = Tracer(sinks=[sink])
+    return config
 
 
 def _add_explore_flags(parser: argparse.ArgumentParser) -> None:
@@ -84,6 +97,9 @@ def _add_explore_flags(parser: argparse.ArgumentParser) -> None:
                         help="emit the structured JSON report")
     parser.add_argument("--trace", action="store_true",
                         help="print the exploration trace")
+    parser.add_argument("--trace-jsonl", metavar="FILE",
+                        help="record observability spans as JSON lines "
+                             "(inspect with `repro trace-summary FILE`)")
     parser.add_argument("--save", metavar="DIR",
                         help="persist all run artifacts under DIR")
 
@@ -112,9 +128,9 @@ def cmd_static(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
-    result = FragDroid(Device(), _config_from(args)).explore(
-        _resolve_apk(args.app)
-    )
+    config = _config_from(args)
+    result = FragDroid(Device(), config).explore(_resolve_apk(args.app))
+    config.tracer.close()
     if args.json:
         print(result_to_json(result))
     else:
@@ -126,13 +142,15 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
         written = save_artifacts(result, args.save)
         print(f"wrote {len(written)} artifacts under {args.save}")
+    if getattr(args, "trace_jsonl", None):
+        print(f"wrote {len(result.spans)} spans to {args.trace_jsonl}")
     return 0
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
-    result = FragDroid(Device(), _config_from(args)).explore(
-        _resolve_apk(args.app)
-    )
+    config = _config_from(args)
+    result = FragDroid(Device(), config).explore(_resolve_apk(args.app))
+    config.tracer.close()
     report = build_api_report([result])
     print(report.render())
     return 0
@@ -234,6 +252,25 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_summary(args: argparse.Namespace) -> int:
+    """Summarize a span JSONL file: per-phase totals + slowest spans."""
+    import pathlib
+
+    from repro.obs import read_spans, render_summary
+
+    path = pathlib.Path(args.jsonl)
+    if not path.exists():
+        print(f"no such trace file: {path}")
+        return 1
+    try:
+        spans = read_spans(path)
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"{path} is not a span JSONL file: {exc}")
+        return 1
+    print(render_summary(spans, top=args.top))
+    return 0
+
+
 def cmd_table1(_args: argparse.Namespace) -> int:
     print(run_table1().render_table1())
     return 0
@@ -300,6 +337,15 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("-o", "--output", required=True,
                         help="output directory")
     export.set_defaults(func=cmd_export_corpus)
+
+    trace_summary = sub.add_parser(
+        "trace-summary",
+        help="per-phase timing of a traced run (JSONL from --trace-jsonl)",
+    )
+    trace_summary.add_argument("jsonl", help="span JSONL file")
+    trace_summary.add_argument("--top", type=int, default=10,
+                               help="how many slowest spans to list")
+    trace_summary.set_defaults(func=cmd_trace_summary)
 
     batch = sub.add_parser("batch",
                            help="explore every .apk in a directory")

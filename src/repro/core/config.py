@@ -9,12 +9,18 @@ ablation benchmarks can disable each mechanism independently:
 * ``enable_input_file`` — the analyst-filled input dependency
   (Section V-C); off means every EditText gets the "abc" filler;
 * ``enable_click_exploration`` — Case 3's exhaustive clickable sweep.
+
+``tracer`` opts the run into the observability layer (``repro.obs``):
+the default :data:`~repro.obs.NULL_TRACER` keeps every span and counter
+a no-op, so instrumented code behaves exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict
+
+from repro.obs import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -44,6 +50,10 @@ class FragDroidConfig:
     max_events: int = 20000
     max_queue_items: int = 2000
     max_restarts_per_item: int = 10
+    # Observability (repro.obs): the default no-op tracer records
+    # nothing and costs nothing; pass a real Tracer to collect spans
+    # and counters across the whole pipeline.
+    tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
 
     @classmethod
     def activity_only(cls) -> "FragDroidConfig":

@@ -54,6 +54,7 @@ from repro.errors import (
     SecurityException,
     TestCaseError,
 )
+from repro.obs import Span
 from repro.robotium.solo import Solo
 from repro.static.aftm import AFTM, Node, NodeKind, activity_node, fragment_node
 from repro.static.extractor import StaticInfo, extract_static_info
@@ -107,6 +108,10 @@ class ExplorationResult:
     # regression run replays (probe cases that failed by design, like
     # reflection attempts on args-fragments, are excluded).
     passing_test_cases: List[TestCase] = field(default_factory=list)
+    # Observability (repro.obs): the run's finished spans and a metrics
+    # snapshot — both empty unless the config carried an enabled tracer.
+    spans: List[Span] = field(default_factory=list, repr=False)
+    metrics: Dict = field(default_factory=dict, repr=False)
 
     def trace_text(self) -> str:
         """The run trace as readable lines."""
@@ -169,7 +174,7 @@ class FragDroid:
                  config: Optional[FragDroidConfig] = None) -> None:
         self.device = device
         self.config = config or FragDroidConfig()
-        self.adb = Adb(device)
+        self.adb = Adb(device, tracer=self.config.tracer)
         self.solo = Solo(device)
 
     # -- public API ----------------------------------------------------------------
@@ -178,23 +183,32 @@ class FragDroid:
                 info: Optional[StaticInfo] = None) -> ExplorationResult:
         """Run the full pipeline on one APK."""
         config = self.config
-        if info is None:
-            info = extract_static_info(
-                apk,
-                input_values=config.input_values
-                if config.enable_input_file else None,
-            )
-        installed = (instrument_manifest(apk)
-                     if config.enable_forced_start else apk)
-        self.adb.install(installed)
+        tracer = config.tracer
+        with tracer.span("explore", app=apk.package) as root:
+            if info is None:
+                info = extract_static_info(
+                    apk,
+                    input_values=config.input_values
+                    if config.enable_input_file else None,
+                    tracer=tracer,
+                )
+            installed = (instrument_manifest(apk)
+                         if config.enable_forced_start else apk)
+            self.adb.install(installed)
 
-        run = _Run(self, apk.package, info)
-        run.seed_queue()
-        run.drain_queue()
-        if config.enable_forced_start:
-            run.enqueue_forced_starts()
+            run = _Run(self, apk.package, info)
+            run.seed_queue()
             run.drain_queue()
-        return run.result()
+            if config.enable_forced_start:
+                run.enqueue_forced_starts()
+                run.drain_queue()
+            result = run.result()
+            root.set_attribute("termination", run.termination_reason())
+            trace_id = root.trace_id
+        if tracer.enabled:
+            result.spans = tracer.spans_in_trace(trace_id)
+            result.metrics = tracer.metrics.snapshot()
+        return result
 
 
 class _Run:
@@ -209,10 +223,12 @@ class _Run:
         self.package = package
         self.info = info
         self.aftm = info.aftm
+        self.tracer = frag.config.tracer
         self.driver = UiDriver(
             frag.solo, info,
             use_input_file=frag.config.enable_input_file,
             input_strategy=frag.config.input_strategy,
+            tracer=self.tracer,
         )
         self.queue = UIQueue(limit=frag.config.max_queue_items,
                              order=frag.config.queue_order)
@@ -246,10 +262,19 @@ class _Run:
 
     def drain_queue(self) -> None:
         while self.queue and not self._budget_exhausted():
+            self.tracer.observe("queue.depth", len(self.queue))
             item = self.queue.pop()
-            if not self._execute_item(item):
-                continue
-            self._process_interface(item)
+            with self.tracer.span("explorer.test_case", app=self.package,
+                                  method=item.method) as span:
+                executed = self._execute_item(item)
+                span.set_attribute("ok", executed)
+                if executed:
+                    self._process_interface(item)
+
+    def termination_reason(self) -> str:
+        """Why the run stopped: the queue drained (the paper's AFTM
+        fixpoint) or the event budget ran out first."""
+        return "budget-exhausted" if self._budget_exhausted() else "queue-drained"
 
     def enqueue_forced_starts(self) -> None:
         """Section VI-C: forcibly invoke unvisited Activities through
@@ -298,6 +323,10 @@ class _Run:
             self.stats.failed_items += 1
             self._trace("item-failed", str(exc))
             return False
+        if item.method == "reflection":
+            self.tracer.inc("reflection.switches")
+        elif item.method == "forced-start":
+            self.tracer.inc("forced.starts")
         self.passing_test_cases.append(case)
         return True
 
@@ -330,7 +359,10 @@ class _Run:
             return
         self._processed_signatures.add(snapshot.signature)
         if self.config.enable_click_exploration:
-            self._click_sweep(item, snapshot)
+            with self.tracer.span("explorer.case3", app=self.package,
+                                  activity=snapshot.activity) as span:
+                self._click_sweep(item, snapshot)
+                span.set_attribute("queue", len(self.queue))
 
     def _register_visit(self, snapshot: UiSnapshot,
                         item: UIQueueItem) -> None:
@@ -348,18 +380,29 @@ class _Run:
             self._paths.setdefault(fragment, item.operations)
         if newly_visited or activity not in self._case1_done:
             self._case1_done.add(activity)
-            self._case1_enqueue_fragments(activity, item)
+            with self.tracer.span("explorer.case1", app=self.package,
+                                  activity=activity) as span:
+                span.set_attribute(
+                    "enqueued", self._case1_enqueue_fragments(activity, item)
+                )
         for fragment in snapshot.fragments:
-            self.aftm.mark_visited(fragment_node(fragment))
+            node = fragment_node(fragment)
+            if node in self.aftm.visited:
+                continue
+            with self.tracer.span("explorer.case2", app=self.package,
+                                  fragment=fragment):
+                self.aftm.mark_visited(node)
 
     def _case1_enqueue_fragments(self, activity: str,
-                                 item: UIQueueItem) -> None:
+                                 item: UIQueueItem) -> int:
         """Case 1: for an Activity that switches Fragments dynamically,
-        enqueue one reflection item per dependent Fragment."""
+        enqueue one reflection item per dependent Fragment.  Returns the
+        number of reflection items enqueued."""
         if not self.config.enable_reflection:
-            return
+            return 0
         if not self.info.uses_manager.get(activity, False):
-            return
+            return 0
+        enqueued = 0
         for fragment in self.info.dependency.get(activity, ()):
             node = fragment_node(fragment)
             if node in self.aftm.visited:
@@ -367,6 +410,8 @@ class _Run:
             self.queue.push(
                 item.extended("reflection", node, reflect_op(fragment))
             )
+            enqueued += 1
+        return enqueued
 
     # -- Case 3: the click sweep -----------------------------------------------------------
 
@@ -393,6 +438,7 @@ class _Run:
             if not before.alive:
                 return
             try:
+                self.tracer.inc("clicks")
                 self.solo.click_on_view(widget_id)
             except Exception:
                 continue
@@ -483,6 +529,8 @@ class _Run:
             for inv in self.device.api_monitor.invocations[self._api_start:]
             if inv.component.package == self.package
         ]
+        self.tracer.inc("events.injected", self.stats.events)
+        self.tracer.inc("apis.observed", len(invocations))
         visited_activities = {
             n.name for n in self.aftm.visited if n.kind is NodeKind.ACTIVITY
         }

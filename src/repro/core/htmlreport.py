@@ -13,6 +13,7 @@ from typing import List
 
 from repro.core.explorer import ExplorationResult
 from repro.core.sensitive_analysis import relations_from_invocations
+from repro.obs import timing_rows
 
 _STYLE = """
 body { font-family: system-ui, sans-serif; margin: 2rem auto;
@@ -96,6 +97,16 @@ def render_html_report(result: ExplorationResult) -> str:
 
     trace_lines = "\n".join(_esc(event) for event in result.trace)
 
+    # Per-phase timing appears only for traced runs, so the default
+    # (no-op tracer) report stays byte-identical.
+    timing_table = ""
+    if result.spans:
+        timing_table = _table(
+            "Per-phase timing",
+            ["Span", "Count", "Total (s)", "Mean (ms)", "Max (ms)"],
+            timing_rows(result.spans),
+        )
+
     return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -107,7 +118,7 @@ def render_html_report(result: ExplorationResult) -> str:
 <h1>FragDroid exploration report</h1>
 <p>Package: <code>{_esc(result.package)}</code></p>
 {_table("Run summary", ["Metric", "Value", "Rate"], summary_rows)}
-{_table("Components", ["Kind", "Class", "Status"], component_rows)}
+{timing_table}{_table("Components", ["Kind", "Class", "Status"], component_rows)}
 {_table("AFTM transitions",
         ["Kind", "From", "To", "Host", "Trigger"], edge_rows)}
 {_table("Sensitive API relations",

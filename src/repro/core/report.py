@@ -12,6 +12,7 @@ import json
 from typing import Dict, List
 
 from repro.core.explorer import ExplorationResult
+from repro.obs import Span, aggregate_spans, render_summary
 from repro.static.aftm import AFTM, Node, NodeKind, activity_node, fragment_node
 
 
@@ -90,7 +91,7 @@ def result_to_dict(result: ExplorationResult) -> Dict:
         }
         for inv in result.api_invocations
     ]
-    return {
+    report: Dict = {
         "package": result.package,
         "coverage": {
             "activities": {
@@ -120,7 +121,37 @@ def result_to_dict(result: ExplorationResult) -> Dict:
         "api_invocations": invocations,
         "aftm": aftm_to_dict(result.aftm),
     }
+    # Observability extras appear only when the run was traced, so the
+    # default (no-op tracer) report stays byte-identical.
+    if result.spans:
+        report["timing"] = timing_to_dict(result.spans)
+    if result.metrics:
+        report["metrics"] = result.metrics
+    return report
 
 
 def result_to_json(result: ExplorationResult) -> str:
     return json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Timing (repro.obs)
+# ---------------------------------------------------------------------------
+
+def timing_to_dict(spans: List[Span]) -> List[Dict]:
+    """Per-phase aggregates of a traced run, slowest phase first."""
+    return [
+        {
+            "span": stat.name,
+            "count": stat.count,
+            "total_s": round(stat.total, 6),
+            "mean_ms": round(stat.mean * 1000, 3),
+            "max_ms": round(stat.maximum * 1000, 3),
+        }
+        for stat in aggregate_spans(spans)
+    ]
+
+
+def timing_text(spans: List[Span], top: int = 10) -> str:
+    """The human-readable per-phase timing table (CLI / docs)."""
+    return render_summary(spans, top=top)

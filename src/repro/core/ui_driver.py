@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple
 
 from repro.core.queue import Operation, text_op
+from repro.obs import NULL_TRACER, Tracer
 from repro.robotium.solo import Solo
 from repro.static.extractor import StaticInfo
 from repro.static.input_dep import DEFAULT_TEXT
@@ -53,11 +54,13 @@ class UiDriver:
 
     def __init__(self, solo: Solo, info: StaticInfo,
                  use_input_file: bool = True,
-                 input_strategy: str = "default") -> None:
+                 input_strategy: str = "default",
+                 tracer: Optional[Tracer] = None) -> None:
         self.solo = solo
         self.info = info
         self.use_input_file = use_input_file
         self.input_strategy = input_strategy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._generator = None
         if input_strategy == "heuristic":
             from repro.core.inputgen import HeuristicInputGenerator
@@ -102,11 +105,13 @@ class UiDriver:
             else:
                 value = DEFAULT_TEXT
             self.solo.enter_text(widget.widget_id, value)
+            self.tracer.inc("inputs.filled")
             operations.append(text_op(widget.widget_id, value))
         return operations
 
     def dismiss_overlay(self) -> None:
         """Remove a dialog/popup 'by clicking on blank space' (Case 3)."""
+        self.tracer.inc("overlays.dismissed")
         self.solo.click_on_screen(1040, 1900)
 
     def clickable_ids(self) -> List[str]:

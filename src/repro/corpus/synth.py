@@ -86,6 +86,9 @@ class AppPlan:
     unmanaged_fragments: int = 0
     hidden_fragments: int = 0
     use_support: bool = False
+    # Packed/encrypted DEX: the app builds but Apktool cannot decode it
+    # (the Section VII-A rule-outs); sweeps must survive these.
+    packed: bool = False
     api_plan: List[Tuple[str, str]] = field(default_factory=list)
 
     @property
@@ -171,6 +174,7 @@ class _Synth:
             fragments=self.fragments,
             category=plan.category,
             downloads=plan.downloads,
+            packed=plan.packed,
         )
 
     # -- reachable activity tree -----------------------------------------------------

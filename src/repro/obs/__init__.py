@@ -1,0 +1,51 @@
+"""Observability: tracing and metrics for the whole pipeline.
+
+The subsystem has three parts, wired together by a single
+:class:`Tracer` object that travels through ``FragDroidConfig``:
+
+* :class:`Tracer` — nestable wall-clock spans
+  (``with tracer.span("static.extract", app=pkg):``) recording
+  ``perf_counter`` timing, attributes, and parent/child structure;
+* :class:`Metrics` — a registry of named counters and histograms
+  (events injected, clicks, reflection switches, forced starts, queue
+  depth, APIs observed);
+* sinks — pluggable consumers of finished spans: in-memory (tests),
+  JSON-lines files (offline analysis via ``repro trace-summary``), and
+  the human-readable summary table rendered into the reports.
+
+Everything is opt-in: the default ``FragDroidConfig.tracer`` is the
+shared :data:`NULL_TRACER`, whose ``span()`` / ``inc()`` / ``observe()``
+are constant-time no-ops, so uninstrumented behaviour and benchmark
+numbers are unchanged (``benchmarks/bench_obs_overhead.py`` holds the
+no-op path under 5% of a Table-I sweep).
+"""
+
+from repro.obs.metrics import NULL_METRICS, Metrics, NullMetrics
+from repro.obs.sinks import InMemorySink, JsonlSink, SpanSink, read_spans
+from repro.obs.summary import (
+    SpanStat,
+    aggregate_spans,
+    render_summary,
+    timing_rows,
+    top_slowest,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "InMemorySink",
+    "JsonlSink",
+    "Metrics",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "SpanSink",
+    "SpanStat",
+    "Tracer",
+    "aggregate_spans",
+    "read_spans",
+    "render_summary",
+    "timing_rows",
+    "top_slowest",
+]

@@ -1,0 +1,141 @@
+"""Named counters and histograms.
+
+Counters accumulate (events injected, clicks, reflection switches,
+forced starts, APIs observed); histograms record every observation
+(queue depth at each pop, per-app durations).  Both are thread-safe:
+a parallel sweep shares one registry across its workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class HistogramStats:
+    """Aggregate view of one histogram."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class Metrics:
+    """Thread-safe registry of named counters and histograms."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self._histograms.setdefault(name, []).append(value)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def histogram(self, name: str) -> Tuple[float, ...]:
+        with self._lock:
+            return tuple(self._histograms.get(name, ()))
+
+    def histogram_stats(self, name: str) -> HistogramStats:
+        values = self.histogram(name)
+        if not values:
+            return HistogramStats(count=0, total=0.0, minimum=0.0, maximum=0.0)
+        return HistogramStats(
+            count=len(values),
+            total=float(sum(values)),
+            minimum=float(min(values)),
+            maximum=float(max(values)),
+        )
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A JSON-ready copy of everything recorded so far."""
+        with self._lock:
+            histograms = {name: list(values)
+                          for name, values in self._histograms.items()}
+            counters = dict(self._counters)
+        return {
+            "counters": counters,
+            "histograms": {
+                name: HistogramStats(
+                    count=len(values),
+                    total=float(sum(values)),
+                    minimum=float(min(values)),
+                    maximum=float(max(values)),
+                ).to_dict()
+                for name, values in histograms.items()
+            },
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+    def render(self) -> str:
+        """The counters and histogram aggregates as a text table."""
+        snapshot = self.snapshot()
+        lines = [f"{'counter':40} {'value':>12}"]
+        lines.append("-" * 53)
+        for name, value in sorted(snapshot["counters"].items()):
+            text = f"{value:g}"
+            lines.append(f"{name:40} {text:>12}")
+        if snapshot["histograms"]:
+            lines.append("")
+            lines.append(f"{'histogram':28} {'count':>7} {'mean':>10} "
+                         f"{'min':>10} {'max':>10}")
+            lines.append("-" * 68)
+            for name, stats in sorted(snapshot["histograms"].items()):
+                lines.append(
+                    f"{name:28} {stats['count']:>7} {stats['mean']:>10.2f} "
+                    f"{stats['min']:>10.2f} {stats['max']:>10.2f}"
+                )
+        return "\n".join(lines)
+
+
+class NullMetrics(Metrics):
+    """Drops every recording; reads as empty."""
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+NULL_METRICS = NullMetrics()

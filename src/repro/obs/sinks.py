@@ -1,0 +1,76 @@
+"""Span sinks: where finished spans go.
+
+* :class:`InMemorySink` — a list, for tests and in-process inspection;
+* :class:`JsonlSink` — one JSON object per line, the format
+  ``python -m repro trace-summary`` reads back.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from typing import IO, List, Optional, Union
+
+from repro.obs.tracer import Span
+
+
+class SpanSink:
+    """Interface: ``emit`` each finished span; ``close`` when done."""
+
+    def emit(self, span: Span) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class InMemorySink(SpanSink):
+    """Collects spans into ``self.spans`` (thread-safe append)."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._lock = threading.Lock()
+
+    def emit(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+
+class JsonlSink(SpanSink):
+    """Writes each span as one JSON line to a path or open handle."""
+
+    def __init__(self, target: Union[str, pathlib.Path, IO[str]]) -> None:
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        self._lock = threading.Lock()
+
+    def emit(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            self._handle.flush()
+            if self._owns_handle:
+                self._handle.close()
+
+
+def read_spans(source: Union[str, pathlib.Path, IO[str]]) -> List[Span]:
+    """Load the spans back from a JSONL file (the round-trip of
+    :class:`JsonlSink`)."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()  # type: ignore[union-attr]
+    else:
+        lines = pathlib.Path(source).read_text(encoding="utf-8").splitlines()
+    spans = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans

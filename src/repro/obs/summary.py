@@ -1,0 +1,84 @@
+"""Human-readable views over a set of finished spans.
+
+``aggregate_spans`` groups by span name (count / total / mean / max);
+``top_slowest`` ranks individual spans; ``render_summary`` combines
+both into the text table the CLI and the reports embed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.obs.tracer import Span
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """Aggregate timing of every span sharing one name."""
+
+    name: str
+    count: int
+    total: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def aggregate_spans(spans: Iterable[Span]) -> List[SpanStat]:
+    """Per-name aggregates, slowest total first."""
+    totals: dict = {}
+    for span in spans:
+        entry = totals.setdefault(span.name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span.duration
+        entry[2] = max(entry[2], span.duration)
+    stats = [
+        SpanStat(name=name, count=count, total=total, maximum=maximum)
+        for name, (count, total, maximum) in totals.items()
+    ]
+    stats.sort(key=lambda s: (-s.total, s.name))
+    return stats
+
+
+def top_slowest(spans: Iterable[Span], n: int = 10) -> List[Span]:
+    """The n individually slowest spans."""
+    return sorted(spans, key=lambda s: -s.duration)[:max(0, n)]
+
+
+def timing_rows(spans: Iterable[Span]) -> List[List[object]]:
+    """Aggregate rows ready for a report table: name, count, total
+    seconds, mean/max milliseconds."""
+    return [
+        [stat.name, stat.count, f"{stat.total:.4f}",
+         f"{stat.mean * 1000:.2f}", f"{stat.maximum * 1000:.2f}"]
+        for stat in aggregate_spans(spans)
+    ]
+
+
+def render_summary(spans: Sequence[Span], top: int = 10) -> str:
+    """The per-phase aggregate table plus the top-N slowest spans."""
+    if not spans:
+        return "no spans recorded"
+    header = (f"{'span':34} {'count':>7} {'total s':>9} "
+              f"{'mean ms':>9} {'max ms':>9}")
+    lines = [header, "-" * len(header)]
+    for stat in aggregate_spans(spans):
+        lines.append(
+            f"{stat.name:34} {stat.count:>7} {stat.total:>9.4f} "
+            f"{stat.mean * 1000:>9.2f} {stat.maximum * 1000:>9.2f}"
+        )
+    slowest = top_slowest(spans, top)
+    if not slowest:
+        return "\n".join(lines)
+    lines.append("")
+    lines.append(f"top {len(slowest)} slowest spans:")
+    for span in slowest:
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+        lines.append(
+            f"  {span.duration * 1000:>9.2f} ms  {span.name}"
+            + (f"  [{attrs}]" if attrs else "")
+        )
+    return "\n".join(lines)

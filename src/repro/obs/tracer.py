@@ -1,0 +1,244 @@
+"""Nestable wall-clock spans.
+
+A :class:`Tracer` hands out spans as context managers::
+
+    with tracer.span("static.extract", app=apk.package) as span:
+        ...
+        span.set_attribute("activities", len(activities))
+
+Spans nest through a per-thread stack, so a parallel sweep produces one
+independent trace per worker: the first span opened on a thread becomes
+a trace root and every descendant carries its ``trace_id``.  Finished
+spans are kept on the tracer (``finished_spans()``) and forwarded to
+any attached sinks.
+
+The default tracer everywhere is :data:`NULL_TRACER`: its ``span()``
+returns one shared reusable no-op context manager and its counters
+discard writes, so instrumented code costs nearly nothing when
+observability is off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.metrics import NULL_METRICS, Metrics
+
+
+class Span:
+    """One timed region of the pipeline."""
+
+    __slots__ = ("name", "span_id", "trace_id", "parent_id", "depth",
+                 "start", "duration", "attributes")
+
+    def __init__(self, name: str, span_id: int, trace_id: int,
+                 parent_id: Optional[int], depth: int, start: float,
+                 duration: float = 0.0,
+                 attributes: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start = start
+        self.duration = duration
+        self.attributes = dict(attributes) if attributes else {}
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Span":
+        return cls(
+            name=str(data["name"]),
+            span_id=int(data["span_id"]),
+            trace_id=int(data["trace_id"]),
+            parent_id=(None if data.get("parent_id") is None
+                       else int(data["parent_id"])),  # type: ignore[arg-type]
+            depth=int(data.get("depth", 0)),  # type: ignore[arg-type]
+            start=float(data.get("start", 0.0)),  # type: ignore[arg-type]
+            duration=float(data.get("duration", 0.0)),  # type: ignore[arg-type]
+            attributes=dict(data.get("attributes") or {}),  # type: ignore[arg-type]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"duration={self.duration:.6f}, attrs={self.attributes})")
+
+
+class _ActiveSpan:
+    """Context manager binding one Span to the tracer's thread stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span.start = perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        span = self._span
+        span.duration = perf_counter() - span.start
+        if exc is not None:
+            span.attributes.setdefault("error", repr(exc))
+        self._tracer._pop(span)
+        self._tracer._record(span)
+        return None
+
+
+class _NullSpan:
+    """The span the null tracer yields: attribute writes vanish."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    trace_id = 0
+    parent_id = None
+    depth = 0
+    start = 0.0
+    duration = 0.0
+    attributes: Dict[str, object] = {}
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ("_span",)
+
+    def __init__(self) -> None:
+        self._span = _NullSpan()
+
+    def __enter__(self) -> _NullSpan:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class Tracer:
+    """Span factory + finished-span store + metrics front-end."""
+
+    enabled = True
+
+    def __init__(self, sinks: Iterable = (),
+                 metrics: Optional[Metrics] = None) -> None:
+        self.sinks = list(sinks)
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._finished: List[Span] = []
+        self._local = threading.local()
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, **attributes: object) -> _ActiveSpan:
+        parent = self.current_span()
+        span_id = next(self._ids)
+        return _ActiveSpan(self, Span(
+            name=name,
+            span_id=span_id,
+            trace_id=parent.trace_id if parent else span_id,
+            parent_id=parent.span_id if parent else None,
+            depth=parent.depth + 1 if parent else 0,
+            start=0.0,
+            attributes=attributes,
+        ))
+
+    def current_span(self) -> Optional[Span]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+        for sink in self.sinks:
+            sink.emit(span)
+
+    # -- reading -----------------------------------------------------------
+
+    def finished_spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def spans_in_trace(self, trace_id: int) -> List[Span]:
+        with self._lock:
+            return [s for s in self._finished if s.trace_id == trace_id]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.metrics.inc(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+        self.metrics.clear()
+
+    def close(self) -> None:
+        """Close every sink that supports closing (flushes files)."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+class NullTracer(Tracer):
+    """The default: every operation is a constant-time no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(metrics=NULL_METRICS)
+        self._null_context = _NullSpanContext()
+
+    def span(self, name: str, **attributes: object) -> _NullSpanContext:  # type: ignore[override]
+        return self._null_context
+
+    def inc(self, name: str, value: float = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def _record(self, span: Span) -> None:  # pragma: no cover - unreachable
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.apk.package import ApkPackage
+from repro.obs import NULL_TRACER, Tracer
 from repro.smali.apktool import Apktool, DecodedApk
 from repro.static.aftm import AFTM
 from repro.static.dependency import (
@@ -56,7 +57,9 @@ class StaticInfo:
     support_library: Dict[str, bool]
     static_api_map: Dict[str, List[str]]  # component class -> api names
     view_components_json: str
-    decoded: DecodedApk = field(repr=False, default=None)  # type: ignore[assignment]
+    # The decoded APK is carried for downstream static passes (call
+    # graph, lint); absent when the model was deserialized from JSON.
+    decoded: Optional[DecodedApk] = field(repr=False, default=None)
 
     @property
     def activity_count(self) -> int:
@@ -68,55 +71,78 @@ class StaticInfo:
 
 
 def extract_static_info(apk: ApkPackage,
-                        input_values: Optional[Dict[str, str]] = None) -> StaticInfo:
+                        input_values: Optional[Dict[str, str]] = None,
+                        tracer: Optional[Tracer] = None) -> StaticInfo:
     """Run the full static pipeline on one APK.
 
     ``input_values`` plays the analyst's role for the input-dependency
     file: widget resource-IDs mapped to correct values, filled in advance
-    (Section V-C).
+    (Section V-C).  ``tracer`` records one span per phase (decode,
+    Algorithms 1–3, input dependency, sensitive scan).
     """
-    decoded = Apktool().decode(apk)
-    activities = declared_activities(decoded)
-    fragments = effective_fragments(decoded, activities)
-    hosts = fragment_hosts(decoded, activities, fragments)
-    aftm = build_aftm(decoded, activities, fragments, hosts)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("static.extract", app=apk.package) as root:
+        with tracer.span("static.decode", app=apk.package):
+            decoded = Apktool().decode(apk)
 
-    # Effective = working: only components surviving the isolation prune.
-    effective_activity_names = sorted(n.name for n in aftm.activities)
-    effective_fragment_names = sorted(n.name for n in aftm.fragments)
+        # Algorithm 1: effective components and the initial AFTM.
+        with tracer.span("static.algorithm1.aftm", app=apk.package) as span:
+            activities = declared_activities(decoded)
+            fragments = effective_fragments(decoded, activities)
+            hosts = fragment_hosts(decoded, activities, fragments)
+            aftm = build_aftm(decoded, activities, fragments, hosts)
+            span.set_attribute("activities", len(aftm.activities))
+            span.set_attribute("fragments", len(aftm.fragments))
 
-    dependency = activity_fragment_dependency(decoded, effective_activity_names)
-    resource_dep = extract_resource_dependency(
-        decoded, effective_activity_names, effective_fragment_names
-    )
-    input_dep = extract_input_dependency(decoded)
-    if input_values:
-        for widget_id, value in input_values.items():
-            input_dep.provide(widget_id, value)
+        # Effective = working: only components surviving the isolation prune.
+        effective_activity_names = sorted(n.name for n in aftm.activities)
+        effective_fragment_names = sorted(n.name for n in aftm.fragments)
 
-    uses_manager = {
-        activity: uses_fragment_manager(decoded, activity)
-        for activity in effective_activity_names
-    }
-    support = {
-        activity: support_library_activity(decoded, activity)
-        for activity in effective_activity_names
-    }
-    return StaticInfo(
-        package=apk.package,
-        aftm=aftm,
-        activities=effective_activity_names,
-        fragments=effective_fragment_names,
-        fragment_hosts=hosts,
-        dependency=dependency,
-        resource_dep=resource_dep,
-        input_dep=input_dep,
-        uses_manager=uses_manager,
-        support_library=support,
-        static_api_map=_scan_sensitive_invokes(decoded),
-        view_components_json=_view_components_json(decoded),
-        decoded=decoded,
-    )
+        # Algorithm 2: the Activity & Fragment dependency.
+        with tracer.span("static.algorithm2.dependency", app=apk.package):
+            dependency = activity_fragment_dependency(
+                decoded, effective_activity_names
+            )
+
+        # Algorithm 3: the resource dependency / AFRM.
+        with tracer.span("static.algorithm3.resource_dep", app=apk.package):
+            resource_dep = extract_resource_dependency(
+                decoded, effective_activity_names, effective_fragment_names
+            )
+
+        with tracer.span("static.input_dep", app=apk.package):
+            input_dep = extract_input_dependency(decoded)
+            if input_values:
+                for widget_id, value in input_values.items():
+                    input_dep.provide(widget_id, value)
+
+        uses_manager = {
+            activity: uses_fragment_manager(decoded, activity)
+            for activity in effective_activity_names
+        }
+        support = {
+            activity: support_library_activity(decoded, activity)
+            for activity in effective_activity_names
+        }
+        with tracer.span("static.sensitive_scan", app=apk.package):
+            static_api_map = _scan_sensitive_invokes(decoded)
+        root.set_attribute("activities", len(effective_activity_names))
+        root.set_attribute("fragments", len(effective_fragment_names))
+        return StaticInfo(
+            package=apk.package,
+            aftm=aftm,
+            activities=effective_activity_names,
+            fragments=effective_fragment_names,
+            fragment_hosts=hosts,
+            dependency=dependency,
+            resource_dep=resource_dep,
+            input_dep=input_dep,
+            uses_manager=uses_manager,
+            support_library=support,
+            static_api_map=static_api_map,
+            view_components_json=_view_components_json(decoded),
+            decoded=decoded,
+        )
 
 
 def _scan_sensitive_invokes(decoded: DecodedApk) -> Dict[str, List[str]]:

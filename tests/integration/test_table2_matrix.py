@@ -9,14 +9,14 @@ fragments were never shown must be absent or weaker — never stronger.
 
 import pytest
 
-from repro.bench.parallel import explore_many
+from repro.bench.parallel import explore_many, unwrap_results
 from repro.core.sensitive_analysis import build_api_report
 from repro.corpus import API_PLAN, TABLE1_PLANS
 
 
 @pytest.fixture(scope="module")
 def report_and_results():
-    results = explore_many(TABLE1_PLANS, max_workers=4)
+    results = unwrap_results(explore_many(TABLE1_PLANS, max_workers=4))
     return build_api_report(results.values()), results
 
 

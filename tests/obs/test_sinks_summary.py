@@ -1,0 +1,95 @@
+"""JSONL sink round-trip and the summary table."""
+
+import io
+
+from repro.obs import (
+    JsonlSink,
+    Span,
+    Tracer,
+    aggregate_spans,
+    read_spans,
+    render_summary,
+    timing_rows,
+    top_slowest,
+)
+
+
+def _trace_some(tracer):
+    with tracer.span("outer", app="com.example"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner"):
+            pass
+
+
+def test_jsonl_round_trip_via_file(tmp_path):
+    path = tmp_path / "run.jsonl"
+    sink = JsonlSink(path)
+    tracer = Tracer(sinks=[sink])
+    _trace_some(tracer)
+    tracer.close()
+
+    loaded = read_spans(path)
+    original = tracer.finished_spans()
+    assert len(loaded) == len(original) == 3
+    for got, want in zip(loaded, original):
+        assert got.name == want.name
+        assert got.span_id == want.span_id
+        assert got.trace_id == want.trace_id
+        assert got.parent_id == want.parent_id
+        assert got.depth == want.depth
+        assert got.duration == want.duration
+        assert got.attributes == want.attributes
+
+
+def test_jsonl_sink_accepts_open_handles():
+    handle = io.StringIO()
+    sink = JsonlSink(handle)
+    tracer = Tracer(sinks=[sink])
+    _trace_some(tracer)
+    sink.close()  # flushes but must not close a borrowed handle
+    handle.seek(0)
+    spans = read_spans(handle)
+    assert [s.name for s in spans] == ["inner", "inner", "outer"]
+
+
+def _span(name, duration, **attrs):
+    return Span(name=name, span_id=1, trace_id=1, parent_id=None,
+                depth=0, start=0.0, duration=duration, attributes=attrs)
+
+
+def test_aggregate_spans_groups_by_name():
+    spans = [_span("a", 0.2), _span("a", 0.4), _span("b", 0.1)]
+    stats = {s.name: s for s in aggregate_spans(spans)}
+    assert stats["a"].count == 2
+    assert abs(stats["a"].total - 0.6) < 1e-9
+    assert abs(stats["a"].mean - 0.3) < 1e-9
+    assert stats["a"].maximum == 0.4
+    assert stats["b"].count == 1
+    # Sorted by total descending.
+    assert [s.name for s in aggregate_spans(spans)] == ["a", "b"]
+
+
+def test_top_slowest_orders_individual_spans():
+    spans = [_span("a", 0.1), _span("b", 0.5), _span("c", 0.3)]
+    assert [s.name for s in top_slowest(spans, 2)] == ["b", "c"]
+    assert top_slowest(spans, 0) == []
+
+
+def test_render_summary_contains_aggregates_and_slowest():
+    spans = [_span("static.extract", 0.25, app="com.example"),
+             _span("explorer.test_case", 0.05)]
+    text = render_summary(spans, top=5)
+    assert "static.extract" in text
+    assert "explorer.test_case" in text
+    assert "app=com.example" in text
+    assert "top 2 slowest spans" in text
+    assert render_summary([], top=5) == "no spans recorded"
+
+
+def test_timing_rows_format():
+    rows = timing_rows([_span("x", 0.5)])
+    assert rows[0][0] == "x"
+    assert rows[0][1] == 1
+    assert rows[0][2] == "0.5000"
+    assert rows[0][3] == "500.00"

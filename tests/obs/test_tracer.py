@@ -1,0 +1,121 @@
+"""Spans: nesting, attributes, thread isolation, the null tracer."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, InMemorySink, NullTracer, Tracer
+
+
+def test_span_records_duration_and_attributes():
+    tracer = Tracer()
+    with tracer.span("phase", app="com.example") as span:
+        span.set_attribute("items", 3)
+    (finished,) = tracer.finished_spans()
+    assert finished.name == "phase"
+    assert finished.duration >= 0
+    assert finished.attributes == {"app": "com.example", "items": 3}
+
+
+def test_span_nesting_builds_parent_child_structure():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("middle") as middle:
+            with tracer.span("inner") as inner:
+                pass
+    spans = {s.name: s for s in tracer.finished_spans()}
+    assert spans["outer"].parent_id is None
+    assert spans["outer"].depth == 0
+    assert spans["middle"].parent_id == outer.span_id
+    assert spans["middle"].depth == 1
+    assert spans["inner"].parent_id == middle.span_id
+    assert spans["inner"].depth == 2
+    # All three share the root's trace.
+    assert {s.trace_id for s in spans.values()} == {outer.trace_id}
+    assert inner.trace_id == outer.span_id
+    # Children finish before parents, and nested durations are contained.
+    order = [s.name for s in tracer.finished_spans()]
+    assert order == ["inner", "middle", "outer"]
+    assert spans["outer"].duration >= spans["middle"].duration
+
+
+def test_sibling_spans_share_trace_but_not_parentage():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+    spans = {s.name: s for s in tracer.finished_spans()}
+    assert spans["a"].parent_id == root.span_id
+    assert spans["b"].parent_id == root.span_id
+    assert spans["a"].span_id != spans["b"].span_id
+    assert tracer.spans_in_trace(root.trace_id) == tracer.finished_spans()
+
+
+def test_exception_is_recorded_and_propagated():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("failing"):
+            raise ValueError("boom")
+    (span,) = tracer.finished_spans()
+    assert "boom" in span.attributes["error"]
+
+
+def test_threads_get_independent_traces():
+    tracer = Tracer()
+
+    def work(name):
+        with tracer.span(name):
+            pass
+
+    threads = [threading.Thread(target=work, args=(f"t{i}",))
+               for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    spans = tracer.finished_spans()
+    assert len(spans) == 4
+    # Each thread's span is its own root: distinct traces, no parents.
+    assert all(s.parent_id is None for s in spans)
+    assert len({s.trace_id for s in spans}) == 4
+
+
+def test_sinks_receive_finished_spans():
+    sink = InMemorySink()
+    tracer = Tracer(sinks=[sink])
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    assert [s.name for s in sink.spans] == ["b", "a"]
+
+
+def test_clear_resets_spans_and_metrics():
+    tracer = Tracer()
+    with tracer.span("x"):
+        tracer.inc("n")
+    tracer.clear()
+    assert tracer.finished_spans() == []
+    assert tracer.metrics.counter("n") == 0
+
+
+def test_null_tracer_records_nothing():
+    tracer = NullTracer()
+    with tracer.span("anything", app="x") as span:
+        span.set_attribute("ignored", 1)
+        tracer.inc("counter")
+        tracer.observe("histogram", 5)
+    assert tracer.finished_spans() == []
+    assert tracer.metrics.counter("counter") == 0
+    assert tracer.metrics.histogram("histogram") == ()
+    assert not tracer.enabled
+
+
+def test_null_tracer_is_reentrant_singleton():
+    with NULL_TRACER.span("a") as outer:
+        with NULL_TRACER.span("b") as inner:
+            pass
+    # One shared no-op span: no allocation per call.
+    assert outer is inner
+    assert NULL_TRACER.span("x") is NULL_TRACER.span("y")

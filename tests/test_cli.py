@@ -132,3 +132,24 @@ def test_batch_empty_directory(capsys, tmp_path):
     code, _ = run_cli(capsys, "batch", str(tmp_path), "-o",
                       str(tmp_path / "out"))
     assert code == 1
+
+
+def test_explore_trace_jsonl_and_trace_summary(capsys, tmp_path):
+    trace = tmp_path / "run.jsonl"
+    code, out = run_cli(capsys, "explore", "demo:tabs",
+                        "--trace-jsonl", str(trace))
+    assert code == 0
+    assert "spans" in out
+    assert trace.exists() and trace.read_text().strip()
+
+    code, out = run_cli(capsys, "trace-summary", str(trace), "--top", "3")
+    assert code == 0
+    assert "static.extract" in out
+    assert "explorer.test_case" in out
+    assert "slowest spans" in out
+
+
+def test_trace_summary_missing_file(capsys, tmp_path):
+    code, out = run_cli(capsys, "trace-summary", str(tmp_path / "nope.jsonl"))
+    assert code == 1
+    assert "no such trace file" in out

@@ -1,13 +1,24 @@
 """The parallel sweep runner."""
 
-from repro.bench.parallel import explore_many, explore_one
+import pytest
+
+from repro.bench.parallel import (
+    explore_many,
+    explore_one,
+    successful_results,
+    unwrap_results,
+)
 from repro.corpus import TABLE1_PLANS
+from repro.corpus.synth import AppPlan
 from repro.corpus.table1_apps import TABLE1_EXPECTED, plan_for
+from repro.errors import PackedApkError
 
 
 def test_explore_one_matches_serial():
     plan = plan_for("net.aviascanner.aviascanner")
-    result = explore_one(plan)
+    outcome = explore_one(plan)
+    assert outcome.ok
+    result = outcome.unwrap()
     expected = TABLE1_EXPECTED[plan.package]
     assert len(result.visited_activities) == expected[0]
     assert len(result.visited_fragments) == expected[2]
@@ -20,7 +31,7 @@ def test_explore_many_concurrent_results_match_paper():
         "com.happy2.bbmanga",
         "net.aviascanner.aviascanner",
     )]
-    results = explore_many(plans, max_workers=4)
+    results = unwrap_results(explore_many(plans, max_workers=4))
     assert set(results) == {p.package for p in plans}
     for package, result in results.items():
         expected = TABLE1_EXPECTED[package]
@@ -30,8 +41,78 @@ def test_explore_many_concurrent_results_match_paper():
 
 def test_devices_are_isolated():
     plans = [plan_for("org.rbc.odb"), plan_for("com.happy2.bbmanga")]
-    results = explore_many(plans, max_workers=2)
+    results = unwrap_results(explore_many(plans, max_workers=2))
     # Each result only contains invocations from its own package.
     for package, result in results.items():
         assert all(i.component.package == package
                    for i in result.api_invocations)
+
+
+# ---------------------------------------------------------------------------
+# Failure isolation
+# ---------------------------------------------------------------------------
+
+def test_packed_app_does_not_abort_the_sweep():
+    """One packed app among healthy ones: the sweep completes, yielding
+    the healthy results and one recorded failure."""
+    plans = [
+        plan_for("org.rbc.odb"),
+        AppPlan(package="com.packer.victim", visited_activities=2,
+                packed=True),
+        plan_for("com.happy2.bbmanga"),
+    ]
+    outcomes = explore_many(plans, max_workers=3)
+    assert set(outcomes) == {p.package for p in plans}
+
+    failed = outcomes["com.packer.victim"]
+    assert not failed.ok
+    assert isinstance(failed.error, PackedApkError)
+    assert failed.result is None
+    with pytest.raises(PackedApkError):
+        failed.unwrap()
+
+    healthy = successful_results(outcomes)
+    assert set(healthy) == {"org.rbc.odb", "com.happy2.bbmanga"}
+    for package, result in healthy.items():
+        expected = TABLE1_EXPECTED[package]
+        assert len(result.visited_activities) == expected[0], package
+
+    # The strict accessor surfaces the captured failure.
+    with pytest.raises(PackedApkError):
+        unwrap_results(outcomes)
+
+
+def test_explore_one_captures_build_failures(monkeypatch):
+    """APK build failures inside the worker are captured, not raised."""
+    import repro.bench.parallel as parallel
+    from repro.errors import ApkError
+
+    def broken_build(spec):
+        raise ApkError("corrupt resource table")
+
+    monkeypatch.setattr(parallel, "build_apk", broken_build)
+    outcome = explore_one(plan_for("org.rbc.odb"))
+    assert not outcome.ok
+    assert outcome.result is None
+    assert isinstance(outcome.error, ApkError)
+
+
+def test_sweep_outcome_duration_recorded():
+    outcome = explore_one(plan_for("org.rbc.odb"))
+    assert outcome.ok
+    assert outcome.duration > 0
+
+
+def test_explore_many_empty_plan_list():
+    assert explore_many([]) == {}
+
+
+def test_default_worker_count():
+    from repro.bench.parallel import _default_workers
+
+    assert _default_workers(1) == 1
+    assert _default_workers(0) == 1
+    import os
+
+    cap = os.cpu_count() or 4
+    assert _default_workers(10_000) == min(10_000, cap)
