@@ -1,0 +1,78 @@
+"""Chaos benchmark: Table-I coverage under the fault profiles.
+
+Runs the full evaluation sweep under each named fault profile with a
+fixed seed and pins the resilience bar: the mild profile must keep mean
+coverage within 10% (relative) of the fault-free baseline, and even the
+hostile profile must complete with every failure classified — no
+unhandled exceptions, no unexplained outcomes.
+"""
+
+from repro import FragDroidConfig
+from repro.bench import explore_many, fault_census, successful_results
+from repro.core.coverage import CoverageReport, CoverageRow
+
+SEED = 2018
+TOLERANCE = 0.10
+
+
+def _sweep(profile):
+    config = FragDroidConfig(fault_profile=profile, fault_seed=SEED)
+    return explore_many(config=config)
+
+
+def _coverage(outcomes):
+    rows = [CoverageRow.from_result(result)
+            for result in successful_results(outcomes).values()]
+    return CoverageReport(rows)
+
+
+def _run_all():
+    return {profile: _sweep(profile)
+            for profile in ("none", "mild", "hostile")}
+
+
+def _render(sweeps):
+    lines = [f"chaos sweep over Table I (seed {SEED})", ""]
+    for profile, outcomes in sweeps.items():
+        report = _coverage(outcomes)
+        census = fault_census(outcomes)
+        failed = ", ".join(f"{k}={v}" for k, v in sorted(census.items()))
+        lines.append(
+            f"{profile:>8}: {len(report.rows)}/{len(outcomes)} apps ok, "
+            f"mean activity {report.mean_activity_rate:.2%}, "
+            f"mean fragment {report.mean_fragment_rate:.2%}"
+            + (f", failures: {failed}" if failed else "")
+        )
+    return "\n".join(lines)
+
+
+def test_chaos_profiles(benchmark, save_result):
+    sweeps = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    save_result("chaos", _render(sweeps))
+
+    baseline = _coverage(sweeps["none"])
+    assert all(o.ok for o in sweeps["none"].values())
+
+    # Mild: the retry/recovery machinery must hold coverage within 10%
+    # of the fault-free numbers.
+    mild = _coverage(sweeps["mild"])
+    assert (mild.mean_activity_rate
+            >= baseline.mean_activity_rate * (1 - TOLERANCE))
+    assert (mild.mean_fragment_rate
+            >= baseline.mean_fragment_rate * (1 - TOLERANCE))
+
+    # Hostile: graceful degradation, not graceful completion — but the
+    # sweep finishes and every failure carries a fault classification.
+    hostile = sweeps["hostile"]
+    assert len(hostile) == len(sweeps["none"])
+    for outcome in hostile.values():
+        assert outcome.ok or outcome.fault_kind is not None, (
+            f"{outcome.package}: unclassified {outcome.error!r}")
+    assert "other" not in fault_census(hostile)
+
+    # Resilient runs account for their adversity in the degradation
+    # section; fault-free runs must not grow one.
+    assert all(r.degradation is None
+               for r in successful_results(sweeps["none"]).values())
+    assert all(r.degradation is not None
+               for r in successful_results(sweeps["hostile"]).values())

@@ -26,10 +26,12 @@ __all__ = [
     "Adb",
     "Device",
     "ExplorationResult",
+    "FaultPlan",
     "FragDroid",
     "FragDroidConfig",
     "Solo",
     "build_apk",
+    "fault_plan",
     "__version__",
 ]
 
@@ -40,10 +42,12 @@ _EXPORTS = {
     "Adb": ("repro.adb.bridge", "Adb"),
     "Device": ("repro.android.device", "Device"),
     "ExplorationResult": ("repro.core.explorer", "ExplorationResult"),
+    "FaultPlan": ("repro.faults.plan", "FaultPlan"),
     "FragDroid": ("repro.core.explorer", "FragDroid"),
     "FragDroidConfig": ("repro.core.config", "FragDroidConfig"),
     "Solo": ("repro.robotium.solo", "Solo"),
     "build_apk": ("repro.apk.builder", "build_apk"),
+    "fault_plan": ("repro.faults.plan", "fault_plan"),
 }
 
 

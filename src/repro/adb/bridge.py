@@ -46,6 +46,7 @@ class Adb:
 
     def uninstall(self, package: str) -> str:
         self.command_log.append(f"adb uninstall {package}")
+        self.tracer.inc("adb.uninstalls")
         self.device.uninstall(package)
         return "Success"
 
@@ -119,4 +120,5 @@ class Adb:
         self.command_log.append(
             "adb logcat" + (f" -s {tag}" if tag else "")
         )
+        self.tracer.inc("adb.logcat")
         return [str(e) for e in self.device.logcat.entries(tag=tag)]

@@ -10,6 +10,7 @@ from repro.bench.parallel import (
     SweepOutcome,
     explore_many,
     explore_one,
+    fault_census,
     successful_results,
     unwrap_results,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "UsageStudyResult",
     "explore_many",
     "explore_one",
+    "fault_census",
     "run_ablation",
     "run_baseline_comparison",
     "run_table1",

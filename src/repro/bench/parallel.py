@@ -22,11 +22,12 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, Optional, Sequence
 
-from repro import Device, FragDroid, FragDroidConfig
+from repro import FragDroid, FragDroidConfig
 from repro.apk import build_apk
 from repro.core.explorer import ExplorationResult
 from repro.corpus import TABLE1_PLANS, build_app
 from repro.corpus.synth import AppPlan
+from repro.faults import classify_fault, make_device
 from repro.obs import NULL_TRACER
 
 
@@ -39,6 +40,10 @@ class SweepOutcome:
     result: Optional[ExplorationResult] = None
     error: Optional[BaseException] = None
     duration: float = 0.0
+    # The fault family of a captured failure ("adb-transient",
+    # "timeout", "disconnect", "crash", "packed-apk"); None for a
+    # success or an unclassified failure.
+    fault_kind: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -65,16 +70,22 @@ def explore_one(plan: AppPlan,
     a failed outcome, it does not raise.
     """
     tracer = config.tracer if config is not None else NULL_TRACER
+    fault_plan = config.fault_plan if config is not None else None
     started = perf_counter()
     with tracer.span("sweep.app", app=plan.package) as span:
         try:
             apk = build_apk(build_app(plan))
-            result = FragDroid(Device(), config).explore(apk)
+            device = make_device(fault_plan, scope=plan.package)
+            result = FragDroid(device, config).explore(apk)
         except Exception as exc:
             tracer.inc("sweep.failures")
             span.set_attribute("error", repr(exc))
+            kind = classify_fault(exc)
+            if kind is not None:
+                tracer.inc(f"sweep.faults.{kind}")
             return SweepOutcome(package=plan.package, error=exc,
-                                duration=perf_counter() - started)
+                                duration=perf_counter() - started,
+                                fault_kind=kind)
     tracer.inc("sweep.apps")
     return SweepOutcome(package=plan.package, result=result,
                         duration=perf_counter() - started)
@@ -127,3 +138,19 @@ def successful_results(
     return {package: outcome.result
             for package, outcome in outcomes.items()
             if outcome.ok and outcome.result is not None}
+
+
+def fault_census(outcomes: Dict[str, SweepOutcome]) -> Dict[str, int]:
+    """Failed outcomes tallied by fault family.
+
+    Classified faults count under their kind ("adb-transient",
+    "timeout", "disconnect", "crash", "packed-apk"); anything else
+    under "other".  Empty when the sweep was fully healthy.
+    """
+    census: Dict[str, int] = {}
+    for outcome in outcomes.values():
+        if outcome.ok:
+            continue
+        kind = outcome.fault_kind or "other"
+        census[kind] = census.get(kind, 0) + 1
+    return census

@@ -31,6 +31,7 @@ from repro.bench import (
 )
 from repro.core.report import aftm_to_json, result_to_json
 from repro.core.sensitive_analysis import build_api_report
+from repro.faults import FAULT_PROFILES, make_device
 from repro.corpus import (
     build_table1_app,
     demo_aftm_example,
@@ -72,6 +73,8 @@ def _config_from(args: argparse.Namespace) -> FragDroidConfig:
         enable_click_exploration=not args.no_click_sweep,
         input_strategy="heuristic" if args.heuristic_inputs else "default",
         max_events=args.max_events,
+        fault_profile=getattr(args, "faults", "none"),
+        fault_seed=getattr(args, "fault_seed", 0),
     )
     if getattr(args, "trace_jsonl", None):
         from repro.obs import JsonlSink, Tracer
@@ -93,6 +96,13 @@ def _add_explore_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-click-sweep", action="store_true")
     parser.add_argument("--heuristic-inputs", action="store_true")
     parser.add_argument("--max-events", type=int, default=20000)
+    parser.add_argument("--faults", metavar="PROFILE",
+                        choices=sorted(FAULT_PROFILES), default="none",
+                        help="fault-injection profile (none | mild | "
+                             "hostile); the run retries, quarantines "
+                             "and reports a degradation section")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the deterministic fault stream")
     parser.add_argument("--json", action="store_true",
                         help="emit the structured JSON report")
     parser.add_argument("--trace", action="store_true",
@@ -129,7 +139,8 @@ def cmd_static(args: argparse.Namespace) -> int:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    result = FragDroid(Device(), config).explore(_resolve_apk(args.app))
+    device = make_device(config.fault_plan, scope=args.app)
+    result = FragDroid(device, config).explore(_resolve_apk(args.app))
     config.tracer.close()
     if args.json:
         print(result_to_json(result))
@@ -149,7 +160,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
 def cmd_audit(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    result = FragDroid(Device(), config).explore(_resolve_apk(args.app))
+    device = make_device(config.fault_plan, scope=args.app)
+    result = FragDroid(device, config).explore(_resolve_apk(args.app))
     config.tracer.close()
     report = build_api_report([result])
     print(report.render())

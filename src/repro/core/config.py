@@ -13,13 +13,20 @@ ablation benchmarks can disable each mechanism independently:
 ``tracer`` opts the run into the observability layer (``repro.obs``):
 the default :data:`~repro.obs.NULL_TRACER` keeps every span and counter
 a no-op, so instrumented code behaves exactly as before.
+
+``fault_profile`` / ``fault_plan`` opt the run into the fault-injection
+layer (``repro.faults``): the default ``"none"`` resolves to no plan at
+all, so the explorer builds the plain ``Adb`` path and outputs stay
+byte-identical to a fault-free run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.faults.plan import FAULT_PROFILES, FaultPlan, fault_plan
+from repro.faults.retry import RetryPolicy
 from repro.obs import NULL_TRACER, Tracer
 
 
@@ -38,14 +45,6 @@ class FragDroidConfig:
     # Queue maintenance strategy: "breadth" (the paper's width-first
     # queue) or "depth" (A3E-style), for the strategy ablation.
     queue_order: str = "breadth"
-
-    def __post_init__(self) -> None:
-        if self.input_strategy not in ("default", "heuristic"):
-            raise ValueError(
-                f"unknown input strategy: {self.input_strategy!r}"
-            )
-        if self.queue_order not in ("breadth", "depth"):
-            raise ValueError(f"unknown queue order: {self.queue_order!r}")
     # Safety rails: a real run is bounded by wall-clock; ours by events.
     max_events: int = 20000
     max_queue_items: int = 2000
@@ -54,6 +53,48 @@ class FragDroidConfig:
     # nothing and costs nothing; pass a real Tracer to collect spans
     # and counters across the whole pipeline.
     tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
+    # Fault injection & resilience (repro.faults).  Either name a
+    # profile ("none" | "mild" | "hostile") + seed, or pass a concrete
+    # FaultPlan (which wins).  A plan that can inject something flips
+    # the explorer into resilient mode: FaultyAdb with retries, crash
+    # re-enqueueing, and widget quarantine.
+    fault_profile: str = "none"
+    fault_seed: int = 0
+    fault_plan: Optional[FaultPlan] = None
+    # Retry schedule for adb commands under faults; None = the
+    # RetryPolicy defaults.
+    retry_policy: Optional[RetryPolicy] = None
+    # Strikes (crashes/hangs) before a widget is quarantined.
+    quarantine_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.input_strategy not in ("default", "heuristic"):
+            raise ValueError(
+                f"unknown input strategy: {self.input_strategy!r}"
+            )
+        if self.queue_order not in ("breadth", "depth"):
+            raise ValueError(f"unknown queue order: {self.queue_order!r}")
+        for rail in ("max_events", "max_queue_items",
+                     "max_restarts_per_item", "quarantine_threshold"):
+            value = getattr(self, rail)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ValueError(
+                    f"{rail} must be a positive integer, got {value!r}"
+                )
+        if self.fault_profile not in FAULT_PROFILES:
+            raise ValueError(
+                f"unknown fault profile: {self.fault_profile!r}; "
+                f"choose from {sorted(FAULT_PROFILES)}"
+            )
+        if self.fault_plan is None and self.fault_profile != "none":
+            self.fault_plan = fault_plan(self.fault_profile,
+                                         seed=self.fault_seed)
+
+    @property
+    def faults_enabled(self) -> bool:
+        """Whether this run injects faults (and runs resiliently)."""
+        return self.fault_plan is not None and self.fault_plan.enabled
 
     @classmethod
     def activity_only(cls) -> "FragDroidConfig":

@@ -50,10 +50,15 @@ from repro.core.testcase import TestCase
 from repro.core.ui_driver import UiDriver, UiSnapshot
 from repro.errors import (
     ActivityNotFoundError,
+    CommandTimeoutError,
     ReflectionError,
     SecurityException,
     TestCaseError,
+    TransientError,
 )
+from repro.faults.adb import FaultyAdb
+from repro.faults.degradation import Degradation
+from repro.faults.quarantine import WidgetQuarantine
 from repro.obs import Span
 from repro.robotium.solo import Solo
 from repro.static.aftm import AFTM, Node, NodeKind, activity_node, fragment_node
@@ -112,6 +117,10 @@ class ExplorationResult:
     # snapshot — both empty unless the config carried an enabled tracer.
     spans: List[Span] = field(default_factory=list, repr=False)
     metrics: Dict = field(default_factory=dict, repr=False)
+    # Graceful degradation (repro.faults): faults seen, retries spent,
+    # quarantined widgets and recovery outcomes — None unless the run
+    # carried an active fault plan.
+    degradation: Optional[Degradation] = None
 
     def trace_text(self) -> str:
         """The run trace as readable lines."""
@@ -164,6 +173,8 @@ class ExplorationResult:
             f"test cases: {self.stats.test_cases}, "
             f"events: {self.stats.events}, crashes: {self.stats.crashes}",
         ]
+        if self.degradation is not None:
+            lines.append(self.degradation.render())
         return "\n".join(lines)
 
 
@@ -174,7 +185,15 @@ class FragDroid:
                  config: Optional[FragDroidConfig] = None) -> None:
         self.device = device
         self.config = config or FragDroidConfig()
-        self.adb = Adb(device, tracer=self.config.tracer)
+        if self.config.faults_enabled:
+            self.adb: Adb = FaultyAdb(
+                device,
+                plan=self.config.fault_plan,
+                policy=self.config.retry_policy,
+                tracer=self.config.tracer,
+            )
+        else:
+            self.adb = Adb(device, tracer=self.config.tracer)
         self.solo = Solo(device)
 
     # -- public API ----------------------------------------------------------------
@@ -240,6 +259,17 @@ class _Run:
         self._processed_signatures: Set[Tuple] = set()
         self._case1_done: Set[str] = set()
         self._api_start = len(self.device.api_monitor.invocations)
+        # Resilience (repro.faults): only an active fault plan arms the
+        # recovery machinery, so fault-free runs behave — and render —
+        # exactly as before.
+        self._resilient = self.config.faults_enabled
+        self.quarantine = WidgetQuarantine(
+            threshold=self.config.quarantine_threshold,
+            active=self._resilient,
+        )
+        self._item_restarts: Dict[Tuple, int] = {}
+        self._requeued_items = 0
+        self._abandoned_items = 0
 
     # -- queue management ---------------------------------------------------------
 
@@ -313,13 +343,29 @@ class _Run:
         self.stats.test_cases += 1
         self.test_cases.append(case)
         self._trace("item", str(item))
+        crashes_before = self.device.crash_count
         try:
             case.install_and_run(self.solo, self.adb)
         except ReflectionError as exc:
             self.stats.reflection_failures += 1
             self._trace("reflection-failure", str(exc))
             return False
+        except TransientError as exc:
+            # An injected fault survived the adb retry budget (or an
+            # ANR hit mid-replay): the item was interrupted by the
+            # environment, not the app — relaunch it later.
+            self.stats.failed_items += 1
+            self._trace("fault", str(exc))
+            self._requeue_interrupted(item)
+            return False
         except (TestCaseError, ActivityNotFoundError, SecurityException) as exc:
+            if self._resilient and self.device.crash_count > crashes_before:
+                # The app force-closed mid-item (spurious or real):
+                # record the crash and re-enqueue the interrupted item.
+                self.stats.crashes += 1
+                self._trace("crash", str(exc))
+                self._requeue_interrupted(item)
+                return False
             self.stats.failed_items += 1
             self._trace("item-failed", str(exc))
             return False
@@ -330,6 +376,27 @@ class _Run:
         self.passing_test_cases.append(case)
         return True
 
+    def _requeue_interrupted(self, item: UIQueueItem) -> None:
+        """Crash/fault recovery: put the interrupted item back on the
+        queue for a fresh relaunch, honouring ``max_restarts_per_item``.
+        An item that exhausts its budget is abandoned — recorded in the
+        degradation section instead of eating the rest of the run."""
+        if not self._resilient:
+            return
+        key = (item.method, item.target, item.operations)
+        restarts = self._item_restarts.get(key, 0)
+        if restarts >= self.config.max_restarts_per_item:
+            self._abandoned_items += 1
+            self.tracer.inc("resilience.abandoned_items")
+            self._trace("abandoned", str(item))
+            return
+        self._item_restarts[key] = restarts + 1
+        self._requeued_items += 1
+        self.stats.restarts += 1
+        self.tracer.inc("resilience.requeues")
+        self.queue.requeue(item)
+        self._trace("requeue", f"restart {restarts + 1}: {item}")
+
     def _replay(self, operations: Tuple[Operation, ...]) -> bool:
         """Restart the app and re-run a path (Case 3 restart handling)."""
         self.stats.restarts += 1
@@ -338,7 +405,7 @@ class _Run:
         try:
             case.run(self.solo, self.adb)
         except (TestCaseError, ReflectionError, ActivityNotFoundError,
-                SecurityException):
+                SecurityException, TransientError):
             return False
         return True
 
@@ -427,6 +494,9 @@ class _Run:
         for widget_id in widget_ids:
             if self._budget_exhausted():
                 return
+            if self.quarantine.blocked(widget_id):
+                self.tracer.inc("resilience.quarantine_skips")
+                continue
             if needs_replay:
                 restarts += 1
                 if restarts > self.config.max_restarts_per_item:
@@ -440,11 +510,18 @@ class _Run:
             try:
                 self.tracer.inc("clicks")
                 self.solo.click_on_view(widget_id)
+            except CommandTimeoutError as exc:
+                # Injected ANR: the widget swallowed the tap.  Strike
+                # it — a repeatedly hanging widget gets quarantined.
+                self._trace("anr", f"{widget_id}: {exc}")
+                self._strike(widget_id, "hang")
+                continue
             except Exception:
                 continue
             if not self.device.app_alive:
                 # FC: restart and continue under clicking (Case 3).
                 self.stats.crashes += 1
+                self._strike(widget_id, "crash")
                 needs_replay = True
                 continue
             if not self._in_target_app():
@@ -479,6 +556,15 @@ class _Run:
             )
             self.queue.push(follow_up)
             needs_replay = True
+
+    def _strike(self, widget_id: str, kind: str) -> None:
+        """Count a crash/hang against a widget; trace when the strike
+        trips the circuit breaker (no-op unless faults are active)."""
+        if self.quarantine.record(widget_id, kind):
+            self.tracer.inc("resilience.quarantined_widgets")
+            self._trace("quarantine", f"{widget_id} after "
+                                      f"{self.quarantine.strikes(widget_id)} "
+                                      f"{kind} strikes")
 
     def _node_of(self, snapshot: UiSnapshot) -> Optional[Node]:
         if snapshot.fragments:
@@ -537,6 +623,7 @@ class _Run:
         visited_fragments = {
             n.name for n in self.aftm.visited if n.kind is NodeKind.FRAGMENT
         }
+        degradation = self._degradation()
         return ExplorationResult(
             package=self.package,
             info=self.info,
@@ -549,4 +636,36 @@ class _Run:
             trace=self.trace,
             paths=dict(self._paths),
             passing_test_cases=self.passing_test_cases,
+            degradation=degradation,
+        )
+
+    def _degradation(self) -> Optional[Degradation]:
+        """The resilience account of the run — None when no fault plan
+        was active, keeping fault-free results unchanged."""
+        if not self._resilient:
+            return None
+        plan = self.config.fault_plan
+        assert plan is not None
+        faults: Dict[str, int] = {}
+        retries = recoveries = giveups = reconnects = 0
+        backoff = 0.0
+        if isinstance(self.adb, FaultyAdb):
+            faults = dict(self.adb.injector.injected)
+            retries = self.adb.retry_stats.retries
+            recoveries = self.adb.retry_stats.recoveries
+            giveups = self.adb.retry_stats.giveups
+            backoff = self.adb.retry_stats.backoff_s
+            reconnects = self.adb.reconnects
+        return Degradation(
+            profile=plan.profile,
+            seed=plan.seed,
+            faults=faults,
+            retries=retries,
+            recoveries=recoveries,
+            giveups=giveups,
+            backoff_s=backoff,
+            reconnects=reconnects,
+            quarantined=self.quarantine.blocked_ids(),
+            requeued_items=self._requeued_items,
+            abandoned_items=self._abandoned_items,
         )

@@ -107,6 +107,28 @@ def render_html_report(result: ExplorationResult) -> str:
             timing_rows(result.spans),
         )
 
+    # The degradation section exists only for fault-injected runs.
+    degradation_table = ""
+    if result.degradation is not None:
+        deg = result.degradation
+        fault_rows = [[kind, count]
+                      for kind, count in sorted(deg.faults.items())]
+        degradation_table = _table(
+            f"Degradation — fault profile "
+            f"'{deg.profile}' (seed {deg.seed})",
+            ["Metric", "Value"],
+            [["Faults injected", deg.total_faults],
+             *fault_rows,
+             ["Retries (recovered / gave up)",
+              f"{deg.retries} ({deg.recoveries} / {deg.giveups})"],
+             ["Backoff (simulated s)", f"{deg.backoff_s:.2f}"],
+             ["Reconnects", deg.reconnects],
+             ["Quarantined widgets",
+              ", ".join(deg.quarantined) or "none"],
+             ["Items re-enqueued / abandoned",
+              f"{deg.requeued_items} / {deg.abandoned_items}"]],
+        )
+
     return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -118,7 +140,7 @@ def render_html_report(result: ExplorationResult) -> str:
 <h1>FragDroid exploration report</h1>
 <p>Package: <code>{_esc(result.package)}</code></p>
 {_table("Run summary", ["Metric", "Value", "Rate"], summary_rows)}
-{timing_table}{_table("Components", ["Kind", "Class", "Status"], component_rows)}
+{timing_table}{degradation_table}{_table("Components", ["Kind", "Class", "Status"], component_rows)}
 {_table("AFTM transitions",
         ["Kind", "From", "To", "Host", "Trigger"], edge_rows)}
 {_table("Sensitive API relations",

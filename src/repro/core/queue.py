@@ -127,6 +127,13 @@ class UIQueue:
     def push_all(self, items: Iterable[UIQueueItem]) -> int:
         return sum(1 for item in items if self.push(item))
 
+    def requeue(self, item: UIQueueItem) -> None:
+        """Re-enqueue an item interrupted mid-execution (crash
+        recovery).  Bypasses duplicate suppression — the item was
+        already admitted once and its re-run budget is enforced by the
+        explorer's ``max_restarts_per_item`` rail, not here."""
+        self._queue.append(item)
+
     def pop(self) -> UIQueueItem:
         if self._order == "depth":
             return self._queue.pop()

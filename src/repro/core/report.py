@@ -127,6 +127,10 @@ def result_to_dict(result: ExplorationResult) -> Dict:
         report["timing"] = timing_to_dict(result.spans)
     if result.metrics:
         report["metrics"] = result.metrics
+    # Likewise the degradation section exists only for fault-injected
+    # runs (repro.faults).
+    if result.degradation is not None:
+        report["degradation"] = result.degradation.to_dict()
     return report
 
 

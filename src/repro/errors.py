@@ -81,6 +81,31 @@ class AppCrashError(DeviceError):
         self.reason = reason
 
 
+class TransientError(DeviceError):
+    """A retryable, environment-caused failure (flaky cable, busy adb
+    server, momentary unresponsiveness) — the class of errors the
+    resilience layer (:mod:`repro.faults`) is allowed to retry."""
+
+
+class TransientAdbError(TransientError):
+    """An adb command failed for a transient reason (``error: device
+    still authorizing``, ``error: closed``); reissuing it usually works."""
+
+
+class CommandTimeoutError(TransientError):
+    """A command or widget interaction hung past its deadline.
+
+    Covers both an adb command that never returns and an ANR-style
+    unresponsive widget — from the harness's perspective both surface
+    as the instrumentation timing out.
+    """
+
+
+class DeviceDisconnectedError(TransientAdbError):
+    """The device dropped off the bridge mid-run (``adb devices`` shows
+    it offline); an ``adb reconnect`` is required before retrying."""
+
+
 class ReflectionError(DeviceError):
     """A reflective fragment switch failed.
 

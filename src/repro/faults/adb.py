@@ -1,0 +1,139 @@
+"""The adb bridge under adversity: injected faults, healed by retries.
+
+:class:`FaultyAdb` fronts every command issue (install, uninstall,
+``am start``, ``am instrument``, logcat) with a fault draw and a
+:class:`~repro.faults.retry.RetryPolicy`:
+
+* a **transient** failure or a **hang** raises, backs off, and reissues
+  the command;
+* a **disconnect** takes the bridge down — every subsequent command
+  fails until the retry path performs the ``adb reconnect`` (logged in
+  the command transcript, like the real shell session would show).
+
+The fault gate sits *before* the delegated command, so each command's
+real effect happens exactly once, on the first attempt that clears the
+gate — retries re-roll the environment, not the device state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TypeVar
+
+from repro.adb.bridge import Adb
+from repro.android.device import Device
+from repro.apk.package import ApkPackage
+from repro.errors import (
+    CommandTimeoutError,
+    DeviceDisconnectedError,
+    TransientAdbError,
+    TransientError,
+)
+from repro.faults.device import FaultyDevice
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.retry import RetryPolicy, RetryStats, SimulatedClock
+from repro.obs import Tracer
+
+T = TypeVar("T")
+
+
+class FaultyAdb(Adb):
+    """An :class:`Adb` whose commands can fail and heal.
+
+    Shares the device's fault injector when the device is a
+    :class:`FaultyDevice`, so adb-level and click-level faults draw
+    from one deterministic per-app stream.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        plan: FaultPlan,
+        policy: Optional[RetryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        super().__init__(device, tracer=tracer)
+        self.plan = plan
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.injector: FaultInjector = (
+            device.injector if isinstance(device, FaultyDevice)
+            else plan.injector()
+        )
+        self.retry_stats = RetryStats()
+        self.reconnects = 0
+        self._retry_rng = plan.retry_rng(self.injector.scope)
+        self._connected = True
+
+    # -- fault gate --------------------------------------------------------
+
+    def _issue(self, op: str, fn: Callable[[], T]) -> T:
+        def attempt() -> T:
+            self._maybe_fault(op)
+            return fn()
+
+        return self.policy.call(
+            attempt,
+            clock=self.clock,
+            rng=self._retry_rng,
+            stats=self.retry_stats,
+            tracer=self.tracer,
+            on_retry=self._on_retry,
+        )
+
+    def _maybe_fault(self, op: str) -> None:
+        if not self._connected:
+            raise DeviceDisconnectedError(
+                f"adb {op}: error: device offline"
+            )
+        kind = self.injector.adb_fault()
+        if kind is None:
+            return
+        self.tracer.inc(f"faults.{kind}")
+        if kind == "disconnect":
+            self._connected = False
+            raise DeviceDisconnectedError(
+                f"adb {op}: error: device disconnected"
+            )
+        if kind == "adb-hang":
+            raise CommandTimeoutError(f"adb {op}: no response (hang)")
+        raise TransientAdbError(f"adb {op}: error: device still authorizing")
+
+    def _on_retry(self, exc: TransientError) -> None:
+        if isinstance(exc, DeviceDisconnectedError) and not self._connected:
+            self.command_log.append("adb reconnect")
+            self._connected = True
+            self.reconnects += 1
+            self.tracer.inc("faults.reconnects")
+
+    @property
+    def connected(self) -> bool:
+        return self._connected
+
+    # -- guarded command surface -------------------------------------------
+
+    def install(self, apk: ApkPackage) -> str:
+        return self._issue("install", lambda: Adb.install(self, apk))
+
+    def uninstall(self, package: str) -> str:
+        return self._issue("uninstall", lambda: Adb.uninstall(self, package))
+
+    def am_start(
+        self,
+        component: str,
+        action: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> bool:
+        return self._issue(
+            "am start",
+            lambda: Adb.am_start(self, component,
+                                 action=action, category=category),
+        )
+
+    def am_instrument(self, test_package: str) -> None:
+        return self._issue(
+            "am instrument", lambda: Adb.am_instrument(self, test_package)
+        )
+
+    def logcat(self, tag: Optional[str] = None) -> List[str]:
+        return self._issue("logcat", lambda: Adb.logcat(self, tag))

@@ -1,0 +1,113 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+A :class:`RetryPolicy` is a frozen schedule; :meth:`RetryPolicy.call`
+executes a thunk under it, sleeping on a pluggable clock.  Production
+would pass a wall clock; everything in this repository passes a
+:class:`SimulatedClock`, so a hostile-profile sweep that "backs off"
+for minutes of simulated time still finishes in milliseconds — and the
+jitter comes from a seeded RNG, so two runs back off identically.
+
+Only :class:`~repro.errors.TransientError` subclasses are retried.
+Anything else — an app bug, a bad test case, a missing package — is a
+real signal and propagates on the first raise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.errors import TransientError
+from repro.obs import NULL_TRACER, Tracer
+
+T = TypeVar("T")
+
+
+class SimulatedClock:
+    """A clock that jumps instead of waiting."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@dataclass
+class RetryStats:
+    """What the policy spent across all calls it guarded."""
+
+    retries: int = 0      # re-attempts after a transient failure
+    recoveries: int = 0   # calls that succeeded after >= 1 retry
+    giveups: int = 0      # calls that exhausted the attempt budget
+    backoff_s: float = 0.0  # total (simulated) time slept
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """max_attempts total tries; delay = base * multiplier^retry,
+    capped at max_delay, then jittered by ±jitter (a fraction)."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, "
+                             f"got {self.max_attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay_for(self, retry: int,
+                  rng: Optional[random.Random] = None) -> float:
+        """The backoff before retry number ``retry`` (0-based)."""
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** retry)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        clock: SimulatedClock,
+        rng: Optional[random.Random] = None,
+        stats: Optional[RetryStats] = None,
+        tracer: Tracer = NULL_TRACER,
+        on_retry: Optional[Callable[[TransientError], None]] = None,
+    ) -> T:
+        """Run ``fn`` under this policy.
+
+        Retries on :class:`TransientError` only; re-raises the last
+        failure once the attempt budget is spent.  ``on_retry`` runs
+        after each backoff sleep — the hook the adb layer uses to issue
+        its ``adb reconnect``.
+        """
+        for attempt in range(self.max_attempts):
+            try:
+                result = fn()
+            except TransientError as exc:
+                if attempt + 1 >= self.max_attempts:
+                    if stats is not None:
+                        stats.giveups += 1
+                    tracer.inc("retry.giveups")
+                    raise
+                delay = self.delay_for(attempt, rng)
+                if stats is not None:
+                    stats.retries += 1
+                    stats.backoff_s += delay
+                tracer.inc("retry.attempts")
+                clock.sleep(delay)
+                if on_retry is not None:
+                    on_retry(exc)
+                continue
+            if attempt > 0:
+                if stats is not None:
+                    stats.recoveries += 1
+                tracer.inc("retry.recoveries")
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover

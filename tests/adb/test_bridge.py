@@ -51,3 +51,20 @@ def test_logcat_passthrough(adb, demo_apk):
     adb.install(demo_apk)
     lines = adb.logcat(tag="PackageManager")
     assert lines and "installed" in lines[0]
+
+
+def test_every_command_has_a_counter(device, demo_apk):
+    from repro.adb import Adb
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    adb = Adb(device, tracer=tracer)
+    adb.install(demo_apk)
+    adb.am_start_launcher("com.example.demo")
+    adb.logcat()
+    adb.uninstall("com.example.demo")
+    counters = tracer.metrics.counters()
+    assert counters["adb.installs"] == 1
+    assert counters["adb.am_start"] == 1
+    assert counters["adb.logcat"] == 1
+    assert counters["adb.uninstalls"] == 1

@@ -1,0 +1,57 @@
+"""FragDroidConfig validation: budget rails and fault-profile wiring."""
+
+import pytest
+
+from repro import FragDroidConfig
+from repro.faults import FaultPlan, fault_plan
+
+RAILS = ("max_events", "max_queue_items", "max_restarts_per_item",
+         "quarantine_threshold")
+
+
+@pytest.mark.parametrize("rail", RAILS)
+@pytest.mark.parametrize("bad", [0, -1, -20000])
+def test_non_positive_rails_rejected(rail, bad):
+    with pytest.raises(ValueError, match=f"{rail} must be a positive"):
+        FragDroidConfig(**{rail: bad})
+
+
+@pytest.mark.parametrize("rail", RAILS)
+@pytest.mark.parametrize("bad", [2.5, "100", None, True])
+def test_non_integer_rails_rejected(rail, bad):
+    with pytest.raises(ValueError, match=f"{rail} must be a positive"):
+        FragDroidConfig(**{rail: bad})
+
+
+def test_defaults_are_valid_and_fault_free():
+    config = FragDroidConfig()
+    assert config.fault_plan is None
+    assert not config.faults_enabled
+
+
+def test_named_profile_resolves_to_a_seeded_plan():
+    config = FragDroidConfig(fault_profile="hostile", fault_seed=7)
+    assert config.faults_enabled
+    assert config.fault_plan.profile == "hostile"
+    assert config.fault_plan.seed == 7
+
+
+def test_explicit_plan_wins_over_profile_name():
+    plan = FaultPlan(profile="custom", seed=1, anr_rate=0.5)
+    config = FragDroidConfig(fault_profile="mild", fault_plan=plan)
+    assert config.fault_plan is plan
+
+
+def test_none_profile_stays_planless():
+    config = FragDroidConfig(fault_profile="none", fault_seed=123)
+    assert config.fault_plan is None and not config.faults_enabled
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError, match="unknown fault profile"):
+        FragDroidConfig(fault_profile="apocalyptic")
+
+
+def test_disabled_plan_counts_as_fault_free():
+    config = FragDroidConfig(fault_plan=fault_plan("none"))
+    assert not config.faults_enabled

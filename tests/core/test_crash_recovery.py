@@ -1,0 +1,54 @@
+"""Crash recovery on the fault-free path: Case 3's force-close
+handling, driven through :func:`repro.corpus.mutations.inject_crash`."""
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.corpus.mutations import inject_crash
+from tests.conftest import make_full_demo_spec
+
+
+def _explore(spec, **config_kwargs):
+    from repro.apk import build_apk
+
+    config = FragDroidConfig(**config_kwargs) if config_kwargs else None
+    return FragDroid(Device(), config).explore(build_apk(spec))
+
+
+def test_injected_crash_is_counted_and_survived():
+    spec = inject_crash(make_full_demo_spec(), "btn_tab")
+    result = _explore(spec)
+    assert result.stats.crashes >= 1
+    # The sweep relaunched and replayed past the crash: the widgets
+    # after btn_tab still fired and the rest of the app was covered.
+    simple = {a.rsplit(".", 1)[-1] for a in result.visited_activities}
+    assert {"MainActivity", "SecondActivity", "SettingsActivity",
+            "AboutActivity"} <= simple
+
+
+def test_crash_blocks_only_its_own_edge():
+    # btn_next now crashes instead of opening SecondActivity: the
+    # dynamic edge is never confirmed (its static edge keeps the
+    # "static" trigger), but the forced-start loop still visits the
+    # target activity.
+    spec = inject_crash(make_full_demo_spec(), "btn_next")
+    result = _explore(spec)
+    assert result.stats.crashes >= 1
+    assert "btn_next" not in {e.trigger for e in result.aftm.edges}
+    simple = {a.rsplit(".", 1)[-1] for a in result.visited_activities}
+    assert "SecondActivity" in simple
+
+
+def test_restart_budget_caps_crash_loops():
+    spec = make_full_demo_spec()
+    for widget_id in ("btn_next", "btn_tab", "btn_about"):
+        spec = inject_crash(spec, widget_id)
+    generous = _explore(spec)
+    stingy = _explore(spec, max_restarts_per_item=1)
+    assert stingy.stats.crashes >= 1
+    assert stingy.stats.crashes < generous.stats.crashes
+
+
+def test_crash_recovery_is_deterministic():
+    from repro.core.report import result_to_json
+
+    spec = inject_crash(make_full_demo_spec(), "btn_tab")
+    assert result_to_json(_explore(spec)) == result_to_json(_explore(spec))

@@ -1,0 +1,16 @@
+"""Chaos-suite support: profile selection for the CI matrix.
+
+The chaos-marked tests parametrize over all three fault profiles by
+default; the CI chaos job sets ``CHAOS_PROFILE`` to pin each matrix leg
+to one profile.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+
+def chaos_profiles() -> List[str]:
+    env = os.environ.get("CHAOS_PROFILE")
+    return [env] if env else ["none", "mild", "hostile"]

@@ -1,0 +1,71 @@
+"""Table-I corpus sweeps under fault injection.
+
+The acceptance bar: under the hostile profile with a fixed seed, a full
+sweep completes with zero unhandled exceptions and every outcome
+carries either a result or a classified fault.
+"""
+
+import pytest
+
+from repro import FragDroidConfig
+from repro.bench import explore_many, fault_census
+from repro.corpus import TABLE1_PLANS
+from tests.faults.conftest import chaos_profiles
+
+KNOWN_FAULTS = {"adb-transient", "timeout", "disconnect", "crash",
+                "packed-apk"}
+
+
+def _sweep(profile, seed=42):
+    config = FragDroidConfig(fault_profile=profile, fault_seed=seed)
+    return explore_many(config=config)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("profile", chaos_profiles())
+def test_sweep_completes_with_classified_outcomes(profile):
+    outcomes = _sweep(profile)
+    assert set(outcomes) == {p.package for p in TABLE1_PLANS}
+    for outcome in outcomes.values():
+        if outcome.ok:
+            assert outcome.result is not None
+        else:
+            assert outcome.fault_kind in KNOWN_FAULTS, (
+                f"{outcome.package}: unclassified {outcome.error!r}")
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("profile", chaos_profiles())
+def test_sweep_is_deterministic(profile):
+    def digest(outcomes):
+        return {p: (o.ok, o.fault_kind,
+                    len(o.result.visited_activities) if o.ok else None)
+                for p, o in sorted(outcomes.items())}
+
+    assert digest(_sweep(profile, seed=5)) == digest(_sweep(profile, seed=5))
+
+
+def test_fault_free_table1_sweep_is_fully_healthy():
+    outcomes = _sweep("none")
+    assert all(o.ok for o in outcomes.values())
+    assert fault_census(outcomes) == {}
+
+
+def test_fault_census_classifies_the_packed_apk():
+    from repro.corpus.synth import AppPlan
+
+    plans = [AppPlan(package="com.example.ok"),
+             AppPlan(package="com.example.packed", packed=True)]
+    outcomes = explore_many(plans)
+    assert outcomes["com.example.ok"].ok
+    packed = outcomes["com.example.packed"]
+    assert not packed.ok and packed.fault_kind == "packed-apk"
+    assert fault_census(outcomes) == {"packed-apk": 1}
+
+
+def test_hostile_census_counts_every_failure():
+    outcomes = _sweep("hostile")
+    census = fault_census(outcomes)
+    failures = sum(1 for o in outcomes.values() if not o.ok)
+    assert sum(census.values()) == failures
+    assert "other" not in census

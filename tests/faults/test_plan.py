@@ -1,0 +1,66 @@
+"""FaultPlan: profiles, validation, deterministic injector streams."""
+
+import pytest
+
+from repro.faults import FAULT_PROFILES, FaultInjector, FaultPlan, fault_plan
+
+
+def _adb_stream(plan, scope, n=50):
+    injector = plan.injector(scope)
+    return [injector.adb_fault() for _ in range(n)]
+
+
+def test_named_profiles_exist_and_order_by_severity():
+    assert set(FAULT_PROFILES) == {"none", "mild", "hostile"}
+    none, mild, hostile = (FAULT_PROFILES[p]
+                           for p in ("none", "mild", "hostile"))
+    assert not none.enabled
+    assert mild.enabled and hostile.enabled
+    for name, mild_rate in mild.rates().items():
+        assert getattr(hostile, name) >= mild_rate
+
+
+def test_fault_plan_reseeds_named_profile():
+    plan = fault_plan("mild", seed=99)
+    assert plan.seed == 99 and plan.profile == "mild"
+    assert plan.rates() == FAULT_PROFILES["mild"].rates()
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError, match="unknown fault profile"):
+        fault_plan("brutal")
+
+
+@pytest.mark.parametrize("rate", [-0.1, 1.5])
+def test_rates_must_be_probabilities(rate):
+    with pytest.raises(ValueError, match="probability"):
+        FaultPlan(adb_transient_rate=rate)
+
+
+def test_injector_streams_are_deterministic_per_scope():
+    plan = fault_plan("hostile", seed=5)
+    assert _adb_stream(plan, "com.a") == _adb_stream(plan, "com.a")
+    assert _adb_stream(plan, "com.a") != _adb_stream(plan, "com.b")
+
+
+def test_seed_changes_the_stream():
+    assert (_adb_stream(fault_plan("hostile", seed=1), "x", 100)
+            != _adb_stream(fault_plan("hostile", seed=2), "x", 100))
+
+
+def test_injector_tallies_what_it_injects():
+    injector = FaultInjector(fault_plan("hostile", seed=3), scope="x")
+    kinds = [injector.adb_fault() for _ in range(200)]
+    kinds += [injector.click_fault() for _ in range(200)]
+    injected = [k for k in kinds if k is not None]
+    assert injected, "hostile profile must inject something in 400 draws"
+    assert injector.total_injected == len(injected)
+    for kind in set(injected):
+        assert injector.injected[kind] == injected.count(kind)
+
+
+def test_none_profile_draws_nothing():
+    injector = fault_plan("none").injector("x")
+    assert all(injector.adb_fault() is None for _ in range(50))
+    assert all(injector.click_fault() is None for _ in range(50))
+    assert injector.injected == {}

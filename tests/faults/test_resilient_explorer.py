@@ -1,0 +1,75 @@
+"""End-to-end chaos runs: the explorer under each fault profile.
+
+These carry the ``chaos`` marker so CI can run them per-profile
+(``CHAOS_PROFILE=hostile pytest -m chaos``) while a plain test run
+still covers all three profiles.
+"""
+
+import pytest
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.core.report import result_to_json
+from repro.faults import make_device
+from tests.conftest import make_full_demo_spec
+from tests.faults.conftest import chaos_profiles
+
+
+def _explore(profile, seed=42):
+    from repro.apk import build_apk
+
+    config = FragDroidConfig(fault_profile=profile, fault_seed=seed)
+    device = make_device(config.fault_plan, scope="demo")
+    result = FragDroid(device, config).explore(
+        build_apk(make_full_demo_spec()))
+    return result
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("profile", chaos_profiles())
+def test_exploration_completes_under_profile(profile):
+    result = _explore(profile)  # no unhandled exception, whatever fires
+    simple = {a.rsplit(".", 1)[-1] for a in result.visited_activities}
+    # Forced starts guarantee every exported Activity is at least
+    # visited, even when organic navigation is disrupted by faults.
+    assert {"MainActivity", "SecondActivity", "SettingsActivity",
+            "AboutActivity"} <= simple
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("profile", chaos_profiles())
+def test_runs_are_deterministic_per_profile_and_seed(profile):
+    assert (result_to_json(_explore(profile, seed=7))
+            == result_to_json(_explore(profile, seed=7)))
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("profile", chaos_profiles())
+def test_degradation_section_matches_profile(profile):
+    result = _explore(profile)
+    if profile == "none":
+        assert result.degradation is None
+        assert "fault profile" not in result.coverage_report()
+    else:
+        deg = result.degradation
+        assert deg is not None
+        assert deg.profile == profile and deg.seed == 42
+        # Whatever was injected is accounted for, not swallowed.
+        assert deg.recoveries <= deg.retries
+        assert f"fault profile: {profile}" in result.coverage_report()
+
+
+def test_disabled_faults_output_byte_identical_to_plain_explorer():
+    from repro.apk import build_apk
+
+    plain = FragDroid(Device()).explore(build_apk(make_full_demo_spec()))
+    assert result_to_json(_explore("none")) == result_to_json(plain)
+    assert _explore("none").coverage_report() == plain.coverage_report()
+
+
+def test_hostile_run_reports_faults_in_json():
+    import json
+
+    report = json.loads(result_to_json(_explore("hostile")))
+    deg = report["degradation"]
+    assert deg["profile"] == "hostile"
+    assert deg["faults"], "a hostile run on the demo app must inject"

@@ -1,0 +1,93 @@
+"""RetryPolicy: bounded attempts, backoff schedule, simulated clock."""
+
+import random
+
+import pytest
+
+from repro.errors import TestCaseError, TransientAdbError
+from repro.faults import RetryPolicy, RetryStats, SimulatedClock
+
+
+def _flaky(failures):
+    """A thunk failing transiently ``failures`` times, then succeeding."""
+    state = {"left": failures}
+
+    def fn():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise TransientAdbError("flake")
+        return "ok"
+
+    return fn
+
+
+def test_recovers_within_budget_and_counts():
+    stats = RetryStats()
+    clock = SimulatedClock()
+    policy = RetryPolicy(max_attempts=4, jitter=0.0)
+    result = policy.call(_flaky(2), clock=clock, stats=stats)
+    assert result == "ok"
+    assert stats.retries == 2 and stats.recoveries == 1
+    assert stats.giveups == 0
+    assert clock.now == pytest.approx(stats.backoff_s)
+
+
+def test_gives_up_after_max_attempts():
+    stats = RetryStats()
+    policy = RetryPolicy(max_attempts=3, jitter=0.0)
+    with pytest.raises(TransientAdbError):
+        policy.call(_flaky(99), clock=SimulatedClock(), stats=stats)
+    assert stats.giveups == 1
+    assert stats.retries == 2  # two backoffs before the third, final try
+
+
+def test_non_transient_errors_are_not_retried():
+    calls = []
+
+    def fn():
+        calls.append(1)
+        raise TestCaseError("app bug")
+
+    with pytest.raises(TestCaseError):
+        RetryPolicy().call(fn, clock=SimulatedClock())
+    assert len(calls) == 1
+
+
+def test_backoff_is_exponential_and_capped():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                         jitter=0.0)
+    delays = [policy.delay_for(i) for i in range(5)]
+    assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_jitter_is_deterministic_and_bounded():
+    policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0,
+                         jitter=0.25)
+    rng_a, rng_b = random.Random(7), random.Random(7)
+    a = [policy.delay_for(i, rng_a) for i in range(10)]
+    b = [policy.delay_for(i, rng_b) for i in range(10)]
+    assert a == b
+    assert all(0.75 <= d <= 1.25 for d in a)
+    assert len(set(a)) > 1  # it actually jitters
+
+
+def test_on_retry_hook_sees_each_transient_failure():
+    seen = []
+    policy = RetryPolicy(max_attempts=4, jitter=0.0)
+    policy.call(_flaky(2), clock=SimulatedClock(),
+                on_retry=lambda exc: seen.append(type(exc).__name__))
+    assert seen == ["TransientAdbError", "TransientAdbError"]
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+
+
+def test_simulated_clock_jumps_instead_of_waiting():
+    clock = SimulatedClock()
+    clock.sleep(2.5)
+    clock.sleep(0.5)
+    assert clock.now == 3.0
