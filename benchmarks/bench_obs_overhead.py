@@ -1,19 +1,22 @@
 """Observability opt-in contract (repro.obs).
 
-Two guarantees behind ``FragDroidConfig.tracer``:
+Guarantees behind ``FragDroidConfig.tracer`` / ``event_log``:
 
-* results are tracer-independent — a traced Table-I sweep renders a
-  table byte-identical to the no-op run's;
-* the no-op path is ~free: the per-call cost of the null span/counter,
-  multiplied by the number of observability call sites a traced sweep
-  actually exercises, stays under 5% of the sweep's wall time.
+* results are tracer- and event-log-independent — an instrumented
+  Table-I sweep renders a table byte-identical to the no-op run's;
+* the no-op path is ~free: the per-call cost of the null span/counter
+  (and the null event emit), multiplied by the number of observability
+  call sites a traced sweep actually exercises, stays under 5% of the
+  sweep's wall time;
+* the *enabled* flight recorder stays cheap too: a real ``emit`` per
+  recorded event accounts for under 5% of the sweep's wall time.
 """
 
 from time import perf_counter
 
 from repro import FragDroidConfig
 from repro.bench import run_table1
-from repro.obs import NULL_TRACER, Tracer
+from repro.obs import NULL_EVENT_LOG, NULL_TRACER, EventLog, Tracer
 
 
 def _null_call_cost(calls: int = 100_000) -> float:
@@ -45,6 +48,23 @@ def _observability_call_sites(tracer: Tracer) -> int:
     return spans + counter_calls
 
 
+def _null_emit_cost(calls: int = 100_000) -> float:
+    """Seconds per no-op flight-recorder emit."""
+    start = perf_counter()
+    for _ in range(calls):
+        NULL_EVENT_LOG.emit("widget.clicked", step=1, app="y", widget="w")
+    return (perf_counter() - start) / calls
+
+
+def _real_emit_cost(calls: int = 100_000) -> float:
+    """Seconds per enabled (in-memory) flight-recorder emit."""
+    log = EventLog()
+    start = perf_counter()
+    for _ in range(calls):
+        log.emit("widget.clicked", step=1, app="y", widget="w")
+    return (perf_counter() - start) / calls
+
+
 def test_tracing_does_not_change_results(save_result):
     noop = run_table1(max_workers=1)
     tracer = Tracer()
@@ -52,6 +72,14 @@ def test_tracing_does_not_change_results(save_result):
     assert traced.render_table1() == noop.render_table1()
     assert traced.render_table2() == noop.render_table2()
     save_result("obs_traced_counters", tracer.metrics.render())
+
+
+def test_event_log_does_not_change_results():
+    noop = run_table1(max_workers=1)
+    recorded = run_table1(FragDroidConfig(event_log=EventLog()),
+                          max_workers=1)
+    assert recorded.render_table1() == noop.render_table1()
+    assert recorded.render_table2() == noop.render_table2()
 
 
 def test_noop_tracer_overhead(benchmark, save_result):
@@ -83,4 +111,40 @@ def test_noop_tracer_overhead(benchmark, save_result):
     save_result("obs_overhead", "\n".join(lines))
     assert share < 0.05, (
         f"no-op observability path costs {share:.2%} of a Table-I sweep"
+    )
+
+
+def test_event_log_overhead(save_result):
+    """The flight recorder — even *enabled* — stays under 5%.
+
+    Same stable methodology as the tracer test: measure the per-emit
+    cost in isolation, multiply by the number of events one recorded
+    sweep actually emits, and compare against the sweep's wall time
+    (avoiding flaky wall-clock-vs-wall-clock diffs)."""
+    run_table1(max_workers=1)  # warm caches before timing
+
+    start = perf_counter()
+    run_table1(max_workers=1)
+    noop_seconds = perf_counter() - start
+
+    log = EventLog()
+    run_table1(FragDroidConfig(event_log=log), max_workers=1)
+    emits = len(log.events())
+    assert emits > 0, "an enabled event log must record the sweep"
+
+    null_share = _null_emit_cost() * emits / noop_seconds
+    real_share = _real_emit_cost() * emits / noop_seconds
+
+    lines = [
+        f"table-I sweep wall time:       {noop_seconds:8.3f} s",
+        f"flight-recorder events:        {emits:8d}",
+        f"no-op emit share of the sweep: {null_share:8.2%} (budget: 5%)",
+        f"enabled emit share:            {real_share:8.2%} (budget: 5%)",
+    ]
+    save_result("obs_event_log_overhead", "\n".join(lines))
+    assert null_share < 0.05, (
+        f"no-op event-log path costs {null_share:.2%} of a Table-I sweep"
+    )
+    assert real_share < 0.05, (
+        f"enabled event log costs {real_share:.2%} of a Table-I sweep"
     )

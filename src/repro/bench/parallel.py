@@ -20,7 +20,7 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro import FragDroid, FragDroidConfig
 from repro.apk import build_apk
@@ -138,6 +138,36 @@ def successful_results(
     return {package: outcome.result
             for package, outcome in outcomes.items()
             if outcome.ok and outcome.result is not None}
+
+
+def sweep_rows(outcomes: Dict[str, SweepOutcome]) -> List[Dict]:
+    """Per-app fleet rows, the aggregation the run dashboard's fleet
+    table renders (``repro.obs.dashboard.render_fleet_table``).
+
+    One dict per outcome, sorted by package, covering successes and
+    failures alike — a failed app keeps its duration and fault family
+    so the fleet view shows *what* died, not just who's missing.
+    """
+    rows: List[Dict] = []
+    for package in sorted(outcomes):
+        outcome = outcomes[package]
+        result = outcome.result
+        rows.append({
+            "package": package,
+            "ok": outcome.ok,
+            "duration_s": outcome.duration,
+            "fault_kind": outcome.fault_kind,
+            "activities_visited": (len(result.visited_activities)
+                                   if result else 0),
+            "activities_sum": result.activity_total if result else 0,
+            "fragments_visited": (len(result.visited_fragments)
+                                  if result else 0),
+            "fragments_sum": result.fragment_total if result else 0,
+            "apis": len(result.api_invocations) if result else 0,
+            "events": result.stats.events if result else 0,
+            "crashes": result.stats.crashes if result else 0,
+        })
+    return rows
 
 
 def fault_census(outcomes: Dict[str, SweepOutcome]) -> Dict[str, int]:

@@ -10,6 +10,10 @@ Commands:
 * ``audit <app>`` — explore and print the sensitive-API relations;
 * ``trace-summary <run.jsonl>`` — per-phase timing and top-N slowest
   spans of a traced run (written with ``explore --trace-jsonl``);
+  ``--flame`` emits collapsed-stack flamegraph lines instead;
+* ``dashboard <run dir>`` — render the self-contained HTML run
+  dashboard from a saved run (``explore --save`` with the flight
+  recorder on) or a directory of runs (the fleet view);
 * ``table1`` / ``table2`` / ``study`` / ``compare`` / ``ablate`` —
   regenerate the paper's experiments.
 """
@@ -86,6 +90,22 @@ def _config_from(args: argparse.Namespace) -> FragDroidConfig:
                 f"cannot open trace file {args.trace_jsonl!r}: {exc}"
             ) from exc
         config.tracer = Tracer(sinks=[sink])
+    if getattr(args, "metrics_prom", None) and not config.tracer.enabled:
+        from repro.obs import Tracer
+
+        # The counters live on the tracer; --metrics-prom alone still
+        # needs a live one (spans just go nowhere).
+        config.tracer = Tracer()
+    if getattr(args, "events_jsonl", None):
+        from repro.obs import EventLog, JsonlSink
+
+        try:
+            sink = JsonlSink(args.events_jsonl)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot open event file {args.events_jsonl!r}: {exc}"
+            ) from exc
+        config.event_log = EventLog(sinks=[sink])
     return config
 
 
@@ -110,6 +130,12 @@ def _add_explore_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-jsonl", metavar="FILE",
                         help="record observability spans as JSON lines "
                              "(inspect with `repro trace-summary FILE`)")
+    parser.add_argument("--events-jsonl", metavar="FILE",
+                        help="record the flight-recorder event timeline "
+                             "as JSON lines (feeds `repro dashboard`)")
+    parser.add_argument("--metrics-prom", metavar="FILE",
+                        help="write the run's metrics in Prometheus "
+                             "text exposition format")
     parser.add_argument("--save", metavar="DIR",
                         help="persist all run artifacts under DIR")
 
@@ -142,6 +168,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
     device = make_device(config.fault_plan, scope=args.app)
     result = FragDroid(device, config).explore(_resolve_apk(args.app))
     config.tracer.close()
+    config.event_log.close()
     if args.json:
         print(result_to_json(result))
     else:
@@ -155,6 +182,19 @@ def cmd_explore(args: argparse.Namespace) -> int:
         print(f"wrote {len(written)} artifacts under {args.save}")
     if getattr(args, "trace_jsonl", None):
         print(f"wrote {len(result.spans)} spans to {args.trace_jsonl}")
+    if getattr(args, "events_jsonl", None):
+        print(f"wrote {len(result.events)} events to {args.events_jsonl}")
+    if getattr(args, "metrics_prom", None):
+        from repro.obs import prometheus_text
+
+        try:
+            with open(args.metrics_prom, "w", encoding="utf-8") as handle:
+                handle.write(prometheus_text(config.tracer.metrics))
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write metrics file {args.metrics_prom!r}: {exc}"
+            ) from exc
+        print(f"wrote metrics to {args.metrics_prom}")
     return 0
 
 
@@ -163,6 +203,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
     device = make_device(config.fault_plan, scope=args.app)
     result = FragDroid(device, config).explore(_resolve_apk(args.app))
     config.tracer.close()
+    config.event_log.close()
     report = build_api_report([result])
     print(report.render())
     return 0
@@ -265,10 +306,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_summary(args: argparse.Namespace) -> int:
-    """Summarize a span JSONL file: per-phase totals + slowest spans."""
+    """Summarize a span JSONL file: per-phase totals + slowest spans
+    (or collapsed-stack flamegraph lines with ``--flame``)."""
     import pathlib
 
-    from repro.obs import read_spans, render_summary
+    from repro.obs import collapsed_stacks, read_spans, render_summary
 
     path = pathlib.Path(args.jsonl)
     if not path.exists():
@@ -279,7 +321,41 @@ def cmd_trace_summary(args: argparse.Namespace) -> int:
     except (ValueError, KeyError, TypeError) as exc:
         print(f"{path} is not a span JSONL file: {exc}")
         return 1
+    if not spans:
+        print(f"{path} holds no spans — was the run traced? "
+              "(record with `explore --trace-jsonl`)")
+        return 1
+    if args.flame:
+        for line in collapsed_stacks(spans):
+            print(line)
+        return 0
     print(render_summary(spans, top=args.top))
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render the self-contained HTML dashboard for a saved run (or a
+    directory of runs: the fleet view)."""
+    import pathlib
+
+    from repro.obs import render_dashboard_dir
+
+    try:
+        html = render_dashboard_dir(args.directory)
+    except FileNotFoundError as exc:
+        print(exc)
+        return 1
+    except ValueError as exc:
+        print(f"cannot read run records under {args.directory}: {exc}")
+        return 1
+    out = pathlib.Path(args.output)
+    try:
+        out.write_text(html, encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot write dashboard file {args.output!r}: {exc}"
+        ) from exc
+    print(f"wrote dashboard to {out}")
     return 0
 
 
@@ -357,7 +433,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace_summary.add_argument("jsonl", help="span JSONL file")
     trace_summary.add_argument("--top", type=int, default=10,
                                help="how many slowest spans to list")
+    trace_summary.add_argument("--flame", action="store_true",
+                               help="emit collapsed-stack flamegraph "
+                                    "lines (name;name <self-time µs>)")
     trace_summary.set_defaults(func=cmd_trace_summary)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render the HTML dashboard of a saved run (or run dirs)",
+    )
+    dashboard.add_argument("directory",
+                           help="an `explore --save` run directory, or "
+                                "a directory of them (fleet view)")
+    dashboard.add_argument("-o", "--output", default="dashboard.html",
+                           help="output HTML path (default "
+                                "dashboard.html)")
+    dashboard.set_defaults(func=cmd_dashboard)
 
     batch = sub.add_parser("batch",
                            help="explore every .apk in a directory")

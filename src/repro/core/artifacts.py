@@ -3,16 +3,23 @@
 A FragDroid run produces inspectable artifacts — the generated Robotium
 test programs, the AFTM (JSON and Graphviz), the structured report and
 the trace.  :func:`save_artifacts` lays them out the way the paper's
-tooling would leave them next to an Ant build.
+tooling would leave them next to an Ant build.  A run that carried the
+flight recorder (``FragDroidConfig.event_log`` / ``tracer``) also gets
+its observability record — ``events.jsonl``, ``spans.jsonl``,
+``metrics.prom`` and ``manifest.json`` — so ``repro dashboard`` can
+replay it; a default run writes exactly the same files as before.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import List, Union
 
 from repro.core.explorer import ExplorationResult
 from repro.core.report import aftm_to_json, result_to_json
+from repro.obs import prometheus_text, run_manifest
+from repro.obs.timeline import coverage_curve_from_trace
 
 
 def save_artifacts(result: ExplorationResult,
@@ -28,6 +35,13 @@ def save_artifacts(result: ExplorationResult,
         <dir>/trace.log            the exploration trace
         <dir>/coverage.txt         the human-readable summary
         <dir>/testcases/*.java     every generated Robotium program
+
+    and, only when the run recorded observability data::
+
+        <dir>/events.jsonl         the flight-recorder event timeline
+        <dir>/spans.jsonl          the finished spans
+        <dir>/metrics.prom         Prometheus text exposition
+        <dir>/manifest.json        the run manifest
 
     Returns the written paths.
     """
@@ -51,21 +65,30 @@ def save_artifacts(result: ExplorationResult,
     _write("coverage.txt", result.coverage_report())
     for case in result.test_cases:
         _write(f"testcases/{case.name}.java", case.to_robotium_java())
+    if result.events or result.spans:
+        if result.events:
+            _write("events.jsonl", "".join(
+                json.dumps(e.to_dict(), sort_keys=True) + "\n"
+                for e in result.events
+            ))
+        if result.spans:
+            _write("spans.jsonl", "".join(
+                json.dumps(s.to_dict(), sort_keys=True) + "\n"
+                for s in result.spans
+            ))
+        if result.metrics:
+            _write("metrics.prom", prometheus_text(result.metrics))
+        _write("manifest.json", json.dumps(
+            run_manifest(result, files=[str(p.relative_to(base))
+                                        for p in written]),
+            indent=2, sort_keys=True,
+        ) + "\n")
     return written
 
 
 def coverage_curve(result: ExplorationResult) -> List[tuple]:
     """Discovery progress over the run: ``(step, activities, fragments)``
-    sampled at every new visit (derived from the trace)."""
-    curve: List[tuple] = [(0, 0, 0)]
-    activities = 0
-    fragments = 0
-    for event in result.trace:
-        if event.kind != "visit":
-            continue
-        if event.detail.startswith("activity "):
-            activities += 1
-        else:
-            fragments += 1
-        curve.append((event.step, activities, fragments))
-    return curve
+    sampled at every new visit (derived from the trace; the single
+    implementation lives in ``repro.obs.timeline`` so the event-log
+    curve matches this one checkpoint for checkpoint)."""
+    return coverage_curve_from_trace(result.trace)

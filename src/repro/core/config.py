@@ -27,7 +27,7 @@ from typing import Dict, Optional
 
 from repro.faults.plan import FAULT_PROFILES, FaultPlan, fault_plan
 from repro.faults.retry import RetryPolicy
-from repro.obs import NULL_TRACER, Tracer
+from repro.obs import NULL_EVENT_LOG, NULL_TRACER, EventLog, Tracer
 
 
 @dataclass
@@ -53,6 +53,11 @@ class FragDroidConfig:
     # nothing and costs nothing; pass a real Tracer to collect spans
     # and counters across the whole pipeline.
     tracer: Tracer = field(default=NULL_TRACER, repr=False, compare=False)
+    # Flight recorder (repro.obs.events): the default no-op log drops
+    # every event at constant cost; pass a real EventLog (optionally
+    # with a JsonlSink) to record the run's typed event timeline.
+    event_log: EventLog = field(default=NULL_EVENT_LOG, repr=False,
+                                compare=False)
     # Fault injection & resilience (repro.faults).  Either name a
     # profile ("none" | "mild" | "hostile") + seed, or pass a concrete
     # FaultPlan (which wins).  A plan that can inject something flips

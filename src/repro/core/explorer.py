@@ -59,7 +59,21 @@ from repro.errors import (
 from repro.faults.adb import FaultyAdb
 from repro.faults.degradation import Degradation
 from repro.faults.quarantine import WidgetQuarantine
-from repro.obs import Span
+from repro.obs import Event, Span
+from repro.obs.events import (
+    API_OBSERVED,
+    CASE_DECISION,
+    CRASH_RECOVERY,
+    FAULT_INJECTED,
+    FORCED_START,
+    QUARANTINE,
+    REFLECTION_SWITCH,
+    RUN_END,
+    RUN_START,
+    STATE_DISCOVERED,
+    TRANSITION,
+    WIDGET_CLICKED,
+)
 from repro.robotium.solo import Solo
 from repro.static.aftm import AFTM, Node, NodeKind, activity_node, fragment_node
 from repro.static.extractor import StaticInfo, extract_static_info
@@ -117,6 +131,9 @@ class ExplorationResult:
     # snapshot — both empty unless the config carried an enabled tracer.
     spans: List[Span] = field(default_factory=list, repr=False)
     metrics: Dict = field(default_factory=dict, repr=False)
+    # Flight recorder (repro.obs.events): this run's typed event
+    # timeline — empty unless the config carried an enabled EventLog.
+    events: List[Event] = field(default_factory=list, repr=False)
     # Graceful degradation (repro.faults): faults seen, retries spent,
     # quarantined widgets and recovery outcomes — None unless the run
     # carried an active fault plan.
@@ -191,6 +208,7 @@ class FragDroid:
                 plan=self.config.fault_plan,
                 policy=self.config.retry_policy,
                 tracer=self.config.tracer,
+                events=self.config.event_log,
             )
         else:
             self.adb = Adb(device, tracer=self.config.tracer)
@@ -203,6 +221,12 @@ class FragDroid:
         """Run the full pipeline on one APK."""
         config = self.config
         tracer = config.tracer
+        events = config.event_log
+        if isinstance(self.adb, FaultyAdb):
+            # Faults fire under the app actually being explored, not
+            # the scope name the plan was built with.
+            self.adb.event_app = apk.package
+        events.emit(RUN_START, step=self.device.steps, app=apk.package)
         with tracer.span("explore", app=apk.package) as root:
             if info is None:
                 info = extract_static_info(
@@ -224,9 +248,13 @@ class FragDroid:
             result = run.result()
             root.set_attribute("termination", run.termination_reason())
             trace_id = root.trace_id
+        events.emit(RUN_END, step=self.device.steps, app=apk.package,
+                    termination=run.termination_reason())
         if tracer.enabled:
             result.spans = tracer.spans_in_trace(trace_id)
             result.metrics = tracer.metrics.snapshot()
+        if events.enabled:
+            result.events = events.events(app=apk.package)
         return result
 
 
@@ -243,11 +271,13 @@ class _Run:
         self.info = info
         self.aftm = info.aftm
         self.tracer = frag.config.tracer
+        self.events = frag.config.event_log
         self.driver = UiDriver(
             frag.solo, info,
             use_input_file=frag.config.enable_input_file,
             input_strategy=frag.config.input_strategy,
             tracer=self.tracer,
+            event_log=self.events,
         )
         self.queue = UIQueue(limit=frag.config.max_queue_items,
                              order=frag.config.queue_order)
@@ -371,8 +401,12 @@ class _Run:
             return False
         if item.method == "reflection":
             self.tracer.inc("reflection.switches")
+            self.events.emit(REFLECTION_SWITCH, step=self.device.steps,
+                             app=self.package, target=str(item.target))
         elif item.method == "forced-start":
             self.tracer.inc("forced.starts")
+            self.events.emit(FORCED_START, step=self.device.steps,
+                             app=self.package, target=str(item.target))
         self.passing_test_cases.append(case)
         return True
 
@@ -389,6 +423,9 @@ class _Run:
             self._abandoned_items += 1
             self.tracer.inc("resilience.abandoned_items")
             self._trace("abandoned", str(item))
+            self.events.emit(CRASH_RECOVERY, step=self.device.steps,
+                             app=self.package, action="abandon",
+                             item=str(item))
             return
         self._item_restarts[key] = restarts + 1
         self._requeued_items += 1
@@ -396,6 +433,9 @@ class _Run:
         self.tracer.inc("resilience.requeues")
         self.queue.requeue(item)
         self._trace("requeue", f"restart {restarts + 1}: {item}")
+        self.events.emit(CRASH_RECOVERY, step=self.device.steps,
+                         app=self.package, action="requeue",
+                         restart=restarts + 1, item=str(item))
 
     def _replay(self, operations: Tuple[Operation, ...]) -> bool:
         """Restart the app and re-run a path (Case 3 restart handling)."""
@@ -426,6 +466,9 @@ class _Run:
             return
         self._processed_signatures.add(snapshot.signature)
         if self.config.enable_click_exploration:
+            self.events.emit(CASE_DECISION, step=self.device.steps,
+                             app=self.package, case=3,
+                             activity=snapshot.activity)
             with self.tracer.span("explorer.case3", app=self.package,
                                   activity=snapshot.activity) as span:
                 self._click_sweep(item, snapshot)
@@ -440,24 +483,38 @@ class _Run:
         newly_visited = self.aftm.mark_visited(a_node)
         if newly_visited:
             self._trace("visit", f"activity {activity}")
+            self.events.emit(STATE_DISCOVERED, step=self.device.steps,
+                             app=self.package, component="activity",
+                             name=activity)
         self._paths.setdefault(activity, item.operations)
         for fragment in snapshot.fragments:
             if fragment_node(fragment) not in self.aftm.visited:
                 self._trace("visit", f"fragment {fragment}")
+                self.events.emit(
+                    STATE_DISCOVERED, step=self.device.steps,
+                    app=self.package, component="fragment", name=fragment,
+                    hosts=list(self.info.fragment_hosts.get(fragment, [])),
+                )
             self._paths.setdefault(fragment, item.operations)
         if newly_visited or activity not in self._case1_done:
             self._case1_done.add(activity)
             with self.tracer.span("explorer.case1", app=self.package,
                                   activity=activity) as span:
-                span.set_attribute(
-                    "enqueued", self._case1_enqueue_fragments(activity, item)
-                )
+                enqueued = self._case1_enqueue_fragments(activity, item)
+                span.set_attribute("enqueued", enqueued)
+                if enqueued:
+                    self.events.emit(CASE_DECISION, step=self.device.steps,
+                                     app=self.package, case=1,
+                                     activity=activity, enqueued=enqueued)
         for fragment in snapshot.fragments:
             node = fragment_node(fragment)
             if node in self.aftm.visited:
                 continue
             with self.tracer.span("explorer.case2", app=self.package,
                                   fragment=fragment):
+                self.events.emit(CASE_DECISION, step=self.device.steps,
+                                 app=self.package, case=2,
+                                 fragment=fragment)
                 self.aftm.mark_visited(node)
 
     def _case1_enqueue_fragments(self, activity: str,
@@ -509,11 +566,17 @@ class _Run:
                 return
             try:
                 self.tracer.inc("clicks")
+                self.events.emit(WIDGET_CLICKED, step=self.device.steps,
+                                 app=self.package, widget=widget_id,
+                                 activity=before.activity)
                 self.solo.click_on_view(widget_id)
             except CommandTimeoutError as exc:
                 # Injected ANR: the widget swallowed the tap.  Strike
                 # it — a repeatedly hanging widget gets quarantined.
                 self._trace("anr", f"{widget_id}: {exc}")
+                self.events.emit(FAULT_INJECTED, step=self.device.steps,
+                                 app=self.package, fault="anr",
+                                 widget=widget_id)
                 self._strike(widget_id, "hang")
                 continue
             except Exception:
@@ -522,6 +585,9 @@ class _Run:
                 # FC: restart and continue under clicking (Case 3).
                 self.stats.crashes += 1
                 self._strike(widget_id, "crash")
+                self.events.emit(CRASH_RECOVERY, step=self.device.steps,
+                                 app=self.package, action="replay",
+                                 widget=widget_id)
                 needs_replay = True
                 continue
             if not self._in_target_app():
@@ -548,6 +614,10 @@ class _Run:
                 f"{before.activity} --[{widget_id}]--> "
                 f"{after.activity} fragments={sorted(after.fragments)}",
             )
+            self.events.emit(TRANSITION, step=self.device.steps,
+                             app=self.package, src=before.activity,
+                             dst=after.activity, widget=widget_id,
+                             fragments=sorted(after.fragments))
             follow_up = UIQueueItem(
                 method="click",
                 start=item.target,
@@ -565,6 +635,10 @@ class _Run:
             self._trace("quarantine", f"{widget_id} after "
                                       f"{self.quarantine.strikes(widget_id)} "
                                       f"{kind} strikes")
+            self.events.emit(QUARANTINE, step=self.device.steps,
+                             app=self.package, widget=widget_id,
+                             strikes=self.quarantine.strikes(widget_id),
+                             kind=kind)
 
     def _node_of(self, snapshot: UiSnapshot) -> Optional[Node]:
         if snapshot.fragments:
@@ -617,6 +691,9 @@ class _Run:
         ]
         self.tracer.inc("events.injected", self.stats.events)
         self.tracer.inc("apis.observed", len(invocations))
+        for inv in invocations:
+            self.events.emit(API_OBSERVED, step=inv.step, app=self.package,
+                             api=inv.api, component=inv.component.cls)
         visited_activities = {
             n.name for n in self.aftm.visited if n.kind is NodeKind.ACTIVITY
         }

@@ -22,7 +22,8 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple
 
 from repro.core.queue import Operation, text_op
-from repro.obs import NULL_TRACER, Tracer
+from repro.obs import NULL_EVENT_LOG, NULL_TRACER, EventLog, Tracer
+from repro.obs.events import INPUT_GENERATED
 from repro.robotium.solo import Solo
 from repro.static.extractor import StaticInfo
 from repro.static.input_dep import DEFAULT_TEXT
@@ -55,12 +56,14 @@ class UiDriver:
     def __init__(self, solo: Solo, info: StaticInfo,
                  use_input_file: bool = True,
                  input_strategy: str = "default",
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 event_log: Optional[EventLog] = None) -> None:
         self.solo = solo
         self.info = info
         self.use_input_file = use_input_file
         self.input_strategy = input_strategy
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.events = event_log if event_log is not None else NULL_EVENT_LOG
         self._generator = None
         if input_strategy == "heuristic":
             from repro.core.inputgen import HeuristicInputGenerator
@@ -106,6 +109,9 @@ class UiDriver:
                 value = DEFAULT_TEXT
             self.solo.enter_text(widget.widget_id, value)
             self.tracer.inc("inputs.filled")
+            self.events.emit(INPUT_GENERATED, step=self.solo.device.steps,
+                             app=self.info.package, widget=widget.widget_id,
+                             value=value, strategy=self.input_strategy)
             operations.append(text_op(widget.widget_id, value))
         return operations
 

@@ -31,7 +31,8 @@ from repro.errors import (
 from repro.faults.device import FaultyDevice
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.faults.retry import RetryPolicy, RetryStats, SimulatedClock
-from repro.obs import Tracer
+from repro.obs import EventLog, Tracer
+from repro.obs.events import FAULT_INJECTED, NULL_EVENT_LOG, RETRY
 
 T = TypeVar("T")
 
@@ -51,11 +52,16 @@ class FaultyAdb(Adb):
         policy: Optional[RetryPolicy] = None,
         tracer: Optional[Tracer] = None,
         clock: Optional[SimulatedClock] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         super().__init__(device, tracer=tracer)
         self.plan = plan
         self.policy = policy if policy is not None else RetryPolicy()
         self.clock = clock if clock is not None else SimulatedClock()
+        self.events = events if events is not None else NULL_EVENT_LOG
+        # Which app the flight-recorder events file under; the explorer
+        # overwrites this with the package actually being explored.
+        self.event_app = ""
         self.injector: FaultInjector = (
             device.injector if isinstance(device, FaultyDevice)
             else plan.injector()
@@ -90,6 +96,8 @@ class FaultyAdb(Adb):
         if kind is None:
             return
         self.tracer.inc(f"faults.{kind}")
+        self.events.emit(FAULT_INJECTED, step=self.device.steps,
+                         app=self.event_app, fault=kind, op=op)
         if kind == "disconnect":
             self._connected = False
             raise DeviceDisconnectedError(
@@ -100,6 +108,8 @@ class FaultyAdb(Adb):
         raise TransientAdbError(f"adb {op}: error: device still authorizing")
 
     def _on_retry(self, exc: TransientError) -> None:
+        self.events.emit(RETRY, step=self.device.steps, app=self.event_app,
+                         error=type(exc).__name__)
         if isinstance(exc, DeviceDisconnectedError) and not self._connected:
             self.command_log.append("adb reconnect")
             self._connected = True

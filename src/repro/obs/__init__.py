@@ -1,7 +1,6 @@
-"""Observability: tracing and metrics for the whole pipeline.
+"""Observability: tracing, metrics and the flight recorder.
 
-The subsystem has three parts, wired together by a single
-:class:`Tracer` object that travels through ``FragDroidConfig``:
+The subsystem's recording half travels through ``FragDroidConfig``:
 
 * :class:`Tracer` — nestable wall-clock spans
   (``with tracer.span("static.extract", app=pkg):``) recording
@@ -9,19 +8,65 @@ The subsystem has three parts, wired together by a single
 * :class:`Metrics` — a registry of named counters and histograms
   (events injected, clicks, reflection switches, forced starts, queue
   depth, APIs observed);
-* sinks — pluggable consumers of finished spans: in-memory (tests),
-  JSON-lines files (offline analysis via ``repro trace-summary``), and
-  the human-readable summary table rendered into the reports.
+* :class:`EventLog` — the flight recorder: a typed, sequenced record of
+  what happened (state discoveries, clicks, Case-1/2/3 decisions,
+  reflection switches, forced starts, generated inputs, injected
+  faults, retries, quarantines, crash recoveries);
+* sinks — pluggable consumers of finished spans and events: in-memory
+  (tests) and JSON-lines files (one JSON object per line, flushed per
+  line so a crashed run keeps its record).
 
-Everything is opt-in: the default ``FragDroidConfig.tracer`` is the
-shared :data:`NULL_TRACER`, whose ``span()`` / ``inc()`` / ``observe()``
-are constant-time no-ops, so uninstrumented behaviour and benchmark
-numbers are unchanged (``benchmarks/bench_obs_overhead.py`` holds the
-no-op path under 5% of a Table-I sweep).
+The analysis half replays a recorded run offline:
+
+* ``repro.obs.summary`` — per-span aggregate tables;
+* ``repro.obs.timeline`` — coverage-over-time curves, stall/plateau
+  detection, time-to-50%/90% discovery statistics;
+* ``repro.obs.flame`` — span-tree reconstruction, self-time, critical
+  path, collapsed-stack flamegraph output;
+* ``repro.obs.export`` — Prometheus text exposition and the run
+  manifest JSON;
+* ``repro.obs.dashboard`` — the self-contained HTML run dashboard.
+
+Everything is opt-in: the default ``FragDroidConfig.tracer`` /
+``event_log`` are the shared :data:`NULL_TRACER` /
+:data:`NULL_EVENT_LOG`, whose ``span()`` / ``inc()`` / ``emit()`` are
+constant-time no-ops, so uninstrumented behaviour and benchmark
+numbers are unchanged (``benchmarks/bench_obs_overhead.py`` holds both
+no-op paths under 5% of a Table-I sweep).
 """
 
+from repro.obs.dashboard import (
+    RunData,
+    load_fleet,
+    load_run,
+    render_dashboard,
+    render_dashboard_dir,
+    render_fleet_table,
+)
+from repro.obs.events import (
+    EVENT_KINDS,
+    NULL_EVENT_LOG,
+    Event,
+    EventLog,
+    NullEventLog,
+    event_census,
+)
+from repro.obs.export import prometheus_text, run_manifest
+from repro.obs.flame import (
+    FlameNode,
+    build_trees,
+    collapsed_stacks,
+    critical_path,
+    self_times,
+)
 from repro.obs.metrics import NULL_METRICS, Metrics, NullMetrics
-from repro.obs.sinks import InMemorySink, JsonlSink, SpanSink, read_spans
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    SpanSink,
+    read_events,
+    read_spans,
+)
 from repro.obs.summary import (
     SpanStat,
     aggregate_spans,
@@ -29,23 +74,59 @@ from repro.obs.summary import (
     timing_rows,
     top_slowest,
 )
+from repro.obs.timeline import (
+    CoveragePoint,
+    Stall,
+    coverage_curve_from_trace,
+    coverage_timeline,
+    discovery_stats,
+    stalls,
+    time_to_fraction,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "CoveragePoint",
+    "EVENT_KINDS",
+    "Event",
+    "EventLog",
+    "FlameNode",
     "InMemorySink",
     "JsonlSink",
     "Metrics",
+    "NULL_EVENT_LOG",
     "NULL_METRICS",
     "NULL_TRACER",
+    "NullEventLog",
     "NullMetrics",
     "NullTracer",
+    "RunData",
     "Span",
     "SpanSink",
     "SpanStat",
+    "Stall",
     "Tracer",
     "aggregate_spans",
+    "build_trees",
+    "collapsed_stacks",
+    "coverage_curve_from_trace",
+    "coverage_timeline",
+    "critical_path",
+    "discovery_stats",
+    "event_census",
+    "load_fleet",
+    "load_run",
+    "prometheus_text",
+    "read_events",
     "read_spans",
+    "render_dashboard",
+    "render_dashboard_dir",
+    "render_fleet_table",
     "render_summary",
+    "run_manifest",
+    "self_times",
+    "stalls",
+    "time_to_fraction",
     "timing_rows",
     "top_slowest",
 ]

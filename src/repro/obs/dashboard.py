@@ -1,0 +1,590 @@
+"""Self-contained HTML dashboard for a recorded run (or a fleet).
+
+``repro dashboard <run dir> -o dash.html`` renders one file an analyst
+can open anywhere: stat tiles for the headline coverage numbers,
+inline-SVG coverage-over-time sparklines (one single-series card per
+curve: activities, fragments, FIVAs, sensitive APIs), the phase-timing
+bars and critical path from the span record, the stall table, the
+degradation panel of a faulted run, and — when pointed at a directory
+of per-app run directories (``repro batch`` output or
+``bench.parallel`` sweep aggregation) — a per-app fleet table.
+
+No scripts, no external assets: charts are static inline SVG with a
+table fallback (`<details>`) for every curve, colors are CSS custom
+properties with a dark scheme under ``prefers-color-scheme``, and all
+marks follow the house chart specs (2px lines, step curves for the
+cumulative discovery counts, single-hue magnitude bars with rounded
+data ends, text in ink tokens — never in series color).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.events import Event
+from repro.obs.flame import critical_path
+from repro.obs.sinks import read_events, read_spans
+from repro.obs.summary import aggregate_spans
+from repro.obs.timeline import (
+    CoveragePoint,
+    Stall,
+    coverage_timeline,
+    discovery_stats,
+    stalls,
+)
+from repro.obs.tracer import Span
+
+PathLike = Union[str, pathlib.Path]
+
+
+# ---------------------------------------------------------------------------
+# Run loading
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunData:
+    """Everything the dashboard knows about one recorded run."""
+
+    path: pathlib.Path
+    report: Dict
+    events: List[Event] = field(default_factory=list)
+    spans: List[Span] = field(default_factory=list)
+    manifest: Optional[Dict] = None
+
+    @property
+    def package(self) -> str:
+        return str(self.report.get("package", self.path.name))
+
+
+def load_run(directory: PathLike) -> RunData:
+    """Load one run directory (``explore --save`` layout).
+
+    ``report.json`` is required; ``events.jsonl``, ``spans.jsonl`` and
+    ``manifest.json`` are picked up when present.
+    """
+    base = pathlib.Path(directory)
+    report_path = base / "report.json"
+    if not report_path.exists():
+        raise FileNotFoundError(
+            f"{base}: not a run directory (no report.json)"
+        )
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    events: List[Event] = []
+    spans: List[Span] = []
+    manifest: Optional[Dict] = None
+    if (base / "events.jsonl").exists():
+        events = read_events(base / "events.jsonl")
+    if (base / "spans.jsonl").exists():
+        spans = read_spans(base / "spans.jsonl")
+    if (base / "manifest.json").exists():
+        manifest = json.loads(
+            (base / "manifest.json").read_text(encoding="utf-8")
+        )
+    return RunData(path=base, report=report, events=events, spans=spans,
+                   manifest=manifest)
+
+
+def load_fleet(directory: PathLike) -> List[RunData]:
+    """Every run directory directly under ``directory``, sorted by
+    package (the ``repro batch`` output layout)."""
+    base = pathlib.Path(directory)
+    runs = [load_run(child) for child in sorted(base.iterdir())
+            if child.is_dir() and (child / "report.json").exists()]
+    return sorted(runs, key=lambda run: run.package)
+
+
+# ---------------------------------------------------------------------------
+# Chart chrome (reference palette; swap hexes to rebrand)
+# ---------------------------------------------------------------------------
+
+_STYLE = """
+:root {
+  color-scheme: light;
+  --page: #f9f9f7; --surface: #fcfcfb;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6; --series-2: #eb6834;
+  --series-3: #1baf7a; --series-4: #eda100;
+  --bar: #2a78d6;
+  --status-good: #0ca30c; --status-warning: #fab219;
+  --status-serious: #ec835a; --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --page: #0d0d0d; --surface: #1a1a19;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5; --series-2: #d95926;
+    --series-3: #199e70; --series-4: #c98500;
+    --bar: #3987e5;
+  }
+}
+* { box-sizing: border-box; }
+body { font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+       margin: 0; background: var(--page); color: var(--ink);
+       line-height: 1.45; }
+main { max-width: 76rem; margin: 0 auto; padding: 1.5rem; }
+h1 { font-size: 1.35rem; margin: 0 0 0.25rem; }
+h2 { font-size: 1.0rem; margin: 2rem 0 0.75rem; }
+.sub { color: var(--ink-2); margin: 0 0 1.25rem; font-size: 0.9rem; }
+.tiles { display: grid; gap: 0.75rem;
+         grid-template-columns: repeat(auto-fill, minmax(10.5rem, 1fr)); }
+.tile { background: var(--surface); border: 1px solid var(--border);
+        border-radius: 0.5rem; padding: 0.7rem 0.9rem; }
+.tile .label { font-size: 0.78rem; color: var(--ink-2); }
+.tile .value { font-size: 1.6rem; font-weight: 600; }
+.tile .detail { font-size: 0.78rem; color: var(--muted); }
+.cards { display: grid; gap: 0.75rem;
+         grid-template-columns: repeat(auto-fill, minmax(16rem, 1fr)); }
+.card { background: var(--surface); border: 1px solid var(--border);
+        border-radius: 0.5rem; padding: 0.7rem 0.9rem; }
+.card .label { font-size: 0.82rem; color: var(--ink-2);
+               margin-bottom: 0.35rem; display: flex;
+               align-items: center; gap: 0.4rem; }
+.card .label .final { margin-left: auto; color: var(--ink);
+                      font-weight: 600; }
+.key-dot { width: 8px; height: 8px; border-radius: 50%;
+           display: inline-block; }
+svg text { font-family: inherit; }
+table { border-collapse: collapse; background: var(--surface);
+        font-size: 0.85rem; width: 100%; }
+th, td { border: 1px solid var(--border); padding: 0.3rem 0.6rem;
+         text-align: left; }
+td.num, th.num { text-align: right;
+                 font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 600; background: var(--page); }
+details { margin: 0.5rem 0 1rem; }
+summary { cursor: pointer; color: var(--ink-2); font-size: 0.85rem; }
+.bars .row { display: grid;
+             grid-template-columns: 15rem 1fr; gap: 0.6rem;
+             align-items: center; margin: 0.3rem 0; }
+.bars .name { font-size: 0.82rem; color: var(--ink-2);
+              overflow: hidden; text-overflow: ellipsis;
+              white-space: nowrap; }
+.badge { display: inline-block; padding: 0 0.45rem; border-radius: 0.6rem;
+         font-size: 0.78rem; border: 1px solid var(--border); }
+.path { font-size: 0.85rem; color: var(--ink-2); }
+.path code { color: var(--ink); background: var(--page);
+             padding: 0 0.25rem; border-radius: 0.2rem; }
+.empty { color: var(--muted); font-size: 0.85rem; }
+""".strip()
+
+_SERIES = (
+    ("activities", "Activities discovered", "--series-1"),
+    ("fragments", "Fragments discovered", "--series-2"),
+    ("fivas", "FIVAs discovered", "--series-3"),
+    ("apis", "Sensitive APIs observed", "--series-4"),
+)
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _table(headers: Sequence[Tuple[str, bool]],
+           rows: Sequence[Sequence[object]]) -> str:
+    parts = ["<table><tr>"]
+    parts.extend(
+        f"<th{' class=num' if num else ''}>{_esc(label)}</th>"
+        for label, num in headers
+    )
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        for (label, num), cell in zip(headers, row):
+            parts.append(f"<td{' class=num' if num else ''}>{_esc(cell)}</td>")
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _tile(label: str, value: object, detail: str = "") -> str:
+    detail_html = f'<div class="detail">{_esc(detail)}</div>' if detail else ""
+    return (f'<div class="tile"><div class="label">{_esc(label)}</div>'
+            f'<div class="value">{_esc(value)}</div>{detail_html}</div>')
+
+
+# ---------------------------------------------------------------------------
+# Inline-SVG marks
+# ---------------------------------------------------------------------------
+
+def _sparkline(points: Sequence[CoveragePoint], series: str,
+               color_var: str, total: Optional[int],
+               width: int = 280, height: int = 64) -> str:
+    """A single-series cumulative step curve: 2px line, 10% area wash,
+    8px end marker with a 2px surface ring, hairline baseline."""
+    values = [(p.step, getattr(p, series)) for p in points]
+    max_step = max((step for step, _ in values), default=0) or 1
+    max_value = max(total or 0, max(v for _, v in values), 1)
+    pad = 6
+
+    def x(step: int) -> float:
+        return pad + (width - 2 * pad) * step / max_step
+
+    def y(value: int) -> float:
+        return height - pad - (height - 2 * pad) * value / max_value
+
+    # Cumulative counts are step functions: hold each value until the
+    # next discovery (step-after interpolation).
+    coords: List[str] = []
+    previous_y = y(values[0][1])
+    for step, value in values:
+        coords.append(f"{x(step):.1f},{previous_y:.1f}")
+        previous_y = y(value)
+        coords.append(f"{x(step):.1f},{previous_y:.1f}")
+    coords.append(f"{x(max_step):.1f},{previous_y:.1f}")
+    line = " ".join(coords)
+    base = height - pad
+    area = f"{pad:.1f},{base:.1f} {line} {x(max_step):.1f},{base:.1f}"
+    end_x, end_y = x(values[-1][0]), y(values[-1][1])
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="100%" height="{height}" '
+        f'role="img" aria-label="{_esc(series)} over time">'
+        f'<line x1="{pad}" y1="{base}" x2="{width - pad}" y2="{base}" '
+        f'stroke="var(--baseline)" stroke-width="1"/>'
+        f'<polygon points="{area}" fill="var({color_var})" opacity="0.1"/>'
+        f'<polyline points="{line}" fill="none" stroke="var({color_var})" '
+        f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        f'<circle cx="{end_x:.1f}" cy="{end_y:.1f}" r="4" '
+        f'fill="var({color_var})" stroke="var(--surface)" stroke-width="2"/>'
+        f"</svg>"
+    )
+
+
+def _coverage_cards(points: Sequence[CoveragePoint],
+                    totals: Dict[str, Optional[int]]) -> str:
+    cards = []
+    for series, label, color_var in _SERIES:
+        final = getattr(points[-1], series)
+        total = totals.get(series)
+        final_text = f"{final} / {total}" if total else f"{final}"
+        cards.append(
+            '<div class="card"><div class="label">'
+            f'<span class="key-dot" style="background: var({color_var})">'
+            "</span>"
+            f"{_esc(label)}"
+            f'<span class="final">{_esc(final_text)}</span></div>'
+            + _sparkline(points, series, color_var, total)
+            + "</div>"
+        )
+    checkpoint_rows = [
+        [p.step, p.activities, p.fragments, p.fivas, p.apis] for p in points
+    ]
+    table = _table(
+        [("Step", True), ("Activities", True), ("Fragments", True),
+         ("FIVAs", True), ("APIs", True)],
+        checkpoint_rows,
+    )
+    return (
+        f'<div class="cards">{"".join(cards)}</div>'
+        f"<details><summary>Coverage checkpoints "
+        f"({len(points)} points)</summary>{table}</details>"
+    )
+
+
+def _phase_bars(spans: Sequence[Span], top: int = 10) -> str:
+    """Horizontal magnitude bars: one hue, ≤24px thick, 4px rounded
+    data end (square at the baseline), value at the tip in ink."""
+    stats = aggregate_spans(spans)[:top]
+    if not stats:
+        return '<p class="empty">no spans recorded</p>'
+    max_total = max(stat.total for stat in stats) or 1.0
+    rows = []
+    for stat in stats:
+        frac = stat.total / max_total
+        bar_w = max(1.0, 300.0 * frac)
+        radius = min(4.0, bar_w)
+        bar_path = (
+            f"M0,1 h{bar_w - radius:.1f} "
+            f"a{radius:.0f},{radius:.0f} 0 0 1 {radius:.0f},{radius:.0f} "
+            f"v{16 - 2 * radius:.0f} "
+            f"a{radius:.0f},{radius:.0f} 0 0 1 -{radius:.0f},{radius:.0f} "
+            f"h-{bar_w - radius:.1f} z"
+        )
+        label_x = bar_w + 6
+        rows.append(
+            '<div class="row">'
+            f'<span class="name" title="{_esc(stat.name)}">'
+            f"{_esc(stat.name)} &times;{stat.count}</span>"
+            f'<svg viewBox="0 0 380 18" width="100%" height="18" '
+            f'preserveAspectRatio="xMinYMid meet">'
+            f'<path d="{bar_path}" fill="var(--bar)"/>'
+            f'<text x="{label_x:.1f}" y="13" font-size="11" '
+            f'fill="var(--ink-2)">{stat.total:.3f} s</text>'
+            "</svg></div>"
+        )
+    return f'<div class="bars">{"".join(rows)}</div>'
+
+
+def _critical_path(spans: Sequence[Span]) -> str:
+    path = critical_path(spans)
+    if not path:
+        return ""
+    crumbs = " &rarr; ".join(
+        f"<code>{_esc(span.name)}</code> "
+        f"<span>{span.duration * 1000:.1f} ms</span>"
+        for span in path
+    )
+    return f'<h2>Critical path</h2><p class="path">{crumbs}</p>'
+
+
+def _stall_table(found: Sequence[Stall], top: int = 8) -> str:
+    if not found:
+        return ('<p class="empty">no discovery stalls at this '
+                "threshold</p>")
+    rows = [[s.start_step, s.end_step, s.events] for s in found[:top]]
+    return _table(
+        [("Plateau from step", True), ("To step", True),
+         ("Events without discovery", True)],
+        rows,
+    )
+
+
+def _degradation_panel(degradation: Dict) -> str:
+    faults = degradation.get("faults", {})
+    fault_text = ", ".join(f"{kind}={count}"
+                           for kind, count in sorted(faults.items())) or "none"
+    total = degradation.get("total_faults", 0)
+    badge_color = ("--status-good" if total == 0 else
+                   "--status-serious" if total < 50 else "--status-critical")
+    rows = [
+        ["Faults injected", f"{total} ({fault_text})"],
+        ["Retries (recovered / gave up)",
+         f"{degradation.get('retries', 0)} "
+         f"({degradation.get('recoveries', 0)} / "
+         f"{degradation.get('giveups', 0)})"],
+        ["Backoff (simulated s)", f"{degradation.get('backoff_s', 0):.2f}"],
+        ["Reconnects", degradation.get("reconnects", 0)],
+        ["Quarantined widgets",
+         ", ".join(degradation.get("quarantined", [])) or "none"],
+        ["Items re-enqueued / abandoned",
+         f"{degradation.get('requeued_items', 0)} / "
+         f"{degradation.get('abandoned_items', 0)}"],
+    ]
+    return (
+        "<h2>Degradation "
+        f'<span class="badge" style="color: var({badge_color})">'
+        f"&#9679; profile: {_esc(degradation.get('profile', '?'))}, "
+        f"seed {_esc(degradation.get('seed', '?'))}</span></h2>"
+        + _table([("Metric", False), ("Value", False)], rows)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Page assembly
+# ---------------------------------------------------------------------------
+
+def _coverage_totals(report: Dict) -> Dict[str, Optional[int]]:
+    coverage = report.get("coverage", {})
+
+    def total(key: str) -> Optional[int]:
+        return coverage.get(key, {}).get("sum")
+
+    return {
+        "activities": total("activities"),
+        "fragments": total("fragments"),
+        "fivas": total("fragments_in_visited_activities"),
+        "apis": None,
+    }
+
+
+def _visited(report: Dict, key: str) -> int:
+    visited = report.get("coverage", {}).get(key, {}).get("visited", 0)
+    return len(visited) if isinstance(visited, list) else int(visited)
+
+
+def _run_tiles(run: RunData) -> str:
+    report = run.report
+    stats = report.get("stats", {})
+    coverage = report.get("coverage", {})
+    fiva = coverage.get("fragments_in_visited_activities", {})
+    tiles = [
+        _tile("Activities",
+              f"{_visited(report, 'activities')} / "
+              f"{coverage.get('activities', {}).get('sum', 0)}"),
+        _tile("Fragments",
+              f"{_visited(report, 'fragments')} / "
+              f"{coverage.get('fragments', {}).get('sum', 0)}"),
+        _tile("Fragments in visited activities",
+              f"{fiva.get('visited', 0)} / {fiva.get('sum', 0)}"),
+        _tile("Sensitive API invocations",
+              len(report.get("api_invocations", []))),
+        _tile("Events injected", stats.get("events", 0),
+              f"{stats.get('test_cases', 0)} test cases"),
+        _tile("Crashes", stats.get("crashes", 0),
+              f"{stats.get('restarts', 0)} restarts"),
+    ]
+    return f'<div class="tiles">{"".join(tiles)}</div>'
+
+
+def _discovery_tiles(events: Sequence[Event]) -> str:
+    stats = discovery_stats(events)
+    tiles = []
+    for series, label, _ in _SERIES[:2]:
+        t50, t90 = stats.get(f"{series}_t50"), stats.get(f"{series}_t90")
+        if t50 is None:
+            continue
+        tiles.append(_tile(f"{label}: time to 50% / 90%",
+                           f"{t50} / {t90 if t90 is not None else '—'}",
+                           "device steps"))
+    return f'<div class="tiles">{"".join(tiles)}</div>' if tiles else ""
+
+
+def render_dashboard(run: RunData,
+                     fleet: Optional[Sequence[RunData]] = None) -> str:
+    """One self-contained HTML page for one recorded run."""
+    sections: List[str] = [
+        f"<h1>FragDroid flight recorder</h1>"
+        f'<p class="sub">Run: <strong>{_esc(run.package)}</strong> '
+        f"&middot; {_esc(run.path)}</p>",
+        _run_tiles(run),
+    ]
+    if run.events:
+        points = coverage_timeline(run.events)
+        sections.append("<h2>Coverage over time</h2>")
+        sections.append(_coverage_cards(points, _coverage_totals(run.report)))
+        sections.append(_discovery_tiles(run.events))
+        sections.append("<h2>Discovery stalls</h2>")
+        sections.append(_stall_table(stalls(run.events)))
+    else:
+        sections.append(
+            '<p class="empty">No event log (events.jsonl) in this run '
+            "directory — re-run with <code>explore --events-jsonl</code> "
+            "for coverage-over-time analytics.</p>"
+        )
+    if run.spans:
+        sections.append("<h2>Phase timing (total wall time per span)</h2>")
+        sections.append(_phase_bars(run.spans))
+        sections.append(_critical_path(run.spans))
+    degradation = run.report.get("degradation")
+    if degradation:
+        sections.append(_degradation_panel(degradation))
+    if fleet:
+        sections.append(
+            f"<h2>Fleet ({len(fleet)} apps)</h2>"
+            + render_fleet_table(fleet_rows(fleet))
+        )
+    body = "\n".join(sections)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        f"<title>FragDroid dashboard — {_esc(run.package)}</title>\n"
+        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+        f"<main>\n{body}\n</main>\n</body>\n</html>\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fleet view
+# ---------------------------------------------------------------------------
+
+def fleet_rows(runs: Sequence[RunData]) -> List[Dict]:
+    """Per-app fleet rows from loaded run directories — the same shape
+    :func:`repro.bench.parallel.sweep_rows` produces from live
+    :class:`~repro.bench.parallel.SweepOutcome` objects."""
+    rows: List[Dict] = []
+    for run in runs:
+        coverage = run.report.get("coverage", {})
+        stats = run.report.get("stats", {})
+        rows.append({
+            "package": run.package,
+            "ok": True,
+            "activities_visited": _visited(run.report, "activities"),
+            "activities_sum": coverage.get("activities", {}).get("sum", 0),
+            "fragments_visited": _visited(run.report, "fragments"),
+            "fragments_sum": coverage.get("fragments", {}).get("sum", 0),
+            "apis": len(run.report.get("api_invocations", [])),
+            "events": stats.get("events", 0),
+            "crashes": stats.get("crashes", 0),
+            "duration_s": None,
+            "fault_kind": None,
+        })
+    return rows
+
+
+def render_fleet_table(rows: Sequence[Dict]) -> str:
+    """The per-app fleet table (sweep aggregation or batch output)."""
+    headers = [("App", False), ("Status", False), ("Activities", True),
+               ("Fragments", True), ("APIs", True), ("Events", True),
+               ("Crashes", True), ("Duration (s)", True)]
+    body = []
+    for row in rows:
+        if row.get("ok", True):
+            status = "ok"
+        else:
+            status = f"failed: {row.get('fault_kind') or 'error'}"
+        duration = row.get("duration_s")
+        body.append([
+            row.get("package", "?"),
+            status,
+            f"{row.get('activities_visited', 0)}/"
+            f"{row.get('activities_sum', 0)}",
+            f"{row.get('fragments_visited', 0)}/"
+            f"{row.get('fragments_sum', 0)}",
+            row.get("apis", 0),
+            row.get("events", 0),
+            row.get("crashes", 0),
+            f"{duration:.3f}" if duration is not None else "—",
+        ])
+    return _table(headers, body)
+
+
+def render_fleet_dashboard(runs: Sequence[RunData],
+                           path: PathLike) -> str:
+    """A fleet page: aggregate tiles plus the per-app table."""
+    total_activities = sum(_visited(r.report, "activities") for r in runs)
+    total_fragments = sum(_visited(r.report, "fragments") for r in runs)
+    crashes = sum(r.report.get("stats", {}).get("crashes", 0) for r in runs)
+    events = sum(r.report.get("stats", {}).get("events", 0) for r in runs)
+    tiles = [
+        _tile("Apps", len(runs)),
+        _tile("Activities visited", total_activities),
+        _tile("Fragments visited", total_fragments),
+        _tile("Events injected", events),
+        _tile("Crashes", crashes),
+    ]
+    body = (
+        "<h1>FragDroid flight recorder — fleet</h1>"
+        f'<p class="sub">Sweep: {_esc(path)}</p>'
+        f'<div class="tiles">{"".join(tiles)}</div>'
+        f"<h2>Per-app results ({len(runs)} apps)</h2>"
+        + render_fleet_table(fleet_rows(runs))
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        "<title>FragDroid dashboard — fleet</title>\n"
+        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+        f"<main>\n{body}\n</main>\n</body>\n</html>\n"
+    )
+
+
+def render_dashboard_dir(directory: PathLike) -> str:
+    """Dispatch: a single run directory renders the run page; a
+    directory of run directories renders the fleet page."""
+    base = pathlib.Path(directory)
+    if not base.is_dir():
+        raise FileNotFoundError(
+            f"{base}: not a directory — point `repro dashboard` at an "
+            "`explore --save` run directory (with report.json) or a "
+            "directory of them"
+        )
+    if (base / "report.json").exists():
+        return render_dashboard(load_run(base))
+    runs = load_fleet(base)
+    if not runs:
+        raise FileNotFoundError(
+            f"{base}: no report.json here or in any subdirectory — "
+            "point `repro dashboard` at an `explore --save` run "
+            "directory or a `repro batch` output directory"
+        )
+    if len(runs) == 1:
+        return render_dashboard(runs[0])
+    return render_fleet_dashboard(runs, base)

@@ -1,0 +1,184 @@
+"""The flight recorder: a typed, sequenced event log of one run.
+
+Spans (``repro.obs.tracer``) answer *where the time went*; the event
+log answers *what happened, in what order* — every state discovery,
+widget click, Case-1/2/3 decision, reflection switch, forced start,
+generated input, injected fault, retry, quarantine and crash recovery,
+stamped with the device step at which it happened.  It is the record
+the timeline analytics (``repro.obs.timeline``) and the run dashboard
+(``repro.obs.dashboard``) replay offline.
+
+The contract mirrors the tracer's: the default everywhere is
+:data:`NULL_EVENT_LOG`, whose ``emit`` is a constant-time no-op, so the
+instrumented call sites cost nothing and untraced output stays
+byte-identical.  A real :class:`EventLog` keeps every event in memory
+(``events()``) and forwards each one to its sinks — attach a
+:class:`~repro.obs.sinks.JsonlSink` and the run streams to disk as one
+JSON object per line, crash-durable because the sink flushes per line.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional
+
+# -- typed event kinds -------------------------------------------------------
+#
+# Every emit names one of these; consumers switch on them.
+
+RUN_START = "run.start"              # exploration begins (app)
+RUN_END = "run.end"                  # exploration ends (termination)
+STATE_DISCOVERED = "state.discovered"  # first visit (component, name)
+WIDGET_CLICKED = "widget.clicked"    # Case 3 tap (widget)
+CASE_DECISION = "case.decision"      # Section VI-A decision (case=1|2|3)
+REFLECTION_SWITCH = "reflection.switch"  # reflection item succeeded
+FORCED_START = "forced.start"        # Section VI-C empty-Intent start
+INPUT_GENERATED = "input.generated"  # an EditText was filled (widget, value)
+TRANSITION = "transition"            # interface change (src, dst, widget)
+FAULT_INJECTED = "fault.injected"    # repro.faults hit the run (fault, op)
+RETRY = "retry"                      # a retry policy re-attempt (error)
+QUARANTINE = "quarantine"            # widget circuit breaker tripped
+CRASH_RECOVERY = "crash.recovery"    # requeue / replay / abandon after a crash
+API_OBSERVED = "api.observed"        # a sensitive API fired (api, component)
+
+EVENT_KINDS = frozenset({
+    RUN_START, RUN_END, STATE_DISCOVERED, WIDGET_CLICKED, CASE_DECISION,
+    REFLECTION_SWITCH, FORCED_START, INPUT_GENERATED, TRANSITION,
+    FAULT_INJECTED, RETRY, QUARANTINE, CRASH_RECOVERY, API_OBSERVED,
+})
+
+
+class Event:
+    """One line of the flight record."""
+
+    __slots__ = ("seq", "kind", "step", "app", "wall", "attributes")
+
+    def __init__(self, seq: int, kind: str, step: int = 0, app: str = "",
+                 wall: float = 0.0,
+                 attributes: Optional[Dict[str, object]] = None) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.step = step
+        self.app = app
+        self.wall = wall
+        self.attributes = dict(attributes) if attributes else {}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "step": self.step,
+            "app": self.app,
+            "wall": self.wall,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Event":
+        return cls(
+            seq=int(data["seq"]),  # type: ignore[arg-type]
+            kind=str(data["kind"]),
+            step=int(data.get("step", 0)),  # type: ignore[arg-type]
+            app=str(data.get("app", "")),
+            wall=float(data.get("wall", 0.0)),  # type: ignore[arg-type]
+            attributes=dict(data.get("attributes") or {}),  # type: ignore[arg-type]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Event({self.seq}, {self.kind!r}, step={self.step}, "
+                f"app={self.app!r}, attrs={self.attributes})")
+
+
+class EventLog:
+    """Sequenced, thread-safe event store plus sink fan-out.
+
+    One log can serve a whole parallel sweep: the sequence numbers are
+    global (so the JSONL stream totally orders the fleet) and each
+    event carries its ``app``, so ``events(app=...)`` slices one app's
+    record back out regardless of worker interleaving.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Iterable = ()) -> None:
+        self.sinks = list(sinks)
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._events: List[Event] = []
+        self._epoch = perf_counter()
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(self, kind: str, step: int = 0, app: str = "",
+             **attributes: object) -> Event:
+        event = Event(
+            seq=next(self._seq),
+            kind=kind,
+            step=step,
+            app=app,
+            wall=perf_counter() - self._epoch,
+            attributes=attributes,
+        )
+        with self._lock:
+            self._events.append(event)
+        for sink in self.sinks:
+            sink.emit(event)
+        return event
+
+    # -- reading -----------------------------------------------------------
+
+    def events(self, app: Optional[str] = None) -> List[Event]:
+        with self._lock:
+            if app is None:
+                return list(self._events)
+            return [e for e in self._events if e.app == app]
+
+    def census(self) -> Dict[str, int]:
+        """Event counts by kind."""
+        census: Dict[str, int] = {}
+        for event in self.events():
+            census[event.kind] = census.get(event.kind, 0) + 1
+        return census
+
+    # -- plumbing ----------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def close(self) -> None:
+        """Close every sink that supports closing (flushes files)."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+class NullEventLog(EventLog):
+    """The default: ``emit`` discards everything at constant cost."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_event = Event(seq=0, kind="")
+
+    def emit(self, kind: str, step: int = 0, app: str = "",
+             **attributes: object) -> Event:
+        return self._null_event
+
+
+NULL_EVENT_LOG = NullEventLog()
+
+
+def event_census(events: Iterable[Event]) -> Dict[str, int]:
+    """Event counts by kind over any event sequence."""
+    census: Dict[str, int] = {}
+    for event in events:
+        census[event.kind] = census.get(event.kind, 0) + 1
+    return census

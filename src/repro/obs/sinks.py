@@ -1,8 +1,14 @@
-"""Span sinks: where finished spans go.
+"""Record sinks: where finished spans and flight-recorder events go.
 
 * :class:`InMemorySink` — a list, for tests and in-process inspection;
 * :class:`JsonlSink` — one JSON object per line, the format
-  ``python -m repro trace-summary`` reads back.
+  ``python -m repro trace-summary`` and ``repro dashboard`` read back.
+
+A :class:`JsonlSink` accepts anything with a ``to_dict()`` — spans from
+a :class:`~repro.obs.tracer.Tracer` and events from an
+:class:`~repro.obs.events.EventLog` alike — and flushes after every
+line, so a run that crashes mid-flight still leaves a complete record
+of everything emitted before the crash.
 """
 
 from __future__ import annotations
@@ -10,15 +16,18 @@ from __future__ import annotations
 import json
 import pathlib
 import threading
-from typing import IO, List, Optional, Union
+from typing import IO, Callable, List, Union
 
+from repro.obs.events import Event
 from repro.obs.tracer import Span
+
+Source = Union[str, pathlib.Path, IO[str]]
 
 
 class SpanSink:
-    """Interface: ``emit`` each finished span; ``close`` when done."""
+    """Interface: ``emit`` each finished record; ``close`` when done."""
 
-    def emit(self, span: Span) -> None:  # pragma: no cover - interface
+    def emit(self, record) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
     def close(self) -> None:
@@ -26,19 +35,24 @@ class SpanSink:
 
 
 class InMemorySink(SpanSink):
-    """Collects spans into ``self.spans`` (thread-safe append)."""
+    """Collects records into ``self.spans`` (thread-safe append)."""
 
     def __init__(self) -> None:
-        self.spans: List[Span] = []
+        self.spans: List = []
         self._lock = threading.Lock()
 
-    def emit(self, span: Span) -> None:
+    def emit(self, record) -> None:
         with self._lock:
-            self.spans.append(span)
+            self.spans.append(record)
 
 
 class JsonlSink(SpanSink):
-    """Writes each span as one JSON line to a path or open handle."""
+    """Writes each record as one JSON line to a path or open handle.
+
+    Every line is flushed as it is written: a crash mid-run loses at
+    most the line being formatted, never the buffered tail of the
+    record (the property the flight recorder exists to provide).
+    """
 
     def __init__(self, target: Union[str, pathlib.Path, IO[str]]) -> None:
         if hasattr(target, "write"):
@@ -49,10 +63,11 @@ class JsonlSink(SpanSink):
             self._owns_handle = True
         self._lock = threading.Lock()
 
-    def emit(self, span: Span) -> None:
-        line = json.dumps(span.to_dict(), sort_keys=True)
+    def emit(self, record) -> None:
+        line = json.dumps(record.to_dict(), sort_keys=True)
         with self._lock:
             self._handle.write(line + "\n")
+            self._handle.flush()
 
     def close(self) -> None:
         with self._lock:
@@ -61,16 +76,37 @@ class JsonlSink(SpanSink):
                 self._handle.close()
 
 
-def read_spans(source: Union[str, pathlib.Path, IO[str]]) -> List[Span]:
-    """Load the spans back from a JSONL file (the round-trip of
-    :class:`JsonlSink`)."""
+def _read_jsonl(source: Source, parse: Callable, what: str) -> List:
+    """Parse a JSONL file of records, reporting the file and 1-based
+    line number of any malformed line instead of a raw decoder error."""
     if hasattr(source, "read"):
+        name = getattr(source, "name", "<stream>")
         lines = source.read().splitlines()  # type: ignore[union-attr]
     else:
+        name = str(source)
         lines = pathlib.Path(source).read_text(encoding="utf-8").splitlines()
-    spans = []
-    for line in lines:
+    records = []
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
-        if line:
-            spans.append(Span.from_dict(json.loads(line)))
-    return spans
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{name}:{lineno}: malformed JSON in {what} file: {exc.msg}"
+            ) from exc
+        records.append(parse(data))
+    return records
+
+
+def read_spans(source: Source) -> List[Span]:
+    """Load the spans back from a JSONL file (the round-trip of
+    :class:`JsonlSink` attached to a tracer)."""
+    return _read_jsonl(source, Span.from_dict, "span")
+
+
+def read_events(source: Source) -> List[Event]:
+    """Load flight-recorder events back from a JSONL file (the
+    round-trip of :class:`JsonlSink` attached to an event log)."""
+    return _read_jsonl(source, Event.from_dict, "event")

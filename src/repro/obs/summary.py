@@ -8,7 +8,7 @@ both into the text table the CLI and the reports embed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.obs.tracer import Span
 
@@ -29,14 +29,15 @@ class SpanStat:
 
 def aggregate_spans(spans: Iterable[Span]) -> List[SpanStat]:
     """Per-name aggregates, slowest total first."""
-    totals: dict = {}
+    # name -> [count, total seconds, max seconds]
+    totals: Dict[str, List[float]] = {}
     for span in spans:
         entry = totals.setdefault(span.name, [0, 0.0, 0.0])
         entry[0] += 1
         entry[1] += span.duration
         entry[2] = max(entry[2], span.duration)
     stats = [
-        SpanStat(name=name, count=count, total=total, maximum=maximum)
+        SpanStat(name=name, count=int(count), total=total, maximum=maximum)
         for name, (count, total, maximum) in totals.items()
     ]
     stats.sort(key=lambda s: (-s.total, s.name))

@@ -1,0 +1,138 @@
+"""The HTML run dashboard: single-run and fleet rendering."""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.apk import build_apk
+from repro.core.artifacts import save_artifacts
+from repro.corpus import build_table1_app, table1_packages
+from repro.obs import (
+    EventLog,
+    Tracer,
+    coverage_timeline,
+    load_run,
+    render_dashboard,
+    render_dashboard_dir,
+)
+from repro.obs.dashboard import fleet_rows, render_fleet_table
+
+_VOID_TAGS = {"meta", "line", "circle", "path", "polyline", "polygon",
+              "br", "hr", "img", "link", "input"}
+
+
+class _WellFormedChecker(HTMLParser):
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in _VOID_TAGS:
+            self.stack.append(tag)
+
+    def handle_endtag(self, tag):
+        if tag in _VOID_TAGS:
+            return
+        assert self.stack and self.stack[-1] == tag, \
+            f"misnested </{tag}> over {self.stack[-5:]}"
+        self.stack.pop()
+
+
+def _assert_well_formed(html_text):
+    checker = _WellFormedChecker()
+    checker.feed(html_text)
+    assert not checker.stack, f"unclosed tags: {checker.stack}"
+
+
+def _recorded_run(tmp_path, package=None):
+    package = package or table1_packages()[0]
+    config = FragDroidConfig(tracer=Tracer(), event_log=EventLog())
+    result = FragDroid(Device(), config).explore(
+        build_apk(build_table1_app(package))
+    )
+    run_dir = tmp_path / package
+    save_artifacts(result, run_dir)
+    return result, run_dir
+
+
+def test_dashboard_renders_recorded_run(tmp_path):
+    result, run_dir = _recorded_run(tmp_path)
+    html_text = render_dashboard(load_run(run_dir))
+    _assert_well_formed(html_text)
+    assert result.package in html_text
+    assert "Coverage over time" in html_text
+    assert "Phase timing" in html_text
+    assert "Critical path" in html_text
+    assert "prefers-color-scheme: dark" in html_text
+    assert "<script" not in html_text  # self-contained, zero JS
+
+
+def test_dashboard_checkpoint_table_matches_coverage_timeline(tmp_path):
+    result, run_dir = _recorded_run(tmp_path)
+    html_text = render_dashboard(load_run(run_dir))
+    points = coverage_timeline(result.events)
+    for point in points:
+        row = (f"<tr><td class=num>{point.step}</td>"
+               f"<td class=num>{point.activities}</td>"
+               f"<td class=num>{point.fragments}</td>"
+               f"<td class=num>{point.fivas}</td>"
+               f"<td class=num>{point.apis}</td></tr>")
+        assert row in html_text
+    assert f"({len(points)} points)" in html_text
+
+
+def test_dashboard_without_event_log_degrades_gracefully(tmp_path):
+    result = FragDroid(Device()).explore(
+        build_apk(build_table1_app(table1_packages()[0]))
+    )
+    run_dir = tmp_path / "plain"
+    save_artifacts(result, run_dir)
+    html_text = render_dashboard_dir(run_dir)
+    _assert_well_formed(html_text)
+    assert "--events-jsonl" in html_text  # points at the opt-in flag
+
+
+def test_fleet_dashboard_over_run_directories(tmp_path):
+    packages = table1_packages()[:2]
+    for package in packages:
+        _recorded_run(tmp_path, package)
+    html_text = render_dashboard_dir(tmp_path)
+    _assert_well_formed(html_text)
+    assert "fleet" in html_text
+    assert "Per-app results (2 apps)" in html_text
+    for package in packages:
+        assert package in html_text
+
+
+def test_fleet_table_renders_sweep_rows():
+    from repro.bench.parallel import explore_many, sweep_rows
+    from repro.corpus import TABLE1_PLANS
+
+    outcomes = explore_many(TABLE1_PLANS[:2], max_workers=2)
+    rows = sweep_rows(outcomes)
+    assert [row["package"] for row in rows] == sorted(outcomes)
+    assert all(row["ok"] for row in rows)
+    assert all(row["duration_s"] > 0 for row in rows)
+    html_text = render_fleet_table(rows)
+    _assert_well_formed(html_text)
+    for row in rows:
+        assert row["package"] in html_text
+
+
+def test_fleet_rows_carry_failures():
+    from repro.bench.parallel import SweepOutcome, sweep_rows
+
+    outcomes = {"com.dead": SweepOutcome(
+        package="com.dead", error=RuntimeError("boom"),
+        duration=0.5, fault_kind="crash",
+    )}
+    (row,) = sweep_rows(outcomes)
+    assert row["ok"] is False
+    assert row["fault_kind"] == "crash"
+    assert "failed: crash" in render_fleet_table([row])
+
+
+def test_dashboard_dir_rejects_non_run_directories(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        render_dashboard_dir(tmp_path)

@@ -1,0 +1,93 @@
+"""The flight recorder: EventLog, the null log, and persistence."""
+
+import json
+
+from repro.obs import (
+    EVENT_KINDS,
+    NULL_EVENT_LOG,
+    Event,
+    EventLog,
+    JsonlSink,
+    event_census,
+    read_events,
+)
+from repro.obs.events import STATE_DISCOVERED, WIDGET_CLICKED
+
+
+def test_emit_assigns_monotonic_sequence_numbers():
+    log = EventLog()
+    first = log.emit(STATE_DISCOVERED, step=3, app="com.a", name="A")
+    second = log.emit(WIDGET_CLICKED, step=5, app="com.a", widget="w")
+    assert (first.seq, second.seq) == (1, 2)
+    assert second.wall >= first.wall >= 0.0
+    assert first.attributes == {"name": "A"}
+
+
+def test_events_filter_by_app():
+    log = EventLog()
+    log.emit(STATE_DISCOVERED, app="com.a", name="A")
+    log.emit(STATE_DISCOVERED, app="com.b", name="B")
+    log.emit(WIDGET_CLICKED, app="com.a", widget="w")
+    assert len(log.events()) == 3
+    assert [e.attributes["name"] for e in log.events(app="com.a")
+            if e.kind == STATE_DISCOVERED] == ["A"]
+    assert len(log.events(app="com.b")) == 1
+
+
+def test_census_counts_by_kind():
+    log = EventLog()
+    log.emit(STATE_DISCOVERED, name="A")
+    log.emit(STATE_DISCOVERED, name="B")
+    log.emit(WIDGET_CLICKED, widget="w")
+    assert log.census() == {STATE_DISCOVERED: 2, WIDGET_CLICKED: 1}
+    assert event_census(log.events()) == log.census()
+
+
+def test_null_event_log_is_disabled_and_records_nothing():
+    assert NULL_EVENT_LOG.enabled is False
+    event = NULL_EVENT_LOG.emit(STATE_DISCOVERED, step=9, name="A")
+    assert event.seq == 0
+    assert NULL_EVENT_LOG.events() == []
+    assert EventLog().enabled is True
+
+
+def test_event_round_trip_via_jsonl(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(sinks=[JsonlSink(path)])
+    log.emit(STATE_DISCOVERED, step=7, app="com.a",
+             component="fragment", name="F", hosts=["A"])
+    log.emit(WIDGET_CLICKED, step=9, app="com.a", widget="btn")
+    log.close()
+
+    loaded = read_events(path)
+    assert len(loaded) == 2
+    for got, want in zip(loaded, log.events()):
+        assert got.seq == want.seq
+        assert got.kind == want.kind
+        assert got.step == want.step
+        assert got.app == want.app
+        assert got.attributes == want.attributes
+
+
+def test_jsonl_lines_are_flushed_before_close(tmp_path):
+    # The crash-durability property: the line must be on disk as soon
+    # as emit returns, not when the sink is closed.
+    path = tmp_path / "events.jsonl"
+    log = EventLog(sinks=[JsonlSink(path)])
+    log.emit(STATE_DISCOVERED, step=1, name="A")
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["kind"] == STATE_DISCOVERED
+    log.close()
+
+
+def test_all_kind_constants_are_registered():
+    assert STATE_DISCOVERED in EVENT_KINDS
+    assert len(EVENT_KINDS) == 14
+
+
+def test_from_dict_tolerates_minimal_records():
+    event = Event.from_dict({"seq": 4, "kind": "transition"})
+    assert event.step == 0
+    assert event.app == ""
+    assert event.attributes == {}

@@ -1,0 +1,60 @@
+"""Prometheus exposition and the run manifest."""
+
+import json
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.apk import build_apk
+from repro.corpus import demo_tabbed_app
+from repro.obs import EventLog, Metrics, Tracer, prometheus_text, run_manifest
+
+
+def test_prometheus_text_counters_and_histograms():
+    metrics = Metrics()
+    metrics.inc("clicks", 3)
+    metrics.inc("faults.adb-hang")
+    metrics.observe("queue.depth", 2.0)
+    metrics.observe("queue.depth", 4.0)
+    text = prometheus_text(metrics)
+    assert "# TYPE fragdroid_clicks_total counter" in text
+    assert "fragdroid_clicks_total 3" in text
+    # Names are sanitised to the Prometheus charset.
+    assert "fragdroid_faults_adb_hang_total 1" in text
+    assert "# TYPE fragdroid_queue_depth summary" in text
+    assert "fragdroid_queue_depth_count 2" in text
+    assert "fragdroid_queue_depth_sum 6" in text
+    assert "fragdroid_queue_depth_min 2" in text
+    assert "fragdroid_queue_depth_max 4" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_text_accepts_snapshots_and_prefix():
+    metrics = Metrics()
+    metrics.inc("clicks")
+    snapshot = metrics.snapshot()
+    assert prometheus_text(snapshot, prefix="fd") == \
+        "# TYPE fd_clicks_total counter\nfd_clicks_total 1\n"
+    assert prometheus_text(Metrics()) == ""
+
+
+def test_run_manifest_summarises_an_instrumented_run():
+    config = FragDroidConfig(tracer=Tracer(), event_log=EventLog())
+    result = FragDroid(Device(), config).explore(build_apk(demo_tabbed_app()))
+    manifest = run_manifest(result, files=["report.json", "events.jsonl"])
+    # Must be JSON-clean as written to manifest.json.
+    manifest = json.loads(json.dumps(manifest))
+    assert manifest["package"] == result.package
+    assert manifest["coverage"]["activities"]["visited"] == \
+        len(result.visited_activities)
+    assert manifest["flight_recorder"]["events"] == len(result.events)
+    assert manifest["flight_recorder"]["spans"] == len(result.spans)
+    assert manifest["flight_recorder"]["event_census"]["run.start"] == 1
+    assert "activities_t50" in manifest["discovery"]
+    assert manifest["files"] == ["events.jsonl", "report.json"]
+    assert "degradation" not in manifest  # fault-free run
+
+
+def test_run_manifest_without_events_skips_discovery_section():
+    result = FragDroid(Device()).explore(build_apk(demo_tabbed_app()))
+    manifest = run_manifest(result)
+    assert manifest["flight_recorder"]["events"] == 0
+    assert "discovery" not in manifest

@@ -2,6 +2,8 @@
 
 import io
 
+import pytest
+
 from repro.obs import (
     JsonlSink,
     Span,
@@ -51,6 +53,42 @@ def test_jsonl_sink_accepts_open_handles():
     handle.seek(0)
     spans = read_spans(handle)
     assert [s.name for s in spans] == ["inner", "inner", "outer"]
+
+
+def test_jsonl_sink_flushes_every_line(tmp_path):
+    # Regression: spans used to sit in the file buffer until close(),
+    # so a crashed run lost its tail. Each line must hit disk at emit.
+    path = tmp_path / "run.jsonl"
+    tracer = Tracer(sinks=[JsonlSink(path)])
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        # "inner" finished -> its line must already be on disk, with
+        # the sink still open.
+        assert [s.name for s in read_spans(path)] == ["inner"]
+    assert len(read_spans(path)) == 2
+    tracer.close()
+
+
+def test_read_spans_reports_file_and_line_on_malformed_json(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    good = '{"name": "a", "span_id": 1, "trace_id": 1, "parent_id": null, ' \
+           '"depth": 0, "start": 0.0, "duration": 0.1, "attributes": {}}'
+    path.write_text(good + "\n{not json\n")
+    with pytest.raises(ValueError) as excinfo:
+        read_spans(path)
+    message = str(excinfo.value)
+    assert str(path) in message
+    assert ":2:" in message  # 1-based line number of the bad line
+    assert "malformed JSON in span file" in message
+
+
+def test_read_spans_skips_blank_lines(tmp_path):
+    path = tmp_path / "gappy.jsonl"
+    line = '{"name": "a", "span_id": 1, "trace_id": 1, "parent_id": null, ' \
+           '"depth": 0, "start": 0.0, "duration": 0.1, "attributes": {}}'
+    path.write_text("\n" + line + "\n\n")
+    assert [s.name for s in read_spans(path)] == ["a"]
 
 
 def _span(name, duration, **attrs):

@@ -1,0 +1,87 @@
+"""Coverage-over-time analytics on synthetic and real flight records."""
+
+from repro import Device, FragDroid, FragDroidConfig
+from repro.apk import build_apk
+from repro.core.artifacts import coverage_curve
+from repro.corpus import build_table1_app, table1_packages
+from repro.obs import (
+    EventLog,
+    coverage_timeline,
+    discovery_stats,
+    stalls,
+    time_to_fraction,
+)
+from repro.obs.events import API_OBSERVED, RUN_END, STATE_DISCOVERED, Event
+
+
+def _event(seq, kind, step, **attrs):
+    return Event(seq=seq, kind=kind, step=step, attributes=attrs)
+
+
+def _discovery_record():
+    return [
+        _event(1, STATE_DISCOVERED, 2, component="activity", name="A"),
+        _event(2, API_OBSERVED, 3, api="net/openConnection"),
+        _event(3, STATE_DISCOVERED, 5, component="fragment", name="F1",
+               hosts=["A"]),
+        _event(4, STATE_DISCOVERED, 9, component="fragment", name="F2",
+               hosts=["B"]),
+        _event(5, STATE_DISCOVERED, 11, component="activity", name="B"),
+        _event(6, RUN_END, 80, termination="queue-drained"),
+    ]
+
+
+def test_coverage_timeline_checkpoints_and_fivas():
+    points = coverage_timeline(_discovery_record())
+    assert [p.to_dict() for p in points] == [
+        {"step": 0, "activities": 0, "fragments": 0, "fivas": 0, "apis": 0},
+        {"step": 2, "activities": 1, "fragments": 0, "fivas": 0, "apis": 0},
+        # F1's host A is visited -> FIVA; the API at step 3 now counts.
+        {"step": 5, "activities": 1, "fragments": 1, "fivas": 1, "apis": 1},
+        # F2's host B is not visited yet -> not a FIVA.
+        {"step": 9, "activities": 1, "fragments": 2, "fivas": 1, "apis": 1},
+        # Visiting B promotes F2 to FIVA retroactively.
+        {"step": 11, "activities": 2, "fragments": 2, "fivas": 2, "apis": 1},
+    ]
+
+
+def test_stalls_detects_plateaus_including_the_terminal_one():
+    found = stalls(_discovery_record(), min_events=10)
+    # Only one gap of >= 10 events: the terminal 11 -> 80 plateau.
+    assert [(s.start_step, s.end_step, s.events) for s in found] == \
+        [(11, 80, 69)]
+    # At a lower threshold the longest plateau still sorts first.
+    found = stalls(_discovery_record(), min_events=4)
+    assert found[0].events == 69
+    assert (found[1].start_step, found[1].end_step) == (5, 9)
+
+
+def test_time_to_fraction_and_discovery_stats():
+    points = coverage_timeline(_discovery_record())
+    assert time_to_fraction(points, "activities", 0.5) == 2
+    assert time_to_fraction(points, "activities", 0.9) == 11
+    assert time_to_fraction(points, "fragments", 0.5) == 5
+    stats = discovery_stats(_discovery_record())
+    assert stats["activities_t50"] == 2
+    assert stats["activities_t90"] == 11
+    assert stats["apis_t50"] == 5  # first checkpoint with the API counted
+
+
+def test_time_to_fraction_empty_series():
+    assert time_to_fraction([], "activities", 0.5) is None
+    points = coverage_timeline([_event(1, RUN_END, 10)])
+    assert time_to_fraction(points, "apis", 0.5) is None
+
+
+def test_event_curve_matches_trace_curve_on_a_real_run():
+    # The acceptance invariant: the flight-recorder curve equals
+    # artifacts.coverage_curve checkpoint for checkpoint.
+    package = table1_packages()[0]
+    config = FragDroidConfig(event_log=EventLog())
+    result = FragDroid(Device(), config).explore(
+        build_apk(build_table1_app(package))
+    )
+    assert result.events, "the enabled event log must populate the result"
+    points = coverage_timeline(result.events)
+    assert [(p.step, p.activities, p.fragments) for p in points] == \
+        coverage_curve(result)

@@ -153,3 +153,71 @@ def test_trace_summary_missing_file(capsys, tmp_path):
     code, out = run_cli(capsys, "trace-summary", str(tmp_path / "nope.jsonl"))
     assert code == 1
     assert "no such trace file" in out
+
+
+def test_trace_summary_empty_file(capsys, tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    code, out = run_cli(capsys, "trace-summary", str(empty))
+    assert code == 1
+    assert "holds no spans" in out
+
+
+def test_trace_summary_flame(capsys, tmp_path):
+    trace = tmp_path / "run.jsonl"
+    run_cli(capsys, "explore", "demo:tabs", "--trace-jsonl", str(trace))
+    code, out = run_cli(capsys, "trace-summary", str(trace), "--flame")
+    assert code == 0
+    lines = [line for line in out.splitlines() if line]
+    assert any(line.startswith("explore ") for line in lines)
+    assert any(";" in line for line in lines)
+    # Per-trace self times telescope: the collapsed-stack values sum to
+    # the root span's duration (in microseconds).
+    from repro.obs import read_spans
+
+    root_us = sum(s.duration for s in read_spans(trace)
+                  if s.parent_id is None) * 1e6
+    total_us = sum(float(line.rsplit(" ", 1)[1]) for line in lines)
+    assert abs(total_us - root_us) <= max(1e-6 * root_us, 1e-3)
+
+
+def test_explore_events_jsonl_and_metrics_prom(capsys, tmp_path):
+    events = tmp_path / "events.jsonl"
+    prom = tmp_path / "metrics.prom"
+    code, out = run_cli(capsys, "explore", "demo:tabs",
+                        "--events-jsonl", str(events),
+                        "--metrics-prom", str(prom))
+    assert code == 0
+    assert "events to" in out
+    assert "metrics to" in out
+
+    from repro.obs import read_events
+
+    loaded = read_events(events)
+    kinds = {event.kind for event in loaded}
+    assert "run.start" in kinds and "run.end" in kinds
+    assert "state.discovered" in kinds
+    text = prom.read_text()
+    assert "# TYPE fragdroid_clicks_total counter" in text
+
+
+def test_dashboard_command_single_run_and_errors(capsys, tmp_path):
+    run_dir = tmp_path / "run"
+    events = tmp_path / "events.jsonl"
+    run_cli(capsys, "explore", "demo:tabs",
+            "--events-jsonl", str(events),
+            "--trace-jsonl", str(tmp_path / "spans.jsonl"),
+            "--save", str(run_dir))
+    out_html = tmp_path / "dash.html"
+    code, out = run_cli(capsys, "dashboard", str(run_dir),
+                        "-o", str(out_html))
+    assert code == 0
+    assert "wrote dashboard" in out
+    html_text = out_html.read_text()
+    assert html_text.startswith("<!DOCTYPE html>")
+    assert "Coverage over time" in html_text
+
+    code, out = run_cli(capsys, "dashboard", str(tmp_path / "nowhere"),
+                        "-o", str(out_html))
+    assert code == 1
+    assert "report.json" in out
