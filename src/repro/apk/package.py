@@ -11,6 +11,8 @@ text artifacts alone.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, TYPE_CHECKING
 
@@ -34,6 +36,31 @@ class ApkPackage:
     @property
     def apk_name(self) -> str:
         return f"{self.package}-{self.version_name}.apk"
+
+    def digest(self) -> str:
+        """Content address of the package's analyzable artifacts.
+
+        A SHA-256 over the canonical serialized form of everything the
+        static pipeline reads — manifest, smali, layouts, public.xml,
+        the packed flag — so two packages with identical text artifacts
+        share a digest regardless of dict insertion order, and mutating
+        any byte of any artifact changes it.  The behavioural ``_spec``
+        is deliberately excluded: analysis never touches it.
+        """
+        payload = json.dumps(
+            {
+                "package": self.package,
+                "version": self.version_name,
+                "packed": self.packed,
+                "manifest": self.manifest_xml,
+                "smali": sorted(self.smali_files.items()),
+                "layouts": sorted(self.layout_files.items()),
+                "public": self.public_xml,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def size_estimate(self) -> int:
         """Rough byte size of the package contents (for reporting)."""

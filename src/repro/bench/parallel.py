@@ -2,33 +2,69 @@
 
 Each app's exploration is fully independent — its own Device, its own
 process state — so a market-scale deployment runs apps concurrently
-(the paper's A3E comparison point is exactly this cost).  The pool is
-thread-based: the emulator is pure Python and each exploration is
-short, so threads keep the API simple while still overlapping any
-interpreter-released work.
+(the paper's A3E comparison point is exactly this cost).  Two backends
+share one contract:
+
+* ``thread`` (the default) — a ``ThreadPoolExecutor``; the live config
+  with all its observers is shared directly, exactly as before.
+* ``process`` — a ``ProcessPoolExecutor``; every worker is pure-Python
+  CPU-bound (emulated device + static analysis), so threads serialize
+  on the GIL while processes actually use the cores.  Plans ship to
+  workers in chunks together with a picklable *spec* of the config; the
+  live ``Tracer``/``EventLog`` objects cannot cross the process
+  boundary, so workers record into their own in-memory observers whose
+  spans, counters and events are folded back into the parent's sinks on
+  join (``Tracer.absorb`` / ``Metrics.merge`` / ``EventLog.absorb``).
+  Captured exceptions cross the boundary as ``(type, message,
+  fault_kind)`` triples and are re-hydrated on the parent side so
+  ``SweepOutcome.unwrap()`` still re-raises something meaningful.
+
+Both backends produce identical ``sweep_rows``/``fault_census`` for a
+fixed seed (fault streams are per-scope seeded, never shared).  A
+config carrying non-picklable pieces (custom observers, exotic fault
+plans) silently keeps the thread backend.
+
+Environment overrides for ROADMAP-style deployments:
+
+* ``FRAGDROID_WORKERS`` — default worker count;
+* ``FRAGDROID_SWEEP_BACKEND`` — default backend (``thread``/``process``).
 
 Failure isolation: a market sweep deliberately contains apps that
 cannot be processed (packed APKs, build failures — the Section VII-A
 rule-outs), so each worker captures its own exception into a
 :class:`SweepOutcome` instead of letting one bad app abort the whole
-sweep.
+sweep, and outcomes are collected ``as_completed`` so one slow app
+never delays reporting of every later one.
 """
 
 from __future__ import annotations
 
+import importlib
 import os
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+import pickle
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import FragDroid, FragDroidConfig
 from repro.apk import build_apk
 from repro.core.explorer import ExplorationResult
 from repro.corpus import TABLE1_PLANS, build_app
 from repro.corpus.synth import AppPlan
+from repro.errors import ReproError
 from repro.faults import classify_fault, make_device
-from repro.obs import NULL_TRACER
+from repro.obs import NULL_EVENT_LOG, NULL_TRACER, Event, EventLog, Span, Tracer
+
+BACKENDS = ("thread", "process")
+
+
+class RemoteSweepError(ReproError):
+    """A worker-process failure whose concrete type could not be rebuilt."""
 
 
 @dataclass
@@ -58,7 +94,27 @@ class SweepOutcome:
 
 
 def _default_workers(plan_count: int) -> int:
+    """``min(plans, cpus)``, overridable via ``FRAGDROID_WORKERS``."""
+    env = os.environ.get("FRAGDROID_WORKERS", "").strip()
+    if env:
+        try:
+            forced = int(env)
+        except ValueError:
+            forced = 0
+        if forced > 0:
+            return max(1, min(plan_count, forced))
     return max(1, min(plan_count, os.cpu_count() or 4))
+
+
+def _resolve_backend(backend: Optional[str]) -> str:
+    if backend is None:
+        backend = os.environ.get("FRAGDROID_SWEEP_BACKEND", "").strip() \
+            or "thread"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown sweep backend {backend!r}; choose from {BACKENDS}"
+        )
+    return backend
 
 
 def explore_one(plan: AppPlan,
@@ -91,30 +147,240 @@ def explore_one(plan: AppPlan,
                         duration=perf_counter() - started)
 
 
+# ---------------------------------------------------------------------------
+# The process backend: picklable config specs and frozen outcomes
+# ---------------------------------------------------------------------------
+
+#: Config fields a worker process can reconstruct its config from.  The
+#: live observers are deliberately absent — they are replaced by fresh
+#: in-memory ones in the worker and folded back on join.
+_SPEC_FIELDS = (
+    "enable_reflection", "enable_forced_start", "enable_input_file",
+    "enable_click_exploration", "input_values", "input_strategy",
+    "queue_order", "max_events", "max_queue_items", "max_restarts_per_item",
+    "fault_profile", "fault_seed", "fault_plan", "retry_policy",
+    "quarantine_threshold",
+)
+
+
+@dataclass
+class _ConfigSpec:
+    """Everything a worker needs to rebuild an equivalent config."""
+
+    kwargs: Dict[str, object]
+    trace: bool = False
+    events: bool = False
+    # (directory, memory_entries) of the parent's StaticCache; workers
+    # open their own handle — the disk tier is the shared medium.
+    cache: Optional[Tuple[Optional[str], int]] = None
+
+
+def _config_spec(config: Optional[FragDroidConfig]) -> Optional[_ConfigSpec]:
+    if config is None:
+        return None
+    spec = _ConfigSpec(
+        kwargs={name: getattr(config, name) for name in _SPEC_FIELDS},
+        trace=config.tracer.enabled,
+        events=config.event_log.enabled,
+    )
+    if config.static_cache is not None:
+        directory = config.static_cache.directory
+        spec.cache = (str(directory) if directory is not None else None,
+                      config.static_cache.memory_entries)
+    return spec
+
+
+def _worker_config(spec: Optional[_ConfigSpec]) -> Optional[FragDroidConfig]:
+    if spec is None:
+        return None
+    config = FragDroidConfig(**spec.kwargs)
+    if spec.trace:
+        config.tracer = Tracer()
+    if spec.events:
+        config.event_log = EventLog()
+    if spec.cache is not None:
+        from repro.static.cache import StaticCache
+
+        directory, memory_entries = spec.cache
+        config.static_cache = StaticCache(directory=directory,
+                                          memory_entries=memory_entries)
+    return config
+
+
+@dataclass
+class _FrozenOutcome:
+    """A :class:`SweepOutcome` in picklable form, plus the worker's
+    observability record for the parent to fold in."""
+
+    package: str
+    duration: float
+    fault_kind: Optional[str] = None
+    result: Optional[ExplorationResult] = None
+    # (module, qualname, message) of the captured exception; exception
+    # objects themselves don't reliably round-trip through pickle
+    # (multi-argument constructors re-raise TypeError on load).
+    error: Optional[Tuple[str, str, str]] = None
+    spans: List[Span] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, List[float]] = field(default_factory=dict)
+
+
+def _freeze_error(exc: BaseException) -> Tuple[str, str, str]:
+    return (type(exc).__module__, type(exc).__qualname__, str(exc))
+
+
+def _thaw_error(frozen: Tuple[str, str, str]) -> BaseException:
+    """Re-hydrate a worker exception; falls back to
+    :class:`RemoteSweepError` when the type cannot be rebuilt."""
+    module, qualname, message = frozen
+    try:
+        cls = getattr(importlib.import_module(module), qualname)
+        if isinstance(cls, type) and issubclass(cls, BaseException):
+            return cls(message)
+    except Exception:
+        pass
+    return RemoteSweepError(f"{qualname}: {message}")
+
+
+def _run_chunk(spec: Optional[_ConfigSpec],
+               plans: List[AppPlan]) -> List[_FrozenOutcome]:
+    """Worker-process entry point: explore a chunk of plans serially,
+    each with a fresh config (and fresh per-app observers)."""
+    frozen: List[_FrozenOutcome] = []
+    for plan in plans:
+        config = _worker_config(spec)
+        outcome = explore_one(plan, config)
+        entry = _FrozenOutcome(
+            package=outcome.package,
+            duration=outcome.duration,
+            fault_kind=outcome.fault_kind,
+            result=outcome.result,
+            error=(_freeze_error(outcome.error)
+                   if outcome.error is not None else None),
+        )
+        if config is not None and config.tracer.enabled:
+            entry.spans = config.tracer.finished_spans()
+            entry.counters = config.tracer.metrics.counters()
+            entry.histograms = config.tracer.metrics.raw_histograms()
+        if config is not None and config.event_log.enabled:
+            entry.events = config.event_log.events()
+        frozen.append(entry)
+    return frozen
+
+
+def _thaw_outcome(frozen: _FrozenOutcome,
+                  config: Optional[FragDroidConfig]) -> SweepOutcome:
+    """Rebuild the outcome in the parent, folding the worker's spans,
+    counters and events into the parent's observers and sinks."""
+    tracer = config.tracer if config is not None else NULL_TRACER
+    event_log = config.event_log if config is not None else NULL_EVENT_LOG
+    result = frozen.result
+    if frozen.counters or frozen.histograms:
+        tracer.metrics.merge(frozen.counters, frozen.histograms)
+    if frozen.spans and tracer.enabled:
+        absorbed = tracer.absorb(frozen.spans)
+        if result is not None:
+            result.spans = absorbed
+    if frozen.events and event_log.enabled:
+        absorbed_events = event_log.absorb(frozen.events)
+        if result is not None:
+            result.events = [e for e in absorbed_events
+                             if e.app == frozen.package]
+    return SweepOutcome(
+        package=frozen.package,
+        result=result,
+        error=_thaw_error(frozen.error) if frozen.error is not None else None,
+        duration=frozen.duration,
+        fault_kind=frozen.fault_kind,
+    )
+
+
+def _picklable(spec: Optional[_ConfigSpec]) -> bool:
+    try:
+        pickle.dumps(spec)
+        return True
+    except Exception:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
 def explore_many(
     plans: Sequence[AppPlan] = tuple(TABLE1_PLANS),
     config: Optional[FragDroidConfig] = None,
     max_workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    chunksize: Optional[int] = None,
 ) -> Dict[str, SweepOutcome]:
     """Explore a set of apps concurrently; outcomes keyed by package.
 
-    ``max_workers`` defaults to ``min(len(plans), os.cpu_count() or 4)``.
+    ``max_workers`` defaults to ``min(len(plans), os.cpu_count() or 4)``,
+    overridable via ``FRAGDROID_WORKERS``.  ``backend`` chooses the pool:
+    ``"thread"`` (default, shares the live config) or ``"process"``
+    (sidesteps the GIL; see the module docstring for the pickling and
+    observer-merge contract); ``None`` reads ``FRAGDROID_SWEEP_BACKEND``
+    before falling back to threads.  ``chunksize`` batches plans per
+    process-backend task (default ``len(plans) / (4 × workers)``,
+    at least 1); the thread backend ignores it.
+
     The sweep always completes: per-app failures are carried inside the
     outcomes (see :class:`SweepOutcome`), never raised from here.
     """
     plans = list(plans)
+    backend = _resolve_backend(backend)
     if not plans:
         return {}
     if max_workers is None:
         max_workers = _default_workers(len(plans))
+    if backend == "process":
+        spec = _config_spec(config)
+        if _picklable(spec):
+            return _explore_many_process(plans, config, spec, max_workers,
+                                         chunksize)
+        # Non-picklable observers/plans: quietly keep the thread pool.
+        if config is not None:
+            config.tracer.inc("sweep.backend.fallback")
+    return _explore_many_thread(plans, config, max_workers)
+
+
+def _explore_many_thread(
+    plans: List[AppPlan],
+    config: Optional[FragDroidConfig],
+    max_workers: int,
+) -> Dict[str, SweepOutcome]:
     outcomes: Dict[str, SweepOutcome] = {}
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
         futures = {
             pool.submit(explore_one, plan, config): plan.package
             for plan in plans
         }
-        for future, package in futures.items():
-            outcomes[package] = future.result()
+        for future in as_completed(futures):
+            outcome = future.result()
+            outcomes[futures[future]] = outcome
+    return outcomes
+
+
+def _explore_many_process(
+    plans: List[AppPlan],
+    config: Optional[FragDroidConfig],
+    spec: Optional[_ConfigSpec],
+    max_workers: int,
+    chunksize: Optional[int],
+) -> Dict[str, SweepOutcome]:
+    if chunksize is None:
+        chunksize = max(1, len(plans) // (max_workers * 4))
+    chunks = [plans[i:i + chunksize]
+              for i in range(0, len(plans), chunksize)]
+    outcomes: Dict[str, SweepOutcome] = {}
+    with ProcessPoolExecutor(max_workers=min(max_workers,
+                                             len(chunks))) as pool:
+        futures = [pool.submit(_run_chunk, spec, chunk) for chunk in chunks]
+        for future in as_completed(futures):
+            for frozen in future.result():
+                outcomes[frozen.package] = _thaw_outcome(frozen, config)
     return outcomes
 
 

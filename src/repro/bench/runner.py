@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import Device, FragDroid, FragDroidConfig
 from repro.apk import build_apk
 from repro.baselines import ActivityExplorer, DepthFirstExplorer, Monkey
-from repro.bench.parallel import explore_many
+from repro.bench.parallel import _default_workers, _resolve_backend, explore_many
 from repro.core.coverage import CoverageReport, CoverageRow
 from repro.core.explorer import ExplorationResult
 from repro.core.sensitive_analysis import SensitiveApiReport, build_api_report
@@ -94,15 +95,17 @@ class Table1Run:
 
 
 def run_table1(config: Optional[FragDroidConfig] = None,
-               max_workers: Optional[int] = None) -> Table1Run:
+               max_workers: Optional[int] = None,
+               backend: Optional[str] = None) -> Table1Run:
     """Run FragDroid over the 15 evaluation apps.
 
-    The sweep runs through :func:`repro.bench.parallel.explore_many`;
-    the evaluation corpus is expected healthy, so a captured per-app
-    failure is re-raised here (``SweepOutcome.unwrap``).
+    The sweep runs through :func:`repro.bench.parallel.explore_many`
+    (``backend`` picks its pool: threads by default, processes to
+    sidestep the GIL); the evaluation corpus is expected healthy, so a
+    captured per-app failure is re-raised here (``SweepOutcome.unwrap``).
     """
     outcomes = explore_many(TABLE1_PLANS, config=config,
-                            max_workers=max_workers)
+                            max_workers=max_workers, backend=backend)
     results: Dict[str, ExplorationResult] = {}
     rows: List[CoverageRow] = []
     for plan in TABLE1_PLANS:
@@ -141,26 +144,57 @@ class UsageStudyResult:
         )
 
 
-def run_usage_study(count: int = 217, seed: int = 2018) -> UsageStudyResult:
+def _classify_market_app(app) -> str:
+    """One usage-study datapoint: "packed", "fragments" or "plain"."""
+    try:
+        decoded = Apktool().decode(app.build())
+    except PackedApkError:
+        return "packed"
+    return "fragments" if fragment_subclasses(decoded) else "plain"
+
+
+def _classify_market_chunk(apps) -> List[str]:
+    """Process-pool entry point: classify a chunk of market apps."""
+    return [_classify_market_app(app) for app in apps]
+
+
+def run_usage_study(count: int = 217, seed: int = 2018,
+                    max_workers: Optional[int] = 1,
+                    backend: Optional[str] = None) -> UsageStudyResult:
+    """The Section VII-A market survey: decode ``count`` synthetic
+    market apps and tally Fragment adoption.
+
+    Serial by default (``max_workers=1``); pass ``max_workers`` (or
+    ``None`` for ``min(apps, cpus)``, honouring ``FRAGDROID_WORKERS``)
+    to classify apps concurrently — every app is independent, so the
+    tally is identical regardless of worker count or ``backend``
+    (``"thread"``/``"process"``, defaulting like ``explore_many``).
+    """
     market = generate_market(count=count, seed=seed)
-    tool = Apktool()
-    packed = 0
-    analyzable = 0
-    with_fragments = 0
-    for app in market:
-        try:
-            decoded = tool.decode(app.build())
-        except PackedApkError:
-            packed += 1
-            continue
-        analyzable += 1
-        if fragment_subclasses(decoded):
-            with_fragments += 1
+    backend = _resolve_backend(backend)
+    if max_workers is None:
+        max_workers = _default_workers(len(market))
+    max_workers = max(1, min(max_workers, len(market)))
+    if max_workers == 1:
+        statuses = [_classify_market_app(app) for app in market]
+    elif backend == "process":
+        chunksize = max(1, len(market) // (max_workers * 4))
+        chunks = [market[i:i + chunksize]
+                  for i in range(0, len(market), chunksize)]
+        statuses = []
+        with ProcessPoolExecutor(max_workers=min(max_workers,
+                                                 len(chunks))) as pool:
+            for chunk_statuses in pool.map(_classify_market_chunk, chunks):
+                statuses.extend(chunk_statuses)
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            statuses = list(pool.map(_classify_market_app, market))
+    packed = statuses.count("packed")
     return UsageStudyResult(
         total=len(market),
         packed=packed,
-        analyzable=analyzable,
-        with_fragments=with_fragments,
+        analyzable=len(market) - packed,
+        with_fragments=statuses.count("fragments"),
         categories=len({a.category for a in market}),
     )
 

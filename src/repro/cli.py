@@ -15,7 +15,11 @@ Commands:
   dashboard from a saved run (``explore --save`` with the flight
   recorder on) or a directory of runs (the fleet view);
 * ``table1`` / ``table2`` / ``study`` / ``compare`` / ``ablate`` —
-  regenerate the paper's experiments.
+  regenerate the paper's experiments; the sweep commands take
+  ``--workers N`` and ``--backend {thread,process}`` (the process pool
+  sidesteps the GIL for market-scale runs);
+* ``cache stats`` / ``cache clear`` — inspect or drop the
+  content-addressed static-analysis cache (fed by ``--static-cache``).
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from repro.bench import (
     run_table1,
     run_usage_study,
 )
+from repro.bench.parallel import BACKENDS
 from repro.core.report import aftm_to_json, result_to_json
 from repro.core.sensitive_analysis import build_api_report
 from repro.faults import FAULT_PROFILES, make_device
@@ -106,6 +111,10 @@ def _config_from(args: argparse.Namespace) -> FragDroidConfig:
                 f"cannot open event file {args.events_jsonl!r}: {exc}"
             ) from exc
         config.event_log = EventLog(sinks=[sink])
+    if getattr(args, "static_cache", None):
+        from repro.static.cache import StaticCache
+
+        config.static_cache = StaticCache(directory=args.static_cache)
     return config
 
 
@@ -138,6 +147,21 @@ def _add_explore_flags(parser: argparse.ArgumentParser) -> None:
                              "text exposition format")
     parser.add_argument("--save", metavar="DIR",
                         help="persist all run artifacts under DIR")
+    parser.add_argument("--static-cache", metavar="DIR",
+                        help="content-addressed cache of the static "
+                             "phase under DIR; a digest hit skips "
+                             "decode + Algorithms 1-3 (inspect with "
+                             "`repro cache stats --dir DIR`)")
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count (default min(apps, cpus); "
+                             "FRAGDROID_WORKERS overrides)")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="pool backend: thread (default) or process "
+                             "(sidesteps the GIL; FRAGDROID_SWEEP_BACKEND "
+                             "overrides the default)")
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -151,7 +175,12 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_static(args: argparse.Namespace) -> int:
-    info = extract_static_info(_resolve_apk(args.app))
+    cache = None
+    if getattr(args, "static_cache", None):
+        from repro.static.cache import StaticCache
+
+        cache = StaticCache(directory=args.static_cache)
+    info = extract_static_info(_resolve_apk(args.app), cache=cache)
     if args.json:
         print(aftm_to_json(info.aftm))
         return 0
@@ -359,18 +388,51 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_table1(_args: argparse.Namespace) -> int:
-    print(run_table1().render_table1())
+def _sweep_config(args: argparse.Namespace) -> Optional[FragDroidConfig]:
+    if getattr(args, "static_cache", None):
+        from repro.static.cache import StaticCache
+
+        return FragDroidConfig(
+            static_cache=StaticCache(directory=args.static_cache)
+        )
+    return None
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    print(run_table1(config=_sweep_config(args), max_workers=args.workers,
+                     backend=args.backend).render_table1())
     return 0
 
 
-def cmd_table2(_args: argparse.Namespace) -> int:
-    print(run_table1().render_table2())
+def cmd_table2(args: argparse.Namespace) -> int:
+    print(run_table1(config=_sweep_config(args), max_workers=args.workers,
+                     backend=args.backend).render_table2())
     return 0
 
 
-def cmd_study(_args: argparse.Namespace) -> int:
-    print(run_usage_study().render())
+def cmd_study(args: argparse.Namespace) -> int:
+    workers = args.workers if args.workers is not None else 1
+    print(run_usage_study(max_workers=workers, backend=args.backend).render())
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the content-addressed static-analysis cache."""
+    from repro.static.cache import StaticCache, default_cache_dir
+
+    directory = args.dir if args.dir else default_cache_dir()
+    cache = StaticCache(directory=directory)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {directory}")
+        return 0
+    stats = cache.stats()
+    print(f"cache directory: {stats['directory']}")
+    print(f"entries: {stats['disk_entries']} "
+          f"({stats['disk_bytes']} bytes)")
+    print(f"lifetime hits: {stats.get('lifetime_hits', 0)}  "
+          f"misses: {stats.get('lifetime_misses', 0)}  "
+          f"stores: {stats.get('lifetime_stores', 0)}")
     return 0
 
 
@@ -397,6 +459,9 @@ def build_parser() -> argparse.ArgumentParser:
     static.add_argument("app")
     static.add_argument("--dot", action="store_true")
     static.add_argument("--json", action="store_true")
+    static.add_argument("--static-cache", metavar="DIR",
+                        help="content-addressed cache of the static "
+                             "phase under DIR")
     static.set_defaults(func=cmd_static)
 
     explore = sub.add_parser("explore", help="run the full pipeline")
@@ -462,6 +527,25 @@ def build_parser() -> argparse.ArgumentParser:
         ("table1", cmd_table1, "regenerate Table I"),
         ("table2", cmd_table2, "regenerate Table II"),
         ("study", cmd_study, "the 217-app usage study"),
+    ):
+        sweep = sub.add_parser(name, help=help_text)
+        _add_sweep_flags(sweep)
+        if name != "study":
+            sweep.add_argument("--static-cache", metavar="DIR",
+                               help="content-addressed cache of the "
+                                    "static phase under DIR")
+        sweep.set_defaults(func=func)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the static-analysis cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--dir", metavar="DIR", default=None,
+                       help="cache directory (default $FRAGDROID_CACHE_DIR "
+                            "or ~/.cache/fragdroid)")
+    cache.set_defaults(func=cmd_cache)
+
+    for name, func, help_text in (
         ("compare", cmd_compare, "baseline comparison"),
         ("ablate", cmd_ablate, "mechanism ablations"),
     ):

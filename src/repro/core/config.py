@@ -23,11 +23,14 @@ byte-identical to a fault-free run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.faults.plan import FAULT_PROFILES, FaultPlan, fault_plan
 from repro.faults.retry import RetryPolicy
 from repro.obs import NULL_EVENT_LOG, NULL_TRACER, EventLog, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.static.cache import StaticCache
 
 
 @dataclass
@@ -71,6 +74,12 @@ class FragDroidConfig:
     retry_policy: Optional[RetryPolicy] = None
     # Strikes (crashes/hangs) before a widget is quarantined.
     quarantine_threshold: int = 3
+    # Content-addressed memoization of the static phase
+    # (repro.static.cache).  None (the default) analyzes every APK from
+    # scratch; a StaticCache skips decode + Algorithms 1–3 on digest
+    # hits.  Cache-served runs carry StaticInfo.decoded=None.
+    static_cache: Optional["StaticCache"] = field(default=None, repr=False,
+                                                  compare=False)
 
     def __post_init__(self) -> None:
         if self.input_strategy not in ("default", "heuristic"):

@@ -234,6 +234,7 @@ class FragDroid:
                     input_values=config.input_values
                     if config.enable_input_file else None,
                     tracer=tracer,
+                    cache=config.static_cache,
                 )
             installed = (instrument_manifest(apk)
                          if config.enable_forced_start else apk)
@@ -638,7 +639,7 @@ class _Run:
             self.events.emit(QUARANTINE, step=self.device.steps,
                              app=self.package, widget=widget_id,
                              strikes=self.quarantine.strikes(widget_id),
-                             kind=kind)
+                             strike=kind)
 
     def _node_of(self, snapshot: UiSnapshot) -> Optional[Node]:
         if snapshot.fragments:

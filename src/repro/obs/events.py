@@ -127,6 +127,33 @@ class EventLog:
             sink.emit(event)
         return event
 
+    def absorb(self, events: Iterable[Event]) -> List[Event]:
+        """Fold events recorded by another log into this one.
+
+        Process-pool sweep workers record into their own logs (the live
+        log cannot cross the process boundary); on join the parent
+        absorbs each worker's record.  Sequence numbers are re-assigned
+        from this log's global counter (keeping the fleet stream
+        gap-free); kind, step, app, wall offset and attributes are
+        preserved.  Returns the re-sequenced events, in order.
+        """
+        absorbed: List[Event] = []
+        for event in events:
+            replayed = Event(
+                seq=next(self._seq),
+                kind=event.kind,
+                step=event.step,
+                app=event.app,
+                wall=event.wall,
+                attributes=event.attributes,
+            )
+            with self._lock:
+                self._events.append(replayed)
+            for sink in self.sinks:
+                sink.emit(replayed)
+            absorbed.append(replayed)
+        return absorbed
+
     # -- reading -----------------------------------------------------------
 
     def events(self, app: Optional[str] = None) -> List[Event]:
@@ -171,6 +198,9 @@ class NullEventLog(EventLog):
     def emit(self, kind: str, step: int = 0, app: str = "",
              **attributes: object) -> Event:
         return self._null_event
+
+    def absorb(self, events: Iterable[Event]) -> List[Event]:
+        return list(events)
 
 
 NULL_EVENT_LOG = NullEventLog()

@@ -56,6 +56,22 @@ class Metrics:
         with self._lock:
             self._histograms.setdefault(name, []).append(value)
 
+    def merge(self, counters: Dict[str, float],
+              histograms: Dict[str, List[float]]) -> None:
+        """Fold another registry's raw recordings into this one.
+
+        The process-pool sweep backend collects each worker's counters
+        and raw histogram values and merges them on join, so the parent
+        registry ends up with the same totals a shared thread-pool
+        registry would have accumulated.  Routed through ``inc``/
+        ``observe`` so :class:`NullMetrics` stays a no-op.
+        """
+        for name, value in counters.items():
+            self.inc(name, value)
+        for name, values in histograms.items():
+            for value in values:
+                self.observe(name, value)
+
     # -- reading -----------------------------------------------------------
 
     def counter(self, name: str) -> float:
@@ -69,6 +85,12 @@ class Metrics:
     def histogram(self, name: str) -> Tuple[float, ...]:
         with self._lock:
             return tuple(self._histograms.get(name, ()))
+
+    def raw_histograms(self) -> Dict[str, List[float]]:
+        """Every histogram's raw observations (for cross-process merge)."""
+        with self._lock:
+            return {name: list(values)
+                    for name, values in self._histograms.items()}
 
     def histogram_stats(self, name: str) -> HistogramStats:
         values = self.histogram(name)

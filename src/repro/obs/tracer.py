@@ -195,6 +195,42 @@ class Tracer:
         with self._lock:
             return [s for s in self._finished if s.trace_id == trace_id]
 
+    # -- merging -----------------------------------------------------------
+
+    def absorb(self, spans: Iterable[Span]) -> List[Span]:
+        """Fold spans recorded by another tracer into this one.
+
+        The process-pool sweep backend gives each worker its own in-memory
+        tracer; on join the parent absorbs each worker's record so its
+        finished-span store and sinks see the whole fleet.  Span, trace
+        and parent ids are remapped into this tracer's id space (the
+        worker counted from 1 too), preserving the tree structure.
+        Returns the remapped spans, in worker recording order.
+        """
+        spans = list(spans)
+        if not spans:
+            return []
+        peak = max(max(s.span_id, s.trace_id) for s in spans)
+        with self._lock:
+            base = next(self._ids)
+            self._ids = itertools.count(base + peak + 1)
+        absorbed: List[Span] = []
+        for span in spans:
+            absorbed.append(Span(
+                name=span.name,
+                span_id=span.span_id + base,
+                trace_id=span.trace_id + base,
+                parent_id=(None if span.parent_id is None
+                           else span.parent_id + base),
+                depth=span.depth,
+                start=span.start,
+                duration=span.duration,
+                attributes=span.attributes,
+            ))
+        for span in absorbed:
+            self._record(span)
+        return absorbed
+
     # -- plumbing ----------------------------------------------------------
 
     def add_sink(self, sink) -> None:
@@ -236,6 +272,9 @@ class NullTracer(Tracer):
 
     def observe(self, name: str, value: float) -> None:
         pass
+
+    def absorb(self, spans: Iterable[Span]) -> List[Span]:
+        return list(spans)
 
     def _record(self, span: Span) -> None:  # pragma: no cover - unreachable
         pass

@@ -10,8 +10,9 @@ the paper had to rule out before selecting its 15 targets).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.apk.layout import Layout
 from repro.apk.manifest import Manifest
@@ -20,6 +21,39 @@ from repro.apk.resources import ResourceTable
 from repro.errors import PackedApkError
 from repro.smali.assemble import parse_class
 from repro.smali.model import SmaliClass
+
+
+class _ClassIndex:
+    """Name lookup structures for one ``classes`` list snapshot.
+
+    Algorithms 1–3 call ``class_by_name``/``has_class``/
+    ``inner_classes_of`` for every component, inner class and resource
+    reference; linear scans made the static phase O(components ×
+    classes).  The index keeps one name→occurrences dict (O(1) exact
+    lookup, first occurrence wins exactly like the old scan) and one
+    sorted name list (O(log n) prefix ranges for ``Name$...``
+    companions, yielded back in original list order)."""
+
+    __slots__ = ("size", "by_name", "sorted_names")
+
+    def __init__(self, classes: List[SmaliClass]) -> None:
+        self.size = len(classes)
+        by_name: Dict[str, List[Tuple[int, SmaliClass]]] = {}
+        for position, cls in enumerate(classes):
+            by_name.setdefault(cls.name, []).append((position, cls))
+        self.by_name = by_name
+        self.sorted_names = sorted(by_name)
+
+    def prefix_matches(self, prefix: str) -> List[SmaliClass]:
+        names = self.sorted_names
+        start = bisect_left(names, prefix)
+        matches: List[Tuple[int, SmaliClass]] = []
+        for index in range(start, len(names)):
+            if not names[index].startswith(prefix):
+                break
+            matches.extend(self.by_name[names[index]])
+        matches.sort(key=lambda entry: entry[0])
+        return [cls for _, cls in matches]
 
 
 @dataclass
@@ -32,20 +66,29 @@ class DecodedApk:
     layouts: Dict[str, Layout] = field(default_factory=dict)
     resources: ResourceTable = None  # type: ignore[assignment]
 
+    def _index(self) -> _ClassIndex:
+        # Lazily built and rebuilt whenever ``classes`` grows or shrinks
+        # (tests extend the list in place); stored outside the dataclass
+        # fields so equality and repr are untouched.
+        index = self.__dict__.get("_class_index")
+        if index is None or index.size != len(self.classes):
+            index = _ClassIndex(self.classes)
+            self.__dict__["_class_index"] = index
+        return index
+
     def class_by_name(self, name: str) -> SmaliClass:
-        for cls in self.classes:
-            if cls.name == name:
-                return cls
-        raise KeyError(f"no class {name!r} in decoded {self.package}")
+        entries = self._index().by_name.get(name)
+        if not entries:
+            raise KeyError(f"no class {name!r} in decoded {self.package}")
+        return entries[0][1]
 
     def has_class(self, name: str) -> bool:
-        return any(cls.name == name for cls in self.classes)
+        return name in self._index().by_name
 
     def inner_classes_of(self, name: str) -> List[SmaliClass]:
         """All ``Name$...`` companions of a class (Algorithm 2's
         ``getInnerClass``)."""
-        prefix = name + "$"
-        return [cls for cls in self.classes if cls.name.startswith(prefix)]
+        return self._index().prefix_matches(name + "$")
 
 
 class Apktool:

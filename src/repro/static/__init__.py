@@ -24,21 +24,29 @@ __all__ = [
     "NodeKind",
     "SENSITIVE_API_CATALOG",
     "SensitiveApi",
+    "StaticCache",
     "StaticInfo",
     "Transition",
     "api_for_method",
+    "default_cache_dir",
     "extract_static_info",
     "method_for_api",
 ]
 
-_LAZY = {"StaticInfo", "extract_static_info"}
+_LAZY = {
+    "StaticInfo": "repro.static.extractor",
+    "extract_static_info": "repro.static.extractor",
+    "StaticCache": "repro.static.cache",
+    "default_cache_dir": "repro.static.cache",
+}
 
 
 def __getattr__(name: str):
-    if name in _LAZY:
-        from repro.static import extractor
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(extractor, name)
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(
         f"module 'repro.static' has no attribute {name!r}"
     )

@@ -1,0 +1,350 @@
+"""Content-addressed cache for the static phase.
+
+``extract_static_info`` is a pure function of the APK's text artifacts:
+decode → Algorithms 1–3 → dependency files, nothing else.  At market
+scale (the 217-app usage study, repeated evaluation sweeps) the same
+package bytes are re-analyzed over and over, so the sweep pays the full
+decode + analysis cost every run.  This module memoizes the whole phase
+behind :meth:`~repro.apk.package.ApkPackage.digest` — a SHA-256 of the
+canonical serialized artifacts — with two tiers:
+
+* an **in-memory LRU** of serialized models (bounded, per-process), and
+* an optional **on-disk JSON store** (one ``<digest>.json`` per entry,
+  default ``~/.cache/fragdroid``, override via config/CLI
+  ``--static-cache`` or ``FRAGDROID_CACHE_DIR``) shared across
+  processes and runs.
+
+A hit skips decode and Algorithms 1–3 entirely and rebuilds a fresh
+:class:`~repro.static.extractor.StaticInfo` from the serialized form —
+fresh, because the dynamic phase mutates ``info.aftm`` in place, so
+cached state must never be shared between runs.  Rehydrated models
+carry ``decoded=None`` (the existing deserialization contract); packed
+APKs are never cached (they fail before producing a model).  Stored
+entries strip analyst input values, which are re-applied per lookup, so
+one cache serves runs with different input files.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent sweep
+workers sharing one directory never observe torn entries; a corrupted
+or truncated entry reads as a miss.  Hit/miss/store tallies persist
+best-effort in ``<dir>/stats.json`` for ``repro cache stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.static.aftm import AFTM, Node, NodeKind
+from repro.static.extractor import StaticInfo
+from repro.static.input_dep import InputDependency
+from repro.static.resource_dep import ResourceBinding, ResourceDependency
+
+#: Bump whenever the serialized shape below changes; entries written by
+#: other schema versions read as misses instead of mis-deserializing.
+CACHE_SCHEMA = 1
+
+_STATS_FILE = "stats.json"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$FRAGDROID_CACHE_DIR`` or ``~/.cache/fragdroid``."""
+    env = os.environ.get("FRAGDROID_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "fragdroid"
+
+
+# ---------------------------------------------------------------------------
+# StaticInfo <-> plain dict
+# ---------------------------------------------------------------------------
+
+def _node_to_list(node: Node) -> List[str]:
+    return [node.kind.value, node.name]
+
+
+def _node_from_list(data: List[str]) -> Node:
+    return Node(NodeKind(data[0]), data[1])
+
+
+def _aftm_to_dict(aftm: AFTM) -> Dict:
+    return {
+        "package": aftm.package,
+        "entry": _node_to_list(aftm.entry) if aftm.entry else None,
+        "nodes": [_node_to_list(n) for n in sorted(aftm.nodes)],
+        "edges": [
+            [_node_to_list(e.src), _node_to_list(e.dst), e.host, e.trigger]
+            for e in sorted(aftm.edges)
+        ],
+        "visited": [_node_to_list(n) for n in sorted(aftm.visited)],
+    }
+
+
+def _aftm_from_dict(data: Dict) -> AFTM:
+    aftm = AFTM(data["package"])
+    if data.get("entry"):
+        aftm.set_entry(_node_from_list(data["entry"]))
+    for node in data.get("nodes", ()):
+        aftm.add_node(_node_from_list(node))
+    for src, dst, host, trigger in data.get("edges", ()):
+        aftm.add_transition(_node_from_list(src), _node_from_list(dst),
+                            host=host, trigger=trigger)
+    for node in data.get("visited", ()):
+        aftm.mark_visited(_node_from_list(node))
+    return aftm
+
+
+def static_info_to_dict(info: StaticInfo) -> Dict:
+    """Serialize everything but ``decoded`` and the analyst values.
+
+    Input values are a per-run overlay (``input_dep.provide``), not a
+    property of the APK bytes, so the stored template keeps only the
+    discovered widgets; lookups re-apply the caller's values.
+    """
+    return {
+        "package": info.package,
+        "aftm": _aftm_to_dict(info.aftm),
+        "activities": list(info.activities),
+        "fragments": list(info.fragments),
+        "fragment_hosts": {k: list(v)
+                           for k, v in info.fragment_hosts.items()},
+        "dependency": {k: list(v) for k, v in info.dependency.items()},
+        "resource_dep": [
+            [b.widget_id, b.resource_value, b.activity, b.fragment]
+            for b in info.resource_dep.bindings
+        ],
+        "input_widgets": list(info.input_dep.known_widgets),
+        "uses_manager": dict(info.uses_manager),
+        "support_library": dict(info.support_library),
+        "static_api_map": {k: list(v)
+                           for k, v in info.static_api_map.items()},
+        "view_components_json": info.view_components_json,
+    }
+
+
+def static_info_from_dict(data: Dict) -> StaticInfo:
+    """Rebuild a fresh, independently mutable model; ``decoded`` stays
+    ``None`` exactly like any deserialized :class:`StaticInfo`."""
+    resource_dep = ResourceDependency()
+    for widget_id, value, activity, fragment in data.get("resource_dep", ()):
+        resource_dep.add(ResourceBinding(widget_id, value, activity,
+                                         fragment))
+    input_dep = InputDependency(package=data["package"])
+    input_dep.known_widgets = list(data.get("input_widgets", ()))
+    return StaticInfo(
+        package=data["package"],
+        aftm=_aftm_from_dict(data["aftm"]),
+        activities=list(data.get("activities", ())),
+        fragments=list(data.get("fragments", ())),
+        fragment_hosts={k: list(v)
+                        for k, v in data.get("fragment_hosts", {}).items()},
+        dependency={k: list(v)
+                    for k, v in data.get("dependency", {}).items()},
+        resource_dep=resource_dep,
+        input_dep=input_dep,
+        uses_manager=dict(data.get("uses_manager", {})),
+        support_library=dict(data.get("support_library", {})),
+        static_api_map={k: list(v)
+                        for k, v in data.get("static_api_map", {}).items()},
+        view_components_json=data.get("view_components_json", "[]"),
+        decoded=None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The two-tier store
+# ---------------------------------------------------------------------------
+
+class StaticCache:
+    """In-memory LRU over serialized models, plus an optional disk tier.
+
+    Thread-safe; one instance can serve a whole thread-pool sweep.  For
+    a process-pool sweep each worker opens its own instance on the same
+    directory — the disk tier is the shared medium and every write is
+    atomic.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 memory_entries: int = 64) -> None:
+        if memory_entries < 1:
+            raise ValueError(
+                f"memory_entries must be >= 1, got {memory_entries!r}"
+            )
+        self.directory = (pathlib.Path(directory)
+                          if directory is not None else None)
+        self.memory_entries = memory_entries
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- lookup / store ----------------------------------------------------
+
+    def lookup(self, digest: str) -> Optional[StaticInfo]:
+        """The rehydrated model for a digest, or ``None`` on a miss."""
+        data = self._memory_get(digest)
+        if data is None and self.directory is not None:
+            data = self._disk_get(digest)
+            if data is not None:
+                self._memory_put(digest, data)
+        if data is None:
+            with self._lock:
+                self.misses += 1
+            self._bump_disk_stats("misses")
+            return None
+        with self._lock:
+            self.hits += 1
+        self._bump_disk_stats("hits")
+        return static_info_from_dict(data)
+
+    def store(self, digest: str, info: StaticInfo) -> None:
+        """Serialize a freshly extracted model under its digest."""
+        data = static_info_to_dict(info)
+        self._memory_put(digest, data)
+        if self.directory is not None:
+            self._disk_put(digest, data)
+        with self._lock:
+            self.stores += 1
+        self._bump_disk_stats("stores")
+
+    # -- memory tier -------------------------------------------------------
+
+    def _memory_get(self, digest: str) -> Optional[Dict]:
+        with self._lock:
+            data = self._memory.get(digest)
+            if data is not None:
+                self._memory.move_to_end(digest)
+            return data
+
+    def _memory_put(self, digest: str, data: Dict) -> None:
+        with self._lock:
+            self._memory[digest] = data
+            self._memory.move_to_end(digest)
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _entry_path(self, digest: str) -> pathlib.Path:
+        return self.directory / f"{digest}.json"
+
+    def _disk_get(self, digest: str) -> Optional[Dict]:
+        try:
+            payload = json.loads(
+                self._entry_path(digest).read_text(encoding="utf-8")
+            )
+            if payload.get("schema") != CACHE_SCHEMA:
+                return None
+            data = payload["static_info"]
+            # Round-trip the hydration now: a structurally corrupt entry
+            # must read as a miss, not explode mid-sweep.
+            static_info_from_dict(data)
+            return data
+        except (OSError, ValueError, KeyError, TypeError, IndexError):
+            return None
+
+    def _disk_put(self, digest: str, data: Dict) -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps(
+                {"schema": CACHE_SCHEMA, "digest": digest,
+                 "package": data["package"], "static_info": data},
+                sort_keys=True,
+            )
+            self._atomic_write(self._entry_path(digest), payload)
+        except OSError:
+            pass  # a read-only or full disk degrades to memory-only
+
+    def _atomic_write(self, path: pathlib.Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(self.directory),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- stats / maintenance ----------------------------------------------
+
+    def _bump_disk_stats(self, key: str) -> None:
+        """Best-effort persistent tallies for ``repro cache stats``."""
+        if self.directory is None:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / _STATS_FILE
+            try:
+                stats = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                stats = {}
+            stats[key] = int(stats.get(key, 0)) + 1
+            self._atomic_write(path, json.dumps(stats, sort_keys=True))
+        except OSError:
+            pass
+
+    def stats(self) -> Dict[str, object]:
+        """Hits/misses/stores plus entry counts and disk footprint."""
+        with self._lock:
+            stats: Dict[str, object] = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "memory_entries": len(self._memory),
+            }
+        stats["directory"] = (str(self.directory)
+                              if self.directory is not None else None)
+        stats["disk_entries"] = 0
+        stats["disk_bytes"] = 0
+        if self.directory is not None and self.directory.is_dir():
+            entries = 0
+            size = 0
+            for path in self.directory.glob("*.json"):
+                if path.name == _STATS_FILE:
+                    continue
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+            stats["disk_entries"] = entries
+            stats["disk_bytes"] = size
+            persisted = self.persistent_stats(self.directory)
+            for key in ("hits", "misses", "stores"):
+                stats[f"lifetime_{key}"] = persisted.get(key, 0)
+        return stats
+
+    @staticmethod
+    def persistent_stats(directory: os.PathLike) -> Dict[str, int]:
+        """The tallies accumulated in a directory across processes."""
+        try:
+            raw = json.loads(
+                (pathlib.Path(directory) / _STATS_FILE).read_text(
+                    encoding="utf-8")
+            )
+            return {k: int(v) for k, v in raw.items()}
+        except (OSError, ValueError, TypeError):
+            return {}
+
+    def clear(self) -> int:
+        """Drop every entry (memory and disk); returns entries removed."""
+        with self._lock:
+            removed = len(self._memory)
+            self._memory.clear()
+        if self.directory is not None and self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                if path.name != _STATS_FILE:
+                    removed += 1
+        return removed

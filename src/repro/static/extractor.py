@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.static.cache import StaticCache
 
 from repro.apk.package import ApkPackage
 from repro.obs import NULL_TRACER, Tracer
@@ -72,15 +75,34 @@ class StaticInfo:
 
 def extract_static_info(apk: ApkPackage,
                         input_values: Optional[Dict[str, str]] = None,
-                        tracer: Optional[Tracer] = None) -> StaticInfo:
+                        tracer: Optional[Tracer] = None,
+                        cache: Optional["StaticCache"] = None) -> StaticInfo:
     """Run the full static pipeline on one APK.
 
     ``input_values`` plays the analyst's role for the input-dependency
     file: widget resource-IDs mapped to correct values, filled in advance
     (Section V-C).  ``tracer`` records one span per phase (decode,
     Algorithms 1–3, input dependency, sensitive scan).
+
+    ``cache`` memoizes the whole phase by the APK's content digest
+    (``repro.static.cache``): a hit skips decode and Algorithms 1–3 and
+    returns a fresh model with ``decoded=None``; packed APKs are never
+    cached.  ``static.cache.{hit,miss,store}`` counters land on the
+    tracer.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    digest = None
+    if cache is not None and not apk.packed:
+        digest = apk.digest()
+        with tracer.span("static.cache.lookup", app=apk.package):
+            info = cache.lookup(digest)
+        if info is not None:
+            tracer.inc("static.cache.hit")
+            if input_values:
+                for widget_id, value in input_values.items():
+                    info.input_dep.provide(widget_id, value)
+            return info
+        tracer.inc("static.cache.miss")
     with tracer.span("static.extract", app=apk.package) as root:
         with tracer.span("static.decode", app=apk.package):
             decoded = Apktool().decode(apk)
@@ -128,7 +150,7 @@ def extract_static_info(apk: ApkPackage,
             static_api_map = _scan_sensitive_invokes(decoded)
         root.set_attribute("activities", len(effective_activity_names))
         root.set_attribute("fragments", len(effective_fragment_names))
-        return StaticInfo(
+        info = StaticInfo(
             package=apk.package,
             aftm=aftm,
             activities=effective_activity_names,
@@ -143,6 +165,13 @@ def extract_static_info(apk: ApkPackage,
             view_components_json=_view_components_json(decoded),
             decoded=decoded,
         )
+    if cache is not None and digest is not None:
+        # Serialized immediately, so later in-place AFTM mutation by the
+        # dynamic phase never leaks into the stored entry; analyst
+        # values are stripped by the serializer and re-applied per hit.
+        cache.store(digest, info)
+        tracer.inc("static.cache.store")
+    return info
 
 
 def _scan_sensitive_invokes(decoded: DecodedApk) -> Dict[str, List[str]]:

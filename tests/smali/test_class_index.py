@@ -1,0 +1,90 @@
+"""The lazy class index behind DecodedApk lookups.
+
+Property test: every indexed lookup must agree with the plain linear
+scan over ``decoded.classes`` it replaced — first match for
+``class_by_name``, list-order prefix scan for ``inner_classes_of``.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apk.manifest import Manifest
+from repro.smali.apktool import DecodedApk
+from repro.smali.model import SmaliClass
+
+_simple = st.sampled_from(
+    ["Main", "Second", "Home", "News", "Vault", "Settings"]
+)
+_inner = st.sampled_from(["1", "Listener", "Factory", "State$deep"])
+_names = st.one_of(
+    _simple.map(lambda s: f"com.p.{s}"),
+    st.tuples(_simple, _inner).map(lambda t: f"com.p.{t[0]}${t[1]}"),
+)
+
+
+def _decoded(names):
+    return DecodedApk(
+        package="com.p",
+        manifest=Manifest(package="com.p"),
+        classes=[SmaliClass(name=name) for name in names],
+    )
+
+
+def _scan_first(decoded, name):
+    for cls in decoded.classes:
+        if cls.name == name:
+            return cls
+    return None
+
+
+def _scan_inners(decoded, name):
+    prefix = name + "$"
+    return [c for c in decoded.classes if c.name.startswith(prefix)]
+
+
+@given(st.lists(_names, max_size=30), _names)
+def test_index_agrees_with_linear_scan(names, probe):
+    decoded = _decoded(names)
+    for name in set(names) | {probe, "com.p.Ghost"}:
+        expected = _scan_first(decoded, name)
+        assert decoded.has_class(name) == (expected is not None)
+        if expected is None:
+            with pytest.raises(KeyError):
+                decoded.class_by_name(name)
+        else:
+            # Identity, not equality: the first declaration wins, even
+            # with duplicate names in the list.
+            assert decoded.class_by_name(name) is expected
+        inners = decoded.inner_classes_of(name)
+        assert [c.name for c in inners] \
+            == [c.name for c in _scan_inners(decoded, name)]
+        assert all(a is b for a, b in zip(inners, _scan_inners(decoded, name)))
+
+
+def test_keyerror_message_unchanged():
+    decoded = _decoded(["com.p.Main"])
+    with pytest.raises(KeyError) as exc:
+        decoded.class_by_name("com.p.Ghost")
+    assert exc.value.args[0] == "no class 'com.p.Ghost' in decoded com.p"
+
+
+def test_index_rebuilds_when_classes_change():
+    decoded = _decoded(["com.p.Main"])
+    assert decoded.has_class("com.p.Main")
+    decoded.classes.append(SmaliClass(name="com.p.Main$Listener"))
+    assert decoded.has_class("com.p.Main$Listener")
+    assert [c.name for c in decoded.inner_classes_of("com.p.Main")] \
+        == ["com.p.Main$Listener"]
+    decoded.classes.pop()
+    assert not decoded.has_class("com.p.Main$Listener")
+
+
+def test_prefix_never_leaks_siblings():
+    decoded = _decoded([
+        "com.p.Main", "com.p.Main$Listener", "com.p.MainActivity",
+        "com.p.MainActivity$1", "com.p.Main$State$deep",
+    ])
+    assert [c.name for c in decoded.inner_classes_of("com.p.Main")] \
+        == ["com.p.Main$Listener", "com.p.Main$State$deep"]
+    assert [c.name for c in decoded.inner_classes_of("com.p.MainActivity")] \
+        == ["com.p.MainActivity$1"]

@@ -1,0 +1,245 @@
+"""The content-addressed static-analysis cache."""
+
+import json
+
+import pytest
+
+from repro.apk import build_apk
+from repro.apk.package import ApkPackage
+from repro.errors import PackedApkError
+from repro.static import extract_static_info
+from repro.static.cache import CACHE_SCHEMA, StaticCache, default_cache_dir
+from tests.conftest import make_demo_spec
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return StaticCache(directory=tmp_path / "cache")
+
+
+def _demo_apk(package: str = "com.example.demo"):
+    return build_apk(make_demo_spec(package))
+
+
+# ---------------------------------------------------------------------------
+# The digest
+# ---------------------------------------------------------------------------
+
+def test_digest_is_stable():
+    assert _demo_apk().digest() == _demo_apk().digest()
+
+
+def test_digest_ignores_dict_build_order():
+    apk = _demo_apk()
+    shuffled = ApkPackage(
+        package=apk.package,
+        version_name=apk.version_name,
+        manifest_xml=apk.manifest_xml,
+        smali_files=dict(reversed(list(apk.smali_files.items()))),
+        layout_files=dict(reversed(list(apk.layout_files.items()))),
+        public_xml=apk.public_xml,
+        packed=apk.packed,
+    )
+    assert apk.digest() == shuffled.digest()
+
+
+def test_any_byte_mutation_changes_digest():
+    apk = _demo_apk()
+    base = apk.digest()
+    name, body = next(iter(apk.smali_files.items()))
+    apk.smali_files[name] = body + " "
+    assert apk.digest() != base
+    apk.smali_files[name] = body
+    assert apk.digest() == base
+    apk.manifest_xml += "\n"
+    assert apk.digest() != base
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("FRAGDROID_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"
+    monkeypatch.delenv("FRAGDROID_CACHE_DIR")
+    assert default_cache_dir().name == "fragdroid"
+
+
+# ---------------------------------------------------------------------------
+# Hit equivalence
+# ---------------------------------------------------------------------------
+
+def _assert_same_model(cold, warm):
+    assert warm.package == cold.package
+    assert warm.aftm.entry == cold.aftm.entry
+    assert warm.aftm.nodes == cold.aftm.nodes
+    assert warm.aftm.edges == cold.aftm.edges
+    assert warm.aftm.visited == cold.aftm.visited
+    assert warm.activities == cold.activities
+    assert warm.fragments == cold.fragments
+    assert warm.fragment_hosts == cold.fragment_hosts
+    assert warm.dependency == cold.dependency
+    assert (sorted(warm.input_dep.known_widgets)
+            == sorted(cold.input_dep.known_widgets))
+    assert warm.uses_manager == cold.uses_manager
+    assert warm.support_library == cold.support_library
+    assert warm.static_api_map == cold.static_api_map
+    assert warm.view_components_json == cold.view_components_json
+
+
+def test_hit_returns_equal_static_info(cache):
+    cold = extract_static_info(_demo_apk(), cache=cache)
+    warm = extract_static_info(_demo_apk(), cache=cache)
+    assert cold.decoded is not None      # the miss analyzed for real
+    assert warm.decoded is None          # the hit skipped decoding
+    _assert_same_model(cold, warm)
+    assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+
+def test_hits_hydrate_independent_models(cache):
+    first = extract_static_info(_demo_apk(), cache=cache)
+    second = extract_static_info(_demo_apk(), cache=cache)
+    assert first.aftm is not second.aftm
+    # Mutating one run's model (as the explorer does) must not leak
+    # into the next cache-served run.
+    second.aftm.mark_visited(next(iter(second.aftm.nodes)))
+    third = extract_static_info(_demo_apk(), cache=cache)
+    assert third.aftm.visited == first.aftm.visited
+
+
+def test_input_values_reapplied_on_hit(cache):
+    values = {"password": "hunter2"}
+    cold = extract_static_info(_demo_apk(), input_values=values, cache=cache)
+    warm = extract_static_info(_demo_apk(), input_values=values, cache=cache)
+    assert warm.input_dep.value_for("password") \
+        == cold.input_dep.value_for("password")
+    # A hit without values gets the pristine template back.
+    plain = extract_static_info(_demo_apk(), cache=cache)
+    assert plain.input_dep.value_for("password") \
+        != warm.input_dep.value_for("password")
+
+
+def test_cache_counters_traced(cache):
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    extract_static_info(_demo_apk(), tracer=tracer, cache=cache)
+    extract_static_info(_demo_apk(), tracer=tracer, cache=cache)
+    assert tracer.metrics.counter("static.cache.miss") == 1
+    assert tracer.metrics.counter("static.cache.store") == 1
+    assert tracer.metrics.counter("static.cache.hit") == 1
+
+
+# ---------------------------------------------------------------------------
+# Miss paths
+# ---------------------------------------------------------------------------
+
+def test_mutated_apk_misses(cache):
+    extract_static_info(_demo_apk(), cache=cache)
+    mutated = _demo_apk()
+    name = next(iter(mutated.smali_files))
+    mutated.smali_files[name] += "\n# patched"
+    extract_static_info(mutated, cache=cache)
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_corrupted_entry_reads_as_miss(cache):
+    apk = _demo_apk()
+    extract_static_info(apk, cache=cache)
+    entry = cache._entry_path(apk.digest())
+    assert entry.exists()
+    entry.write_text("{ not json", encoding="utf-8")
+    fresh = StaticCache(directory=cache.directory)
+    info = extract_static_info(_demo_apk(), cache=fresh)
+    assert fresh.hits == 0 and fresh.misses == 1
+    assert info.decoded is not None
+
+
+def test_structurally_broken_entry_reads_as_miss(cache):
+    apk = _demo_apk()
+    extract_static_info(apk, cache=cache)
+    entry = cache._entry_path(apk.digest())
+    payload = json.loads(entry.read_text(encoding="utf-8"))
+    del payload["static_info"]["aftm"]
+    entry.write_text(json.dumps(payload), encoding="utf-8")
+    fresh = StaticCache(directory=cache.directory)
+    assert fresh.lookup(apk.digest()) is None
+
+
+def test_other_schema_reads_as_miss(cache):
+    apk = _demo_apk()
+    extract_static_info(apk, cache=cache)
+    entry = cache._entry_path(apk.digest())
+    payload = json.loads(entry.read_text(encoding="utf-8"))
+    payload["schema"] = CACHE_SCHEMA + 1
+    entry.write_text(json.dumps(payload), encoding="utf-8")
+    fresh = StaticCache(directory=cache.directory)
+    assert fresh.lookup(apk.digest()) is None
+
+
+def test_packed_apk_never_cached(cache):
+    spec = make_demo_spec()
+    spec.packed = True
+    with pytest.raises(PackedApkError):
+        extract_static_info(build_apk(spec), cache=cache)
+    assert cache.misses == 0 and cache.stores == 0
+    assert cache.stats()["disk_entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Tiers, stats, maintenance
+# ---------------------------------------------------------------------------
+
+def test_memory_only_cache_hits_without_directory():
+    cache = StaticCache()
+    extract_static_info(_demo_apk(), cache=cache)
+    warm = extract_static_info(_demo_apk(), cache=cache)
+    assert cache.hits == 1
+    assert warm.decoded is None
+
+
+def test_lru_evicts_to_disk_tier(tmp_path):
+    cache = StaticCache(directory=tmp_path, memory_entries=1)
+    extract_static_info(_demo_apk("com.example.first"), cache=cache)
+    extract_static_info(_demo_apk("com.example.second"), cache=cache)
+    assert cache.stats()["memory_entries"] == 1
+    # The evicted entry still hits through the disk tier.
+    warm = extract_static_info(_demo_apk("com.example.first"), cache=cache)
+    assert cache.hits == 1
+    assert warm.decoded is None
+
+
+def test_stats_and_clear(tmp_path):
+    cache = StaticCache(directory=tmp_path)
+    extract_static_info(_demo_apk(), cache=cache)
+    extract_static_info(_demo_apk(), cache=cache)
+    stats = cache.stats()
+    assert stats["disk_entries"] == 1
+    assert stats["disk_bytes"] > 0
+    assert stats["lifetime_hits"] == 1
+    assert stats["lifetime_misses"] == 1
+    assert stats["lifetime_stores"] == 1
+    assert cache.clear() >= 1
+    assert cache.stats()["disk_entries"] == 0
+    extract_static_info(_demo_apk(), cache=cache)
+    assert cache.misses == 2 and cache.stores == 2
+
+
+def test_rejects_silly_memory_budget():
+    with pytest.raises(ValueError):
+        StaticCache(memory_entries=0)
+
+
+def test_exploration_identical_with_warm_cache(tmp_path):
+    from repro import Device, FragDroid, FragDroidConfig
+
+    def explore(config):
+        result = FragDroid(Device(), config).explore(_demo_apk())
+        return (sorted(result.visited_activities),
+                sorted(result.visited_fragments),
+                result.stats.events,
+                len(result.api_invocations))
+
+    baseline = explore(FragDroidConfig())
+    cache = StaticCache(directory=tmp_path)
+    cold = explore(FragDroidConfig(static_cache=cache))
+    warm = explore(FragDroidConfig(static_cache=cache))
+    assert cache.hits == 1
+    assert baseline == cold == warm

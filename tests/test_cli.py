@@ -221,3 +221,46 @@ def test_dashboard_command_single_run_and_errors(capsys, tmp_path):
                         "-o", str(out_html))
     assert code == 1
     assert "report.json" in out
+
+
+def test_static_cache_flag_and_cache_commands(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    code, cold = run_cli(capsys, "explore", "demo:tabs",
+                         "--static-cache", str(cache_dir))
+    assert code == 0
+    code, warm = run_cli(capsys, "explore", "demo:tabs",
+                         "--static-cache", str(cache_dir))
+    assert code == 0
+    assert warm == cold
+
+    code, out = run_cli(capsys, "cache", "stats", "--dir", str(cache_dir))
+    assert code == 0
+    assert "entries: 1" in out
+    assert "lifetime hits: 1" in out
+
+    code, out = run_cli(capsys, "cache", "clear", "--dir", str(cache_dir))
+    assert code == 0
+    assert "cleared 1 entries" in out
+    code, out = run_cli(capsys, "cache", "stats", "--dir", str(cache_dir))
+    assert "entries: 0" in out
+
+
+def test_static_command_uses_cache(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    code, cold = run_cli(capsys, "static", "demo:aftm",
+                         "--static-cache", str(cache_dir))
+    assert code == 0
+    code, warm = run_cli(capsys, "static", "demo:aftm",
+                         "--static-cache", str(cache_dir))
+    assert code == 0
+    assert warm == cold
+    assert (cache_dir / "stats.json").exists()
+
+
+def test_study_workers_and_backend_flags(capsys):
+    code, serial = run_cli(capsys, "study")
+    assert code == 0
+    code, parallel = run_cli(capsys, "study", "--workers", "4",
+                             "--backend", "process")
+    assert code == 0
+    assert parallel == serial

@@ -107,12 +107,183 @@ def test_explore_many_empty_plan_list():
     assert explore_many([]) == {}
 
 
-def test_default_worker_count():
+def test_default_worker_count(monkeypatch):
     from repro.bench.parallel import _default_workers
 
+    monkeypatch.delenv("FRAGDROID_WORKERS", raising=False)
     assert _default_workers(1) == 1
     assert _default_workers(0) == 1
     import os
 
     cap = os.cpu_count() or 4
     assert _default_workers(10_000) == min(10_000, cap)
+
+
+def test_workers_env_override(monkeypatch):
+    from repro.bench.parallel import _default_workers
+
+    monkeypatch.setenv("FRAGDROID_WORKERS", "3")
+    assert _default_workers(10) == 3
+    # Still capped by the number of plans.
+    assert _default_workers(2) == 2
+    # Garbage and non-positive values fall back to the cpu default.
+    import os
+
+    cap = os.cpu_count() or 4
+    monkeypatch.setenv("FRAGDROID_WORKERS", "many")
+    assert _default_workers(10_000) == min(10_000, cap)
+    monkeypatch.setenv("FRAGDROID_WORKERS", "0")
+    assert _default_workers(10_000) == min(10_000, cap)
+
+
+# ---------------------------------------------------------------------------
+# The process backend
+# ---------------------------------------------------------------------------
+
+SWEEP_PACKAGES = (
+    "au.com.digitalstampede.formula",
+    "org.rbc.odb",
+    "com.happy2.bbmanga",
+    "net.aviascanner.aviascanner",
+    "com.advancedprocessmanager",
+)
+
+
+def _rows_without_durations(outcomes):
+    from repro.bench.parallel import sweep_rows
+
+    return [{key: value for key, value in row.items()
+             if key != "duration_s"}
+            for row in sweep_rows(outcomes)]
+
+
+def test_process_backend_matches_thread_backend():
+    plans = [plan_for(p) for p in SWEEP_PACKAGES]
+    thread = explore_many(plans, max_workers=4, backend="thread")
+    process = explore_many(plans, max_workers=4, backend="process")
+    assert _rows_without_durations(thread) == _rows_without_durations(process)
+
+
+def test_process_backend_hostile_faults_equivalent():
+    """Faults are per-scope seeded, so thread and process sweeps inject
+    the identical fault streams: same census, same per-app outcomes."""
+    from repro import FragDroidConfig
+    from repro.bench.parallel import fault_census
+
+    plans = [plan_for(p) for p in SWEEP_PACKAGES]
+
+    def sweep(backend):
+        config = FragDroidConfig(fault_profile="hostile", fault_seed=77)
+        return explore_many(plans, config=config, max_workers=4,
+                            backend=backend)
+
+    thread = sweep("thread")
+    process = sweep("process")
+    assert fault_census(thread) == fault_census(process)
+    assert _rows_without_durations(thread) == _rows_without_durations(process)
+    for package in thread:
+        a, b = thread[package], process[package]
+        assert a.ok == b.ok, package
+        assert a.fault_kind == b.fault_kind, package
+        if not a.ok:
+            assert type(a.error) is type(b.error), package
+
+
+def test_process_backend_rehydrates_errors():
+    plans = [
+        plan_for("org.rbc.odb"),
+        AppPlan(package="com.packer.victim", visited_activities=2,
+                packed=True),
+    ]
+    outcomes = explore_many(plans, max_workers=2, backend="process")
+    failed = outcomes["com.packer.victim"]
+    assert not failed.ok
+    assert isinstance(failed.error, PackedApkError)
+    assert failed.fault_kind == "packed-apk"
+    with pytest.raises(PackedApkError):
+        failed.unwrap()
+
+
+def test_thaw_error_falls_back_to_remote_sweep_error():
+    from repro.bench.parallel import RemoteSweepError, _thaw_error
+
+    error = _thaw_error(("no.such.module", "GoneError", "boom"))
+    assert isinstance(error, RemoteSweepError)
+    assert "GoneError" in str(error) and "boom" in str(error)
+    # Non-exception attributes are refused too.
+    error = _thaw_error(("repro.bench.parallel", "explore_many", "boom"))
+    assert isinstance(error, RemoteSweepError)
+
+
+def test_non_picklable_config_falls_back_to_thread(monkeypatch):
+    """A config the process backend cannot ship keeps the thread pool
+    (and the sweep still completes correctly)."""
+    import repro.bench.parallel as parallel
+    from repro import FragDroidConfig
+    from repro.obs import Tracer
+
+    assert not parallel._picklable(
+        parallel._ConfigSpec(kwargs={"hook": lambda: None})
+    )
+    monkeypatch.setattr(parallel, "_picklable", lambda spec: False)
+    spawned = []
+    monkeypatch.setattr(parallel, "_explore_many_process",
+                        lambda *a, **k: spawned.append(1))
+    config = FragDroidConfig(tracer=Tracer())
+    plans = [plan_for("org.rbc.odb")]
+    results = unwrap_results(explore_many(plans, config=config,
+                                          max_workers=1, backend="process"))
+    assert not spawned
+    assert set(results) == {"org.rbc.odb"}
+    assert config.tracer.metrics.counter("sweep.backend.fallback") == 1
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        explore_many([plan_for("org.rbc.odb")], backend="greenlet")
+
+
+def test_backend_env_override(monkeypatch):
+    import repro.bench.parallel as parallel
+
+    monkeypatch.setenv("FRAGDROID_SWEEP_BACKEND", "process")
+    assert parallel._resolve_backend(None) == "process"
+    # An explicit argument wins over the environment.
+    assert parallel._resolve_backend("thread") == "thread"
+    monkeypatch.setenv("FRAGDROID_SWEEP_BACKEND", "fiber")
+    with pytest.raises(ValueError):
+        parallel._resolve_backend(None)
+
+
+def test_process_backend_merges_observability():
+    """Worker spans/events/counters land in the parent's observers: the
+    counters total the fleet, the event stream is gap-free, and each
+    result points at its absorbed spans and events."""
+    from repro import FragDroidConfig
+    from repro.obs import EventLog, Tracer
+
+    config = FragDroidConfig(tracer=Tracer(), event_log=EventLog())
+    plans = [plan_for(p) for p in SWEEP_PACKAGES[:3]]
+    outcomes = explore_many(plans, config=config, max_workers=3,
+                            backend="process")
+    assert config.tracer.metrics.counter("sweep.apps") == 3
+    span_names = {s.name for s in config.tracer.finished_spans()}
+    assert "sweep.app" in span_names and "explore" in span_names
+    events = config.event_log.events()
+    assert [e.seq for e in events] == list(range(1, len(events) + 1))
+    for plan in plans:
+        result = outcomes[plan.package].unwrap()
+        assert result.spans and result.events
+        assert all(e.app == plan.package for e in result.events)
+        assert ([e.seq for e in config.event_log.events(app=plan.package)]
+                == [e.seq for e in result.events])
+
+
+def test_usage_study_parallel_matches_serial():
+    from repro.bench.runner import run_usage_study
+
+    serial = run_usage_study(count=40)
+    assert serial == run_usage_study(count=40, max_workers=4,
+                                     backend="thread")
+    assert serial == run_usage_study(count=40, max_workers=4,
+                                     backend="process")
