@@ -46,9 +46,21 @@ def _render(sweeps):
     return "\n".join(lines)
 
 
-def test_chaos_profiles(benchmark, save_result):
+def test_chaos_profiles(benchmark, save_result, save_result_json):
     sweeps = benchmark.pedantic(_run_all, rounds=1, iterations=1)
     save_result("chaos", _render(sweeps))
+    save_result_json("chaos", {
+        profile: {
+            "apps_ok": len(_coverage(outcomes).rows),
+            "apps_total": len(outcomes),
+            "mean_activity_rate": round(
+                _coverage(outcomes).mean_activity_rate, 6),
+            "mean_fragment_rate": round(
+                _coverage(outcomes).mean_fragment_rate, 6),
+            "faults": fault_census(outcomes),
+        }
+        for profile, outcomes in sweeps.items()
+    })
 
     baseline = _coverage(sweeps["none"])
     assert all(o.ok for o in sweeps["none"].values())

@@ -65,13 +65,15 @@ def _real_emit_cost(calls: int = 100_000) -> float:
     return (perf_counter() - start) / calls
 
 
-def test_tracing_does_not_change_results(save_result):
+def test_tracing_does_not_change_results(save_result, save_result_json):
     noop = run_table1(max_workers=1)
     tracer = Tracer()
     traced = run_table1(FragDroidConfig(tracer=tracer), max_workers=1)
     assert traced.render_table1() == noop.render_table1()
     assert traced.render_table2() == noop.render_table2()
     save_result("obs_traced_counters", tracer.metrics.render())
+    save_result_json("obs_traced_counters",
+                     {"counters": tracer.metrics.counters()})
 
 
 def test_event_log_does_not_change_results():
@@ -82,7 +84,7 @@ def test_event_log_does_not_change_results():
     assert recorded.render_table2() == noop.render_table2()
 
 
-def test_noop_tracer_overhead(benchmark, save_result):
+def test_noop_tracer_overhead(benchmark, save_result, save_result_json):
     run_table1(max_workers=1)  # warm caches before timing
 
     start = perf_counter()
@@ -109,12 +111,19 @@ def test_noop_tracer_overhead(benchmark, save_result):
         f"null-path share of the sweep:  {share:8.2%} (budget: 5%)",
     ]
     save_result("obs_overhead", "\n".join(lines))
+    save_result_json("obs_overhead", {
+        "noop_sweep_seconds": round(noop_seconds, 4),
+        "traced_sweep_seconds": round(traced_seconds, 4),
+        "call_sites": call_sites,
+        "null_call_ns": round(per_call * 1e9, 2),
+        "null_share": round(share, 6),
+    })
     assert share < 0.05, (
         f"no-op observability path costs {share:.2%} of a Table-I sweep"
     )
 
 
-def test_event_log_overhead(save_result):
+def test_event_log_overhead(save_result, save_result_json):
     """The flight recorder — even *enabled* — stays under 5%.
 
     Same stable methodology as the tracer test: measure the per-emit
@@ -142,6 +151,12 @@ def test_event_log_overhead(save_result):
         f"enabled emit share:            {real_share:8.2%} (budget: 5%)",
     ]
     save_result("obs_event_log_overhead", "\n".join(lines))
+    save_result_json("obs_event_log_overhead", {
+        "noop_sweep_seconds": round(noop_seconds, 4),
+        "events": emits,
+        "null_share": round(null_share, 6),
+        "real_share": round(real_share, 6),
+    })
     assert null_share < 0.05, (
         f"no-op event-log path costs {null_share:.2%} of a Table-I sweep"
     )

@@ -5,22 +5,43 @@ market — and a single exploration run, the two phases whose cost governs
 a large-scale deployment.
 """
 
+from time import perf_counter
+
 from repro import Device, FragDroid
 from repro.apk import build_apk
 from repro.bench import run_usage_study
 from repro.corpus import build_table1_app
 
 
-def test_market_sweep_throughput(benchmark):
+def test_market_sweep_throughput(benchmark, save_result_json):
+    start = perf_counter()
     study = benchmark.pedantic(run_usage_study, rounds=1, iterations=1)
+    elapsed = perf_counter() - start
     assert study.total == 217
+    save_result_json("static_perf_market", {
+        "apps": study.total,
+        "packed": study.packed,
+        "with_fragments": study.with_fragments,
+        "fragment_share": round(study.share, 6),
+        "seconds": round(elapsed, 3),
+        "apps_per_second": round(study.total / elapsed, 2),
+    })
 
 
-def test_single_app_exploration(benchmark):
+def test_single_app_exploration(benchmark, save_result_json):
     def explore():
         return FragDroid(Device()).explore(
             build_apk(build_table1_app("com.inditex.zara"))
         )
 
+    start = perf_counter()
     result = benchmark.pedantic(explore, rounds=3, iterations=1)
+    elapsed = perf_counter() - start
     assert len(result.visited_activities) == 7
+    save_result_json("static_perf_single_app", {
+        "activities_visited": len(result.visited_activities),
+        "fragments_visited": len(result.visited_fragments),
+        "events": result.stats.events,
+        "rounds": 3,
+        "seconds_3_rounds": round(elapsed, 3),
+    })

@@ -14,10 +14,19 @@ from repro.corpus.table1_apps import (
 )
 
 
-def test_table1_coverage(benchmark, save_result):
+def test_table1_coverage(benchmark, save_result, save_result_json):
     run = benchmark.pedantic(run_table1, rounds=1, iterations=1)
     save_result("table1_coverage", run.render_table1())
     report = run.report
+    save_result_json("table1_coverage", {
+        "apps": len(report.rows),
+        "mean_activity_rate": round(report.mean_activity_rate, 6),
+        "mean_fragment_rate": round(report.mean_fragment_rate, 6),
+        "mean_fiva_rate": round(report.mean_fiva_rate, 6),
+        "full_fiva_apps": report.full_fiva_apps(),
+        "paper_mean_activity_rate": PAPER_MEAN_ACTIVITY_RATE,
+        "paper_mean_fragment_rate": PAPER_MEAN_FRAGMENT_RATE,
+    })
     # Shape assertions: the reproduced means sit on the paper's numbers.
     assert abs(report.mean_activity_rate - PAPER_MEAN_ACTIVITY_RATE) < 0.02
     assert abs(report.mean_fragment_rate - PAPER_MEAN_FRAGMENT_RATE) < 0.02

@@ -1,12 +1,44 @@
-"""Benchmark harness support: result persistence."""
+"""Benchmark harness support: result persistence.
+
+Two output channels per experiment:
+
+* ``save_result`` — the rendered human-readable table
+  (``benchmarks/results/<name>.txt``), unchanged since PR 1;
+* ``save_result_json`` / :func:`write_result_json` — the same numbers
+  as schema-versioned machine-readable JSON
+  (``benchmarks/results/<name>.json``), the shape the longitudinal
+  run registry ingests (``repro runs ingest benchmarks/results/*.json``)
+  so bench trajectories can be diffed run-over-run like sweeps.
+"""
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Dict
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Bump when the result-file shape changes; the registry refuses to
+#: ingest files without a recognizable schema marker.
+RESULT_SCHEMA = 1
+
+
+def write_result_json(name: str, data: Dict) -> pathlib.Path:
+    """Persist one benchmark's numbers as schema-versioned JSON.
+
+    ``data`` should be a (possibly nested) dict of numeric leaves —
+    exactly what ``RunRegistry.ingest_bench`` flattens into a run
+    record's coverage section.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    payload = {"schema": RESULT_SCHEMA, "bench": name, "data": data}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 @pytest.fixture
@@ -18,5 +50,17 @@ def save_result():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n[saved {path}]\n{text}")
+
+    return _save
+
+
+@pytest.fixture
+def save_result_json():
+    """Fixture face of :func:`write_result_json` (prints the path)."""
+
+    def _save(name: str, data: Dict) -> pathlib.Path:
+        path = write_result_json(name, data)
+        print(f"\n[saved {path}]")
+        return path
 
     return _save

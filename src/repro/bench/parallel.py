@@ -59,6 +59,7 @@ from repro.corpus.synth import AppPlan
 from repro.errors import ReproError
 from repro.faults import classify_fault, make_device
 from repro.obs import NULL_EVENT_LOG, NULL_TRACER, Event, EventLog, Span, Tracer
+from repro.obs.registry import capture_run_record, corpus_digest_of
 
 BACKENDS = ("thread", "process")
 
@@ -80,6 +81,10 @@ class SweepOutcome:
     # "timeout", "disconnect", "crash", "packed-apk"); None for a
     # success or an unclassified failure.
     fault_kind: Optional[str] = None
+    # Content digest of the built APK (ApkPackage.digest()); None when
+    # the failure struck before the build finished.  The sweep's run
+    # record derives its corpus digest from these.
+    apk_digest: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -128,9 +133,11 @@ def explore_one(plan: AppPlan,
     tracer = config.tracer if config is not None else NULL_TRACER
     fault_plan = config.fault_plan if config is not None else None
     started = perf_counter()
+    digest: Optional[str] = None
     with tracer.span("sweep.app", app=plan.package) as span:
         try:
             apk = build_apk(build_app(plan))
+            digest = apk.digest()
             device = make_device(fault_plan, scope=plan.package)
             result = FragDroid(device, config).explore(apk)
         except Exception as exc:
@@ -141,10 +148,11 @@ def explore_one(plan: AppPlan,
                 tracer.inc(f"sweep.faults.{kind}")
             return SweepOutcome(package=plan.package, error=exc,
                                 duration=perf_counter() - started,
-                                fault_kind=kind)
+                                fault_kind=kind, apk_digest=digest)
     tracer.inc("sweep.apps")
     return SweepOutcome(package=plan.package, result=result,
-                        duration=perf_counter() - started)
+                        duration=perf_counter() - started,
+                        apk_digest=digest)
 
 
 # ---------------------------------------------------------------------------
@@ -170,6 +178,9 @@ class _ConfigSpec:
     kwargs: Dict[str, object]
     trace: bool = False
     events: bool = False
+    # Whether the parent tracer samples per-span peak memory; workers
+    # rebuild their tracer with the same sampling mode.
+    memory: bool = False
     # (directory, memory_entries) of the parent's StaticCache; workers
     # open their own handle — the disk tier is the shared medium.
     cache: Optional[Tuple[Optional[str], int]] = None
@@ -182,6 +193,7 @@ def _config_spec(config: Optional[FragDroidConfig]) -> Optional[_ConfigSpec]:
         kwargs={name: getattr(config, name) for name in _SPEC_FIELDS},
         trace=config.tracer.enabled,
         events=config.event_log.enabled,
+        memory=bool(getattr(config.tracer, "memory", False)),
     )
     if config.static_cache is not None:
         directory = config.static_cache.directory
@@ -195,7 +207,7 @@ def _worker_config(spec: Optional[_ConfigSpec]) -> Optional[FragDroidConfig]:
         return None
     config = FragDroidConfig(**spec.kwargs)
     if spec.trace:
-        config.tracer = Tracer()
+        config.tracer = Tracer(memory=spec.memory)
     if spec.events:
         config.event_log = EventLog()
     if spec.cache is not None:
@@ -215,6 +227,7 @@ class _FrozenOutcome:
     package: str
     duration: float
     fault_kind: Optional[str] = None
+    apk_digest: Optional[str] = None
     result: Optional[ExplorationResult] = None
     # (module, qualname, message) of the captured exception; exception
     # objects themselves don't reliably round-trip through pickle
@@ -255,6 +268,7 @@ def _run_chunk(spec: Optional[_ConfigSpec],
             package=outcome.package,
             duration=outcome.duration,
             fault_kind=outcome.fault_kind,
+            apk_digest=outcome.apk_digest,
             result=outcome.result,
             error=(_freeze_error(outcome.error)
                    if outcome.error is not None else None),
@@ -293,6 +307,7 @@ def _thaw_outcome(frozen: _FrozenOutcome,
         error=_thaw_error(frozen.error) if frozen.error is not None else None,
         duration=frozen.duration,
         fault_kind=frozen.fault_kind,
+        apk_digest=frozen.apk_digest,
     )
 
 
@@ -328,6 +343,11 @@ def explore_many(
 
     The sweep always completes: per-app failures are carried inside the
     outcomes (see :class:`SweepOutcome`), never raised from here.
+
+    When the config carries a ``run_registry``
+    (:class:`repro.obs.registry.RunRegistry`), one content-addressed
+    run record — coverage rows, fault census, corpus digest, metrics
+    and per-phase timing — is persisted as the sweep ends.
     """
     plans = list(plans)
     backend = _resolve_backend(backend)
@@ -335,15 +355,46 @@ def explore_many(
         return {}
     if max_workers is None:
         max_workers = _default_workers(len(plans))
+    used_process = False
     if backend == "process":
         spec = _config_spec(config)
         if _picklable(spec):
-            return _explore_many_process(plans, config, spec, max_workers,
-                                         chunksize)
-        # Non-picklable observers/plans: quietly keep the thread pool.
-        if config is not None:
+            used_process = True
+            outcomes = _explore_many_process(plans, config, spec,
+                                             max_workers, chunksize)
+        elif config is not None:
+            # Non-picklable observers/plans: quietly keep the thread pool.
             config.tracer.inc("sweep.backend.fallback")
-    return _explore_many_thread(plans, config, max_workers)
+    if not used_process:
+        outcomes = _explore_many_thread(plans, config, max_workers)
+    _record_sweep(config, outcomes,
+                  backend="process" if used_process else "thread",
+                  workers=max_workers)
+    return outcomes
+
+
+def _record_sweep(config: Optional[FragDroidConfig],
+                  outcomes: Dict[str, SweepOutcome],
+                  backend: str, workers: int) -> None:
+    """Persist the sweep's run record when a registry is configured.
+
+    The execution context (backend, worker count) lands in the
+    record's unhashed ``meta``, so a thread run and a process run of
+    the same sweep produce the same content-addressed payload."""
+    registry = getattr(config, "run_registry", None)
+    if config is None or registry is None:
+        return
+    record = capture_run_record(
+        "sweep",
+        config=config,
+        apps=sweep_rows(outcomes),
+        fault_census=fault_census(outcomes),
+        corpus_digest=corpus_digest_of(
+            {package: outcome.apk_digest
+             for package, outcome in outcomes.items()}),
+        meta={"backend": backend, "workers": workers},
+    )
+    registry.record(record)
 
 
 def _explore_many_thread(

@@ -21,6 +21,7 @@ from repro.corpus.table1_apps import (
     TABLE1_EXPECTED,
 )
 from repro.errors import PackedApkError
+from repro.obs.registry import RunRegistry, capture_run_record
 from repro.smali.apktool import Apktool
 from repro.static.effective import fragment_subclasses
 from repro.types import InvocationSource
@@ -160,7 +161,9 @@ def _classify_market_chunk(apps) -> List[str]:
 
 def run_usage_study(count: int = 217, seed: int = 2018,
                     max_workers: Optional[int] = 1,
-                    backend: Optional[str] = None) -> UsageStudyResult:
+                    backend: Optional[str] = None,
+                    registry: Optional["RunRegistry"] = None,
+                    ) -> UsageStudyResult:
     """The Section VII-A market survey: decode ``count`` synthetic
     market apps and tally Fragment adoption.
 
@@ -169,6 +172,8 @@ def run_usage_study(count: int = 217, seed: int = 2018,
     to classify apps concurrently — every app is independent, so the
     tally is identical regardless of worker count or ``backend``
     (``"thread"``/``"process"``, defaulting like ``explore_many``).
+    ``registry`` (a :class:`repro.obs.registry.RunRegistry`) persists
+    the tallies as a run record the `repro runs` verbs can diff.
     """
     market = generate_market(count=count, seed=seed)
     backend = _resolve_backend(backend)
@@ -190,13 +195,28 @@ def run_usage_study(count: int = 217, seed: int = 2018,
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             statuses = list(pool.map(_classify_market_app, market))
     packed = statuses.count("packed")
-    return UsageStudyResult(
+    study = UsageStudyResult(
         total=len(market),
         packed=packed,
         analyzable=len(market) - packed,
         with_fragments=statuses.count("fragments"),
         categories=len({a.category for a in market}),
     )
+    if registry is not None:
+        registry.record(capture_run_record(
+            "usage-study",
+            coverage={
+                "apps_total": study.total,
+                "packed": study.packed,
+                "analyzable": study.analyzable,
+                "with_fragments": study.with_fragments,
+                "categories": study.categories,
+                "fragment_share": round(study.share, 6),
+            },
+            meta={"seed": seed, "count": count, "backend": backend,
+                  "workers": max_workers},
+        ))
+    return study
 
 
 # ---------------------------------------------------------------------------

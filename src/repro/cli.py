@@ -19,7 +19,14 @@ Commands:
   ``--workers N`` and ``--backend {thread,process}`` (the process pool
   sidesteps the GIL for market-scale runs);
 * ``cache stats`` / ``cache clear`` — inspect or drop the
-  content-addressed static-analysis cache (fed by ``--static-cache``).
+  content-addressed static-analysis cache (fed by ``--static-cache``);
+* ``runs list|show|diff|gc|pin|ingest`` — the longitudinal run
+  registry: list recorded runs, print one record, structured-diff two
+  records, prune old ones (never the pinned baseline), pin the
+  regression baseline, ingest benchmark result JSON;
+* ``regress --baseline REF`` — the deterministic regression gate:
+  compare a candidate run (recorded id, record file, or a fresh
+  Table-I sweep) against a baseline record; exit 1 on regression.
 """
 
 from __future__ import annotations
@@ -369,8 +376,13 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
 
     from repro.obs import render_dashboard_dir
 
+    history = None
+    if getattr(args, "registry", None):
+        from repro.obs.registry import RunRegistry
+
+        history = RunRegistry(args.registry).latest(args.trend)
     try:
-        html = render_dashboard_dir(args.directory)
+        html = render_dashboard_dir(args.directory, history=history)
     except FileNotFoundError as exc:
         print(exc)
         return 1
@@ -434,6 +446,180 @@ def cmd_cache(args: argparse.Namespace) -> int:
           f"misses: {stats.get('lifetime_misses', 0)}  "
           f"stores: {stats.get('lifetime_stores', 0)}")
     return 0
+
+
+def _open_registry(args: argparse.Namespace):
+    from repro.obs.registry import RunRegistry
+
+    return RunRegistry(args.dir) if getattr(args, "dir", None) \
+        else RunRegistry()
+
+
+def _resolve_record(registry, ref: str):
+    """A run record by registry id/prefix or by record-file path."""
+    import pathlib
+
+    from repro.obs.registry import load_record
+
+    if pathlib.Path(ref).is_file():
+        return load_record(ref)
+    return registry.load(ref)
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """The longitudinal run registry: list / show / diff / gc / pin /
+    ingest."""
+    import json
+
+    registry = _open_registry(args)
+
+    def need(count: int, what: str) -> bool:
+        if len(args.refs) != count:
+            print(f"runs {args.action} takes {what}")
+            return False
+        return True
+
+    if args.action == "list":
+        records = registry.list()
+        for name, reason in registry.skipped:
+            print(f"warning: skipped {name}: {reason}", file=sys.stderr)
+        if not records:
+            print(f"no run records under {registry.directory}")
+            return 0
+        pinned = registry.pinned()
+        header = (f"{'run id':18} {'label':14} {'apps':>5} {'ok':>4} "
+                  f"{'act rate':>9} {'frag rate':>10} {'apis':>6} "
+                  f"{'phase s':>9}")
+        print(header)
+        print("-" * (len(header) + 8))
+        for record in records:
+            row = record.summary_row()
+            act = row["mean_activity_rate"]
+            frag = row["mean_fragment_rate"]
+            apis = row["apis"]
+            print(f"{row['run_id']:18} {str(row['label'])[:14]:14} "
+                  f"{row['apps']:>5} {row['apps_ok']:>4} "
+                  f"{(f'{act:.3f}' if act is not None else '-'):>9} "
+                  f"{(f'{frag:.3f}' if frag is not None else '-'):>10} "
+                  f"{(f'{int(apis)}' if apis is not None else '-'):>6} "
+                  f"{row['phase_s']:>9.3f}"
+                  f"{'  pinned' if row['run_id'] == pinned else ''}")
+        return 0
+    if args.action == "show":
+        if not need(1, "one run id (or record file)"):
+            return 2
+        try:
+            print(_resolve_record(registry, args.refs[0]).to_json(),
+                  end="")
+        except (KeyError, ValueError, OSError) as exc:
+            print(f"cannot load {args.refs[0]!r}: {exc}")
+            return 1
+        return 0
+    if args.action == "diff":
+        if not need(2, "two run ids (or record files): BASELINE "
+                       "CANDIDATE"):
+            return 2
+        from repro.obs.diff import diff_records
+
+        try:
+            baseline = _resolve_record(registry, args.refs[0])
+            candidate = _resolve_record(registry, args.refs[1])
+        except (KeyError, ValueError, OSError) as exc:
+            print(f"cannot load records: {exc}")
+            return 1
+        diff = diff_records(baseline, candidate,
+                            tolerance=args.tolerance)
+        if args.json:
+            print(json.dumps(diff.to_dict(), indent=2))
+        else:
+            print(diff.render_text(changed_only=not args.all))
+        return 0
+    if args.action == "pin":
+        if not need(1, "one run id"):
+            return 2
+        try:
+            print(f"pinned {registry.pin(args.refs[0])} as the "
+                  "regression baseline")
+        except (KeyError, ValueError, OSError) as exc:
+            print(f"cannot pin {args.refs[0]!r}: {exc}")
+            return 1
+        return 0
+    if args.action == "gc":
+        removed = registry.gc(keep=args.keep)
+        print(f"removed {len(removed)} record"
+              f"{'s' if len(removed) != 1 else ''} from "
+              f"{registry.directory} (keeping the newest {args.keep}"
+              + (" and the pinned baseline" if registry.pinned() else "")
+              + ")")
+        return 0
+    # ingest
+    if not args.refs:
+        print("runs ingest takes one or more bench result JSON files")
+        return 2
+    status = 0
+    for path in args.refs:
+        try:
+            record = registry.ingest_bench(path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot ingest {path}: {exc}")
+            status = 1
+            continue
+        print(f"ingested {path} as {record.run_id} ({record.label})")
+    return status
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    """The regression gate: candidate vs pinned baseline, exit 1 on
+    regression."""
+    import json
+    import pathlib
+
+    from repro.obs.regress import RegressionPolicy, check_regression
+
+    registry = _open_registry(args)
+    try:
+        baseline = _resolve_record(registry, args.baseline)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"cannot load baseline {args.baseline!r}: {exc}")
+        return 2
+    if args.candidate:
+        try:
+            candidate = _resolve_record(registry, args.candidate)
+        except (KeyError, ValueError, OSError) as exc:
+            print(f"cannot load candidate {args.candidate!r}: {exc}")
+            return 2
+    else:
+        # No candidate named: run the Table-I sweep now and gate on it.
+        from repro.obs import Tracer
+
+        config = FragDroidConfig(tracer=Tracer(), run_registry=registry)
+        run_table1(config=config, max_workers=args.workers,
+                   backend=args.backend)
+        candidate = registry.latest(1)[0]
+        print(f"recorded candidate sweep as {candidate.run_id}")
+    policy = RegressionPolicy(
+        max_coverage_drop=args.max_coverage_drop,
+        max_phase_time_increase=args.max_phase_time_increase,
+        require_same_config=not args.ignore_comparability,
+        require_same_corpus=not args.ignore_comparability,
+    )
+    report = check_regression(baseline, candidate, policy)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    if args.record_out:
+        out = pathlib.Path(args.record_out)
+        try:
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(candidate.to_json(), encoding="utf-8")
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write candidate record {args.record_out!r}: "
+                f"{exc}"
+            ) from exc
+        print(f"wrote candidate record to {out}")
+    return report.exit_code
 
 
 def cmd_compare(_args: argparse.Namespace) -> int:
@@ -513,6 +699,12 @@ def build_parser() -> argparse.ArgumentParser:
     dashboard.add_argument("-o", "--output", default="dashboard.html",
                            help="output HTML path (default "
                                 "dashboard.html)")
+    dashboard.add_argument("--registry", metavar="DIR", default=None,
+                           help="run-registry directory: adds the "
+                                "run-over-run trend section")
+    dashboard.add_argument("--trend", type=int, default=20,
+                           help="how many registry records the trend "
+                                "section covers (default 20)")
     dashboard.set_defaults(func=cmd_dashboard)
 
     batch = sub.add_parser("batch",
@@ -544,6 +736,66 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default $FRAGDROID_CACHE_DIR "
                             "or ~/.cache/fragdroid)")
     cache.set_defaults(func=cmd_cache)
+
+    runs = sub.add_parser(
+        "runs", help="the longitudinal run registry"
+    )
+    runs.add_argument("action",
+                      choices=("list", "show", "diff", "gc", "pin",
+                               "ingest"))
+    runs.add_argument("refs", nargs="*",
+                      help="run ids / record files (show: ID; diff: "
+                           "BASELINE CANDIDATE; pin: ID; ingest: "
+                           "bench JSON files)")
+    runs.add_argument("--dir", metavar="DIR", default=None,
+                      help="registry directory (default "
+                           "$FRAGDROID_RUNS_DIR or "
+                           "~/.cache/fragdroid/runs)")
+    runs.add_argument("--keep", type=int, default=10,
+                      help="gc: how many newest records to keep "
+                           "(default 10; the pinned baseline always "
+                           "survives)")
+    runs.add_argument("--tolerance", type=float, default=0.01,
+                      help="diff: relative band within which counters "
+                           "read as steady (default 0.01)")
+    runs.add_argument("--all", action="store_true",
+                      help="diff: show steady entries too")
+    runs.add_argument("--json", action="store_true",
+                      help="diff: emit the structured JSON diff")
+    runs.set_defaults(func=cmd_runs)
+
+    regress = sub.add_parser(
+        "regress",
+        help="gate a candidate run against a baseline record",
+    )
+    regress.add_argument("--baseline", required=True, metavar="REF",
+                         help="baseline run id (in the registry) or "
+                              "record JSON file")
+    regress.add_argument("--candidate", metavar="REF", default=None,
+                         help="candidate run id or record file; "
+                              "omitted: run the Table-I sweep now and "
+                              "record it")
+    regress.add_argument("--dir", metavar="DIR", default=None,
+                         help="registry directory (default "
+                              "$FRAGDROID_RUNS_DIR or "
+                              "~/.cache/fragdroid/runs)")
+    regress.add_argument("--max-coverage-drop", type=float, default=0.10,
+                         help="relative coverage drop allowed "
+                              "(default 0.10)")
+    regress.add_argument("--max-phase-time-increase", type=float,
+                         default=0.25,
+                         help="relative increase allowed in a phase's "
+                              "share of total self time (default 0.25)")
+    regress.add_argument("--ignore-comparability", action="store_true",
+                         help="compare despite differing config "
+                              "fingerprints / corpus digests")
+    regress.add_argument("--json", action="store_true",
+                         help="emit the structured JSON report")
+    regress.add_argument("--record-out", metavar="FILE", default=None,
+                         help="also write the candidate record JSON "
+                              "to FILE (CI artifact)")
+    _add_sweep_flags(regress)
+    regress.set_defaults(func=cmd_regress)
 
     for name, func, help_text in (
         ("compare", cmd_compare, "baseline comparison"),

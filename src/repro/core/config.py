@@ -30,6 +30,7 @@ from repro.faults.retry import RetryPolicy
 from repro.obs import NULL_EVENT_LOG, NULL_TRACER, EventLog, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import RunRegistry
     from repro.static.cache import StaticCache
 
 
@@ -79,6 +80,12 @@ class FragDroidConfig:
     # scratch; a StaticCache skips decode + Algorithms 1–3 on digest
     # hits.  Cache-served runs carry StaticInfo.decoded=None.
     static_cache: Optional["StaticCache"] = field(default=None, repr=False,
+                                                  compare=False)
+    # Longitudinal run registry (repro.obs.registry).  None (the
+    # default) records nothing; a RunRegistry makes ``explore_many``
+    # persist one content-addressed run record at the end of each
+    # sweep, which `repro runs`/`repro regress` diff and gate on.
+    run_registry: Optional["RunRegistry"] = field(default=None, repr=False,
                                                   compare=False)
 
     def __post_init__(self) -> None:

@@ -103,7 +103,8 @@ def render_html_report(result: ExplorationResult) -> str:
     if result.spans:
         timing_table = _table(
             "Per-phase timing",
-            ["Span", "Count", "Total (s)", "Mean (ms)", "Max (ms)"],
+            ["Span", "Count", "Total (s)", "Mean (ms)", "p50 (ms)",
+             "p90 (ms)", "p99 (ms)", "Max (ms)"],
             timing_rows(result.spans),
         )
 

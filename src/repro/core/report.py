@@ -150,6 +150,9 @@ def timing_to_dict(spans: List[Span]) -> List[Dict]:
             "count": stat.count,
             "total_s": round(stat.total, 6),
             "mean_ms": round(stat.mean * 1000, 3),
+            "p50_ms": round(stat.p50 * 1000, 3),
+            "p90_ms": round(stat.p90 * 1000, 3),
+            "p99_ms": round(stat.p99 * 1000, 3),
             "max_ms": round(stat.maximum * 1000, 3),
         }
         for stat in aggregate_spans(spans)

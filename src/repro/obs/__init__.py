@@ -25,7 +25,11 @@ The analysis half replays a recorded run offline:
   path, collapsed-stack flamegraph output;
 * ``repro.obs.export`` — Prometheus text exposition and the run
   manifest JSON;
-* ``repro.obs.dashboard`` — the self-contained HTML run dashboard.
+* ``repro.obs.dashboard`` — the self-contained HTML run dashboard;
+* ``repro.obs.registry`` / ``repro.obs.diff`` / ``repro.obs.regress``
+  — the longitudinal layer: persistent content-addressed run records,
+  structured run-to-run diffs, and the deterministic regression gate
+  behind ``repro regress``.
 
 Everything is opt-in: the default ``FragDroidConfig.tracer`` /
 ``event_log`` are the shared :data:`NULL_TRACER` /
@@ -42,7 +46,9 @@ from repro.obs.dashboard import (
     render_dashboard,
     render_dashboard_dir,
     render_fleet_table,
+    render_trend_section,
 )
+from repro.obs.diff import AppDelta, Delta, RecordDiff, diff_records
 from repro.obs.events import (
     EVENT_KINDS,
     NULL_EVENT_LOG,
@@ -60,6 +66,20 @@ from repro.obs.flame import (
     self_times,
 )
 from repro.obs.metrics import NULL_METRICS, Metrics, NullMetrics
+from repro.obs.regress import (
+    RegressionPolicy,
+    RegressionReport,
+    Violation,
+    check_regression,
+)
+from repro.obs.registry import (
+    RunRecord,
+    RunRegistry,
+    capture_run_record,
+    corpus_digest_of,
+    default_registry_dir,
+    load_record,
+)
 from repro.obs.sinks import (
     InMemorySink,
     JsonlSink,
@@ -86,7 +106,9 @@ from repro.obs.timeline import (
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "AppDelta",
     "CoveragePoint",
+    "Delta",
     "EVENT_KINDS",
     "Event",
     "EventLog",
@@ -100,21 +122,33 @@ __all__ = [
     "NullEventLog",
     "NullMetrics",
     "NullTracer",
+    "RecordDiff",
+    "RegressionPolicy",
+    "RegressionReport",
     "RunData",
+    "RunRecord",
+    "RunRegistry",
     "Span",
     "SpanSink",
     "SpanStat",
     "Stall",
     "Tracer",
+    "Violation",
     "aggregate_spans",
     "build_trees",
+    "capture_run_record",
+    "check_regression",
     "collapsed_stacks",
+    "corpus_digest_of",
     "coverage_curve_from_trace",
     "coverage_timeline",
     "critical_path",
+    "default_registry_dir",
+    "diff_records",
     "discovery_stats",
     "event_census",
     "load_fleet",
+    "load_record",
     "load_run",
     "prometheus_text",
     "read_events",
@@ -123,6 +157,7 @@ __all__ = [
     "render_dashboard_dir",
     "render_fleet_table",
     "render_summary",
+    "render_trend_section",
     "run_manifest",
     "self_times",
     "stalls",

@@ -323,6 +323,107 @@ def _phase_bars(spans: Sequence[Span], top: int = 10) -> str:
     return f'<div class="bars">{"".join(rows)}</div>'
 
 
+def _trend_sparkline(values: Sequence[float], color_var: str,
+                     width: int = 280, height: int = 64) -> str:
+    """A run-over-run line: one point per registry record, oldest
+    left.  Same chrome as the coverage curves (2px line, 10% wash,
+    ringed end marker), but linear interpolation — these are
+    independent samples, not a cumulative count."""
+    pad = 6
+    max_value = max(max(values), 0) or 1
+    span_x = max(len(values) - 1, 1)
+
+    def x(index: int) -> float:
+        return pad + (width - 2 * pad) * index / span_x
+
+    def y(value: float) -> float:
+        return height - pad - (height - 2 * pad) * max(value, 0) / max_value
+
+    line = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(values))
+    base = height - pad
+    area = f"{pad:.1f},{base:.1f} {line} {x(len(values) - 1):.1f},{base:.1f}"
+    end_x, end_y = x(len(values) - 1), y(values[-1])
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="100%" height="{height}" '
+        f'role="img" aria-label="trend across runs">'
+        f'<line x1="{pad}" y1="{base}" x2="{width - pad}" y2="{base}" '
+        f'stroke="var(--baseline)" stroke-width="1"/>'
+        f'<polygon points="{area}" fill="var({color_var})" opacity="0.1"/>'
+        f'<polyline points="{line}" fill="none" stroke="var({color_var})" '
+        f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        f'<circle cx="{end_x:.1f}" cy="{end_y:.1f}" r="4" '
+        f'fill="var({color_var})" stroke="var(--surface)" stroke-width="2"/>'
+        f"</svg>"
+    )
+
+
+#: Trend series: (label, value-extractor key into coverage, color).
+_TREND_SERIES = (
+    ("Mean activity rate", "mean_activity_rate", "--series-1"),
+    ("Mean fragment rate", "mean_fragment_rate", "--series-2"),
+    ("Sensitive APIs", "apis", "--series-4"),
+)
+
+
+def render_trend_section(records: Sequence) -> str:
+    """The longitudinal trend cards: one sparkline per coverage series
+    plus total phase time, across registry records (oldest first).
+
+    ``records`` are :class:`repro.obs.registry.RunRecord` objects (duck
+    typed: ``coverage``, ``total_phase_time()``, ``run_id``, ``label``,
+    ``created``).
+    """
+    records = list(records)
+    if len(records) < 2:
+        return ("<h2>Run trend</h2>"
+                '<p class="empty">fewer than two registry records — '
+                "record more runs to see trends</p>")
+    cards = []
+    for label, key, color_var in _TREND_SERIES:
+        values = [float(r.coverage.get(key, 0) or 0) for r in records]
+        if not any(values):
+            continue
+        cards.append(
+            '<div class="card"><div class="label">'
+            f'<span class="key-dot" style="background: var({color_var})">'
+            "</span>"
+            f"{_esc(label)}"
+            f'<span class="final">{values[-1]:g}</span></div>'
+            + _trend_sparkline(values, color_var)
+            + "</div>"
+        )
+    times = [r.total_phase_time() for r in records]
+    if any(times):
+        cards.append(
+            '<div class="card"><div class="label">'
+            '<span class="key-dot" style="background: var(--series-3)">'
+            "</span>"
+            "Total phase self time (s)"
+            f'<span class="final">{times[-1]:.3f}</span></div>'
+            + _trend_sparkline(times, "--series-3")
+            + "</div>"
+        )
+    run_rows = [
+        [r.run_id, r.label,
+         f"{float(r.coverage.get('mean_activity_rate', 0) or 0):.3f}",
+         f"{float(r.coverage.get('mean_fragment_rate', 0) or 0):.3f}",
+         int(r.coverage.get("apis", 0) or 0),
+         f"{r.total_phase_time():.3f}"]
+        for r in records
+    ]
+    table = _table(
+        [("Run", False), ("Label", False), ("Act rate", True),
+         ("Frag rate", True), ("APIs", True), ("Phase s", True)],
+        run_rows,
+    )
+    return (
+        f"<h2>Run trend (last {len(records)} runs)</h2>"
+        f'<div class="cards">{"".join(cards)}</div>'
+        f"<details><summary>Registry records ({len(records)})</summary>"
+        f"{table}</details>"
+    )
+
+
 def _critical_path(spans: Sequence[Span]) -> str:
     path = critical_path(spans)
     if not path:
@@ -438,8 +539,12 @@ def _discovery_tiles(events: Sequence[Event]) -> str:
 
 
 def render_dashboard(run: RunData,
-                     fleet: Optional[Sequence[RunData]] = None) -> str:
-    """One self-contained HTML page for one recorded run."""
+                     fleet: Optional[Sequence[RunData]] = None,
+                     history: Optional[Sequence] = None) -> str:
+    """One self-contained HTML page for one recorded run.
+
+    ``history`` — run-registry records (oldest first) — adds the
+    longitudinal trend section."""
     sections: List[str] = [
         f"<h1>FragDroid flight recorder</h1>"
         f'<p class="sub">Run: <strong>{_esc(run.package)}</strong> '
@@ -471,6 +576,8 @@ def render_dashboard(run: RunData,
             f"<h2>Fleet ({len(fleet)} apps)</h2>"
             + render_fleet_table(fleet_rows(fleet))
         )
+    if history is not None:
+        sections.append(render_trend_section(history))
     body = "\n".join(sections)
     return (
         "<!DOCTYPE html>\n"
@@ -537,8 +644,10 @@ def render_fleet_table(rows: Sequence[Dict]) -> str:
 
 
 def render_fleet_dashboard(runs: Sequence[RunData],
-                           path: PathLike) -> str:
-    """A fleet page: aggregate tiles plus the per-app table."""
+                           path: PathLike,
+                           history: Optional[Sequence] = None) -> str:
+    """A fleet page: aggregate tiles plus the per-app table (and the
+    registry trend section when ``history`` records are given)."""
     total_activities = sum(_visited(r.report, "activities") for r in runs)
     total_fragments = sum(_visited(r.report, "fragments") for r in runs)
     crashes = sum(r.report.get("stats", {}).get("crashes", 0) for r in runs)
@@ -556,6 +665,7 @@ def render_fleet_dashboard(runs: Sequence[RunData],
         f'<div class="tiles">{"".join(tiles)}</div>'
         f"<h2>Per-app results ({len(runs)} apps)</h2>"
         + render_fleet_table(fleet_rows(runs))
+        + (render_trend_section(history) if history is not None else "")
     )
     return (
         "<!DOCTYPE html>\n"
@@ -566,9 +676,12 @@ def render_fleet_dashboard(runs: Sequence[RunData],
     )
 
 
-def render_dashboard_dir(directory: PathLike) -> str:
+def render_dashboard_dir(directory: PathLike,
+                         history: Optional[Sequence] = None) -> str:
     """Dispatch: a single run directory renders the run page; a
-    directory of run directories renders the fleet page."""
+    directory of run directories renders the fleet page.  ``history``
+    (run-registry records, oldest first) adds the trend section to
+    either page."""
     base = pathlib.Path(directory)
     if not base.is_dir():
         raise FileNotFoundError(
@@ -577,7 +690,7 @@ def render_dashboard_dir(directory: PathLike) -> str:
             "directory of them"
         )
     if (base / "report.json").exists():
-        return render_dashboard(load_run(base))
+        return render_dashboard(load_run(base), history=history)
     runs = load_fleet(base)
     if not runs:
         raise FileNotFoundError(
@@ -586,5 +699,5 @@ def render_dashboard_dir(directory: PathLike) -> str:
             "directory or a `repro batch` output directory"
         )
     if len(runs) == 1:
-        return render_dashboard(runs[0])
-    return render_fleet_dashboard(runs, base)
+        return render_dashboard(runs[0], history=history)
+    return render_fleet_dashboard(runs, base, history=history)

@@ -65,11 +65,22 @@ class Metrics:
         registry ends up with the same totals a shared thread-pool
         registry would have accumulated.  Routed through ``inc``/
         ``observe`` so :class:`NullMetrics` stays a no-op.
+
+        Histogram values are validated on the way in: a non-numeric
+        entry (or a NaN, or a bool smuggled in as a number) from a
+        corrupted worker payload is *skipped* and tallied under the
+        ``metrics.merge.skipped`` counter instead of poisoning every
+        later percentile computation over that histogram.
         """
         for name, value in counters.items():
             self.inc(name, value)
         for name, values in histograms.items():
             for value in values:
+                if (isinstance(value, bool)
+                        or not isinstance(value, (int, float))
+                        or value != value):  # NaN
+                    self.inc("metrics.merge.skipped")
+                    continue
                 self.observe(name, value)
 
     # -- reading -----------------------------------------------------------

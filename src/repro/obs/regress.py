@@ -1,0 +1,242 @@
+"""Deterministic regression gate over two run records.
+
+``check_regression(baseline, candidate, policy)`` is a pure function:
+no clocks, no randomness, no filesystem — the same record pair under
+the same policy always yields the same verdict, whichever sweep
+backend (threads or processes) produced the candidate.  That is the
+property that makes ``repro regress`` usable as a CI exit code.
+
+What gates, and why:
+
+* **coverage** — the paper's primary currency.  A relative drop beyond
+  ``max_coverage_drop`` on any gated key (mean activity/fragment
+  rates, visited totals, API count) is a regression.  Coverage on a
+  seeded synthetic corpus is deterministic, so the threshold exists
+  for *intentional* model changes, not machine noise.
+* **phase time** — gated on each phase's **share of total self time**,
+  not wall seconds.  A committed baseline record travels across
+  machines; absolute timings don't, but "static extraction is 30% of
+  the run" does.  Phases below ``min_phase_share`` of the baseline
+  total are ignored (tiny denominators make noisy ratios).
+* **memory** — reported as warnings by default (tracemalloc peaks are
+  samples, not exact attribution); set ``max_memory_increase`` to gate
+  on them too.
+* **comparability** — differing config fingerprints or corpus digests
+  are themselves violations (unless the policy relaxes them): a green
+  diff between incomparable runs is worse than a red one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import RunRecord
+
+#: Coverage keys gated by default (all relative-drop checks).
+DEFAULT_COVERAGE_KEYS = (
+    "mean_activity_rate",
+    "mean_fragment_rate",
+    "activities_visited",
+    "fragments_visited",
+    "apis",
+)
+
+#: Memory growth beyond this relative factor is *warned* about even
+#: when the memory gate is off.
+_MEMORY_WARN_INCREASE = 0.5
+
+
+@dataclass(frozen=True)
+class RegressionPolicy:
+    """Thresholds for the gate; all ratios are relative to baseline."""
+
+    max_coverage_drop: float = 0.10
+    max_phase_time_increase: float = 0.25
+    min_phase_share: float = 0.05
+    max_memory_increase: Optional[float] = None  # None: report, don't gate
+    coverage_keys: Tuple[str, ...] = DEFAULT_COVERAGE_KEYS
+    require_same_config: bool = True
+    require_same_corpus: bool = True
+
+    def describe(self) -> str:
+        parts = [
+            f"coverage drop <= {self.max_coverage_drop:.0%}",
+            f"phase-time share increase <= "
+            f"{self.max_phase_time_increase:.0%} "
+            f"(phases >= {self.min_phase_share:.0%} of baseline)",
+        ]
+        if self.max_memory_increase is not None:
+            parts.append(
+                f"memory increase <= {self.max_memory_increase:.0%}")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One threshold breach."""
+
+    kind: str  # "coverage" | "phase_time" | "memory" | "comparability"
+    key: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    limit: float
+    detail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "limit": self.limit,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """The gate's verdict: violations fail, warnings inform."""
+
+    baseline_id: str
+    candidate_id: str
+    policy: RegressionPolicy
+    violations: List[Violation] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "baseline_id": self.baseline_id,
+            "candidate_id": self.candidate_id,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "warnings": list(self.warnings),
+            "policy": self.policy.describe(),
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"regression check: candidate {self.candidate_id} "
+            f"vs baseline {self.baseline_id}",
+            f"policy: {self.policy.describe()}",
+            ("PASS" if self.ok
+             else f"FAIL ({len(self.violations)} violation"
+                  f"{'s' if len(self.violations) != 1 else ''})"),
+        ]
+        for violation in self.violations:
+            lines.append(f"  - {violation.kind} {violation.key}: "
+                         f"{violation.detail}")
+        if self.warnings:
+            lines.append("warnings:")
+            for warning in self.warnings:
+                lines.append(f"  * {warning}")
+        return "\n".join(lines)
+
+
+def _phase_shares(record: RunRecord) -> Dict[str, float]:
+    total = record.total_phase_time()
+    if total <= 0:
+        return {}
+    return {
+        name: stats.get("self_total_s", 0.0) / total
+        for name, stats in record.phases.items()
+    }
+
+
+def check_regression(baseline: RunRecord, candidate: RunRecord,
+                     policy: Optional[RegressionPolicy] = None,
+                     ) -> RegressionReport:
+    """Compare a candidate run against a baseline under a policy."""
+    policy = policy or RegressionPolicy()
+    report = RegressionReport(
+        baseline_id=baseline.run_id or baseline.compute_id(),
+        candidate_id=candidate.run_id or candidate.compute_id(),
+        policy=policy,
+    )
+
+    # -- comparability -----------------------------------------------------
+    if baseline.config != candidate.config:
+        changed = sorted(
+            key for key in set(baseline.config) | set(candidate.config)
+            if baseline.config.get(key) != candidate.config.get(key)
+        )
+        detail = "config fingerprints differ: " + ", ".join(changed)
+        if policy.require_same_config:
+            report.violations.append(Violation(
+                kind="comparability", key="config", baseline=None,
+                candidate=None, limit=0.0, detail=detail))
+        else:
+            report.warnings.append(detail)
+    if (baseline.corpus_digest and candidate.corpus_digest
+            and baseline.corpus_digest != candidate.corpus_digest):
+        detail = (f"corpus digests differ: {baseline.corpus_digest[:12]} "
+                  f"vs {candidate.corpus_digest[:12]}")
+        if policy.require_same_corpus:
+            report.violations.append(Violation(
+                kind="comparability", key="corpus", baseline=None,
+                candidate=None, limit=0.0, detail=detail))
+        else:
+            report.warnings.append(detail)
+
+    # -- coverage ----------------------------------------------------------
+    for key in policy.coverage_keys:
+        base = baseline.coverage.get(key)
+        if base is None or base <= 0:
+            continue  # nothing to regress from
+        cand = float(candidate.coverage.get(key, 0.0) or 0.0)
+        drop = (base - cand) / base
+        if drop > policy.max_coverage_drop:
+            report.violations.append(Violation(
+                kind="coverage", key=key, baseline=float(base),
+                candidate=cand, limit=policy.max_coverage_drop,
+                detail=(f"{base:g} -> {cand:g} "
+                        f"(-{drop:.1%} > {policy.max_coverage_drop:.0%} "
+                        f"allowed)")))
+
+    # -- phase time (shares of total self time) ----------------------------
+    base_shares = _phase_shares(baseline)
+    cand_shares = _phase_shares(candidate)
+    for name in sorted(base_shares):
+        base_share = base_shares[name]
+        if base_share < policy.min_phase_share:
+            continue
+        cand_share = cand_shares.get(name, 0.0)
+        increase = (cand_share - base_share) / base_share
+        if increase > policy.max_phase_time_increase:
+            report.violations.append(Violation(
+                kind="phase_time", key=name, baseline=base_share,
+                candidate=cand_share,
+                limit=policy.max_phase_time_increase,
+                detail=(f"share of self time {base_share:.1%} -> "
+                        f"{cand_share:.1%} (+{increase:.1%} > "
+                        f"{policy.max_phase_time_increase:.0%} allowed)")))
+
+    # -- memory ------------------------------------------------------------
+    for name in sorted(baseline.phases):
+        base_mem = baseline.phases[name].get("mem_peak_kb")
+        cand_mem = candidate.phases.get(name, {}).get("mem_peak_kb")
+        if base_mem is None or cand_mem is None or base_mem <= 0:
+            continue
+        increase = (float(cand_mem) - float(base_mem)) / float(base_mem)
+        if (policy.max_memory_increase is not None
+                and increase > policy.max_memory_increase):
+            report.violations.append(Violation(
+                kind="memory", key=name, baseline=float(base_mem),
+                candidate=float(cand_mem),
+                limit=policy.max_memory_increase,
+                detail=(f"peak {base_mem:g} KiB -> {cand_mem:g} KiB "
+                        f"(+{increase:.1%} > "
+                        f"{policy.max_memory_increase:.0%} allowed)")))
+        elif increase > _MEMORY_WARN_INCREASE:
+            report.warnings.append(
+                f"memory {name}: peak {base_mem:g} KiB -> "
+                f"{cand_mem:g} KiB (+{increase:.1%}; not gated)")
+    return report

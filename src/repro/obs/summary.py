@@ -1,16 +1,38 @@
 """Human-readable views over a set of finished spans.
 
-``aggregate_spans`` groups by span name (count / total / mean / max);
-``top_slowest`` ranks individual spans; ``render_summary`` combines
-both into the text table the CLI and the reports embed.
+``aggregate_spans`` groups by span name (count / total / mean /
+p50 / p90 / p99 / max); ``top_slowest`` ranks individual spans;
+``render_summary`` combines both into the text table the CLI and the
+reports embed.  :func:`percentile` is the shared nearest-rank
+percentile every consumer (summary tables, the run registry's
+per-phase self-time percentiles) computes with, so two views of the
+same spans never disagree on what "p90" means.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
 from repro.obs.tracer import Span
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 1]).
+
+    Deterministic for any ordering of the input (the values are sorted
+    here), 0.0 for an empty sequence.  Nearest-rank (no interpolation)
+    keeps the result an actual observed value, which is what a latency
+    or self-time percentile should report.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if q <= 0.0:
+        return float(ordered[0])
+    rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+    return float(ordered[rank - 1])
 
 
 @dataclass(frozen=True)
@@ -21,6 +43,9 @@ class SpanStat:
     count: int
     total: float
     maximum: float
+    p50: float = 0.0
+    p90: float = 0.0
+    p99: float = 0.0
 
     @property
     def mean(self) -> float:
@@ -29,16 +54,20 @@ class SpanStat:
 
 def aggregate_spans(spans: Iterable[Span]) -> List[SpanStat]:
     """Per-name aggregates, slowest total first."""
-    # name -> [count, total seconds, max seconds]
-    totals: Dict[str, List[float]] = {}
+    durations: Dict[str, List[float]] = {}
     for span in spans:
-        entry = totals.setdefault(span.name, [0, 0.0, 0.0])
-        entry[0] += 1
-        entry[1] += span.duration
-        entry[2] = max(entry[2], span.duration)
+        durations.setdefault(span.name, []).append(span.duration)
     stats = [
-        SpanStat(name=name, count=int(count), total=total, maximum=maximum)
-        for name, (count, total, maximum) in totals.items()
+        SpanStat(
+            name=name,
+            count=len(values),
+            total=float(sum(values)),
+            maximum=float(max(values)),
+            p50=percentile(values, 0.50),
+            p90=percentile(values, 0.90),
+            p99=percentile(values, 0.99),
+        )
+        for name, values in durations.items()
     ]
     stats.sort(key=lambda s: (-s.total, s.name))
     return stats
@@ -51,10 +80,12 @@ def top_slowest(spans: Iterable[Span], n: int = 10) -> List[Span]:
 
 def timing_rows(spans: Iterable[Span]) -> List[List[object]]:
     """Aggregate rows ready for a report table: name, count, total
-    seconds, mean/max milliseconds."""
+    seconds, mean/p50/p90/p99/max milliseconds."""
     return [
         [stat.name, stat.count, f"{stat.total:.4f}",
-         f"{stat.mean * 1000:.2f}", f"{stat.maximum * 1000:.2f}"]
+         f"{stat.mean * 1000:.2f}", f"{stat.p50 * 1000:.2f}",
+         f"{stat.p90 * 1000:.2f}", f"{stat.p99 * 1000:.2f}",
+         f"{stat.maximum * 1000:.2f}"]
         for stat in aggregate_spans(spans)
     ]
 
@@ -64,12 +95,15 @@ def render_summary(spans: Sequence[Span], top: int = 10) -> str:
     if not spans:
         return "no spans recorded"
     header = (f"{'span':34} {'count':>7} {'total s':>9} "
-              f"{'mean ms':>9} {'max ms':>9}")
+              f"{'mean ms':>9} {'p50 ms':>9} {'p90 ms':>9} "
+              f"{'p99 ms':>9} {'max ms':>9}")
     lines = [header, "-" * len(header)]
     for stat in aggregate_spans(spans):
         lines.append(
             f"{stat.name:34} {stat.count:>7} {stat.total:>9.4f} "
-            f"{stat.mean * 1000:>9.2f} {stat.maximum * 1000:>9.2f}"
+            f"{stat.mean * 1000:>9.2f} {stat.p50 * 1000:>9.2f} "
+            f"{stat.p90 * 1000:>9.2f} {stat.p99 * 1000:>9.2f} "
+            f"{stat.maximum * 1000:>9.2f}"
         )
     slowest = top_slowest(spans, top)
     if not slowest:

@@ -84,20 +84,23 @@ class Span:
 class _ActiveSpan:
     """Context manager binding one Span to the tracer's thread stack."""
 
-    __slots__ = ("_tracer", "_span")
+    __slots__ = ("_tracer", "_span", "_mem0")
 
     def __init__(self, tracer: "Tracer", span: Span) -> None:
         self._tracer = tracer
         self._span = span
+        self._mem0: Optional[int] = None
 
     def __enter__(self) -> Span:
         self._tracer._push(self._span)
+        self._mem0 = self._tracer._mem_enter()
         self._span.start = perf_counter()
         return self._span
 
     def __exit__(self, exc_type, exc, _tb) -> None:
         span = self._span
         span.duration = perf_counter() - span.start
+        self._tracer._mem_exit(span, self._mem0)
         if exc is not None:
             span.attributes.setdefault("error", repr(exc))
         self._tracer._pop(span)
@@ -136,14 +139,34 @@ class _NullSpanContext:
 
 
 class Tracer:
-    """Span factory + finished-span store + metrics front-end."""
+    """Span factory + finished-span store + metrics front-end.
+
+    ``memory=True`` additionally samples peak traced memory per span
+    through :mod:`tracemalloc`: each finished span carries a
+    ``mem_peak_kb`` attribute — the growth of the interpreter's traced
+    peak over the span's own starting allocation.  The peak is
+    process-global since tracing started, so nested spans can share a
+    peak; treat the values as *samples* of where memory went, not an
+    exact per-phase attribution.  The tracer starts tracemalloc if it
+    is not already running and stops it again on :meth:`close` (only
+    when it was the one to start it).
+    """
 
     enabled = True
 
     def __init__(self, sinks: Iterable = (),
-                 metrics: Optional[Metrics] = None) -> None:
+                 metrics: Optional[Metrics] = None,
+                 memory: bool = False) -> None:
         self.sinks = list(sinks)
         self.metrics = metrics if metrics is not None else Metrics()
+        self.memory = memory
+        self._mem_started = False
+        if memory:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._mem_started = True
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._finished: List[Span] = []
@@ -184,6 +207,29 @@ class Tracer:
             self._finished.append(span)
         for sink in self.sinks:
             sink.emit(span)
+
+    # -- peak-memory sampling ----------------------------------------------
+
+    def _mem_enter(self) -> Optional[int]:
+        """Traced bytes at span start, or None when sampling is off."""
+        if not self.memory:
+            return None
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():  # stopped externally mid-run
+            return None
+        return tracemalloc.get_traced_memory()[0]
+
+    def _mem_exit(self, span: Span, mem0: Optional[int]) -> None:
+        if mem0 is None:
+            return
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        span.attributes["mem_peak_kb"] = round(
+            max(0, max(current, peak) - mem0) / 1024.0, 1)
 
     # -- reading -----------------------------------------------------------
 
@@ -248,11 +294,18 @@ class Tracer:
         self.metrics.clear()
 
     def close(self) -> None:
-        """Close every sink that supports closing (flushes files)."""
+        """Close every sink that supports closing (flushes files), and
+        stop tracemalloc if this tracer was the one to start it."""
         for sink in self.sinks:
             close = getattr(sink, "close", None)
             if close is not None:
                 close()
+        if self._mem_started:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                tracemalloc.stop()
+            self._mem_started = False
 
 
 class NullTracer(Tracer):

@@ -136,3 +136,48 @@ def test_fleet_rows_carry_failures():
 def test_dashboard_dir_rejects_non_run_directories(tmp_path):
     with pytest.raises(FileNotFoundError):
         render_dashboard_dir(tmp_path)
+
+
+def test_trend_section_over_registry_records():
+    from repro.obs import RunRecord, render_trend_section
+
+    def record(rate, apis, created):
+        r = RunRecord(label="sweep",
+                      coverage={"mean_activity_rate": rate,
+                                "mean_fragment_rate": rate - 0.1,
+                                "apis": apis},
+                      phases={"explore": {"count": 1,
+                                          "self_total_s": 1.0}},
+                      meta={"created": created})
+        r.run_id = r.compute_id()
+        return r
+
+    records = [record(0.7, 100, 1.0), record(0.75, 110, 2.0),
+               record(0.72, 120, 3.0)]
+    html = render_trend_section(records)
+    assert "Run trend (last 3 runs)" in html
+    assert "Mean activity rate" in html
+    assert "polyline" in html
+    for r in records:
+        assert r.run_id[:10] in html
+
+    # Fewer than two records: a note, not a chart.
+    assert "polyline" not in render_trend_section(records[:1])
+    assert render_trend_section([]) != ""
+
+
+def test_dashboard_threads_trend_history_through(tmp_path):
+    from repro.obs import RunRecord
+
+    _, run_dir = _recorded_run(tmp_path)
+    history = []
+    for i in range(2):
+        r = RunRecord(label="sweep",
+                      coverage={"mean_activity_rate": 0.6 + i / 10,
+                                "apis": 50 + i},
+                      meta={"created": float(i)})
+        r.run_id = r.compute_id()
+        history.append(r)
+    html = render_dashboard(load_run(run_dir), history=history)
+    _assert_well_formed(html)
+    assert "Run trend (last 2 runs)" in html

@@ -76,3 +76,38 @@ def test_null_metrics_drop_everything():
     NULL_METRICS.observe("y", 1.0)
     assert NULL_METRICS.counters() == {}
     assert not NULL_METRICS.enabled
+
+
+def test_merge_empty_is_a_noop():
+    metrics = Metrics()
+    metrics.inc("n", 2)
+    metrics.merge({}, {})
+    assert metrics.counters() == {"n": 2}
+    assert metrics.snapshot()["histograms"] == {}
+
+
+def test_merge_accumulates_overlapping_names():
+    metrics = Metrics()
+    metrics.inc("n", 2)
+    metrics.observe("h", 1.0)
+    metrics.merge({"n": 3, "m": 1}, {"h": [2.0, 3.0], "g": [5]})
+    assert metrics.counters() == {"n": 5, "m": 1}
+    assert metrics.histogram("h") == (1.0, 2.0, 3.0)
+    assert metrics.histogram("g") == (5,)
+
+
+def test_merge_into_self_doubles():
+    metrics = Metrics()
+    metrics.inc("n", 2)
+    metrics.observe("h", 1.0)
+    metrics.merge(metrics.counters(),
+                  {"h": list(metrics.histogram("h"))})
+    assert metrics.counter("n") == 4
+    assert metrics.histogram("h") == (1.0, 1.0)
+
+
+def test_merge_skips_invalid_histogram_values():
+    metrics = Metrics()
+    metrics.merge({}, {"h": [1.0, float("nan"), "oops", True, 2.0]})
+    assert metrics.histogram("h") == (1.0, 2.0)
+    assert metrics.counter("metrics.merge.skipped") == 3

@@ -264,3 +264,151 @@ def test_study_workers_and_backend_flags(capsys):
                              "--backend", "process")
     assert code == 0
     assert parallel == serial
+
+
+def _seed_registry(tmp_path, **overrides):
+    from repro.obs import RunRecord, RunRegistry
+
+    registry = RunRegistry(tmp_path)
+    record = RunRecord(
+        label=overrides.pop("label", "sweep"),
+        coverage={"mean_activity_rate": 0.8, "mean_fragment_rate": 0.6,
+                  "apis": 100, "apps_total": 2, "apps_ok": 2,
+                  **overrides.pop("coverage", {})},
+        meta={"created": overrides.pop("created", 1.0)},
+        **overrides,
+    )
+    registry.record(record)
+    return registry, record
+
+
+def test_runs_list_show_and_pin(capsys, tmp_path):
+    registry, record = _seed_registry(tmp_path)
+    code, out = run_cli(capsys, "runs", "list", "--dir", str(tmp_path))
+    assert code == 0
+    assert record.run_id in out
+
+    code, out = run_cli(capsys, "runs", "pin", record.run_id[:8],
+                        "--dir", str(tmp_path))
+    assert code == 0
+    assert registry.pinned() == record.run_id
+    code, out = run_cli(capsys, "runs", "list", "--dir", str(tmp_path))
+    assert "pinned" in out
+
+    code, out = run_cli(capsys, "runs", "show", record.run_id,
+                        "--dir", str(tmp_path))
+    assert code == 0
+    assert json.loads(out)["run_id"] == record.run_id
+
+    code, out = run_cli(capsys, "runs", "show", "missing",
+                        "--dir", str(tmp_path))
+    assert code == 1
+
+    code, out = run_cli(capsys, "runs", "list", "--dir",
+                        str(tmp_path / "empty"))
+    assert code == 0
+    assert "no run records" in out
+
+
+def test_runs_diff_and_gc(capsys, tmp_path):
+    registry, base = _seed_registry(tmp_path)
+    _, cand = _seed_registry(tmp_path, label="candidate", created=2.0,
+                             coverage={"mean_activity_rate": 0.5})
+    code, out = run_cli(capsys, "runs", "diff", base.run_id, cand.run_id,
+                        "--dir", str(tmp_path))
+    assert code == 0
+    assert "mean_activity_rate" in out
+
+    code, out = run_cli(capsys, "runs", "diff", base.run_id, cand.run_id,
+                        "--dir", str(tmp_path), "--json")
+    assert json.loads(out)["comparable"] is True
+
+    code, out = run_cli(capsys, "runs", "diff", base.run_id,
+                        "--dir", str(tmp_path))
+    assert code == 2  # diff needs exactly two refs
+
+    run_cli(capsys, "runs", "pin", base.run_id, "--dir", str(tmp_path))
+    code, out = run_cli(capsys, "runs", "gc", "--keep", "1",
+                        "--dir", str(tmp_path))
+    assert code == 0
+    assert set(registry.ids()) == {base.run_id, cand.run_id}
+
+
+def test_runs_ingest_bench_results(capsys, tmp_path):
+    result = tmp_path / "bench.json"
+    result.write_text(json.dumps({"schema": 1, "bench": "t1",
+                                  "data": {"apps": 15, "rate": 0.7}}))
+    runs_dir = tmp_path / "runs"
+    code, out = run_cli(capsys, "runs", "ingest", str(result),
+                        "--dir", str(runs_dir))
+    assert code == 0
+    assert "bench:t1" in out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    code, out = run_cli(capsys, "runs", "ingest", str(bad),
+                        "--dir", str(runs_dir))
+    assert code == 1
+    assert "cannot ingest" in out
+
+
+def test_regress_against_record_files(capsys, tmp_path):
+    from repro.obs import RunRecord
+
+    base = RunRecord(label="sweep",
+                     coverage={"mean_activity_rate": 0.8, "apis": 100})
+    base.run_id = base.compute_id()
+    cand = RunRecord(label="sweep",
+                     coverage={"mean_activity_rate": 0.5, "apis": 100})
+    cand.run_id = cand.compute_id()
+    base_file = tmp_path / "base.json"
+    base_file.write_text(base.to_json())
+    cand_file = tmp_path / "cand.json"
+    cand_file.write_text(cand.to_json())
+
+    code, out = run_cli(capsys, "regress", "--baseline", str(base_file),
+                        "--candidate", str(cand_file),
+                        "--dir", str(tmp_path / "runs"))
+    assert code == 1
+    assert "FAIL" in out and "mean_activity_rate" in out
+
+    code, out = run_cli(capsys, "regress", "--baseline", str(base_file),
+                        "--candidate", str(base_file),
+                        "--dir", str(tmp_path / "runs"), "--json")
+    assert code == 0
+    assert json.loads(out)["ok"] is True
+
+    code, out = run_cli(capsys, "regress", "--baseline", "nonexistent",
+                        "--dir", str(tmp_path / "runs"))
+    assert code == 2
+    assert "cannot load baseline" in out
+
+
+def test_regress_runs_the_sweep_when_no_candidate_named(capsys, tmp_path):
+    from repro.obs import RunRegistry
+
+    runs_dir = tmp_path / "runs"
+    # First sweep becomes the committed-style baseline record file.
+    code, out = run_cli(capsys, "regress", "--baseline", "self",
+                        "--dir", str(runs_dir),
+                        "--ignore-comparability")
+    assert code == 2  # baseline "self" doesn't exist yet
+    registry = RunRegistry(runs_dir)
+
+    from repro.bench import run_table1
+    from repro.core.config import FragDroidConfig
+
+    # Baseline recorded untraced: its record carries coverage but no
+    # phases, so the gate below judges only the deterministic numbers.
+    run_table1(config=FragDroidConfig(run_registry=registry),
+               max_workers=2)
+    (baseline,) = registry.list()
+    out_file = tmp_path / "candidate.json"
+    code, out = run_cli(capsys, "regress",
+                        "--baseline", baseline.run_id,
+                        "--dir", str(runs_dir), "--workers", "2",
+                        "--record-out", str(out_file))
+    assert code == 0
+    assert "recorded candidate sweep" in out
+    assert "PASS" in out
+    assert json.loads(out_file.read_text())["label"] == "sweep"
