@@ -26,7 +26,13 @@ Commands:
   regression baseline, ingest benchmark result JSON;
 * ``regress --baseline REF`` — the deterministic regression gate:
   compare a candidate run (recorded id, record file, or a fresh
-  Table-I sweep) against a baseline record; exit 1 on regression.
+  Table-I sweep) against a baseline record; exit 1 on regression (a
+  replay record with divergences on an unchanged app also fails);
+* ``replay SCRIPT`` — re-run a recorded ``*.replay.json`` script
+  (written by ``explore --save DIR --export-replay``) on a fresh
+  device; reports applied/diverged-at and the coverage reached;
+* ``fragility APP`` — the R&R breakage study: record a suite, replay
+  it against seeded app mutations, print the per-mutation table.
 """
 
 from __future__ import annotations
@@ -76,9 +82,35 @@ def _resolve_apk(name: str):
         return build_apk(DEMOS[name]())
     if name in table1_packages():
         return build_apk(build_table1_app(name))
+    # Replay scripts name the Android package, not the demo alias.
+    for factory in DEMOS.values():
+        spec = factory()
+        if spec.package == name:
+            return build_apk(spec)
     raise SystemExit(
         f"unknown app {name!r}; run `python -m repro list` for choices, "
         "or pass a path to a saved .apk"
+    )
+
+
+def _resolve_spec(name: str) -> AppSpec:
+    """An app *spec* by corpus or demo name (mutations need the spec;
+    a bare .apk file cannot be mutated)."""
+    if name.endswith(".apk"):
+        raise SystemExit(
+            "the fragility study mutates the app spec; .apk files are "
+            "not supported — pass a demo:* or corpus name"
+        )
+    if name in DEMOS:
+        return DEMOS[name]()
+    if name in table1_packages():
+        return build_table1_app(name)
+    for factory in DEMOS.values():
+        spec = factory()
+        if spec.package == name:
+            return spec
+    raise SystemExit(
+        f"unknown app {name!r}; run `python -m repro list` for choices"
     )
 
 
@@ -154,6 +186,10 @@ def _add_explore_flags(parser: argparse.ArgumentParser) -> None:
                              "text exposition format")
     parser.add_argument("--save", metavar="DIR",
                         help="persist all run artifacts under DIR")
+    parser.add_argument("--export-replay", action="store_true",
+                        help="with --save: also write each passing test "
+                             "case as a testcases/*.replay.json replay "
+                             "script (re-run with `repro replay`)")
     parser.add_argument("--static-cache", metavar="DIR",
                         help="content-addressed cache of the static "
                              "phase under DIR; a digest hit skips "
@@ -211,10 +247,16 @@ def cmd_explore(args: argparse.Namespace) -> int:
         print(result.coverage_report())
     if args.trace:
         print(result.trace_text())
+    if getattr(args, "export_replay", False) and not args.save:
+        raise SystemExit("--export-replay needs --save DIR (replay "
+                         "scripts are written next to the Robotium "
+                         "sources)")
     if args.save:
         from repro.core.artifacts import save_artifacts
 
-        written = save_artifacts(result, args.save)
+        written = save_artifacts(
+            result, args.save,
+            replay_scripts=getattr(args, "export_replay", False))
         print(f"wrote {len(written)} artifacts under {args.save}")
     if getattr(args, "trace_jsonl", None):
         print(f"wrote {len(result.spans)} spans to {args.trace_jsonl}")
@@ -602,6 +644,7 @@ def cmd_regress(args: argparse.Namespace) -> int:
         max_phase_time_increase=args.max_phase_time_increase,
         require_same_config=not args.ignore_comparability,
         require_same_corpus=not args.ignore_comparability,
+        max_replay_divergences=args.max_replay_divergences,
     )
     report = check_regression(baseline, candidate, policy)
     if args.json:
@@ -620,6 +663,69 @@ def cmd_regress(args: argparse.Namespace) -> int:
             ) from exc
         print(f"wrote candidate record to {out}")
     return report.exit_code
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-run a recorded replay script against a fresh device.
+
+    Exit codes: 0 applied divergence-free, 1 diverged, 2 the script
+    (or the app) could not be loaded.
+    """
+    import json
+    import pathlib
+
+    from repro.errors import ReproError
+    from repro.rnr import ReplayScript, replay_script
+
+    path = pathlib.Path(args.script)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        print(f"cannot read replay script {args.script!r}: {exc}")
+        return 2
+    try:
+        script = ReplayScript.from_json(text)
+    except ReproError as exc:
+        print(f"{path} is not a usable replay script: {exc}")
+        return 2
+    apk = _resolve_apk(args.apk or script.package)
+    name = path.name
+    for suffix in (".json", ".replay"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+    outcome = replay_script(script, Device(), apk=apk, name=name)
+    if args.json:
+        print(json.dumps(outcome.to_dict(), indent=2))
+    else:
+        print(outcome.render())
+    if args.record:
+        from repro.obs.registry import RunRegistry
+        from repro.rnr.replay import SuiteReplayReport, replay_run_record
+
+        suite = SuiteReplayReport(package=script.package,
+                                  outcomes=[outcome])
+        record = replay_run_record(suite)
+        RunRegistry(args.record).record(record)
+        print(f"recorded replay as {record.run_id}")
+    return 0 if outcome.ok else 1
+
+
+def cmd_fragility(args: argparse.Namespace) -> int:
+    """The R&R fragility study: replay a recorded suite against
+    mutated app versions; exit 1 when even the unchanged app diverges
+    (a harness regression, not UI drift)."""
+    import json
+
+    from repro.rnr import run_fragility
+
+    spec = _resolve_spec(args.app)
+    config = FragDroidConfig(max_events=args.max_events)
+    report = run_fragility(spec, seed=args.seed, config=config)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.control_ok else 1
 
 
 def cmd_compare(_args: argparse.Namespace) -> int:
@@ -786,6 +892,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default=0.25,
                          help="relative increase allowed in a phase's "
                               "share of total self time (default 0.25)")
+    regress.add_argument("--max-replay-divergences", type=int, default=0,
+                         help="replayed scripts allowed to diverge in a "
+                              "replay candidate record (default 0: any "
+                              "divergence on an unchanged app fails)")
     regress.add_argument("--ignore-comparability", action="store_true",
                          help="compare despite differing config "
                               "fingerprints / corpus digests")
@@ -796,6 +906,40 @@ def build_parser() -> argparse.ArgumentParser:
                               "to FILE (CI artifact)")
     _add_sweep_flags(regress)
     regress.set_defaults(func=cmd_regress)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-run a recorded replay script on a fresh device",
+    )
+    replay.add_argument("script",
+                        help="a *.replay.json script (written by "
+                             "`explore --save DIR --export-replay`)")
+    replay.add_argument("--apk", metavar="APP", default=None,
+                        help="app to replay against (corpus/demo name "
+                             "or .apk path; default: the script's own "
+                             "package)")
+    replay.add_argument("--json", action="store_true",
+                        help="emit the structured JSON outcome")
+    replay.add_argument("--record", metavar="DIR", default=None,
+                        help="also record the replay outcome in the run "
+                             "registry under DIR (feeds `repro regress`)")
+    replay.set_defaults(func=cmd_replay)
+
+    fragility = sub.add_parser(
+        "fragility",
+        help="replay a recorded suite against mutated app versions",
+    )
+    fragility.add_argument("app", help="corpus package or demo:* name "
+                                       "(.apk files cannot be mutated)")
+    fragility.add_argument("--seed", type=int, default=0,
+                           help="mutation-plan seed (same seed: "
+                                "byte-identical table)")
+    fragility.add_argument("--max-events", type=int, default=20000,
+                           help="exploration event budget for the "
+                                "recording run")
+    fragility.add_argument("--json", action="store_true",
+                           help="emit the structured JSON report")
+    fragility.set_defaults(func=cmd_fragility)
 
     for name, func, help_text in (
         ("compare", cmd_compare, "baseline comparison"),

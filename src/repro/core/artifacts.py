@@ -23,7 +23,8 @@ from repro.obs.timeline import coverage_curve_from_trace
 
 
 def save_artifacts(result: ExplorationResult,
-                   directory: Union[str, pathlib.Path]) -> List[pathlib.Path]:
+                   directory: Union[str, pathlib.Path],
+                   replay_scripts: bool = False) -> List[pathlib.Path]:
     """Write all artifacts of a run under ``directory``.
 
     Layout::
@@ -35,6 +36,10 @@ def save_artifacts(result: ExplorationResult,
         <dir>/trace.log            the exploration trace
         <dir>/coverage.txt         the human-readable summary
         <dir>/testcases/*.java     every generated Robotium program
+
+    with ``replay_scripts=True``, additionally::
+
+        <dir>/testcases/*.replay.json   one replay script per passing case
 
     and, only when the run recorded observability data::
 
@@ -65,6 +70,12 @@ def save_artifacts(result: ExplorationResult,
     _write("coverage.txt", result.coverage_report())
     for case in result.test_cases:
         _write(f"testcases/{case.name}.java", case.to_robotium_java())
+    if replay_scripts:
+        from repro.rnr.export import script_from_testcase
+
+        for case in result.passing_test_cases:
+            _write(f"testcases/{case.name}.replay.json",
+                   script_from_testcase(case).to_json() + "\n")
     if result.events or result.spans:
         if result.events:
             _write("events.jsonl", "".join(

@@ -10,7 +10,7 @@ NP-hard, greedy is the standard ln(n)-approximation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.adb.bridge import Adb
 from repro.adb.instrumentation import instrument_manifest
@@ -19,6 +19,7 @@ from repro.apk.package import ApkPackage
 from repro.core.explorer import ExplorationResult
 from repro.core.testcase import TestCase
 from repro.errors import ReproError
+from repro.obs import NULL_TRACER, Tracer
 from repro.robotium.solo import Solo
 
 
@@ -27,6 +28,10 @@ class MinimizedSuite:
     cases: List[TestCase]
     covered: Set[str]
     original_size: int
+    # Probe replays that broke before finishing: their observed coverage
+    # is a truncation, not the case's full reach.  A non-zero count
+    # means the greedy cover ran on under-counted inputs.
+    truncated_probes: int = 0
 
     @property
     def reduction(self) -> float:
@@ -35,27 +40,37 @@ class MinimizedSuite:
         return 1.0 - len(self.cases) / self.original_size
 
     def render(self) -> str:
-        return (
+        text = (
             f"minimized suite: {len(self.cases)}/{self.original_size} "
             f"test cases ({self.reduction:.0%} fewer) covering "
             f"{len(self.covered)} components"
         )
+        if self.truncated_probes:
+            text += (f" ({self.truncated_probes} coverage probe"
+                     f"{'s' if self.truncated_probes != 1 else ''} "
+                     "truncated)")
+        return text
 
 
 def _coverage_of_case(case: TestCase, apk: ApkPackage,
-                      known_components: Set[str]) -> Set[str]:
+                      known_components: Set[str],
+                      ) -> Tuple[Set[str], bool]:
     """Replay one case on a scratch device; observe which components
-    appear (activity on top after each op + attached fragments)."""
+    appear (activity on top after each op + attached fragments).
+
+    Returns ``(covered, truncated)``: a probe that breaks mid-replay
+    keeps the coverage observed so far but flags the truncation instead
+    of silently under-counting.
+    """
     device = Device()
     adb = Adb(device)
     adb.install(instrument_manifest(apk))
     solo = Solo(device)
     covered: Set[str] = set()
+    truncated = False
 
     try:
         # Replay op by op, sampling after each step.
-        from repro.core.queue import OpKind
-
         for index in range(1, len(case.operations) + 1):
             prefix = TestCase(case.package, "Probe",
                               case.operations[:index])
@@ -68,25 +83,38 @@ def _coverage_of_case(case: TestCase, apk: ApkPackage,
                 if fragment in known_components:
                     covered.add(fragment)
     except ReproError:
-        pass
-    return covered
+        truncated = True
+    return covered, truncated
 
 
 def minimize_suite(result: ExplorationResult,
-                   apk: ApkPackage) -> MinimizedSuite:
-    """Greedy set cover of visited components by passing test cases."""
+                   apk: ApkPackage,
+                   tracer: Optional[Tracer] = None) -> MinimizedSuite:
+    """Greedy set cover of visited components by passing test cases.
+
+    Ties on coverage gain break toward the lowest case index — the
+    greedy pick is fully deterministic, never dict-order dependent.
+    ``tracer`` (optional) counts truncated coverage probes on the
+    ``minimize.truncated_probes`` metric.
+    """
+    tracer = tracer or NULL_TRACER
     universe = set(result.visited_activities) | set(result.visited_fragments)
     coverage: Dict[int, Set[str]] = {}
+    truncated_probes = 0
     for index, case in enumerate(result.passing_test_cases):
-        coverage[index] = _coverage_of_case(case, apk, universe)
+        coverage[index], truncated = _coverage_of_case(case, apk, universe)
+        if truncated:
+            truncated_probes += 1
+            tracer.inc("minimize.truncated_probes")
 
     chosen: List[TestCase] = []
     covered: Set[str] = set()
     remaining = dict(coverage)
     while covered != universe and remaining:
         best_index, best_gain = None, -1
-        for index, cov in remaining.items():
-            gain = len(cov - covered)
+        # Ascending index + strict improvement = lowest index wins ties.
+        for index in sorted(remaining):
+            gain = len(remaining[index] - covered)
             if gain > best_gain:
                 best_index, best_gain = index, gain
         if best_index is None or best_gain <= 0:
@@ -97,4 +125,5 @@ def minimize_suite(result: ExplorationResult,
         cases=chosen,
         covered=covered,
         original_size=len(result.passing_test_cases),
+        truncated_probes=truncated_probes,
     )

@@ -24,6 +24,35 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.adb.bridge import Adb
     from repro.robotium.solo import Solo
 
+#: Characters that must be escaped inside a Java string literal.
+_JAVA_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+    "\f": "\\f",
+    "\b": "\\b",
+}
+
+
+def java_escape(text: str) -> str:
+    """Escape ``text`` for interpolation into a Java string literal.
+
+    Generated test programs embed analyst-provided values (widget ids,
+    entered text); a ``"`` or ``\\`` passed through verbatim produces
+    uncompilable Java.  Remaining control characters become ``\\uXXXX``.
+    """
+    out = []
+    for char in text:
+        if char in _JAVA_ESCAPES:
+            out.append(_JAVA_ESCAPES[char])
+        elif ord(char) < 0x20:
+            out.append(f"\\u{ord(char):04x}")
+        else:
+            out.append(char)
+    return "".join(out)
+
 
 @dataclass
 class TestCase:
@@ -72,13 +101,14 @@ class TestCase:
         return "\n".join(lines)
 
     def _java_statement(self, op: Operation) -> str:
+        target = java_escape(op.target)
         if op.kind is OpKind.LAUNCH:
             return "getActivity();  // launch entry activity"
         if op.kind is OpKind.CLICK:
-            return f'solo.clickOnView(solo.getView("{op.target}"));'
+            return f'solo.clickOnView(solo.getView("{target}"));'
         if op.kind is OpKind.ENTER_TEXT:
-            return (f'solo.enterText((EditText) solo.getView("{op.target}"), '
-                    f'"{op.value}");')
+            return (f'solo.enterText((EditText) solo.getView("{target}"), '
+                    f'"{java_escape(op.value)}");')
         if op.kind is OpKind.SWIPE_OPEN:
             return "solo.drag(0, 540, 960, 960, 10);  // open drawer"
         if op.kind is OpKind.REFLECT:
@@ -88,11 +118,11 @@ class TestCase:
                 ".getClass().getMethod(\"getFragmentManager\")"
                 ".invoke(activity);\n"
                 "        fm.beginTransaction().replace(containerId, "
-                f"(Fragment) Class.forName(\"{op.target}\")"
+                f"(Fragment) Class.forName(\"{target}\")"
                 ".newInstance()).commit();"
             )
         if op.kind is OpKind.FORCE_START:
-            return (f'// adb shell am start -n {op.target}  (empty intent)')
+            return (f'// adb shell am start -n {target}  (empty intent)')
         if op.kind is OpKind.BACK:
             return "solo.goBack();"
         raise TestCaseError(f"cannot render {op.kind}")

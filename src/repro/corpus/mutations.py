@@ -1,18 +1,33 @@
 """Spec mutations: synthetic "next versions" of an app.
 
-Used by the regression-testing tests and examples: each operator
-returns a deep-copied spec with one realistic developer change — a
-renamed widget, a removed handler, a swapped start screen, or a newly
-introduced crash.
+Used by the regression tests and the fragility study
+(:mod:`repro.rnr.fragility`): each operator returns a deep-copied spec
+with one realistic developer change — a renamed widget or fragment, a
+removed handler, a swapped start screen, an added activity, shuffled
+widget ids, or a newly introduced crash.  Every operator is
+deterministic: the seeded ones (:func:`shuffle_widget_ids`) derive all
+choices from an explicit ``random.Random(seed)``.
 """
 
 from __future__ import annotations
 
 import copy
+import random
 from dataclasses import replace
-from typing import Optional
+from typing import Dict, Optional
 
-from repro.apk.appspec import AppSpec, Crash, WidgetSpec
+from repro.apk.appspec import (
+    Action,
+    ActivitySpec,
+    AppSpec,
+    Chain,
+    Crash,
+    ShowDialog,
+    ShowFragment,
+    ShowPopupMenu,
+    SubmitForm,
+    WidgetSpec,
+)
 from repro.errors import ApkError
 
 
@@ -71,3 +86,125 @@ def swap_initial_fragment(spec: AppSpec, activity_name: str,
     activity.initial_fragment = fragment_name
     mutated.validate()
     return mutated
+
+
+# ---------------------------------------------------------------------------
+# App-evolution operators (the fragility study's version stream)
+# ---------------------------------------------------------------------------
+
+def _rewrite_action(action: Optional[Action],
+                    fragments: Dict[str, str],
+                    widgets: Dict[str, str]) -> Optional[Action]:
+    """Rewrite fragment/widget-id references inside an action tree."""
+    if action is None:
+        return None
+    if isinstance(action, ShowFragment) and action.fragment in fragments:
+        return replace(action, fragment=fragments[action.fragment])
+    if isinstance(action, Chain):
+        return Chain(actions=tuple(
+            _rewrite_action(child, fragments, widgets)
+            for child in action.actions))
+    if isinstance(action, ShowPopupMenu):
+        return ShowPopupMenu(items=tuple(
+            _rewrite_widget(item, fragments, widgets)
+            for item in action.items))
+    if isinstance(action, ShowDialog):
+        return replace(action, buttons=tuple(
+            _rewrite_widget(button, fragments, widgets)
+            for button in action.buttons))
+    if isinstance(action, SubmitForm):
+        return SubmitForm(
+            required={widgets.get(k, k): v
+                      for k, v in action.required.items()},
+            on_success=_rewrite_action(action.on_success, fragments, widgets),
+            on_failure=_rewrite_action(action.on_failure, fragments, widgets),
+            rules={widgets.get(k, k): v for k, v in action.rules.items()},
+        )
+    return action
+
+
+def _rewrite_widget(widget: WidgetSpec,
+                    fragments: Dict[str, str],
+                    widgets: Dict[str, str]) -> WidgetSpec:
+    return replace(
+        widget,
+        id=widgets.get(widget.id, widget.id),
+        on_click=_rewrite_action(widget.on_click, fragments, widgets),
+    )
+
+
+def _rewrite_spec(mutated: AppSpec,
+                  fragments: Dict[str, str],
+                  widgets: Dict[str, str]) -> AppSpec:
+    """Apply a fragment-class and widget-id renaming consistently."""
+    for activity in mutated.activities:
+        activity.widgets = [_rewrite_widget(w, fragments, widgets)
+                            for w in activity.widgets]
+        if activity.drawer:
+            activity.drawer.items = [
+                _rewrite_widget(w, fragments, widgets)
+                for w in activity.drawer.items]
+        activity.hosted_fragments = [fragments.get(f, f)
+                                     for f in activity.hosted_fragments]
+        if activity.initial_fragment:
+            activity.initial_fragment = fragments.get(
+                activity.initial_fragment, activity.initial_fragment)
+        activity.panes = [(container, fragments.get(f, f))
+                          for container, f in activity.panes]
+    for fragment in mutated.fragments:
+        if fragment.name in fragments:
+            fragment.name = fragments[fragment.name]
+        fragment.widgets = [_rewrite_widget(w, fragments, widgets)
+                            for w in fragment.widgets]
+    mutated.validate()
+    return mutated
+
+
+def rename_fragment(spec: AppSpec, fragment_name: str,
+                    new_name: str) -> AppSpec:
+    """The developer renamed a Fragment class — every host reference,
+    transaction target and reflection path follows, but recorded
+    reflect events (and recorded coverage identity) go stale."""
+    mutated = _clone(spec)
+    mutated.fragment(fragment_name)  # raises ApkError when unknown
+    return _rewrite_spec(mutated, {fragment_name: new_name}, {})
+
+
+def add_activity(spec: AppSpec, name: str,
+                 activity: Optional[ActivitySpec] = None) -> AppSpec:
+    """A new Activity shipped in the update — recorded scripts still
+    apply, but they cover a smaller share of the new version."""
+    mutated = _clone(spec)
+    if any(a.name == name for a in mutated.activities):
+        raise ApkError(f"{spec.package} already has an activity {name!r}")
+    mutated.activities.append(activity or ActivitySpec(name=name))
+    mutated.validate()
+    return mutated
+
+
+def shuffle_widget_ids(spec: AppSpec, seed: int = 0) -> AppSpec:
+    """A resource-id refactor: every container's widget ids are
+    deterministically permuted (references inside handlers follow, so
+    the app behaves identically — only the ids recorded scripts key on
+    have moved)."""
+    mutated = _clone(spec)
+    rng = random.Random(seed)
+    mapping: Dict[str, str] = {}
+
+    def permute(widgets) -> None:
+        ids = [w.id for w in widgets]
+        if len(ids) < 2:
+            return
+        shuffled = list(ids)
+        rng.shuffle(shuffled)
+        if shuffled == ids:  # force a real change
+            shuffled = shuffled[1:] + shuffled[:1]
+        mapping.update(zip(ids, shuffled))
+
+    for activity in mutated.activities:
+        permute(activity.widgets)
+        if activity.drawer:
+            permute(activity.drawer.items)
+    for fragment in mutated.fragments:
+        permute(fragment.widgets)
+    return _rewrite_spec(mutated, {}, mapping)

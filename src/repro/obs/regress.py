@@ -21,6 +21,11 @@ What gates, and why:
 * **memory** — reported as warnings by default (tracemalloc peaks are
   samples, not exact attribution); set ``max_memory_increase`` to gate
   on them too.
+* **replay divergence** — absolute, not baseline-relative.  A candidate
+  record carrying a ``replay_diverged`` coverage count above
+  ``max_replay_divergences`` (default 0) fails outright: a recorded
+  script that stopped applying to the *same* app is a harness bug,
+  whatever the baseline did.  Records without the key are unaffected.
 * **comparability** — differing config fingerprints or corpus digests
   are themselves violations (unless the policy relaxes them): a green
   diff between incomparable runs is worse than a red one.
@@ -58,6 +63,10 @@ class RegressionPolicy:
     coverage_keys: Tuple[str, ...] = DEFAULT_COVERAGE_KEYS
     require_same_config: bool = True
     require_same_corpus: bool = True
+    # Replay divergence is absolute, not baseline-relative: a recorded
+    # script that no longer applies to the *same* app is a harness
+    # regression even when the baseline also diverged.
+    max_replay_divergences: int = 0
 
     def describe(self) -> str:
         parts = [
@@ -69,6 +78,11 @@ class RegressionPolicy:
         if self.max_memory_increase is not None:
             parts.append(
                 f"memory increase <= {self.max_memory_increase:.0%}")
+        if self.max_replay_divergences == 0:
+            parts.append("no replay divergences")
+        else:
+            parts.append(
+                f"replay divergences <= {self.max_replay_divergences}")
         return ", ".join(parts)
 
 
@@ -76,7 +90,7 @@ class RegressionPolicy:
 class Violation:
     """One threshold breach."""
 
-    kind: str  # "coverage" | "phase_time" | "memory" | "comparability"
+    kind: str  # "coverage" | "phase_time" | "memory" | "comparability" | "replay"
     key: str
     baseline: Optional[float]
     candidate: Optional[float]
@@ -200,6 +214,18 @@ def check_regression(baseline: RunRecord, candidate: RunRecord,
                 detail=(f"{base:g} -> {cand:g} "
                         f"(-{drop:.1%} > {policy.max_coverage_drop:.0%} "
                         f"allowed)")))
+
+    # -- replay divergence (absolute gate, not baseline-relative) ----------
+    diverged = candidate.coverage.get("replay_diverged")
+    if diverged is not None and diverged > policy.max_replay_divergences:
+        report.violations.append(Violation(
+            kind="replay", key="replay_diverged", baseline=None,
+            candidate=float(diverged),
+            limit=float(policy.max_replay_divergences),
+            detail=(f"{diverged:g} replayed script"
+                    f"{'s' if diverged != 1 else ''} diverged "
+                    f"(> {policy.max_replay_divergences} allowed) — "
+                    "recorded suite no longer applies to this app")))
 
     # -- phase time (shares of total self time) ----------------------------
     base_shares = _phase_shares(baseline)

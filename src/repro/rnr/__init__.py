@@ -3,10 +3,47 @@
 The paper positions record-and-replay as the pre-MBT state of the art:
 a human tester's UI events are recorded as a script and replayed on
 other devices.  This subpackage implements that technique over the
-emulator — both as a baseline to compare against and as a practical
-tool for reproducing manually-found paths.
+emulator — and wires it into the pipeline as a first-class citizen:
+
+* :mod:`repro.rnr.recorder` — the manual recorder and the
+  schema-versioned :class:`ReplayScript` format;
+* :mod:`repro.rnr.export` — the ``Operation -> RecordedEvent``
+  translator exporting every generated test case as a replay script;
+* :mod:`repro.rnr.replay` — deterministic replay with per-step
+  divergence reporting and run-registry records;
+* :mod:`repro.rnr.fragility` — the breakage study replaying recorded
+  suites against mutated app versions ("scripts break when the UI
+  changes", quantified).
 """
 
-from repro.rnr.recorder import Recorder, RecordedEvent, ReplayScript
+from repro.rnr.export import event_from_operation, script_from_testcase
+from repro.rnr.fragility import FragilityReport, run_fragility
+from repro.rnr.recorder import (
+    SCRIPT_SCHEMA,
+    Recorder,
+    RecordedEvent,
+    ReplayScript,
+)
+from repro.rnr.replay import (
+    ReplayOutcome,
+    SuiteReplayReport,
+    replay_run_record,
+    replay_script,
+    replay_suite,
+)
 
-__all__ = ["RecordedEvent", "Recorder", "ReplayScript"]
+__all__ = [
+    "SCRIPT_SCHEMA",
+    "RecordedEvent",
+    "Recorder",
+    "ReplayScript",
+    "ReplayOutcome",
+    "SuiteReplayReport",
+    "FragilityReport",
+    "event_from_operation",
+    "script_from_testcase",
+    "replay_script",
+    "replay_suite",
+    "replay_run_record",
+    "run_fragility",
+]

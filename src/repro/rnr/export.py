@@ -1,0 +1,57 @@
+"""Export generated test cases as self-contained replay scripts.
+
+The explorer's output (:class:`~repro.core.testcase.TestCase`) and the
+R&R layer's input (:class:`~repro.rnr.recorder.ReplayScript`) describe
+the same thing — an ordered list of concrete UI events — in two
+vocabularies.  This module is the translator: every passing test case
+of a run exports as a schema-versioned JSON script that ``repro
+replay`` re-runs deterministically on a fresh device, DroidWalker's
+"reproducible test case" property grafted onto FragDroid's pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.queue import Operation, OpKind
+from repro.core.testcase import TestCase
+from repro.errors import ReproError
+from repro.rnr.recorder import RecordedEvent, ReplayScript
+
+#: OpKind -> event kind for the operations that translate one-to-one.
+_SIMPLE_KINDS = {
+    OpKind.LAUNCH: "launch",
+    OpKind.SWIPE_OPEN: "swipe",
+    OpKind.BACK: "back",
+    OpKind.REFLECT: "reflect",
+    OpKind.FORCE_START: "start",
+}
+
+
+def event_from_operation(op: Operation, step: int = 0) -> RecordedEvent:
+    """Translate one test-case operation into a recorded event.
+
+    ``step`` follows the recorder's convention: the device step count
+    *before* the event fires — for a script replayed from a fresh
+    device that is simply the event's index, since every event costs
+    exactly one step.
+    """
+    if op.kind is OpKind.CLICK:
+        return RecordedEvent(kind="click", widget_id=op.target, step=step)
+    if op.kind is OpKind.ENTER_TEXT:
+        return RecordedEvent(kind="text", widget_id=op.target,
+                             text=op.value, step=step)
+    kind = _SIMPLE_KINDS.get(op.kind)
+    if kind is None:
+        raise ReproError(f"cannot export operation kind {op.kind!r} "
+                         "as a replay event")
+    return RecordedEvent(kind=kind, widget_id=op.target, step=step)
+
+
+def script_from_testcase(case: TestCase) -> ReplayScript:
+    """The whole test case as one replayable script."""
+    events: List[RecordedEvent] = [
+        event_from_operation(op, step=index)
+        for index, op in enumerate(case.operations)
+    ]
+    return ReplayScript(package=case.package, events=events)

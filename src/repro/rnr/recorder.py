@@ -8,7 +8,11 @@ Section I) and replays against any device with the app installed.
 Like the real technique, replay is *coordinate- and id-literal*: it
 re-injects exactly what was recorded, so it reproduces the recorded
 path cheaply but breaks when the UI changes — the maintenance cost the
-paper cites as the reason MBT superseded R&R.
+paper cites as the reason MBT superseded R&R.  The fragility study
+(:mod:`repro.rnr.fragility`) measures exactly that breakage.
+
+Scripts carry a ``schema`` field so a foreign or stale file fails with
+a named error instead of a stack trace deep inside replay.
 """
 
 from __future__ import annotations
@@ -21,11 +25,36 @@ from repro.adb.bridge import Adb
 from repro.android.device import Device
 from repro.errors import ReproError
 
-EVENT_KINDS = ("launch", "tap", "click", "text", "back", "swipe")
+#: Bump whenever the event shape or kind list changes; scripts written
+#: by another schema are rejected with a named error.
+SCRIPT_SCHEMA = 2
+
+EVENT_KINDS = ("launch", "tap", "click", "text", "back", "swipe",
+               "reflect", "start")
+
+#: Per-event fields and the types :meth:`ReplayScript.from_json`
+#: accepts for each (``bool`` is not an ``int`` here).
+_EVENT_FIELDS = {
+    "kind": str,
+    "x": int,
+    "y": int,
+    "widget_id": str,
+    "text": str,
+    "step": int,
+}
 
 
 @dataclass(frozen=True)
 class RecordedEvent:
+    """One recorded input event.
+
+    ``widget_id`` doubles as the generic target slot: the widget id for
+    ``click``/``text``, the fragment class for ``reflect`` and the
+    ``package/Class`` component for ``start``.  ``step`` is the device
+    step count sampled *before* the event was applied, so event *i* of a
+    fresh-device recording carries ``step == i``.
+    """
+
     kind: str
     x: int = 0
     y: int = 0
@@ -38,6 +67,16 @@ class RecordedEvent:
             raise ReproError(f"unknown event kind: {self.kind!r}")
 
 
+def _check_field(name: str, value, expected, where: str):
+    """Type-check one script field; bool masquerading as int rejected."""
+    if isinstance(value, bool) or not isinstance(value, expected):
+        raise ReproError(
+            f"replay script field {name!r} {where} must be "
+            f"{expected.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
 @dataclass
 class ReplayScript:
     """An ordered, serialisable event script for one package."""
@@ -48,6 +87,7 @@ class ReplayScript:
     def to_json(self) -> str:
         return json.dumps(
             {
+                "schema": SCRIPT_SCHEMA,
                 "package": self.package,
                 "events": [
                     {
@@ -63,34 +103,112 @@ class ReplayScript:
 
     @classmethod
     def from_json(cls, text: str) -> "ReplayScript":
-        data = json.loads(text)
-        return cls(
-            package=data["package"],
-            events=[RecordedEvent(**event) for event in data["events"]],
-        )
+        """Parse and *validate* a script file.
+
+        Every malformation — bad JSON, a missing or foreign ``schema``,
+        a missing/mistyped field, an unknown key — raises
+        :class:`ReproError` naming the offending field, never a bare
+        ``KeyError``/``TypeError``.
+        """
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ReproError(f"replay script is not valid JSON: {exc}") \
+                from None
+        if not isinstance(data, dict):
+            raise ReproError("replay script must be a JSON object, got "
+                             f"{type(data).__name__}")
+        unknown = sorted(set(data) - {"schema", "package", "events"})
+        if unknown:
+            raise ReproError(
+                f"replay script has unknown field(s): {', '.join(unknown)}")
+        if "schema" not in data:
+            raise ReproError("replay script is missing the 'schema' field "
+                             f"(this build reads schema {SCRIPT_SCHEMA})")
+        schema = data["schema"]
+        if schema != SCRIPT_SCHEMA:
+            raise ReproError(
+                f"unsupported replay-script schema {schema!r} "
+                f"(this build reads {SCRIPT_SCHEMA})")
+        if "package" not in data:
+            raise ReproError("replay script is missing the 'package' field")
+        package = _check_field("package", data["package"], str, "")
+        if not package:
+            raise ReproError("replay script field 'package' must be a "
+                             "non-empty string")
+        if "events" not in data:
+            raise ReproError("replay script is missing the 'events' field")
+        raw_events = data["events"]
+        if not isinstance(raw_events, list):
+            raise ReproError("replay script field 'events' must be a list, "
+                             f"got {type(raw_events).__name__}")
+        events: List[RecordedEvent] = []
+        for index, entry in enumerate(raw_events):
+            where = f"in events[{index}]"
+            if not isinstance(entry, dict):
+                raise ReproError(f"replay script event {where} must be an "
+                                 f"object, got {type(entry).__name__}")
+            bad = sorted(set(entry) - set(_EVENT_FIELDS))
+            if bad:
+                raise ReproError(f"replay script event {where} has unknown "
+                                 f"field(s): {', '.join(bad)}")
+            if "kind" not in entry:
+                raise ReproError(
+                    f"replay script event {where} is missing 'kind'")
+            fields = {
+                name: _check_field(name, entry[name], expected, where)
+                for name, expected in _EVENT_FIELDS.items()
+                if name in entry
+            }
+            if fields["kind"] not in EVENT_KINDS:
+                raise ReproError(
+                    f"replay script event {where} has unknown kind "
+                    f"{fields['kind']!r} (known: {', '.join(EVENT_KINDS)})")
+            events.append(RecordedEvent(**fields))
+        return cls(package=package, events=events)
+
+    def apply_event(self, event: RecordedEvent, device: Device,
+                    adb: Optional[Adb] = None) -> None:
+        """Re-inject one event on a device.
+
+        Raises :class:`ReproError` subclasses when the UI has drifted
+        and the recorded target no longer exists.
+        """
+        adb = adb or Adb(device)
+        if event.kind == "launch":
+            adb.am_start_launcher(self.package)
+        elif event.kind == "tap":
+            device.tap(event.x, event.y)
+        elif event.kind == "click":
+            device.click_widget(event.widget_id)
+        elif event.kind == "text":
+            device.enter_text(event.widget_id, event.text)
+        elif event.kind == "back":
+            device.press_back()
+        elif event.kind == "swipe":
+            device.swipe_from_left()
+        elif event.kind == "reflect":
+            from repro.android.reflection import reflective_fragment_switch
+
+            reflective_fragment_switch(device, event.widget_id)
+        elif event.kind == "start":
+            from repro.types import ComponentName
+
+            device.start_activity(ComponentName.parse(event.widget_id))
 
     def replay(self, device: Device) -> int:
         """Re-inject the script on a device; returns events applied.
 
         Raises :class:`ReproError` (via the device) when the UI has
         drifted and a recorded widget no longer exists — the fragility
-        that motivates model-based approaches.
+        that motivates model-based approaches.  For a step-by-step
+        account that *reports* the divergence instead of raising, use
+        :func:`repro.rnr.replay.replay_script`.
         """
         adb = Adb(device)
         applied = 0
         for event in self.events:
-            if event.kind == "launch":
-                adb.am_start_launcher(self.package)
-            elif event.kind == "tap":
-                device.tap(event.x, event.y)
-            elif event.kind == "click":
-                device.click_widget(event.widget_id)
-            elif event.kind == "text":
-                device.enter_text(event.widget_id, event.text)
-            elif event.kind == "back":
-                device.press_back()
-            elif event.kind == "swipe":
-                device.swipe_from_left()
+            self.apply_event(event, device, adb)
             applied += 1
         return applied
 
@@ -104,36 +222,44 @@ class Recorder:
         self._adb = Adb(device)
         self._events: List[RecordedEvent] = []
 
-    def _log(self, kind: str, **kwargs) -> None:
-        self._events.append(
-            RecordedEvent(kind=kind, step=self.device.steps, **kwargs)
-        )
+    def _log(self, kind: str, step: int, **kwargs) -> None:
+        self._events.append(RecordedEvent(kind=kind, step=step, **kwargs))
 
     # -- the tester's verbs (forward + record) ------------------------------
+    #
+    # Each verb samples the step counter *before* forwarding, so the
+    # recorded step is the state the event was applied in — not the
+    # state it produced (which would be off by exactly one action).
 
     def launch(self) -> None:
+        step = self.device.steps
         self._adb.am_start_launcher(self.package)
-        self._log("launch")
+        self._log("launch", step)
 
     def tap(self, x: int, y: int) -> None:
+        step = self.device.steps
         self.device.tap(x, y)
-        self._log("tap", x=x, y=y)
+        self._log("tap", step, x=x, y=y)
 
     def click(self, widget_id: str) -> None:
+        step = self.device.steps
         self.device.click_widget(widget_id)
-        self._log("click", widget_id=widget_id)
+        self._log("click", step, widget_id=widget_id)
 
     def enter_text(self, widget_id: str, text: str) -> None:
+        step = self.device.steps
         self.device.enter_text(widget_id, text)
-        self._log("text", widget_id=widget_id, text=text)
+        self._log("text", step, widget_id=widget_id, text=text)
 
     def back(self) -> None:
+        step = self.device.steps
         self.device.press_back()
-        self._log("back")
+        self._log("back", step)
 
     def swipe(self) -> None:
+        step = self.device.steps
         self.device.swipe_from_left()
-        self._log("swipe")
+        self._log("swipe", step)
 
     # -- output ---------------------------------------------------------------
 

@@ -44,3 +44,71 @@ def test_minimize_on_corpus_app():
     universe = set(result.visited_activities) | set(result.visited_fragments)
     assert suite.covered == universe
     assert len(suite.cases) <= suite.original_size
+
+def test_truncated_probe_is_counted_not_swallowed():
+    """The satellite bug: a probe that breaks mid-replay must flag the
+    truncation instead of silently under-counting coverage."""
+    from types import SimpleNamespace
+
+    from repro.core.minimize import _coverage_of_case
+    from repro.core.queue import click_op, launch_op
+    from repro.core.testcase import TestCase
+    from repro.obs import Tracer
+
+    apk = build_apk(make_full_demo_spec())
+    package = apk.package
+    good = TestCase(package, "Good", (launch_op(), click_op("btn_next")))
+    broken = TestCase(package, "Broken",
+                      (launch_op(), click_op("no_such_widget")))
+    universe = {f"{package}.MainActivity", f"{package}.SecondActivity"}
+
+    covered, truncated = _coverage_of_case(good, apk, universe)
+    assert not truncated
+    assert covered == universe
+
+    covered, truncated = _coverage_of_case(broken, apk, universe)
+    assert truncated
+    # The prefix before the break still counts.
+    assert f"{package}.MainActivity" in covered
+
+    tracer = Tracer()
+    result = SimpleNamespace(
+        visited_activities=sorted(universe), visited_fragments=[],
+        passing_test_cases=[good, broken],
+    )
+    suite = minimize_suite(result, apk, tracer=tracer)
+    assert suite.truncated_probes == 1
+    assert tracer.metrics.counter("minimize.truncated_probes") == 1
+    assert "1 coverage probe truncated" in suite.render()
+
+
+def test_untruncated_suite_renders_unchanged(explored):
+    result, apk = explored
+    suite = minimize_suite(result, apk)
+    assert suite.truncated_probes == 0
+    assert "truncated" not in suite.render()
+
+
+def test_greedy_tie_break_picks_lowest_index():
+    """Equal-gain candidates must resolve to the lowest case index, not
+    dict insertion order."""
+    from types import SimpleNamespace
+
+    from repro.core.queue import click_op, launch_op
+    from repro.core.testcase import TestCase
+
+    apk = build_apk(make_full_demo_spec())
+    package = apk.package
+    # Three identical cases: all cover the same two components.
+    cases = [
+        TestCase(package, f"Twin{i}", (launch_op(), click_op("btn_next")))
+        for i in range(3)
+    ]
+    result = SimpleNamespace(
+        visited_activities=[f"{package}.MainActivity",
+                            f"{package}.SecondActivity"],
+        visited_fragments=[],
+        passing_test_cases=cases,
+    )
+    suite = minimize_suite(result, apk)
+    assert [case.name for case in suite.cases] == ["Twin0"]

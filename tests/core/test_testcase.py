@@ -98,3 +98,34 @@ def test_install_and_run_goes_through_am_instrument(ready):
     case.install_and_run(solo, adb)
     assert any("am instrument -w com.example.demo.test.GeneratedTest0002" in c
                for c in adb.command_log)
+
+
+def test_java_escape_specials():
+    from repro.core.testcase import java_escape
+
+    assert java_escape('say "hi"') == 'say \\"hi\\"'
+    assert java_escape("back\\slash") == "back\\\\slash"
+    assert java_escape("line\nbreak\ttab") == "line\\nbreak\\ttab"
+    assert java_escape("\r\f\b") == "\\r\\f\\b"
+    assert java_escape("\x00\x1f") == "\\u0000\\u001f"
+    assert java_escape("plain_id") == "plain_id"
+
+
+def test_rendered_java_escapes_targets_and_values():
+    """The satellite bug: a quote or backslash in a widget id or input
+    value must not produce uncompilable Java."""
+    case = TestCase(
+        "com.example.demo", "T",
+        (click_op('btn_"quoted"'),
+         text_op("field\\path", 'multi\nline "text"'),
+         reflect_op('com.x."Weird"Fragment'),
+         force_start_op('com.x/.Act"ivity')),
+    )
+    java = case.to_robotium_java()
+    assert 'solo.getView("btn_\\"quoted\\"")' in java
+    assert 'solo.getView("field\\\\path")' in java
+    assert '"multi\\nline \\"text\\""' in java
+    assert 'Class.forName("com.x.\\"Weird\\"Fragment")' in java
+    # No raw quote survives inside a rendered string literal.
+    assert 'btn_"quoted"' not in java
+    assert 'multi\nline' not in java

@@ -1,0 +1,107 @@
+"""The app-evolution mutation operators (repro.corpus.mutations)."""
+
+import pytest
+
+from repro import Device, FragDroid
+from repro.apk import build_apk
+from repro.corpus import demo_tabbed_app
+from repro.corpus.mutations import (
+    add_activity,
+    rename_fragment,
+    shuffle_widget_ids,
+)
+from repro.errors import ApkError
+from tests.conftest import make_full_demo_spec
+
+
+def all_widget_ids(spec):
+    ids = []
+    for activity in spec.activities:
+        ids.extend(w.id for w in activity.widgets)
+        if activity.drawer:
+            ids.extend(w.id for w in activity.drawer.items)
+    for fragment in spec.fragments:
+        ids.extend(w.id for w in fragment.widgets)
+    return sorted(ids)
+
+
+def test_rename_fragment_rewrites_every_reference():
+    spec = make_full_demo_spec()
+    target = spec.fragments[0].name
+    mutated = rename_fragment(spec, target, f"{target}V2")
+    names = {f.name for f in mutated.fragments}
+    assert f"{target}V2" in names
+    assert target not in names
+    for activity in mutated.activities:
+        assert target not in activity.hosted_fragments
+        assert activity.initial_fragment != target
+    # The original spec is untouched.
+    assert target in {f.name for f in spec.fragments}
+
+
+def test_rename_fragment_keeps_the_app_explorable():
+    spec = demo_tabbed_app()
+    target = spec.fragments[0].name
+    mutated = rename_fragment(spec, target, f"{target}V2")
+    result = FragDroid(Device()).explore(build_apk(mutated))
+    baseline = FragDroid(Device()).explore(build_apk(spec))
+    assert len(result.visited_fragments) == len(baseline.visited_fragments)
+
+
+def test_rename_unknown_fragment_raises():
+    with pytest.raises(ApkError):
+        rename_fragment(make_full_demo_spec(), "NoSuchFragment", "X")
+
+
+def test_add_activity_extends_the_manifest():
+    spec = make_full_demo_spec()
+    before = len(spec.activities)
+    mutated = add_activity(spec, "UpdateNewsActivity")
+    assert len(mutated.activities) == before + 1
+    assert any(a.name == "UpdateNewsActivity" for a in mutated.activities)
+    assert len(spec.activities) == before
+
+
+def test_add_duplicate_activity_raises():
+    spec = make_full_demo_spec()
+    existing = spec.activities[0].name
+    with pytest.raises(ApkError):
+        add_activity(spec, existing)
+
+
+def test_shuffle_widget_ids_permutes_without_losing_ids():
+    spec = demo_tabbed_app()
+    mutated = shuffle_widget_ids(spec, seed=5)
+    assert all_widget_ids(mutated) == all_widget_ids(spec)
+    # At least one multi-widget container actually changed order.
+    changed = any(
+        [w.id for w in a.widgets] != [w.id for w in b.widgets]
+        for a, b in zip(spec.activities, mutated.activities)
+        if len(a.widgets) >= 2
+    ) or any(
+        [w.id for w in a.widgets] != [w.id for w in b.widgets]
+        for a, b in zip(spec.fragments, mutated.fragments)
+        if len(a.widgets) >= 2
+    )
+    assert changed
+
+
+def test_shuffle_widget_ids_is_deterministic():
+    first = shuffle_widget_ids(demo_tabbed_app(), seed=9)
+    second = shuffle_widget_ids(demo_tabbed_app(), seed=9)
+    assert all_widget_ids(first) == all_widget_ids(second)
+    for a, b in zip(first.activities, second.activities):
+        assert [w.id for w in a.widgets] == [w.id for w in b.widgets]
+
+
+def test_shuffle_keeps_the_app_consistent():
+    """Handlers follow their widgets, so the shuffled app still builds
+    and explores to the same component counts."""
+    spec = demo_tabbed_app()
+    mutated = shuffle_widget_ids(spec, seed=3)
+    result = FragDroid(Device()).explore(build_apk(mutated))
+    baseline = FragDroid(Device()).explore(build_apk(spec))
+    assert len(result.visited_activities) == len(
+        baseline.visited_activities)
+    assert len(result.visited_fragments) == len(
+        baseline.visited_fragments)

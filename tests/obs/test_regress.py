@@ -156,3 +156,52 @@ def test_verdict_is_deterministic_across_sweep_backends(tmp_path):
     for base, cand in ((thread, process), (process, thread)):
         report = check_regression(base, cand)
         assert report.ok and report.exit_code == 0
+
+
+def replay_record(diverged=0.0):
+    return record(
+        label="replay:com.app",
+        coverage={"replay_scripts": 5.0, "replay_diverged": diverged,
+                  "replay_events": 20.0, "replay_applied": 20.0 - diverged,
+                  "activities_visited": 3, "fragments_visited": 2},
+    )
+
+
+def test_replay_divergence_is_gated_absolutely():
+    """Divergence on an unchanged app fails even when the baseline also
+    diverged — the gate is absolute, not baseline-relative."""
+    base = replay_record(diverged=2.0)
+    cand = replay_record(diverged=1.0)
+    report = check_regression(base, cand, RegressionPolicy(
+        require_same_config=False, require_same_corpus=False))
+    kinds = [v.kind for v in report.violations]
+    assert "replay" in kinds
+    violation = next(v for v in report.violations if v.kind == "replay")
+    assert violation.key == "replay_diverged"
+    assert violation.candidate == 1.0
+    assert report.exit_code == 1
+
+
+def test_clean_replay_record_passes():
+    base = replay_record()
+    report = check_regression(base, base)
+    assert report.ok
+
+
+def test_replay_allowance_is_configurable():
+    base = replay_record()
+    cand = replay_record(diverged=1.0)
+    policy = RegressionPolicy(max_replay_divergences=1,
+                              require_same_config=False,
+                              require_same_corpus=False)
+    report = check_regression(base, cand, policy)
+    assert not any(v.kind == "replay" for v in report.violations)
+    assert "replay divergences <= 1" in policy.describe()
+    assert "no replay divergences" in RegressionPolicy().describe()
+
+
+def test_records_without_replay_counters_are_unaffected():
+    base = baseline_record()
+    report = check_regression(base, base)
+    assert report.ok
+    assert not any(v.kind == "replay" for v in report.violations)

@@ -1,0 +1,68 @@
+"""The Operation -> RecordedEvent translator (repro.rnr.export)."""
+
+import pytest
+
+from repro.core.queue import OpKind, Operation
+from repro.core.testcase import TestCase
+from repro.errors import ReproError
+from repro.rnr import SCRIPT_SCHEMA, ReplayScript, event_from_operation, script_from_testcase
+
+
+def test_every_op_kind_translates():
+    expected = {
+        OpKind.LAUNCH: "launch",
+        OpKind.CLICK: "click",
+        OpKind.ENTER_TEXT: "text",
+        OpKind.SWIPE_OPEN: "swipe",
+        OpKind.BACK: "back",
+        OpKind.REFLECT: "reflect",
+        OpKind.FORCE_START: "start",
+    }
+    for op_kind, event_kind in expected.items():
+        event = event_from_operation(Operation(op_kind, "t", "v"))
+        assert event.kind == event_kind
+
+
+def test_click_carries_widget_id():
+    event = event_from_operation(Operation(OpKind.CLICK, "btn_login"))
+    assert event.widget_id == "btn_login"
+    assert event.text == ""
+
+
+def test_enter_text_carries_value():
+    event = event_from_operation(
+        Operation(OpKind.ENTER_TEXT, "password", "hunter2"))
+    assert event.widget_id == "password"
+    assert event.text == "hunter2"
+
+
+def test_reflect_and_start_use_the_target_slot():
+    reflect = event_from_operation(
+        Operation(OpKind.REFLECT, "com.app.NewsFragment"))
+    assert reflect.widget_id == "com.app.NewsFragment"
+    start = event_from_operation(
+        Operation(OpKind.FORCE_START, "com.app/com.app.Hidden"))
+    assert start.widget_id == "com.app/com.app.Hidden"
+
+
+def test_script_from_testcase_steps_are_indices():
+    case = TestCase("com.app", "T", [
+        Operation(OpKind.LAUNCH),
+        Operation(OpKind.CLICK, "a"),
+        Operation(OpKind.BACK),
+    ])
+    script = script_from_testcase(case)
+    assert script.package == "com.app"
+    assert [e.step for e in script.events] == [0, 1, 2]
+    assert [e.kind for e in script.events] == ["launch", "click", "back"]
+
+
+def test_exported_script_round_trips_through_json():
+    case = TestCase("com.app", "T", [
+        Operation(OpKind.LAUNCH),
+        Operation(OpKind.ENTER_TEXT, "field", "text"),
+    ])
+    script = script_from_testcase(case)
+    restored = ReplayScript.from_json(script.to_json())
+    assert restored.events == script.events
+    assert f'"schema": {SCRIPT_SCHEMA}' in script.to_json()

@@ -1,0 +1,130 @@
+"""Divergence-reporting replay (repro.rnr.replay)."""
+
+import pytest
+
+from repro import Device, FragDroid
+from repro.apk import build_apk
+from repro.corpus.mutations import rename_widget
+from repro.rnr import (
+    RecordedEvent,
+    ReplayScript,
+    replay_run_record,
+    replay_script,
+    replay_suite,
+    script_from_testcase,
+)
+from tests.conftest import make_full_demo_spec
+
+
+@pytest.fixture(scope="module")
+def explored():
+    apk = build_apk(make_full_demo_spec())
+    return FragDroid(Device()).explore(apk), apk
+
+
+def test_replay_round_trip_reaches_identical_coverage():
+    """Exported scripts replayed on a fresh device reproduce exactly
+    the coverage the exploration visited."""
+    from repro.corpus import demo_tabbed_app
+
+    apk = build_apk(demo_tabbed_app())
+    result = FragDroid(Device()).explore(apk)
+    scripts = [script_from_testcase(c) for c in result.passing_test_cases]
+    report = replay_suite(scripts, apk)
+    assert report.ok
+    assert report.diverged == 0
+    assert report.events_applied == report.events_total
+    assert set(report.activities) == set(result.visited_activities)
+    assert set(report.fragments) == set(result.visited_fragments)
+
+
+def test_replay_round_trip_reaches_at_least_visited_coverage(explored):
+    """On the kitchen-sink demo the replay reaches everything visited
+    (it may also sample unmanaged fragments the explorer excludes from
+    its visited set, e.g. ones attached without a FragmentManager)."""
+    result, apk = explored
+    scripts = [script_from_testcase(c) for c in result.passing_test_cases]
+    report = replay_suite(scripts, apk)
+    assert report.ok
+    assert set(result.visited_activities) <= set(report.activities)
+    assert set(result.visited_fragments) <= set(report.fragments)
+
+
+def test_replay_against_renamed_widget_diverges(explored):
+    result, apk = explored
+    scripts = [script_from_testcase(c) for c in result.passing_test_cases]
+    clicked = next(e.widget_id for s in scripts for e in s.events
+                   if e.kind == "click")
+    drifted = build_apk(rename_widget(make_full_demo_spec(), clicked,
+                                      f"{clicked}_v2"))
+    report = replay_suite(scripts, drifted)
+    assert report.diverged > 0
+    broken = next(o for o in report.outcomes if not o.ok)
+    assert broken.reason == "widget-missing"
+    assert broken.diverged_at is not None
+    assert broken.applied < broken.total
+    assert "diverged at step" in report.render()
+
+
+def test_replay_script_reports_instead_of_raising():
+    apk = build_apk(make_full_demo_spec())
+    script = ReplayScript(package=apk.package, events=[
+        RecordedEvent(kind="launch"),
+        RecordedEvent(kind="click", widget_id="no_such_widget", step=1),
+    ])
+    outcome = replay_script(script, Device(), apk=apk)
+    assert not outcome.ok
+    assert outcome.diverged_at == 1
+    assert outcome.applied == 1
+    assert outcome.reason == "widget-missing"
+    assert outcome.error
+
+
+def test_replay_categorizes_app_death():
+    apk = build_apk(make_full_demo_spec())
+    script = ReplayScript(package=apk.package, events=[
+        RecordedEvent(kind="launch"),
+        RecordedEvent(kind="click", widget_id="btn_next", step=1),
+        RecordedEvent(kind="click", widget_id="btn_crash", step=2),
+    ])
+    outcome = replay_script(script, Device(), apk=apk)
+    assert not outcome.ok
+    assert outcome.reason == "app-died"
+    assert outcome.diverged_at == 2
+
+
+def test_replay_missing_app_diverges_at_launch():
+    script = ReplayScript(package="com.not.installed", events=[
+        RecordedEvent(kind="launch"),
+    ])
+    outcome = replay_script(script, Device())
+    assert not outcome.ok
+    assert outcome.diverged_at == 0
+    assert outcome.applied == 0
+
+
+def test_replay_outcome_coverage_is_sampled(explored):
+    result, apk = explored
+    case = result.passing_test_cases[0]
+    outcome = replay_script(script_from_testcase(case), Device(), apk=apk,
+                            name=case.name)
+    assert outcome.ok
+    assert outcome.activities  # at least the launcher activity
+    assert outcome.name == case.name
+    rendered = outcome.render()
+    assert "divergence-free" in rendered
+    assert "coverage reached" in rendered
+
+
+def test_replay_run_record_carries_gate_counters(explored):
+    result, apk = explored
+    scripts = [script_from_testcase(c) for c in result.passing_test_cases]
+    record = replay_run_record(replay_suite(scripts, apk))
+    assert record.run_id
+    assert record.label == f"replay:{apk.package}"
+    assert record.coverage["replay_scripts"] == len(scripts)
+    assert record.coverage["replay_diverged"] == 0
+    assert record.coverage["replay_applied"] == record.coverage[
+        "replay_events"]
+    assert record.coverage["activities_visited"] == len(
+        result.visited_activities)

@@ -412,3 +412,125 @@ def test_regress_runs_the_sweep_when_no_candidate_named(capsys, tmp_path):
     assert "recorded candidate sweep" in out
     assert "PASS" in out
     assert json.loads(out_file.read_text())["label"] == "sweep"
+
+
+@pytest.fixture
+def saved_replay_run(capsys, tmp_path):
+    out_dir = tmp_path / "run"
+    code, _ = run_cli(capsys, "explore", "demo:tabs",
+                      "--save", str(out_dir), "--export-replay")
+    assert code == 0
+    scripts = sorted((out_dir / "testcases").glob("*.replay.json"))
+    assert scripts
+    return scripts
+
+
+def test_export_replay_writes_scripts(saved_replay_run):
+    text = saved_replay_run[0].read_text()
+    data = json.loads(text)
+    assert data["schema"] >= 2
+    assert data["package"] == "com.example.wallpapers"
+    assert data["events"]
+
+
+def test_save_without_export_replay_writes_no_scripts(capsys, tmp_path):
+    out_dir = tmp_path / "run"
+    code, _ = run_cli(capsys, "explore", "demo:tabs", "--save",
+                      str(out_dir))
+    assert code == 0
+    assert not list((out_dir / "testcases").glob("*.replay.json"))
+
+
+def test_export_replay_requires_save(capsys):
+    with pytest.raises(SystemExit, match="--save"):
+        main(["explore", "demo:tabs", "--export-replay"])
+
+
+def test_replay_divergence_free(capsys, saved_replay_run):
+    code, out = run_cli(capsys, "replay", str(saved_replay_run[0]))
+    assert code == 0
+    assert "divergence-free" in out
+    assert "coverage reached" in out
+
+
+def test_replay_json_output(capsys, saved_replay_run):
+    code, out = run_cli(capsys, "replay", str(saved_replay_run[0]),
+                        "--json")
+    assert code == 0
+    data = json.loads(out)
+    assert data["ok"] is True
+    assert data["applied"] == data["total"]
+
+
+def test_replay_against_wrong_app_diverges(capsys, saved_replay_run):
+    code, out = run_cli(capsys, "replay", str(saved_replay_run[0]),
+                        "--apk", "demo:drawer")
+    assert code == 1
+    assert "diverged" in out
+
+
+def test_replay_malformed_script_exits_2(capsys, tmp_path):
+    bad = tmp_path / "bad.replay.json"
+    bad.write_text('{"schema": 999, "package": "x", "events": []}')
+    code, out = run_cli(capsys, "replay", str(bad))
+    assert code == 2
+    assert "schema" in out
+    bad.write_text("{not json")
+    code, out = run_cli(capsys, "replay", str(bad))
+    assert code == 2
+    assert "not valid JSON" in out
+
+
+def test_replay_missing_file_exits_2(capsys, tmp_path):
+    code, out = run_cli(capsys, "replay", str(tmp_path / "nope.json"))
+    assert code == 2
+    assert "cannot read" in out
+
+
+def test_replay_record_feeds_the_regress_gate(capsys, tmp_path,
+                                              saved_replay_run):
+    registry = str(tmp_path / "runs")
+    code, out = run_cli(capsys, "replay", str(saved_replay_run[0]),
+                        "--record", registry)
+    assert code == 0 and "recorded replay as" in out
+    clean_id = out.strip().rsplit(" ", 1)[-1]
+    # A diverged replay (wrong app) records the divergence count.
+    code, out = run_cli(capsys, "replay", str(saved_replay_run[0]),
+                        "--apk", "demo:drawer", "--record", registry)
+    assert code == 1
+    diverged_id = out.strip().rsplit(" ", 1)[-1]
+    # Gate: the diverged record fails even against itself-as-baseline.
+    code, out = run_cli(capsys, "regress", "--baseline", clean_id,
+                        "--candidate", diverged_id, "--dir", registry,
+                        "--ignore-comparability")
+    assert code == 1
+    assert "replay" in out and "FAIL" in out
+    # The clean record passes.
+    code, out = run_cli(capsys, "regress", "--baseline", clean_id,
+                        "--candidate", clean_id, "--dir", registry)
+    assert code == 0 and "PASS" in out
+
+
+def test_fragility_table(capsys):
+    code, out = run_cli(capsys, "fragility", "demo:tabs", "--seed", "7")
+    assert code == 0
+    assert "unchanged" in out
+    assert "rename-widget" in out
+    assert "breakages:" in out
+
+
+def test_fragility_json_and_determinism(capsys):
+    code, first = run_cli(capsys, "fragility", "demo:tabs", "--seed",
+                          "3", "--json")
+    assert code == 0
+    code, second = run_cli(capsys, "fragility", "demo:tabs", "--seed",
+                           "3", "--json")
+    assert first == second
+    data = json.loads(first)
+    assert data["control_ok"] is True
+    assert data["seed"] == 3
+
+
+def test_fragility_rejects_apk_files(capsys):
+    with pytest.raises(SystemExit, match="spec"):
+        main(["fragility", "something.apk"])

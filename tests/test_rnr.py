@@ -73,3 +73,34 @@ def test_recorded_drawer_and_back(device, adb, demo_apk):
 def test_unknown_event_kind_rejected():
     with pytest.raises(ReproError):
         RecordedEvent(kind="teleport")
+
+
+def test_recorded_steps_are_pre_action_steps(device, adb, demo_apk):
+    """The satellite bug: each event must carry the device step sampled
+    *before* forwarding — a fresh-device recording is 0, 1, 2, ..."""
+    adb.install(demo_apk)
+    recorder = Recorder(device, demo_apk.package)
+    recorder.launch()
+    recorder.enter_text("password", "hunter2")
+    recorder.click("btn_login")
+    recorder.back()
+    script = recorder.script()
+    assert [e.step for e in script.events] == list(range(len(script.events)))
+    # Post-action sampling would have read 1, 2, 3, 4 instead.
+    assert script.events[0].step == 0
+
+
+def test_recorded_step_matches_replay_position(device, adb, demo_apk):
+    """The recorded step doubles as the replay index on a fresh device,
+    so a divergence report can say which recorded step broke."""
+    adb.install(demo_apk)
+    recorder = Recorder(device, demo_apk.package)
+    recorder.launch()
+    recorder.swipe()
+    recorder.click("nav_settings")
+    script = recorder.script()
+    fresh = Device()
+    fresh.install(build_apk(make_full_demo_spec()))
+    for event in script.events:
+        assert event.step == fresh.steps
+        script.apply_event(event, fresh)
