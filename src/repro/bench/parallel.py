@@ -35,6 +35,16 @@ rule-outs), so each worker captures its own exception into a
 :class:`SweepOutcome` instead of letting one bad app abort the whole
 sweep, and outcomes are collected ``as_completed`` so one slow app
 never delays reporting of every later one.
+
+Worker death: a process-backend worker killed outright (OOM, SIGKILL)
+breaks the pool — ``BrokenProcessPool`` — and takes its whole chunk's
+results with it, plus every chunk still pending in the broken pool.
+``explore_many`` marks those apps as failed
+:class:`~repro.errors.WorkerDiedError` outcomes (``fault_kind
+"worker-died"``, counted under the ``sweep.worker.died`` metric) and
+still returns every completed result; the service scheduler
+(:mod:`repro.serve.scheduler`) re-admits worker-died apps under a
+retry policy instead of accepting the loss.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     as_completed,
 )
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -56,7 +67,7 @@ from repro.apk import build_apk
 from repro.core.explorer import ExplorationResult
 from repro.corpus import TABLE1_PLANS, build_app
 from repro.corpus.synth import AppPlan
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkerDiedError
 from repro.faults import classify_fault, make_device
 from repro.obs import NULL_EVENT_LOG, NULL_TRACER, Event, EventLog, Span, Tracer
 from repro.obs.registry import capture_run_record, corpus_digest_of
@@ -256,12 +267,52 @@ def _thaw_error(frozen: Tuple[str, str, str]) -> BaseException:
     return RemoteSweepError(f"{qualname}: {message}")
 
 
+def _chaos_kill_check(package: str) -> None:
+    """Chaos/test instrumentation: die like an OOM-killed worker.
+
+    ``FRAGDROID_CHAOS_KILL="<package>[:<times>]"`` makes a worker
+    process ``os._exit`` the moment it reaches that package — the
+    parent sees a ``BrokenProcessPool``, exactly the signature of a
+    real SIGKILL.  Without ``:<times>`` every encounter kills; with it,
+    only the first ``times`` encounters do, counted across pool
+    restarts in the ``FRAGDROID_CHAOS_KILL_STATE`` directory (one
+    ``O_EXCL`` marker file per kill, so concurrent workers never
+    double-spend the budget).  Unset in production; the worker-death
+    recovery tests and the chaos CI lane set it.
+    """
+    target = os.environ.get("FRAGDROID_CHAOS_KILL", "")
+    if not target:
+        return
+    name, _, times = target.partition(":")
+    if name != package:
+        return
+    if times:
+        state = os.environ.get("FRAGDROID_CHAOS_KILL_STATE", "")
+        if not state:
+            return  # a bounded kill needs a state dir to count in
+        import pathlib
+
+        state_dir = pathlib.Path(state)
+        state_dir.mkdir(parents=True, exist_ok=True)
+        for attempt in range(int(times)):
+            marker = state_dir / f"kill.{attempt}"
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL
+                                 | os.O_WRONLY))
+            except FileExistsError:
+                continue
+            os._exit(17)
+        return  # kill budget spent: survive from here on
+    os._exit(17)
+
+
 def _run_chunk(spec: Optional[_ConfigSpec],
                plans: List[AppPlan]) -> List[_FrozenOutcome]:
     """Worker-process entry point: explore a chunk of plans serially,
     each with a fresh config (and fresh per-app observers)."""
     frozen: List[_FrozenOutcome] = []
     for plan in plans:
+        _chaos_kill_check(plan.package)
         config = _worker_config(spec)
         outcome = explore_one(plan, config)
         entry = _FrozenOutcome(
@@ -425,12 +476,33 @@ def _explore_many_process(
         chunksize = max(1, len(plans) // (max_workers * 4))
     chunks = [plans[i:i + chunksize]
               for i in range(0, len(plans), chunksize)]
+    tracer = config.tracer if config is not None else NULL_TRACER
     outcomes: Dict[str, SweepOutcome] = {}
     with ProcessPoolExecutor(max_workers=min(max_workers,
                                              len(chunks))) as pool:
-        futures = [pool.submit(_run_chunk, spec, chunk) for chunk in chunks]
+        futures = {pool.submit(_run_chunk, spec, chunk): chunk
+                   for chunk in chunks}
         for future in as_completed(futures):
-            for frozen in future.result():
+            try:
+                frozen_chunk = future.result()
+            except BrokenProcessPool as exc:
+                # A worker died mid-chunk (OOM kill, SIGKILL, hard
+                # crash).  The whole chunk's results died with it — and
+                # once the pool is broken every still-pending chunk
+                # fails the same way.  Mark each app failed instead of
+                # aborting the sweep; the service scheduler
+                # (repro.serve) re-admits "worker-died" outcomes.
+                tracer.inc("sweep.worker.died")
+                for plan in futures[future]:
+                    outcomes[plan.package] = SweepOutcome(
+                        package=plan.package,
+                        error=WorkerDiedError(
+                            f"worker process died during the chunk "
+                            f"containing {plan.package}: {exc}"),
+                        fault_kind="worker-died",
+                    )
+                continue
+            for frozen in frozen_chunk:
                 outcomes[frozen.package] = _thaw_outcome(frozen, config)
     return outcomes
 

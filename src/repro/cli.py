@@ -32,7 +32,12 @@ Commands:
   (written by ``explore --save DIR --export-replay``) on a fresh
   device; reports applied/diverged-at and the coverage reached;
 * ``fragility APP`` — the R&R breakage study: record a suite, replay
-  it against seeded app mutations, print the per-mutation table.
+  it against seeded app mutations, print the per-mutation table;
+* ``serve`` — run the exploration fleet as a local HTTP/JSON service:
+  admission-controlled job queue, crash-safe journal (restart resumes
+  in-flight jobs), worker-death recovery with bounded re-admission;
+* ``jobs submit|status|logs|cancel`` — talk to a running ``serve``
+  (``--url``, or ``$FRAGDROID_SERVE_URL``); see ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -728,6 +733,137 @@ def cmd_fragility(args: argparse.Namespace) -> int:
     return 0 if report.control_ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis service until SIGINT/SIGTERM (clean shutdown:
+    running jobs stay journaled and resume on the next start)."""
+    import signal
+    import threading
+
+    from repro.errors import ReproError
+    from repro.serve import JobLimits, ReproServer, WallClock
+
+    try:
+        limits = JobLimits(
+            queue_depth=args.queue_depth,
+            max_apps=args.max_apps,
+            max_events_cap=args.max_events_cap,
+            max_time_budget_s=args.max_time_budget,
+        )
+        server = ReproServer(
+            journal_dir=args.journal,
+            registry_dir=args.runs_dir,
+            host=args.host,
+            port=args.port,
+            limits=limits,
+            max_restarts=args.max_restarts,
+            backoff_clock=WallClock(),
+            default_backend=args.backend or "thread",
+            default_workers=args.workers,
+        )
+        host, port = server.start()
+    except (ReproError, ValueError, OSError) as exc:
+        raise SystemExit(f"cannot start the service: {exc}") from exc
+    stop = threading.Event()
+
+    def handle(_signum, _frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGINT, handle)
+    signal.signal(signal.SIGTERM, handle)
+    print(f"serving on http://{host}:{port} "
+          f"(journal: {server.journal.directory}, "
+          f"runs: {server.registry.directory})", flush=True)
+    if server.resumed:
+        print(f"resumed {server.resumed} in-flight job"
+              f"{'s' if server.resumed != 1 else ''} from the journal",
+              flush=True)
+    while not stop.is_set():
+        stop.wait(0.2)
+    print("shutting down (running jobs stay journaled)", flush=True)
+    server.stop()
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """Drive a running service: submit / status / logs / cancel."""
+    import json
+    import os
+
+    from repro.serve import DEFAULT_URL, ServeClient, ServeClientError
+
+    url = args.url or os.environ.get("FRAGDROID_SERVE_URL") or DEFAULT_URL
+    client = ServeClient(url)
+
+    def show(job: dict) -> None:
+        if args.json:
+            print(json.dumps(job, indent=2, sort_keys=True))
+            return
+        print(f"{job['job_id']}  {job['state']:10} "
+              f"{len(job.get('completed', {}))}/{len(job['apps'])} apps"
+              + (f"  error: {job['error']}" if job.get("error") else ""))
+
+    try:
+        if args.action == "submit":
+            if not args.refs:
+                print("jobs submit takes one or more app names")
+                return 2
+            job = client.submit(
+                args.refs,
+                max_events=args.max_events,
+                time_budget_s=args.time_budget,
+                backend=args.backend,
+                workers=args.workers,
+                fault_profile=(args.faults
+                               if args.faults != "none" else None),
+                fault_seed=args.fault_seed or None,
+            )
+            if args.wait:
+                job = client.wait(job["job_id"],
+                                  timeout_s=args.wait_timeout)
+                show(job)
+                return 0 if job["state"] == "done" else 1
+            show(job)
+            return 0
+        if args.action == "status":
+            if args.refs:
+                show(client.job(args.refs[0]))
+            else:
+                rows = client.jobs()
+                if not rows:
+                    print("no jobs")
+                for row in rows:
+                    print(f"{row['job_id']}  {row['state']:10} "
+                          f"{row['completed']}/{row['apps']} apps"
+                          + (f"  error: {row['error']}"
+                             if row.get("error") else ""))
+            return 0
+        if args.action == "logs":
+            if not args.refs:
+                print("jobs logs takes a JOB_ID")
+                return 2
+            for event in client.logs(args.refs[0]):
+                if args.json:
+                    print(json.dumps(event, sort_keys=True))
+                else:
+                    extras = " ".join(
+                        f"{key}={value}" for key, value in
+                        sorted(event.get("attributes", {}).items()))
+                    print(f"{event['seq']:>6}  {event['kind']:18} "
+                          f"{event.get('app', ''):24} {extras}")
+            return 0
+        # cancel
+        if not args.refs:
+            print("jobs cancel takes a JOB_ID")
+            return 2
+        show(client.cancel(args.refs[0]))
+        return 0
+    except ServeClientError as exc:
+        print(f"error: {exc}"
+              + (f" [{exc.kind}, HTTP {exc.status}]" if exc.status else ""),
+              file=sys.stderr)
+        return 1
+
+
 def cmd_compare(_args: argparse.Namespace) -> int:
     print(run_baseline_comparison().render())
     return 0
@@ -940,6 +1076,71 @@ def build_parser() -> argparse.ArgumentParser:
     fragility.add_argument("--json", action="store_true",
                            help="emit the structured JSON report")
     fragility.set_defaults(func=cmd_fragility)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the exploration fleet as a local HTTP/JSON service",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7340,
+                       help="bind port (default 7340; 0 for ephemeral)")
+    serve.add_argument("--journal", metavar="DIR", default=None,
+                       help="job-journal directory (default "
+                            "$FRAGDROID_SERVE_DIR or "
+                            "~/.cache/fragdroid/serve); restart resumes "
+                            "in-flight jobs from here")
+    serve.add_argument("--runs-dir", metavar="DIR", default=None,
+                       help="run-registry directory finished jobs land "
+                            "in (default $FRAGDROID_RUNS_DIR or "
+                            "~/.cache/fragdroid/runs)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="admission bound: pending jobs beyond this "
+                            "are rejected with HTTP 429 (default 16)")
+    serve.add_argument("--max-apps", type=int, default=500,
+                       help="admission bound: apps per job (default 500)")
+    serve.add_argument("--max-events-cap", type=int, default=20000,
+                       help="admission bound: per-job max_events "
+                            "(default 20000)")
+    serve.add_argument("--max-time-budget", type=float, default=3600.0,
+                       help="admission bound: per-job time budget in "
+                            "seconds (default 3600)")
+    serve.add_argument("--max-restarts", type=int, default=2,
+                       help="worker-death re-admissions per app before "
+                            "it is quarantined (default 2)")
+    _add_sweep_flags(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    jobs = sub.add_parser(
+        "jobs", help="drive a running `repro serve`"
+    )
+    jobs.add_argument("action",
+                      choices=("submit", "status", "logs", "cancel"))
+    jobs.add_argument("refs", nargs="*",
+                      help="submit: APP...; status: [JOB_ID]; "
+                           "logs/cancel: JOB_ID")
+    jobs.add_argument("--url", default=None,
+                      help="service URL (default $FRAGDROID_SERVE_URL "
+                           "or http://127.0.0.1:7340)")
+    jobs.add_argument("--max-events", type=int, default=None,
+                      help="submit: per-app event budget")
+    jobs.add_argument("--time-budget", type=float, default=None,
+                      help="submit: job wall-clock budget in seconds")
+    jobs.add_argument("--faults", metavar="PROFILE",
+                      choices=sorted(FAULT_PROFILES), default="none",
+                      help="submit: fault-injection profile")
+    jobs.add_argument("--fault-seed", type=int, default=0,
+                      help="submit: fault-stream seed")
+    jobs.add_argument("--wait", action="store_true",
+                      help="submit: poll until the job is terminal; "
+                           "exit 1 unless it is done")
+    jobs.add_argument("--wait-timeout", type=float, default=600.0,
+                      help="submit --wait: give up after this many "
+                           "seconds (default 600)")
+    jobs.add_argument("--json", action="store_true",
+                      help="emit raw JSON instead of the summary line")
+    _add_sweep_flags(jobs)
+    jobs.set_defaults(func=cmd_jobs)
 
     for name, func, help_text in (
         ("compare", cmd_compare, "baseline comparison"),

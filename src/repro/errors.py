@@ -106,6 +106,17 @@ class DeviceDisconnectedError(TransientAdbError):
     it offline); an ``adb reconnect`` is required before retrying."""
 
 
+class WorkerDiedError(ReproError):
+    """A sweep worker process died mid-chunk (OOM kill, SIGKILL,
+    ``BrokenProcessPool``).
+
+    Every app of the dead chunk — including those the worker had
+    already finished, whose results died with it — is marked with this
+    error instead of aborting the whole sweep.  The service scheduler
+    (:mod:`repro.serve`) re-admits such apps under a retry policy.
+    """
+
+
 class ReflectionError(DeviceError):
     """A reflective fragment switch failed.
 
@@ -132,3 +143,38 @@ class TestCaseError(ExplorationError):
 
     # Not a pytest class, despite the name.
     __test__ = False
+
+
+# --------------------------------------------------------------------------
+# Analysis service (repro.serve)
+# --------------------------------------------------------------------------
+
+class ServeError(ReproError):
+    """A failure in the analysis service layer (:mod:`repro.serve`)."""
+
+
+class AdmissionError(ServeError):
+    """A job submission was rejected by admission control.
+
+    The typed supertype API clients switch on: the queue is full
+    (:class:`QueueFullError`), a budget is out of bounds
+    (:class:`JobBudgetError`), or the job references unknown apps.
+    """
+
+
+class QueueFullError(AdmissionError):
+    """The job queue is at its bound; backpressure — resubmit later."""
+
+
+class JobBudgetError(AdmissionError):
+    """A per-job budget (events, apps, time) failed validation at
+    submit: non-positive, or beyond the server's admission caps."""
+
+
+class UnknownJobError(ServeError):
+    """An operation referenced a job id the service does not know."""
+
+
+class JobStateError(ServeError):
+    """An operation is invalid for the job's current state (e.g.
+    cancelling a job that already finished)."""

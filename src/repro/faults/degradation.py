@@ -19,6 +19,7 @@ from repro.errors import (
     DeviceDisconnectedError,
     PackedApkError,
     TransientAdbError,
+    WorkerDiedError,
 )
 
 
@@ -90,4 +91,6 @@ def classify_fault(exc: BaseException) -> Optional[str]:
         return "crash"
     if isinstance(exc, PackedApkError):
         return "packed-apk"
+    if isinstance(exc, WorkerDiedError):
+        return "worker-died"
     return None

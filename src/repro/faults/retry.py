@@ -47,13 +47,21 @@ class RetryStats:
 @dataclass(frozen=True)
 class RetryPolicy:
     """max_attempts total tries; delay = base * multiplier^retry,
-    capped at max_delay, then jittered by ±jitter (a fraction)."""
+    capped at max_delay, then jittered by ±jitter (a fraction).
+
+    ``max_total_delay`` adds a *total-deadline* budget on top of the
+    per-attempt schedule: the sum of all backoff sleeps under one
+    ``call`` never exceeds it, and once the budget is spent the next
+    transient failure gives up immediately even if attempts remain.
+    ``None`` (the default) keeps the pre-existing attempts-only bound.
+    """
 
     max_attempts: int = 4
     base_delay: float = 0.05
     multiplier: float = 2.0
     max_delay: float = 2.0
     jitter: float = 0.25
+    max_total_delay: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -61,13 +69,24 @@ class RetryPolicy:
                              f"got {self.max_attempts}")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.max_total_delay is not None and self.max_total_delay <= 0:
+            raise ValueError(f"max_total_delay must be positive, "
+                             f"got {self.max_total_delay}")
 
     def delay_for(self, retry: int,
-                  rng: Optional[random.Random] = None) -> float:
-        """The backoff before retry number ``retry`` (0-based)."""
+                  rng: Optional[random.Random] = None,
+                  elapsed: float = 0.0) -> float:
+        """The backoff before retry number ``retry`` (0-based).
+
+        ``elapsed`` is the backoff already spent under the current
+        call; when ``max_total_delay`` is set the returned delay is
+        clamped so the total never crosses the deadline budget.
+        """
         delay = min(self.max_delay, self.base_delay * self.multiplier ** retry)
         if self.jitter and rng is not None:
             delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        if self.max_total_delay is not None:
+            delay = max(0.0, min(delay, self.max_total_delay - elapsed))
         return delay
 
     def call(
@@ -83,20 +102,25 @@ class RetryPolicy:
         """Run ``fn`` under this policy.
 
         Retries on :class:`TransientError` only; re-raises the last
-        failure once the attempt budget is spent.  ``on_retry`` runs
-        after each backoff sleep — the hook the adb layer uses to issue
-        its ``adb reconnect``.
+        failure once the attempt budget — or the ``max_total_delay``
+        wall-clock budget — is spent.  ``on_retry`` runs after each
+        backoff sleep — the hook the adb layer uses to issue its
+        ``adb reconnect``.
         """
+        slept = 0.0
         for attempt in range(self.max_attempts):
             try:
                 result = fn()
             except TransientError as exc:
-                if attempt + 1 >= self.max_attempts:
+                budget_spent = (self.max_total_delay is not None
+                                and slept >= self.max_total_delay)
+                if attempt + 1 >= self.max_attempts or budget_spent:
                     if stats is not None:
                         stats.giveups += 1
                     tracer.inc("retry.giveups")
                     raise
-                delay = self.delay_for(attempt, rng)
+                delay = self.delay_for(attempt, rng, elapsed=slept)
+                slept += delay
                 if stats is not None:
                     stats.retries += 1
                     stats.backoff_s += delay

@@ -43,10 +43,19 @@ QUARANTINE = "quarantine"            # widget circuit breaker tripped
 CRASH_RECOVERY = "crash.recovery"    # requeue / replay / abandon after a crash
 API_OBSERVED = "api.observed"        # a sensitive API fired (api, component)
 
+# Service-mode job lifecycle (repro.serve): every event carries a
+# ``job`` attribute, so /jobs/<id>/logs slices one job's stream out of
+# the shared fleet log.
+JOB_STATE = "job.state"              # lifecycle transition (job, state)
+JOB_APP_DONE = "job.app.done"        # one app's outcome journaled (job, ok)
+JOB_WORKER_DIED = "job.worker.died"  # a sweep worker died (job, strikes)
+JOB_READMITTED = "job.readmitted"    # dead-chunk app re-admitted (job)
+
 EVENT_KINDS = frozenset({
     RUN_START, RUN_END, STATE_DISCOVERED, WIDGET_CLICKED, CASE_DECISION,
     REFLECTION_SWITCH, FORCED_START, INPUT_GENERATED, TRANSITION,
     FAULT_INJECTED, RETRY, QUARANTINE, CRASH_RECOVERY, API_OBSERVED,
+    JOB_STATE, JOB_APP_DONE, JOB_WORKER_DIED, JOB_READMITTED,
 })
 
 

@@ -1,0 +1,67 @@
+"""Service mode: the supervised, resumable exploration fleet.
+
+``repro serve`` turns the batch sweep (:mod:`repro.bench.parallel`)
+into a long-running local analysis service:
+
+* :class:`Job` / :class:`JobQueue` — the job lifecycle and the
+  admission-controlled, bounded queue (typed rejections, backpressure);
+* :class:`JobJournal` — crash-safe job persistence (atomic writes,
+  schema-versioned, corrupt entries skipped), the restart story;
+* :class:`Scheduler` — sweeps each job in supervised rounds with
+  worker-death re-admission, circuit breaking and a watchdog;
+* :class:`ReproServer` — the assembled service plus its HTTP/JSON API;
+* :class:`ServeClient` — the stdlib client the ``repro jobs`` CLI uses.
+
+See ``docs/service.md`` for lifecycle, recovery guarantees and the API.
+"""
+
+from repro.serve.api import ReproServer
+from repro.serve.client import DEFAULT_URL, ServeClient, ServeClientError
+from repro.serve.jobs import (
+    ACTIVE_STATES,
+    ADMITTED,
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_SCHEMA,
+    JOB_STATES,
+    RUNNING,
+    SUBMITTED,
+    TERMINAL_STATES,
+    Job,
+    JobLimits,
+    JobQueue,
+)
+from repro.serve.journal import JobJournal, default_journal_dir
+from repro.serve.scheduler import (
+    SERVE_DEMO_PLANS,
+    Scheduler,
+    WallClock,
+    default_resolver,
+)
+
+__all__ = [
+    "ACTIVE_STATES",
+    "ADMITTED",
+    "CANCELLED",
+    "DEFAULT_URL",
+    "DONE",
+    "FAILED",
+    "JOB_SCHEMA",
+    "JOB_STATES",
+    "Job",
+    "JobJournal",
+    "JobLimits",
+    "JobQueue",
+    "RUNNING",
+    "ReproServer",
+    "SERVE_DEMO_PLANS",
+    "SUBMITTED",
+    "Scheduler",
+    "ServeClient",
+    "ServeClientError",
+    "TERMINAL_STATES",
+    "WallClock",
+    "default_journal_dir",
+    "default_resolver",
+]

@@ -1,0 +1,315 @@
+"""The service front door: a local HTTP/JSON API over the job fleet.
+
+Pure stdlib (``http.server``) — no new dependencies.  One
+:class:`ReproServer` owns the whole service: the admission-controlled
+:class:`~repro.serve.jobs.JobQueue`, the crash-safe
+:class:`~repro.serve.journal.JobJournal`, the recovering
+:class:`~repro.serve.scheduler.Scheduler` (on its own thread) and the
+HTTP listener (a ``ThreadingHTTPServer``, one thread per request, so a
+slow poll never blocks a submit).
+
+Endpoints (all JSON)::
+
+    GET  /health            service liveness, queue depth, job counts
+    GET  /metrics           the service's counter registry
+    GET  /jobs              every known job (summary rows)
+    POST /jobs              submit a job -> 201 {"job": {...}}
+    GET  /jobs/<id>         one job's full state
+    GET  /jobs/<id>/logs    the job's event stream (progress)
+    POST /jobs/<id>/cancel  cancel (immediate when queued,
+                            cooperative when running)
+    POST /shutdown          drain and stop the service
+
+Typed failures map onto status codes clients can switch on:
+``QueueFullError`` -> **429** (backpressure: resubmit later),
+``JobBudgetError``/``AdmissionError`` -> **400**, ``UnknownJobError``
+-> **404**, ``JobStateError`` -> **409**.  Every error body is
+``{"error": <type>, "message": <text>}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.bench.parallel import explore_many
+from repro.errors import (
+    AdmissionError,
+    JobBudgetError,
+    JobStateError,
+    QueueFullError,
+    ServeError,
+    UnknownJobError,
+)
+from repro.obs import EventLog, Tracer
+from repro.obs.registry import RunRegistry
+from repro.serve.jobs import Job, JobLimits, JobQueue, RUNNING
+from repro.serve.journal import JobJournal
+from repro.serve.scheduler import Scheduler, default_resolver
+
+_JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)$")
+_JOB_LOGS_PATH = re.compile(r"^/jobs/([0-9a-f]+)/logs$")
+_JOB_CANCEL_PATH = re.compile(r"^/jobs/([0-9a-f]+)/cancel$")
+
+#: Submit-payload fields a client may set; anything else is a 400 (a
+#: typo'd budget name must not silently become an unbounded default).
+_SUBMIT_FIELDS = frozenset({
+    "apps", "max_events", "time_budget_s", "backend", "workers",
+    "fault_profile", "fault_seed",
+})
+
+
+class ReproServer:
+    """The assembled analysis service (scheduler thread + HTTP thread).
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    ``self.address`` after :meth:`start`.  ``registry_dir=None`` uses
+    the default run-registry location (``$FRAGDROID_RUNS_DIR``), so
+    finished jobs land where ``repro runs``/``repro regress`` already
+    look.
+    """
+
+    def __init__(
+        self,
+        journal_dir: Optional[os.PathLike] = None,
+        registry_dir: Optional[os.PathLike] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        limits: Optional[JobLimits] = None,
+        resolver: Callable = default_resolver,
+        sweep_fn: Callable = explore_many,
+        max_restarts: int = 2,
+        backoff_clock=None,
+        default_backend: str = "thread",
+        default_workers: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.default_backend = default_backend
+        self.default_workers = default_workers
+        self.tracer = Tracer()
+        self.event_log = EventLog()
+        self.queue = JobQueue(limits, metrics=self.tracer.metrics)
+        self.journal = JobJournal(journal_dir)
+        self.registry = RunRegistry(registry_dir)
+        self.resolver = resolver
+        self.scheduler = Scheduler(
+            queue=self.queue,
+            journal=self.journal,
+            registry=self.registry,
+            resolver=resolver,
+            sweep_fn=sweep_fn,
+            max_restarts=max_restarts,
+            backoff_clock=backoff_clock,
+            tracer=self.tracer,
+            event_log=self.event_log,
+        )
+        self._stop = threading.Event()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._threads: list = []
+        self.address: Tuple[str, int] = (host, port)
+        self.resumed: int = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Resume journaled in-flight jobs, start the scheduler and the
+        HTTP listener; returns the bound (host, port)."""
+        for job in self.journal.in_flight():
+            self.queue.restore(job)
+            self.journal.write(job)
+            self.resumed += 1
+            self.tracer.inc("serve.resumed")
+        scheduler_thread = threading.Thread(
+            target=self.scheduler.run_forever, args=(self._stop,),
+            name="serve-scheduler", daemon=True)
+        scheduler_thread.start()
+        self._threads.append(scheduler_thread)
+        self._httpd = _Server((self.host, self.port), _Handler, self)
+        self.address = (self._httpd.server_address[0],
+                        self._httpd.server_address[1])
+        http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http",
+            daemon=True)
+        http_thread.start()
+        self._threads.append(http_thread)
+        return self.address
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop accepting requests and let the scheduler finish its
+        current round; running jobs stay journaled for the next start."""
+        self._stop.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.address[0]}:{self.address[1]}"
+
+    # -- operations (shared by HTTP and in-process callers) ------------------
+
+    def submit(self, payload: Dict) -> Job:
+        """Validate + admit one job from a submit payload."""
+        if not isinstance(payload, dict):
+            raise AdmissionError("submit payload must be a JSON object")
+        unknown = set(payload) - _SUBMIT_FIELDS
+        if unknown:
+            raise AdmissionError(
+                f"unknown submit field(s): {', '.join(sorted(unknown))}")
+        apps = payload.get("apps")
+        if not isinstance(apps, list) or \
+                not all(isinstance(a, str) for a in apps):
+            raise AdmissionError("'apps' must be a list of app names")
+        try:
+            job = Job(
+                apps=list(apps),
+                max_events=payload.get("max_events", 2000),
+                time_budget_s=float(payload.get("time_budget_s", 300.0)),
+                backend=str(payload.get("backend", self.default_backend)),
+                workers=(int(payload["workers"])
+                         if payload.get("workers") is not None
+                         else self.default_workers),
+                fault_profile=str(payload.get("fault_profile", "none")),
+                fault_seed=int(payload.get("fault_seed", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise JobBudgetError(f"malformed submit payload: {exc}") from exc
+        for app in job.apps:
+            self.resolver(app)  # unknown apps are an admission failure
+        self.queue.submit(job)
+        self.journal.write(job)
+        self.event_log.emit("job.state", job=job.job_id, state=job.state,
+                            error="")
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        job = self.queue.cancel(job_id)
+        if job.state != RUNNING:
+            self.journal.write(job)
+        return job
+
+    def job_logs(self, job_id: str) -> list:
+        job = self.queue.get(job_id)  # 404 on unknown ids
+        apps = set(job.apps)
+        return [event.to_dict() for event in self.event_log.events()
+                if event.attributes.get("job") == job.job_id
+                or (event.app in apps and not event.attributes.get("job"))]
+
+    def health(self) -> Dict:
+        return {
+            "ok": True,
+            "queue_depth": self.queue.depth(),
+            "queue_bound": self.queue.limits.queue_depth,
+            "jobs": self.queue.counts(),
+            "resumed": self.resumed,
+        }
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, repro: ReproServer) -> None:
+        self.repro = repro
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _Server  # narrowed for attribute access
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the event log is the service's record, not stderr
+
+    def _json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, exc: Exception) -> None:
+        self._json(status, {"error": type(exc).__name__,
+                            "message": str(exc)})
+
+    def _body(self) -> Dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise AdmissionError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise AdmissionError("request body must be a JSON object")
+        return data
+
+    def _dispatch(self, handler: Callable[[], None]) -> None:
+        try:
+            handler()
+        except QueueFullError as exc:
+            self._error(429, exc)
+        except (JobBudgetError, AdmissionError) as exc:
+            self._error(400, exc)
+        except UnknownJobError as exc:
+            self._error(404, exc)
+        except JobStateError as exc:
+            self._error(409, exc)
+        except ServeError as exc:
+            self._error(500, exc)
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        repro = self.server.repro
+        if self.path == "/health":
+            return self._json(200, repro.health())
+        if self.path == "/metrics":
+            return self._json(200,
+                              {"counters": repro.tracer.metrics.counters()})
+        if self.path == "/jobs":
+            return self._json(200, {
+                "jobs": [job.summary_row() for job in repro.queue.jobs()]})
+        match = _JOB_PATH.match(self.path)
+        if match:
+            return self._dispatch(lambda: self._json(
+                200, {"job": repro.queue.get(match.group(1)).to_dict()}))
+        match = _JOB_LOGS_PATH.match(self.path)
+        if match:
+            return self._dispatch(lambda: self._json(
+                200, {"events": repro.job_logs(match.group(1))}))
+        self._json(404, {"error": "NotFound",
+                         "message": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        repro = self.server.repro
+        if self.path == "/jobs":
+            def submit() -> None:
+                job = repro.submit(self._body())
+                self._json(201, {"job": job.to_dict()})
+            return self._dispatch(submit)
+        match = _JOB_CANCEL_PATH.match(self.path)
+        if match:
+            return self._dispatch(lambda: self._json(
+                200, {"job": repro.cancel(match.group(1)).to_dict()}))
+        if self.path == "/shutdown":
+            self._json(200, {"ok": True, "message": "shutting down"})
+            self.wfile.flush()  # the reply must beat the socket close
+            # Stop from another thread: shutdown() blocks until
+            # serve_forever exits, which must not be this handler.
+            threading.Thread(target=repro.stop, daemon=True).start()
+            return None
+        self._json(404, {"error": "NotFound",
+                         "message": f"no route {self.path!r}"})

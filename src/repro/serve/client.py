@@ -1,0 +1,121 @@
+"""A tiny stdlib HTTP client for the analysis service.
+
+What ``repro jobs submit|status|logs|cancel`` talks through — and the
+programmatic way to drive a running ``repro serve`` from a script.
+Server-side typed failures come back as :class:`ServeClientError` with
+the HTTP status and the original error type name attached, so callers
+can distinguish backpressure (429, resubmit later) from a bad request
+(400) without parsing message text.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.errors import ServeError
+
+#: $FRAGDROID_SERVE_URL overrides this; the CLI default.
+DEFAULT_URL = "http://127.0.0.1:7340"
+
+
+class ServeClientError(ServeError):
+    """An HTTP call to the service failed.
+
+    ``status`` is the HTTP code (0 when the service was unreachable);
+    ``kind`` is the server-side error type name (``QueueFullError``,
+    ``JobBudgetError``, ...) or ``""`` for transport failures.
+    """
+
+    def __init__(self, message: str, status: int = 0,
+                 kind: str = "") -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+class ServeClient:
+    """Talks JSON to one ``repro serve`` instance."""
+
+    def __init__(self, url: str = DEFAULT_URL,
+                 timeout_s: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict] = None) -> Dict:
+        data = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        request = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                body = {}
+            raise ServeClientError(
+                str(body.get("message", f"HTTP {exc.code}")),
+                status=exc.code,
+                kind=str(body.get("error", "")),
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServeClientError(
+                f"cannot reach the service at {self.url}: {exc.reason} "
+                f"(is `repro serve` running?)") from None
+        except OSError as exc:
+            # A mid-response connection reset (e.g. the service going
+            # down right after /shutdown) is a transport failure too.
+            raise ServeClientError(
+                f"connection to {self.url} failed: {exc}") from None
+
+    # -- operations ----------------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._request("GET", "/health")
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/metrics")
+
+    def submit(self, apps: List[str], **options) -> Dict:
+        """Submit a job; returns the admitted job dict."""
+        payload: Dict = {"apps": list(apps)}
+        payload.update({key: value for key, value in options.items()
+                        if value is not None})
+        return self._request("POST", "/jobs", payload)["job"]
+
+    def jobs(self) -> List[Dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def logs(self, job_id: str) -> List[Dict]:
+        return self._request("GET", f"/jobs/{job_id}/logs")["events"]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def shutdown(self) -> Dict:
+        return self._request("POST", "/shutdown")
+
+    def wait(self, job_id: str, timeout_s: float = 600.0,
+             poll_s: float = 0.2) -> Dict:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    f"job {job_id} still {job['state']!r} after "
+                    f"{timeout_s:g}s")
+            time.sleep(poll_s)

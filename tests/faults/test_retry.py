@@ -86,6 +86,51 @@ def test_policy_validation():
         RetryPolicy(jitter=1.0)
 
 
+# ---------------------------------------------------------------------------
+# The total-deadline budget
+# ---------------------------------------------------------------------------
+
+def test_max_total_delay_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_total_delay=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_total_delay=-1.0)
+    assert RetryPolicy(max_total_delay=None).max_total_delay is None
+
+
+def test_delay_for_clamps_to_the_remaining_budget():
+    policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=1.0,
+                         jitter=0.0, max_total_delay=1.5)
+    assert policy.delay_for(0, elapsed=0.0) == 1.0
+    assert policy.delay_for(1, elapsed=1.0) == 0.5
+    assert policy.delay_for(2, elapsed=1.5) == 0.0
+    assert policy.delay_for(2, elapsed=99.0) == 0.0  # never negative
+
+
+def test_call_gives_up_once_the_budget_is_spent():
+    """Attempts remain, but the total-backoff deadline is the harder
+    bound: the next transient failure after it re-raises."""
+    stats = RetryStats()
+    clock = SimulatedClock()
+    policy = RetryPolicy(max_attempts=10, base_delay=1.0, multiplier=1.0,
+                         max_delay=1.0, jitter=0.0, max_total_delay=2.0)
+    with pytest.raises(TransientAdbError):
+        policy.call(_flaky(99), clock=clock, stats=stats)
+    assert stats.giveups == 1
+    # Two full sleeps spend the 2.0s budget; the third failure gives up.
+    assert stats.retries == 2
+    assert clock.now == pytest.approx(2.0)
+    assert clock.now <= policy.max_total_delay
+
+
+def test_budget_does_not_interfere_with_quick_recoveries():
+    stats = RetryStats()
+    policy = RetryPolicy(max_attempts=5, jitter=0.0, max_total_delay=60.0)
+    assert policy.call(_flaky(2), clock=SimulatedClock(),
+                       stats=stats) == "ok"
+    assert stats.recoveries == 1 and stats.giveups == 0
+
+
 def test_simulated_clock_jumps_instead_of_waiting():
     clock = SimulatedClock()
     clock.sleep(2.5)

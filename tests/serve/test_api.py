@@ -1,0 +1,179 @@
+"""The HTTP/JSON front door, end to end over a real socket."""
+
+import threading
+
+import pytest
+
+from repro.bench.parallel import explore_many
+from repro.obs.registry import RunRegistry
+from repro.serve import JobLimits, ReproServer, ServeClient, ServeClientError
+
+ALPHA = "com.serve.demo.alpha"
+BETA = "com.serve.demo.beta"
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = ReproServer(journal_dir=tmp_path / "journal",
+                           registry_dir=tmp_path / "runs", port=0)
+    instance.start()
+    yield instance
+    instance.stop(timeout=2.0)
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(server.url, timeout_s=10.0)
+
+
+def test_submit_runs_to_done_and_lands_in_registry(server, client):
+    job = client.submit([ALPHA, BETA], max_events=200)
+    assert job["state"] in ("admitted", "running")
+    done = client.wait(job["job_id"], timeout_s=60.0)
+    assert done["state"] == "done"
+    assert sorted(done["completed"]) == [ALPHA, BETA]
+    assert all(row["ok"] for row in done["completed"].values())
+
+    records = RunRegistry(server.registry.directory).list()
+    assert len(records) == 1
+    assert records[0].run_id == done["run_id"]
+    assert records[0].meta["job_id"] == job["job_id"]
+
+    events = client.logs(job["job_id"])
+    kinds = {event["kind"] for event in events}
+    assert "job.state" in kinds and "job.app.done" in kinds
+
+    health = client.health()
+    assert health["ok"] is True
+    assert health["jobs"]["done"] == 1
+    assert client.metrics()["counters"]["serve.admitted"] == 1
+    assert any(row["job_id"] == job["job_id"] for row in client.jobs())
+
+
+def test_error_statuses_are_typed(client):
+    with pytest.raises(ServeClientError) as excinfo:
+        client.submit([ALPHA], bogus_knob=3)
+    assert excinfo.value.status == 400
+    assert excinfo.value.kind == "AdmissionError"
+
+    with pytest.raises(ServeClientError) as excinfo:
+        client.submit(["com.not.a.known.app"])
+    assert excinfo.value.status == 400
+
+    with pytest.raises(ServeClientError) as excinfo:
+        client.submit([ALPHA], max_events=10**9)
+    assert excinfo.value.status == 400
+    assert excinfo.value.kind == "JobBudgetError"
+
+    with pytest.raises(ServeClientError) as excinfo:
+        client.job("feedfacecafe")
+    assert excinfo.value.status == 404
+    assert excinfo.value.kind == "UnknownJobError"
+
+
+def test_cancel_done_job_conflicts(client):
+    job = client.submit([ALPHA], max_events=200)
+    done = client.wait(job["job_id"], timeout_s=60.0)
+    with pytest.raises(ServeClientError) as excinfo:
+        client.cancel(done["job_id"])
+    assert excinfo.value.status == 409
+    assert excinfo.value.kind == "JobStateError"
+
+
+def test_unreachable_service_reports_transport_failure():
+    client = ServeClient("http://127.0.0.1:1", timeout_s=2.0)
+    with pytest.raises(ServeClientError) as excinfo:
+        client.health()
+    assert excinfo.value.status == 0
+    assert "repro serve" in str(excinfo.value)
+
+
+def test_full_queue_returns_429_and_cancel_drains(tmp_path):
+    """Backpressure over the wire: a held scheduler, a bounded queue,
+    a typed 429 — then cancelling the queued job frees the slot."""
+    gate = threading.Event()
+
+    def held_sweep(plans, config=None, max_workers=None, backend=None):
+        gate.wait(30.0)
+        return explore_many(plans, config=config, max_workers=1,
+                            backend="thread")
+
+    server = ReproServer(journal_dir=tmp_path / "journal",
+                         registry_dir=tmp_path / "runs", port=0,
+                         limits=JobLimits(queue_depth=1),
+                         sweep_fn=held_sweep)
+    server.start()
+    try:
+        client = ServeClient(server.url, timeout_s=10.0)
+        running = client.submit([ALPHA], max_events=200)
+        # Wait for the scheduler to pick it up and block in the sweep.
+        for _ in range(200):
+            if client.job(running["job_id"])["state"] == "running":
+                break
+            threading.Event().wait(0.02)
+        queued = client.submit([BETA], max_events=200)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit([BETA], max_events=200)
+        assert excinfo.value.status == 429
+        assert excinfo.value.kind == "QueueFullError"
+        assert client.metrics()["counters"]["serve.rejected.queue_full"] == 1
+
+        cancelled = client.cancel(queued["job_id"])
+        assert cancelled["state"] == "cancelled"
+        client.submit([BETA], max_events=200)  # the slot is free again
+
+        gate.set()
+        assert client.wait(running["job_id"], timeout_s=60.0)["state"] \
+            == "done"
+    finally:
+        gate.set()
+        server.stop(timeout=2.0)
+
+
+def test_restart_resumes_journaled_jobs(tmp_path):
+    """The restart story over the full stack: a service that dies with
+    a running job comes back, resumes it from the journal, and does
+    not re-analyze the journaled apps."""
+    from repro.serve import Job, JobJournal
+
+    interrupted = Job(apps=[ALPHA, BETA], max_events=200)
+    interrupted.state = "running"
+    interrupted.completed[ALPHA] = {"package": ALPHA, "ok": True}
+    JobJournal(tmp_path / "journal").write(interrupted)
+
+    swept = []
+
+    def recording_sweep(plans, config=None, max_workers=None,
+                        backend=None):
+        swept.extend(plan.package for plan in plans)
+        return explore_many(plans, config=config, max_workers=1,
+                            backend="thread")
+
+    server = ReproServer(journal_dir=tmp_path / "journal",
+                         registry_dir=tmp_path / "runs", port=0,
+                         sweep_fn=recording_sweep)
+    server.start()
+    try:
+        assert server.resumed == 1
+        client = ServeClient(server.url, timeout_s=10.0)
+        done = client.wait(interrupted.job_id, timeout_s=60.0)
+        assert done["state"] == "done"
+        assert swept == [BETA]  # the journaled app was not re-analyzed
+    finally:
+        server.stop(timeout=2.0)
+
+
+def test_shutdown_endpoint_stops_the_service(tmp_path):
+    server = ReproServer(journal_dir=tmp_path / "journal",
+                         registry_dir=tmp_path / "runs", port=0)
+    server.start()
+    client = ServeClient(server.url, timeout_s=10.0)
+    assert client.shutdown()["ok"] is True
+    for _ in range(100):
+        try:
+            client.health()
+        except ServeClientError:
+            break
+        threading.Event().wait(0.05)
+    else:
+        pytest.fail("service still answering after /shutdown")

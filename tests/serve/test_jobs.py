@@ -1,0 +1,221 @@
+"""The job model and the admission-controlled queue."""
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    JobBudgetError,
+    JobStateError,
+    QueueFullError,
+    UnknownJobError,
+)
+from repro.obs.metrics import Metrics
+from repro.serve import (
+    ADMITTED,
+    CANCELLED,
+    DONE,
+    JOB_SCHEMA,
+    RUNNING,
+    Job,
+    JobLimits,
+    JobQueue,
+)
+
+APPS = ["com.serve.demo.alpha", "com.serve.demo.beta"]
+
+
+# ---------------------------------------------------------------------------
+# Limits
+# ---------------------------------------------------------------------------
+
+def test_limits_reject_nonsense():
+    with pytest.raises(ValueError):
+        JobLimits(queue_depth=0)
+    with pytest.raises(ValueError):
+        JobLimits(max_apps=-1)
+    with pytest.raises(ValueError):
+        JobLimits(max_events_cap=True)
+    with pytest.raises(ValueError):
+        JobLimits(max_time_budget_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+def test_submit_admits_and_counts():
+    metrics = Metrics()
+    queue = JobQueue(metrics=metrics)
+    job = queue.submit(Job(apps=list(APPS)))
+    assert job.state == ADMITTED
+    assert queue.depth() == 1
+    assert metrics.counter("serve.admitted") == 1
+    assert queue.get(job.job_id) is job
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"apps": []},
+    {"apps": APPS, "max_events": 0},
+    {"apps": APPS, "max_events": 10**9},
+    {"apps": APPS, "time_budget_s": 0.0},
+    {"apps": APPS, "time_budget_s": 10**9},
+    {"apps": APPS, "workers": 0},
+])
+def test_budget_violations_are_typed_and_counted(kwargs):
+    metrics = Metrics()
+    queue = JobQueue(metrics=metrics)
+    with pytest.raises(JobBudgetError):
+        queue.submit(Job(**kwargs))
+    assert metrics.counter("serve.rejected.budget") == 1
+    assert queue.depth() == 0
+
+
+def test_bad_backend_and_duplicates_rejected():
+    queue = JobQueue()
+    with pytest.raises(AdmissionError):
+        queue.submit(Job(apps=list(APPS), backend="fiber"))
+    with pytest.raises(AdmissionError):
+        queue.submit(Job(apps=["com.a", "com.a"]))
+
+
+def test_too_many_apps_rejected():
+    queue = JobQueue(JobLimits(max_apps=2))
+    with pytest.raises(JobBudgetError):
+        queue.submit(Job(apps=["com.a", "com.b", "com.c"]))
+
+
+def test_full_queue_applies_backpressure():
+    metrics = Metrics()
+    queue = JobQueue(JobLimits(queue_depth=2), metrics=metrics)
+    queue.submit(Job(apps=list(APPS)))
+    queue.submit(Job(apps=list(APPS)))
+    with pytest.raises(QueueFullError):
+        queue.submit(Job(apps=list(APPS)))
+    assert metrics.counter("serve.rejected.queue_full") == 1
+    # The bound held: nothing was queued past it.
+    assert queue.depth() == 2
+
+
+def test_draining_a_slot_readmits():
+    queue = JobQueue(JobLimits(queue_depth=1))
+    first = queue.submit(Job(apps=list(APPS)))
+    with pytest.raises(QueueFullError):
+        queue.submit(Job(apps=list(APPS)))
+    assert queue.next_job() is first
+    queue.submit(Job(apps=list(APPS)))  # a slot freed up
+
+
+# ---------------------------------------------------------------------------
+# Draining and cancellation
+# ---------------------------------------------------------------------------
+
+def test_next_job_is_fifo_and_skips_cancelled():
+    queue = JobQueue()
+    first = queue.submit(Job(apps=list(APPS)))
+    second = queue.submit(Job(apps=list(APPS)))
+    queue.cancel(first.job_id)
+    assert first.state == CANCELLED
+    assert first.error == "cancelled before start"
+    assert queue.depth() == 1  # the cancelled job freed its slot
+    assert queue.next_job() is second
+    assert queue.next_job() is None
+
+
+def test_cancel_running_is_cooperative():
+    queue = JobQueue()
+    job = queue.submit(Job(apps=list(APPS)))
+    job.state = RUNNING
+    cancelled = queue.cancel(job.job_id)
+    assert cancelled.state == RUNNING
+    assert cancelled.cancel_requested is True
+
+
+def test_cancel_terminal_conflicts():
+    queue = JobQueue()
+    job = queue.submit(Job(apps=list(APPS)))
+    job.state = DONE
+    with pytest.raises(JobStateError):
+        queue.cancel(job.job_id)
+
+
+def test_unknown_job_is_typed():
+    queue = JobQueue()
+    with pytest.raises(UnknownJobError):
+        queue.get("feedfacecafe")
+    with pytest.raises(UnknownJobError):
+        queue.cancel("feedfacecafe")
+
+
+def test_counts_by_state():
+    queue = JobQueue()
+    queue.submit(Job(apps=list(APPS)))
+    done = queue.submit(Job(apps=list(APPS)))
+    done.state = DONE
+    counts = queue.counts()
+    assert counts["admitted"] == 1 and counts["done"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+def test_job_round_trips_through_dict():
+    job = Job(apps=list(APPS), backend="process", workers=2,
+              fault_profile="mild", fault_seed=9)
+    job.state = RUNNING
+    job.completed["com.serve.demo.alpha"] = {"package": APPS[0], "ok": True}
+    job.attempts["com.serve.demo.beta"] = 1
+    clone = Job.from_dict(job.to_dict())
+    assert clone.to_dict() == job.to_dict()
+    assert clone.remaining() == ["com.serve.demo.beta"]
+
+
+def test_foreign_schema_is_refused():
+    data = Job(apps=list(APPS)).to_dict()
+    data["schema"] = JOB_SCHEMA + 1
+    with pytest.raises(ValueError):
+        Job.from_dict(data)
+
+
+def test_unknown_state_is_refused():
+    data = Job(apps=list(APPS)).to_dict()
+    data["state"] = "exploded"
+    with pytest.raises(ValueError):
+        Job.from_dict(data)
+
+
+def test_degradation_accounts_for_adversity():
+    job = Job(apps=list(APPS))
+    job.attempts = {"com.serve.demo.alpha": 2}
+    job.quarantined = ["com.serve.demo.alpha"]
+    job.completed["com.serve.demo.alpha"] = {"ok": False,
+                                             "fault_kind": "worker-died"}
+    account = job.degradation()
+    assert account["worker_deaths"] == 2
+    assert account["quarantined_apps"] == ["com.serve.demo.alpha"]
+    assert account["failed_apps"] == ["com.serve.demo.alpha"]
+
+
+# ---------------------------------------------------------------------------
+# Restart recovery
+# ---------------------------------------------------------------------------
+
+def test_restore_readmits_in_flight_jobs():
+    queue = JobQueue()
+    interrupted = Job(apps=list(APPS))
+    interrupted.state = RUNNING
+    interrupted.completed[APPS[0]] = {"package": APPS[0], "ok": True}
+    queue.restore(interrupted)
+    assert interrupted.state == ADMITTED
+    assert queue.next_job() is interrupted
+    # Completed work rides along: only the second app remains.
+    assert interrupted.remaining() == [APPS[1]]
+
+
+def test_restore_keeps_terminal_jobs_out_of_the_queue():
+    queue = JobQueue()
+    finished = Job(apps=list(APPS))
+    finished.state = DONE
+    queue.restore(finished)
+    assert queue.next_job() is None
+    assert queue.get(finished.job_id) is finished

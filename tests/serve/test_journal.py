@@ -1,0 +1,89 @@
+"""The crash-safe job journal: atomic writes, tolerant reads."""
+
+import json
+
+import pytest
+
+from repro.serve import JOB_SCHEMA, Job, JobJournal, default_journal_dir
+from repro.serve.jobs import DONE, RUNNING
+
+APPS = ["com.serve.demo.alpha", "com.serve.demo.beta"]
+
+
+def test_write_then_load_round_trips(tmp_path):
+    journal = JobJournal(tmp_path)
+    job = Job(apps=list(APPS))
+    job.completed[APPS[0]] = {"package": APPS[0], "ok": True}
+    journal.write(job)
+    assert journal.load(job.job_id).to_dict() == job.to_dict()
+
+
+def test_write_is_atomic_no_temp_debris(tmp_path):
+    journal = JobJournal(tmp_path)
+    journal.write(Job(apps=list(APPS)))
+    names = [p.name for p in tmp_path.iterdir()]
+    assert len(names) == 1 and names[0].endswith(".json")
+    assert not any(name.startswith(".tmp-") for name in names)
+
+
+def test_rewrite_replaces_the_snapshot(tmp_path):
+    journal = JobJournal(tmp_path)
+    job = Job(apps=list(APPS))
+    journal.write(job)
+    job.state = RUNNING
+    journal.write(job)
+    assert journal.load(job.job_id).state == RUNNING
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_corrupt_entries_are_skipped_with_a_warning(tmp_path):
+    journal = JobJournal(tmp_path)
+    good = Job(apps=list(APPS))
+    journal.write(good)
+    (tmp_path / "deadbeef0000.json").write_text("{ not json",
+                                                encoding="utf-8")
+    with pytest.warns(RuntimeWarning, match="deadbeef0000"):
+        jobs = journal.jobs()
+    assert [job.job_id for job in jobs] == [good.job_id]
+    assert [name for name, _ in journal.skipped] == ["deadbeef0000.json"]
+
+
+def test_foreign_schema_entries_are_skipped(tmp_path):
+    journal = JobJournal(tmp_path)
+    data = Job(apps=list(APPS)).to_dict()
+    data["schema"] = JOB_SCHEMA + 1
+    (tmp_path / "cafecafe0000.json").write_text(json.dumps(data),
+                                               encoding="utf-8")
+    with pytest.warns(RuntimeWarning, match="schema"):
+        assert journal.jobs() == []
+
+
+def test_in_flight_excludes_terminal_jobs(tmp_path):
+    journal = JobJournal(tmp_path)
+    running = Job(apps=list(APPS))
+    running.state = RUNNING
+    finished = Job(apps=list(APPS))
+    finished.state = DONE
+    journal.write(running)
+    journal.write(finished)
+    assert [job.job_id for job in journal.in_flight()] == [running.job_id]
+
+
+def test_remove(tmp_path):
+    journal = JobJournal(tmp_path)
+    job = Job(apps=list(APPS))
+    journal.write(job)
+    assert journal.remove(job.job_id) is True
+    assert journal.remove(job.job_id) is False
+    assert journal.jobs() == []
+
+
+def test_missing_directory_reads_as_empty(tmp_path):
+    assert JobJournal(tmp_path / "never-created").jobs() == []
+
+
+def test_default_dir_honors_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("FRAGDROID_SERVE_DIR", str(tmp_path / "j"))
+    assert default_journal_dir() == tmp_path / "j"
+    monkeypatch.delenv("FRAGDROID_SERVE_DIR")
+    assert default_journal_dir().name == "serve"

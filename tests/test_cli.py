@@ -534,3 +534,62 @@ def test_fragility_json_and_determinism(capsys):
 def test_fragility_rejects_apk_files(capsys):
     with pytest.raises(SystemExit, match="spec"):
         main(["fragility", "something.apk"])
+
+
+# ---------------------------------------------------------------------------
+# The service commands
+# ---------------------------------------------------------------------------
+
+def test_jobs_cli_against_a_live_service(capsys, tmp_path, monkeypatch):
+    from repro.serve import ReproServer
+
+    server = ReproServer(journal_dir=tmp_path / "journal",
+                         registry_dir=tmp_path / "runs", port=0)
+    server.start()
+    try:
+        monkeypatch.setenv("FRAGDROID_SERVE_URL", server.url)
+        code, out = run_cli(capsys, "jobs", "submit",
+                            "com.serve.demo.alpha", "--max-events",
+                            "200", "--wait")
+        assert code == 0 and "done" in out
+        code, out = run_cli(capsys, "jobs", "status")
+        assert code == 0 and "done" in out
+        job_id = out.split()[0]
+        code, out = run_cli(capsys, "jobs", "logs", job_id)
+        assert code == 0 and "job.state" in out
+        # Cancelling a finished job is a typed conflict, exit 1.
+        assert run_cli(capsys, "jobs", "cancel", job_id)[0] == 1
+        # The finished job is visible to the runs machinery.
+        code, out = run_cli(capsys, "runs", "list", "--dir",
+                            str(tmp_path / "runs"))
+        assert code == 0 and "serve-job" in out
+    finally:
+        server.stop(timeout=2.0)
+
+
+def test_jobs_cli_submit_json_output(capsys, tmp_path, monkeypatch):
+    from repro.serve import ReproServer
+
+    server = ReproServer(journal_dir=tmp_path / "journal",
+                         registry_dir=tmp_path / "runs", port=0)
+    server.start()
+    try:
+        monkeypatch.setenv("FRAGDROID_SERVE_URL", server.url)
+        code, out = run_cli(capsys, "jobs", "submit",
+                            "com.serve.demo.beta", "--max-events", "200",
+                            "--json")
+        assert code == 0
+        assert json.loads(out)["apps"] == ["com.serve.demo.beta"]
+    finally:
+        server.stop(timeout=2.0)
+
+
+def test_jobs_cli_unreachable_service(capsys, monkeypatch):
+    monkeypatch.setenv("FRAGDROID_SERVE_URL", "http://127.0.0.1:1")
+    assert run_cli(capsys, "jobs", "status")[0] == 1
+
+
+def test_jobs_cli_submit_needs_apps(capsys, monkeypatch):
+    monkeypatch.setenv("FRAGDROID_SERVE_URL", "http://127.0.0.1:1")
+    code, out = run_cli(capsys, "jobs", "submit")
+    assert code == 2 and "app names" in out

@@ -279,6 +279,58 @@ def test_process_backend_merges_observability():
                 == [e.seq for e in result.events])
 
 
+# ---------------------------------------------------------------------------
+# Worker death
+# ---------------------------------------------------------------------------
+
+def test_worker_death_marks_chunk_failed_and_continues(monkeypatch,
+                                                       tmp_path):
+    """A SIGKILLed worker (OOM-killer signature) fails its chunk's apps
+    with WorkerDiedError instead of aborting the sweep; chunks that
+    finished before the death keep their results."""
+    from repro import FragDroidConfig
+    from repro.errors import WorkerDiedError
+    from repro.obs import Tracer
+
+    victim = SWEEP_PACKAGES[-1]
+    monkeypatch.setenv("FRAGDROID_CHAOS_KILL", f"{victim}:1")
+    monkeypatch.setenv("FRAGDROID_CHAOS_KILL_STATE", str(tmp_path))
+    config = FragDroidConfig(tracer=Tracer())
+    # One worker, one app per chunk: everything ahead of the victim is
+    # already done when the pool breaks, so the blast radius is exact.
+    plans = [plan_for(p) for p in SWEEP_PACKAGES]
+    outcomes = explore_many(plans, config=config, max_workers=1,
+                            backend="process", chunksize=1)
+
+    assert set(outcomes) == set(SWEEP_PACKAGES)
+    dead = outcomes[victim]
+    assert not dead.ok
+    assert isinstance(dead.error, WorkerDiedError)
+    assert dead.fault_kind == "worker-died"
+    assert config.tracer.metrics.counter("sweep.worker.died") >= 1
+
+    survivors = {p: o for p, o in outcomes.items() if p != victim}
+    assert all(o.ok for o in survivors.values())
+    clean = explore_many([plan for plan in plans
+                          if plan.package != victim], max_workers=1)
+    assert _rows_without_durations(survivors) \
+        == _rows_without_durations(clean)
+
+
+def test_worker_died_outcomes_cover_every_unfinished_chunk(monkeypatch,
+                                                           tmp_path):
+    """When the pool breaks, every still-pending chunk fails with the
+    worker-died marker — apps are never silently dropped."""
+    monkeypatch.setenv("FRAGDROID_CHAOS_KILL", f"{SWEEP_PACKAGES[0]}:1")
+    monkeypatch.setenv("FRAGDROID_CHAOS_KILL_STATE", str(tmp_path))
+    plans = [plan_for(p) for p in SWEEP_PACKAGES]
+    outcomes = explore_many(plans, max_workers=1, backend="process",
+                            chunksize=len(plans))
+    # A single chunk held everything: the whole sweep reads worker-died.
+    assert set(outcomes) == set(SWEEP_PACKAGES)
+    assert all(o.fault_kind == "worker-died" for o in outcomes.values())
+
+
 def test_usage_study_parallel_matches_serial():
     from repro.bench.runner import run_usage_study
 
