@@ -123,6 +123,95 @@ def test_noop_tracer_overhead(benchmark, save_result, save_result_json):
     )
 
 
+def _real_span_cost(calls: int = 50_000) -> float:
+    """Seconds per enabled trace-bound span (enter + exit + record)."""
+    tracer = Tracer()
+    start = perf_counter()
+    for _ in range(calls):
+        with tracer.trace_span("x", 1, app="y"):
+            pass
+    return (perf_counter() - start) / calls
+
+
+def _real_observe_cost(calls: int = 100_000) -> float:
+    """Seconds per enabled histogram observation."""
+    from repro.obs import Metrics
+
+    metrics = Metrics()
+    start = perf_counter()
+    for _ in range(calls):
+        metrics.observe("h", 1.0)
+    return (perf_counter() - start) / calls
+
+
+def test_serve_telemetry_overhead(tmp_path, save_result,
+                                  save_result_json):
+    """Service-mode telemetry — the queue-wait/latency histograms, the
+    trace-bound job/round spans and the broker-hooked flight recorder —
+    stays under 5% of a job's wall time even *enabled*.
+
+    Same stable methodology as the other pins: per-operation cost
+    measured in isolation, multiplied by the operations one real job
+    performs, compared against the untelemetered job's wall time."""
+    from repro.obs import NULL_EVENT_LOG, NULL_TRACER
+    from repro.obs.registry import RunRegistry
+    from repro.serve import EventBroker, Job, JobJournal, JobQueue, Scheduler
+
+    apps = ["com.serve.demo.alpha", "com.serve.demo.beta"]
+
+    def run_job(tracer, event_log, tag):
+        scheduler = Scheduler(
+            queue=JobQueue(metrics=tracer.metrics),
+            journal=JobJournal(tmp_path / tag / "journal"),
+            registry=RunRegistry(tmp_path / tag / "runs"),
+            tracer=tracer,
+            event_log=event_log,
+        )
+        job = Job(apps=apps, max_events=200, trace_id=1)
+        scheduler.queue.submit(job)
+        start = perf_counter()
+        scheduler.run_job(job)
+        assert job.state == "done"
+        return perf_counter() - start
+
+    run_job(NULL_TRACER, NULL_EVENT_LOG, "warm")  # warm caches
+    noop_seconds = run_job(NULL_TRACER, NULL_EVENT_LOG, "noop")
+
+    tracer = Tracer()
+    log = EventLog(sinks=[EventBroker(metrics=tracer.metrics)])
+    run_job(tracer, log, "telemetry")
+
+    spans = len(tracer.finished_spans())
+    observations = sum(stats["count"] for stats in
+                       tracer.metrics.snapshot()["histograms"].values())
+    emits = len(log.events())
+    assert spans > 0 and observations > 0 and emits > 0
+
+    cost = (_real_span_cost() * spans
+            + _real_observe_cost() * observations
+            + _real_emit_cost() * emits)
+    share = cost / noop_seconds
+
+    lines = [
+        f"demo job, telemetry off:       {noop_seconds:8.3f} s",
+        f"spans / observations / events: {spans:5d} / {observations:5d}"
+        f" / {emits:5d}",
+        f"enabled-telemetry cost:        {cost * 1e3:8.3f} ms",
+        f"share of the job's wall time:  {share:8.2%} (budget: 5%)",
+    ]
+    save_result("serve_telemetry_overhead", "\n".join(lines))
+    save_result_json("serve_telemetry_overhead", {
+        "noop_job_seconds": round(noop_seconds, 4),
+        "spans": spans,
+        "observations": observations,
+        "events": emits,
+        "telemetry_share": round(share, 6),
+    })
+    assert share < 0.05, (
+        f"serve telemetry costs {share:.2%} of an untelemetered job"
+    )
+
+
 def test_event_log_overhead(save_result, save_result_json):
     """The flight recorder — even *enabled* — stays under 5%.
 

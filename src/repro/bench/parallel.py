@@ -143,9 +143,13 @@ def explore_one(plan: AppPlan,
     """
     tracer = config.tracer if config is not None else NULL_TRACER
     fault_plan = config.fault_plan if config is not None else None
+    trace_id = config.trace_id if config is not None else None
     started = perf_counter()
     digest: Optional[str] = None
-    with tracer.span("sweep.app", app=plan.package) as span:
+    # Bound to the submitting job's trace when the config carries one
+    # (repro.serve), so a fleet's spans correlate; a fresh trace root
+    # otherwise, exactly as before.
+    with tracer.trace_span("sweep.app", trace_id, app=plan.package) as span:
         try:
             apk = build_apk(build_app(plan))
             digest = apk.digest()
@@ -178,7 +182,7 @@ _SPEC_FIELDS = (
     "enable_click_exploration", "input_values", "input_strategy",
     "queue_order", "max_events", "max_queue_items", "max_restarts_per_item",
     "fault_profile", "fault_seed", "fault_plan", "retry_policy",
-    "quarantine_threshold",
+    "quarantine_threshold", "trace_id",
 )
 
 
@@ -344,7 +348,11 @@ def _thaw_outcome(frozen: _FrozenOutcome,
     if frozen.counters or frozen.histograms:
         tracer.metrics.merge(frozen.counters, frozen.histograms)
     if frozen.spans and tracer.enabled:
-        absorbed = tracer.absorb(frozen.spans)
+        # Re-home worker spans onto the submitting job's trace when the
+        # config names one; worker-local trace ids (remapped) otherwise.
+        absorbed = tracer.absorb(
+            frozen.spans,
+            into_trace=config.trace_id if config is not None else None)
         if result is not None:
             result.spans = absorbed
     if frozen.events and event_log.enabled:

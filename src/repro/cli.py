@@ -417,8 +417,9 @@ def cmd_trace_summary(args: argparse.Namespace) -> int:
 
 
 def cmd_dashboard(args: argparse.Namespace) -> int:
-    """Render the self-contained HTML dashboard for a saved run (or a
-    directory of runs: the fleet view)."""
+    """Render the self-contained HTML dashboard for a saved run, a
+    directory of runs (the fleet view), or — with ``--journal`` — the
+    service fleet-health view from a job journal."""
     import pathlib
 
     from repro.obs import render_dashboard_dir
@@ -428,14 +429,29 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
         from repro.obs.registry import RunRegistry
 
         history = RunRegistry(args.registry).latest(args.trend)
-    try:
-        html = render_dashboard_dir(args.directory, history=history)
-    except FileNotFoundError as exc:
-        print(exc)
+    if getattr(args, "journal", None):
+        from repro.obs.dashboard import render_service_dashboard
+        from repro.serve import JobJournal
+
+        journal_dir = pathlib.Path(args.journal)
+        if not journal_dir.is_dir():
+            print(f"no such journal directory: {journal_dir}")
+            return 1
+        journal = JobJournal(journal_dir)
+        html = render_service_dashboard(journal.jobs(), journal_dir,
+                                        records=history, history=history)
+    elif args.directory is None:
+        print("dashboard needs a run directory (or --journal DIR)")
         return 1
-    except ValueError as exc:
-        print(f"cannot read run records under {args.directory}: {exc}")
-        return 1
+    else:
+        try:
+            html = render_dashboard_dir(args.directory, history=history)
+        except FileNotFoundError as exc:
+            print(exc)
+            return 1
+        except ValueError as exc:
+            print(f"cannot read run records under {args.directory}: {exc}")
+            return 1
     out = pathlib.Path(args.output)
     try:
         out.write_text(html, encoding="utf-8")
@@ -759,6 +775,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             backoff_clock=WallClock(),
             default_backend=args.backend or "thread",
             default_workers=args.workers,
+            heartbeat_s=args.sse_heartbeat,
+            sse_buffer=args.sse_buffer,
         )
         host, port = server.start()
     except (ReproError, ValueError, OSError) as exc:
@@ -841,15 +859,29 @@ def cmd_jobs(args: argparse.Namespace) -> int:
             if not args.refs:
                 print("jobs logs takes a JOB_ID")
                 return 2
-            for event in client.logs(args.refs[0]):
+
+            def show_event(event: dict) -> None:
                 if args.json:
-                    print(json.dumps(event, sort_keys=True))
+                    print(json.dumps(event, sort_keys=True), flush=True)
                 else:
                     extras = " ".join(
                         f"{key}={value}" for key, value in
                         sorted(event.get("attributes", {}).items()))
                     print(f"{event['seq']:>6}  {event['kind']:18} "
-                          f"{event.get('app', ''):24} {extras}")
+                          f"{event.get('app', ''):24} {extras}",
+                          flush=True)
+
+            if args.follow:
+                # Live SSE tail: backlog first, then pushed events,
+                # until the job finishes (or Ctrl-C).
+                try:
+                    for event in client.stream_events(args.refs[0]):
+                        show_event(event)
+                except KeyboardInterrupt:
+                    return 130
+                return 0
+            for event in client.logs(args.refs[0]):
+                show_event(event)
             return 0
         # cancel
         if not args.refs:
@@ -935,9 +967,13 @@ def build_parser() -> argparse.ArgumentParser:
         "dashboard",
         help="render the HTML dashboard of a saved run (or run dirs)",
     )
-    dashboard.add_argument("directory",
+    dashboard.add_argument("directory", nargs="?", default=None,
                            help="an `explore --save` run directory, or "
                                 "a directory of them (fleet view)")
+    dashboard.add_argument("--journal", metavar="DIR", default=None,
+                           help="render the service fleet-health view "
+                                "from a job journal instead (the "
+                                "`repro serve` --journal directory)")
     dashboard.add_argument("-o", "--output", default="dashboard.html",
                            help="output HTML path (default "
                                 "dashboard.html)")
@@ -1108,6 +1144,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-restarts", type=int, default=2,
                        help="worker-death re-admissions per app before "
                             "it is quarantined (default 2)")
+    serve.add_argument("--sse-buffer", type=int, default=256,
+                       help="per-subscriber event buffer for "
+                            "/jobs/<id>/events; a client further "
+                            "behind is disconnected (default 256)")
+    serve.add_argument("--sse-heartbeat", type=float, default=15.0,
+                       help="seconds between SSE heartbeat comments "
+                            "on a quiet stream (default 15)")
     _add_sweep_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -1131,6 +1174,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="submit: fault-injection profile")
     jobs.add_argument("--fault-seed", type=int, default=0,
                       help="submit: fault-stream seed")
+    jobs.add_argument("--follow", action="store_true",
+                      help="logs: stream the job's events live over "
+                           "SSE until it finishes (Ctrl-C to stop)")
     jobs.add_argument("--wait", action="store_true",
                       help="submit: poll until the job is terminal; "
                            "exit 1 unless it is done")

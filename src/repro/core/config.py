@@ -87,6 +87,12 @@ class FragDroidConfig:
     # sweep, which `repro runs`/`repro regress` diff and gate on.
     run_registry: Optional["RunRegistry"] = field(default=None, repr=False,
                                                   compare=False)
+    # Correlation id for every span this run records (repro.serve):
+    # the scheduler stamps a job's trace id here so worker spans —
+    # thread or process backend — land on the job's trace instead of
+    # starting fresh ones.  None (the default) keeps per-sweep traces.
+    # Observer-only: excluded from the registry's config fingerprint.
+    trace_id: Optional[int] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.input_strategy not in ("default", "heuristic"):
@@ -103,6 +109,12 @@ class FragDroidConfig:
                 raise ValueError(
                     f"{rail} must be a positive integer, got {value!r}"
                 )
+        if self.trace_id is not None and (
+                not isinstance(self.trace_id, int)
+                or isinstance(self.trace_id, bool)):
+            raise ValueError(
+                f"trace_id must be an integer or None, got {self.trace_id!r}"
+            )
         if self.fault_profile not in FAULT_PROFILES:
             raise ValueError(
                 f"unknown fault profile: {self.fault_profile!r}; "

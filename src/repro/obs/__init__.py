@@ -43,10 +43,14 @@ from repro.obs.dashboard import (
     RunData,
     load_fleet,
     load_run,
+    queue_depth_series,
     render_dashboard,
     render_dashboard_dir,
     render_fleet_table,
+    render_service_dashboard,
+    render_service_section,
     render_trend_section,
+    service_rows,
 )
 from repro.obs.diff import AppDelta, Delta, RecordDiff, diff_records
 from repro.obs.events import (
@@ -65,7 +69,13 @@ from repro.obs.flame import (
     critical_path,
     self_times,
 )
-from repro.obs.metrics import NULL_METRICS, Metrics, NullMetrics
+from repro.obs.metrics import (
+    NULL_METRICS,
+    HistogramStats,
+    Metrics,
+    NullMetrics,
+    percentile,
+)
 from repro.obs.regress import (
     RegressionPolicy,
     RegressionReport,
@@ -113,6 +123,7 @@ __all__ = [
     "Event",
     "EventLog",
     "FlameNode",
+    "HistogramStats",
     "InMemorySink",
     "JsonlSink",
     "Metrics",
@@ -150,16 +161,21 @@ __all__ = [
     "load_fleet",
     "load_record",
     "load_run",
+    "percentile",
     "prometheus_text",
+    "queue_depth_series",
     "read_events",
     "read_spans",
     "render_dashboard",
     "render_dashboard_dir",
     "render_fleet_table",
+    "render_service_dashboard",
+    "render_service_section",
     "render_summary",
     "render_trend_section",
     "run_manifest",
     "self_times",
+    "service_rows",
     "stalls",
     "time_to_fraction",
     "timing_rows",

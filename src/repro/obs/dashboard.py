@@ -676,6 +676,262 @@ def render_fleet_dashboard(runs: Sequence[RunData],
     )
 
 
+# ---------------------------------------------------------------------------
+# Service (job fleet) view
+# ---------------------------------------------------------------------------
+
+def _job_dict(job) -> Dict:
+    """Duck-type: accepts a serve ``Job`` or its ``to_dict()`` payload."""
+    return job.to_dict() if hasattr(job, "to_dict") else dict(job)
+
+
+def service_rows(jobs: Sequence) -> List[Dict]:
+    """Per-job outcome/latency rows from journaled jobs (the
+    :meth:`repro.serve.journal.JobJournal.jobs` listing), oldest first.
+
+    Latencies are derived from the journaled lifecycle timestamps:
+    queue wait = ``started - created``, run time = ``finished -
+    started`` (None while the stage hasn't happened yet)."""
+    rows: List[Dict] = []
+    for entry in jobs:
+        data = _job_dict(entry)
+        created = float(data.get("created", 0.0))
+        started = float(data.get("started", 0.0))
+        finished = float(data.get("finished", 0.0))
+        completed = data.get("completed") or {}
+        attempts = data.get("attempts") or {}
+        rows.append({
+            "job_id": data.get("job_id", "?"),
+            "state": data.get("state", "?"),
+            "apps": len(data.get("apps") or ()),
+            "completed": len(completed),
+            "failed": sum(1 for row in completed.values()
+                          if not row.get("ok", True)),
+            "queue_wait_s": (round(max(0.0, started - created), 3)
+                             if started and created else None),
+            "run_s": (round(max(0.0, finished - started), 3)
+                      if finished and started else None),
+            "worker_deaths": int(sum(attempts.values())),
+            "quarantined": len(data.get("quarantined") or ()),
+            "error": str(data.get("error", "")),
+            "trace_id": int(data.get("trace_id", 0) or 0),
+            "created": created,
+        })
+    rows.sort(key=lambda row: (row["created"], row["job_id"]))
+    return rows
+
+
+def queue_depth_series(jobs: Sequence) -> List[Tuple[float, int]]:
+    """Queue depth over time from journaled lifecycle timestamps.
+
+    Each job holds a queue slot from ``created`` until ``started`` (or
+    ``finished``, for jobs cancelled before they started).  Returns
+    ``(seconds since the first submission, depth)`` step points."""
+    changes: List[Tuple[float, int]] = []
+    for entry in jobs:
+        data = _job_dict(entry)
+        created = float(data.get("created", 0.0))
+        if not created:
+            continue
+        changes.append((created, +1))
+        left = float(data.get("started", 0.0)) \
+            or float(data.get("finished", 0.0))
+        if left:
+            changes.append((max(left, created), -1))
+    if not changes:
+        return []
+    changes.sort()
+    epoch = changes[0][0]
+    points: List[Tuple[float, int]] = []
+    depth = 0
+    for stamp, delta in changes:
+        depth += delta
+        offset = round(stamp - epoch, 3)
+        if points and points[-1][0] == offset:
+            points[-1] = (offset, depth)
+        else:
+            points.append((offset, depth))
+    return points
+
+
+def _step_sparkline(points: Sequence[Tuple[float, float]], color_var: str,
+                    width: int = 280, height: int = 64) -> str:
+    """A generic step curve over (x, value) points — the queue-depth
+    chart.  Same chrome as the coverage curves."""
+    pad = 6
+    max_x = max((x for x, _ in points), default=0.0) or 1.0
+    max_value = max(max(v for _, v in points), 1)
+
+    def sx(value: float) -> float:
+        return pad + (width - 2 * pad) * value / max_x
+
+    def sy(value: float) -> float:
+        return height - pad - (height - 2 * pad) * value / max_value
+
+    coords: List[str] = []
+    previous_y = sy(points[0][1])
+    for x, value in points:
+        coords.append(f"{sx(x):.1f},{previous_y:.1f}")
+        previous_y = sy(value)
+        coords.append(f"{sx(x):.1f},{previous_y:.1f}")
+    coords.append(f"{sx(max_x):.1f},{previous_y:.1f}")
+    line = " ".join(coords)
+    base = height - pad
+    area = f"{pad:.1f},{base:.1f} {line} {sx(max_x):.1f},{base:.1f}"
+    end_x, end_y = sx(points[-1][0]), sy(points[-1][1])
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="100%" height="{height}" '
+        f'role="img" aria-label="queue depth over time">'
+        f'<line x1="{pad}" y1="{base}" x2="{width - pad}" y2="{base}" '
+        f'stroke="var(--baseline)" stroke-width="1"/>'
+        f'<polygon points="{area}" fill="var({color_var})" opacity="0.1"/>'
+        f'<polyline points="{line}" fill="none" stroke="var({color_var})" '
+        f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        f'<circle cx="{end_x:.1f}" cy="{end_y:.1f}" r="4" '
+        f'fill="var({color_var})" stroke="var(--surface)" stroke-width="2"/>'
+        f"</svg>"
+    )
+
+
+def render_service_section(jobs: Sequence,
+                           records: Optional[Sequence] = None) -> str:
+    """The fleet-health panel: state tiles, queue depth over time, the
+    per-job outcome/latency table and the adversity (retry /
+    quarantine / worker-death) timeline.
+
+    ``jobs`` come from the job journal; ``records`` (optional) are
+    run-registry records whose ``meta`` may carry a ``serve-job``
+    degradation account (they annotate, they are not required)."""
+    rows = service_rows(jobs)
+    if not rows:
+        return ("<h2>Service fleet</h2>"
+                '<p class="empty">no journaled jobs — submit some with '
+                "<code>repro jobs submit</code></p>")
+    by_state: Dict[str, int] = {}
+    for row in rows:
+        by_state[row["state"]] = by_state.get(row["state"], 0) + 1
+    deaths = sum(row["worker_deaths"] for row in rows)
+    failed_apps = sum(row["failed"] for row in rows)
+    waits = [row["queue_wait_s"] for row in rows
+             if row["queue_wait_s"] is not None]
+    runs = [row["run_s"] for row in rows if row["run_s"] is not None]
+    tiles = [
+        _tile("Jobs", len(rows),
+              ", ".join(f"{state}: {count}"
+                        for state, count in sorted(by_state.items()))),
+        _tile("Worker deaths", deaths,
+              f"{sum(row['quarantined'] for row in rows)} quarantined"),
+        _tile("Failed app rows", failed_apps),
+    ]
+    if waits:
+        tiles.append(_tile("Median queue wait (s)",
+                           f"{sorted(waits)[len(waits) // 2]:.3f}",
+                           f"max {max(waits):.3f}"))
+    if runs:
+        tiles.append(_tile("Median run time (s)",
+                           f"{sorted(runs)[len(runs) // 2]:.3f}",
+                           f"max {max(runs):.3f}"))
+    sections = [
+        "<h2>Service fleet</h2>",
+        f'<div class="tiles">{"".join(tiles)}</div>',
+    ]
+    depth_points = queue_depth_series(jobs)
+    if depth_points:
+        peak = max(value for _, value in depth_points)
+        sections.append(
+            '<div class="cards"><div class="card"><div class="label">'
+            '<span class="key-dot" style="background: var(--series-1)">'
+            "</span>Queue depth over time"
+            f'<span class="final">peak {peak}</span></div>'
+            + _step_sparkline(depth_points, "--series-1")
+            + "</div></div>"
+        )
+    job_table_rows = [
+        [row["job_id"], row["state"],
+         f"{row['completed']}/{row['apps']}", row["failed"],
+         f"{row['queue_wait_s']:.3f}"
+         if row["queue_wait_s"] is not None else "—",
+         f"{row['run_s']:.3f}" if row["run_s"] is not None else "—",
+         row["trace_id"] or "—",
+         row["error"] or ""]
+        for row in rows
+    ]
+    sections.append(f"<h3>Jobs ({len(rows)})</h3>")
+    sections.append(_table(
+        [("Job", False), ("State", False), ("Apps done", True),
+         ("Failed", True), ("Queue wait (s)", True), ("Run (s)", True),
+         ("Trace", True), ("Error", False)],
+        job_table_rows,
+    ))
+    sections.append(_adversity_timeline(jobs, records))
+    return "\n".join(sections)
+
+
+def _adversity_timeline(jobs: Sequence,
+                        records: Optional[Sequence]) -> str:
+    """One row per job that hit adversity, oldest first: worker deaths
+    absorbed, apps re-admitted, apps quarantined, failed rows — the
+    journal's account, annotated with the registry's degradation meta
+    when a matching ``serve-job`` record exists."""
+    degradation_by_job: Dict[str, Dict] = {}
+    for record in records or ():
+        meta = getattr(record, "meta", None) or {}
+        job_id = meta.get("job_id")
+        if job_id and isinstance(meta.get("degradation"), dict):
+            degradation_by_job[str(job_id)] = meta["degradation"]
+    rows = []
+    for entry in jobs:
+        data = _job_dict(entry)
+        attempts = data.get("attempts") or {}
+        quarantined = list(data.get("quarantined") or ())
+        completed = data.get("completed") or {}
+        failed = sorted(package for package, row in completed.items()
+                        if not row.get("ok", True))
+        if not attempts and not quarantined and not failed:
+            continue
+        degradation = degradation_by_job.get(str(data.get("job_id", "")))
+        recorded = "yes" if degradation is not None else "—"
+        rows.append([
+            data.get("job_id", "?"),
+            int(sum(attempts.values())),
+            ", ".join(sorted(attempts)) or "—",
+            ", ".join(quarantined) or "—",
+            ", ".join(failed) or "—",
+            recorded,
+        ])
+    if not rows:
+        return ('<h3>Adversity timeline</h3><p class="empty">no worker '
+                "deaths, re-admissions or failed rows — a healthy "
+                "fleet</p>")
+    return "<h3>Adversity timeline</h3>" + _table(
+        [("Job", False), ("Worker deaths", True), ("Re-admitted", False),
+         ("Quarantined", False), ("Failed apps", False),
+         ("In registry", False)],
+        rows,
+    )
+
+
+def render_service_dashboard(jobs: Sequence,
+                             path: PathLike,
+                             records: Optional[Sequence] = None,
+                             history: Optional[Sequence] = None) -> str:
+    """A standalone fleet-health page from a job journal
+    (``repro dashboard --journal DIR``)."""
+    body = (
+        "<h1>FragDroid flight recorder — service fleet</h1>"
+        f'<p class="sub">Journal: {_esc(path)}</p>'
+        + render_service_section(jobs, records)
+        + (render_trend_section(history) if history is not None else "")
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        "<title>FragDroid dashboard — service fleet</title>\n"
+        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+        f"<main>\n{body}\n</main>\n</body>\n</html>\n"
+    )
+
+
 def render_dashboard_dir(directory: PathLike,
                          history: Optional[Sequence] = None) -> str:
     """Dispatch: a single run directory renders the run page; a

@@ -50,12 +50,13 @@ JOB_STATE = "job.state"              # lifecycle transition (job, state)
 JOB_APP_DONE = "job.app.done"        # one app's outcome journaled (job, ok)
 JOB_WORKER_DIED = "job.worker.died"  # a sweep worker died (job, strikes)
 JOB_READMITTED = "job.readmitted"    # dead-chunk app re-admitted (job)
+JOB_ROUND = "job.round"              # one scheduler round swept (job, round)
 
 EVENT_KINDS = frozenset({
     RUN_START, RUN_END, STATE_DISCOVERED, WIDGET_CLICKED, CASE_DECISION,
     REFLECTION_SWITCH, FORCED_START, INPUT_GENERATED, TRANSITION,
     FAULT_INJECTED, RETRY, QUARANTINE, CRASH_RECOVERY, API_OBSERVED,
-    JOB_STATE, JOB_APP_DONE, JOB_WORKER_DIED, JOB_READMITTED,
+    JOB_STATE, JOB_APP_DONE, JOB_WORKER_DIED, JOB_READMITTED, JOB_ROUND,
 })
 
 

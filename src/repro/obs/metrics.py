@@ -8,9 +8,30 @@ a parallel sweep shares one registry across its workers.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 1]).
+
+    Deterministic for any ordering of the input (the values are sorted
+    here), 0.0 for an empty sequence.  Nearest-rank (no interpolation)
+    keeps the result an actual observed value, which is what a latency
+    or self-time percentile should report.  This is the *single*
+    quantile definition every consumer shares — span summaries
+    (:mod:`repro.obs.summary` re-exports it), histogram snapshots and
+    the Prometheus exposition all agree on what "p90" means.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if q <= 0.0:
+        return float(ordered[0])
+    rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+    return float(ordered[rank - 1])
 
 
 @dataclass(frozen=True)
@@ -21,6 +42,9 @@ class HistogramStats:
     total: float
     minimum: float
     maximum: float
+    p50: float = 0.0
+    p90: float = 0.0
+    p99: float = 0.0
 
     @property
     def mean(self) -> float:
@@ -33,7 +57,24 @@ class HistogramStats:
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
         }
+
+
+def _stats_of(values: Sequence[float]) -> HistogramStats:
+    if not values:
+        return HistogramStats(count=0, total=0.0, minimum=0.0, maximum=0.0)
+    return HistogramStats(
+        count=len(values),
+        total=float(sum(values)),
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+        p50=percentile(values, 0.50),
+        p90=percentile(values, 0.90),
+        p99=percentile(values, 0.99),
+    )
 
 
 class Metrics:
@@ -104,15 +145,7 @@ class Metrics:
                     for name, values in self._histograms.items()}
 
     def histogram_stats(self, name: str) -> HistogramStats:
-        values = self.histogram(name)
-        if not values:
-            return HistogramStats(count=0, total=0.0, minimum=0.0, maximum=0.0)
-        return HistogramStats(
-            count=len(values),
-            total=float(sum(values)),
-            minimum=float(min(values)),
-            maximum=float(max(values)),
-        )
+        return _stats_of(self.histogram(name))
 
     def snapshot(self) -> Dict[str, Dict]:
         """A JSON-ready copy of everything recorded so far."""
@@ -122,15 +155,8 @@ class Metrics:
             counters = dict(self._counters)
         return {
             "counters": counters,
-            "histograms": {
-                name: HistogramStats(
-                    count=len(values),
-                    total=float(sum(values)),
-                    minimum=float(min(values)),
-                    maximum=float(max(values)),
-                ).to_dict()
-                for name, values in histograms.items()
-            },
+            "histograms": {name: _stats_of(values).to_dict()
+                           for name, values in histograms.items()},
         }
 
     def clear(self) -> None:
@@ -149,11 +175,12 @@ class Metrics:
         if snapshot["histograms"]:
             lines.append("")
             lines.append(f"{'histogram':28} {'count':>7} {'mean':>10} "
-                         f"{'min':>10} {'max':>10}")
-            lines.append("-" * 68)
+                         f"{'p50':>10} {'p99':>10} {'min':>10} {'max':>10}")
+            lines.append("-" * 90)
             for name, stats in sorted(snapshot["histograms"].items()):
                 lines.append(
                     f"{name:28} {stats['count']:>7} {stats['mean']:>10.2f} "
+                    f"{stats['p50']:>10.2f} {stats['p99']:>10.2f} "
                     f"{stats['min']:>10.2f} {stats['max']:>10.2f}"
                 )
         return "\n".join(lines)

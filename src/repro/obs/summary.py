@@ -3,36 +3,23 @@
 ``aggregate_spans`` groups by span name (count / total / mean /
 p50 / p90 / p99 / max); ``top_slowest`` ranks individual spans;
 ``render_summary`` combines both into the text table the CLI and the
-reports embed.  :func:`percentile` is the shared nearest-rank
-percentile every consumer (summary tables, the run registry's
-per-phase self-time percentiles) computes with, so two views of the
-same spans never disagree on what "p90" means.
+reports embed.  :func:`percentile` (defined in
+:mod:`repro.obs.metrics`, re-exported here) is the shared nearest-rank
+percentile every consumer (summary tables, histogram snapshots, the
+run registry's per-phase self-time percentiles) computes with, so two
+views of the same spans never disagree on what "p90" means.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
+from repro.obs.metrics import percentile
 from repro.obs.tracer import Span
 
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (``q`` in [0, 1]).
-
-    Deterministic for any ordering of the input (the values are sorted
-    here), 0.0 for an empty sequence.  Nearest-rank (no interpolation)
-    keeps the result an actual observed value, which is what a latency
-    or self-time percentile should report.
-    """
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    if q <= 0.0:
-        return float(ordered[0])
-    rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
-    return float(ordered[rank - 1])
+__all__ = ["percentile", "SpanStat", "aggregate_spans", "top_slowest",
+           "timing_rows", "render_summary"]
 
 
 @dataclass(frozen=True)

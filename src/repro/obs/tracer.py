@@ -187,6 +187,49 @@ class Tracer:
             attributes=attributes,
         ))
 
+    def trace_span(self, name: str, trace_id: Optional[int],
+                   **attributes: object) -> _ActiveSpan:
+        """A span bound to an *explicit* trace.
+
+        The serve scheduler correlates everything one job does — across
+        scheduler rounds, sweep threads and worker processes — under the
+        job's ``trace_id``.  When the thread already has an open parent
+        span the parent wins (nesting stays intact); otherwise the span
+        becomes a root of the given trace instead of starting a fresh
+        one.  ``trace_id=None`` behaves exactly like :meth:`span`.
+        """
+        active = self.span(name, **attributes)
+        span = active._span
+        if trace_id is not None and span.parent_id is None:
+            span.trace_id = trace_id
+        return active
+
+    def record_span(self, name: str, duration: float,
+                    trace_id: Optional[int] = None,
+                    start: float = 0.0,
+                    **attributes: object) -> Span:
+        """Record a span retrospectively, from timestamps already taken.
+
+        Queue wait is the canonical case: the interval between a job's
+        submission and its pickup is only known once the scheduler takes
+        the job, after the fact — there is no code region to wrap.  The
+        span lands as a root of ``trace_id`` (or of its own fresh trace)
+        and flows to the finished store and sinks like any other.
+        """
+        span_id = next(self._ids)
+        span = Span(
+            name=name,
+            span_id=span_id,
+            trace_id=trace_id if trace_id is not None else span_id,
+            parent_id=None,
+            depth=0,
+            start=start,
+            duration=max(0.0, float(duration)),
+            attributes=attributes,
+        )
+        self._record(span)
+        return span
+
     def current_span(self) -> Optional[Span]:
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
@@ -243,7 +286,8 @@ class Tracer:
 
     # -- merging -----------------------------------------------------------
 
-    def absorb(self, spans: Iterable[Span]) -> List[Span]:
+    def absorb(self, spans: Iterable[Span],
+               into_trace: Optional[int] = None) -> List[Span]:
         """Fold spans recorded by another tracer into this one.
 
         The process-pool sweep backend gives each worker its own in-memory
@@ -251,7 +295,11 @@ class Tracer:
         finished-span store and sinks see the whole fleet.  Span, trace
         and parent ids are remapped into this tracer's id space (the
         worker counted from 1 too), preserving the tree structure.
-        Returns the remapped spans, in worker recording order.
+        ``into_trace`` re-homes every absorbed span onto an existing
+        trace in *this* tracer's id space — the serve scheduler passes
+        the job's trace id so worker spans correlate with the submit /
+        queue / round spans recorded parent-side.  Returns the remapped
+        spans, in worker recording order.
         """
         spans = list(spans)
         if not spans:
@@ -265,7 +313,8 @@ class Tracer:
             absorbed.append(Span(
                 name=span.name,
                 span_id=span.span_id + base,
-                trace_id=span.trace_id + base,
+                trace_id=(into_trace if into_trace is not None
+                          else span.trace_id + base),
                 parent_id=(None if span.parent_id is None
                            else span.parent_id + base),
                 depth=span.depth,
@@ -320,13 +369,24 @@ class NullTracer(Tracer):
     def span(self, name: str, **attributes: object) -> _NullSpanContext:  # type: ignore[override]
         return self._null_context
 
+    def trace_span(self, name: str, trace_id: Optional[int],
+                   **attributes: object) -> _NullSpanContext:  # type: ignore[override]
+        return self._null_context
+
+    def record_span(self, name: str, duration: float,
+                    trace_id: Optional[int] = None,
+                    start: float = 0.0,
+                    **attributes: object) -> _NullSpan:  # type: ignore[override]
+        return self._null_context._span
+
     def inc(self, name: str, value: float = 1) -> None:
         pass
 
     def observe(self, name: str, value: float) -> None:
         pass
 
-    def absorb(self, spans: Iterable[Span]) -> List[Span]:
+    def absorb(self, spans: Iterable[Span],
+               into_trace: Optional[int] = None) -> List[Span]:
         return list(spans)
 
     def _record(self, span: Span) -> None:  # pragma: no cover - unreachable

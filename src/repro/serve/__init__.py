@@ -10,12 +10,20 @@ into a long-running local analysis service:
 * :class:`Scheduler` — sweeps each job in supervised rounds with
   worker-death re-admission, circuit breaking and a watchdog;
 * :class:`ReproServer` — the assembled service plus its HTTP/JSON API;
+* :class:`EventBroker` — the SSE fan-out behind ``GET
+  /jobs/<id>/events`` (bounded per-client buffers, overflow counted);
 * :class:`ServeClient` — the stdlib client the ``repro jobs`` CLI uses.
 
-See ``docs/service.md`` for lifecycle, recovery guarantees and the API.
+Telemetry: every job is assigned a ``trace_id`` at submit; queue-wait,
+scheduler rounds and worker spans all correlate under it, and
+``/metrics`` serves the latency histograms (queue wait, time to start,
+run duration, retry delay) as JSON or Prometheus text.
+
+See ``docs/service.md`` for lifecycle, recovery guarantees, telemetry
+and the API.
 """
 
-from repro.serve.api import ReproServer
+from repro.serve.api import PROMETHEUS_CONTENT_TYPE, ReproServer
 from repro.serve.client import DEFAULT_URL, ServeClient, ServeClientError
 from repro.serve.jobs import (
     ACTIVE_STATES,
@@ -39,13 +47,21 @@ from repro.serve.scheduler import (
     WallClock,
     default_resolver,
 )
+from repro.serve.stream import (
+    DEFAULT_BUFFER,
+    EventBroker,
+    Subscription,
+    event_matches,
+)
 
 __all__ = [
     "ACTIVE_STATES",
     "ADMITTED",
     "CANCELLED",
+    "DEFAULT_BUFFER",
     "DEFAULT_URL",
     "DONE",
+    "EventBroker",
     "FAILED",
     "JOB_SCHEMA",
     "JOB_STATES",
@@ -53,6 +69,7 @@ __all__ = [
     "JobJournal",
     "JobLimits",
     "JobQueue",
+    "PROMETHEUS_CONTENT_TYPE",
     "RUNNING",
     "ReproServer",
     "SERVE_DEMO_PLANS",
@@ -60,8 +77,10 @@ __all__ = [
     "Scheduler",
     "ServeClient",
     "ServeClientError",
+    "Subscription",
     "TERMINAL_STATES",
     "WallClock",
     "default_journal_dir",
     "default_resolver",
+    "event_matches",
 ]

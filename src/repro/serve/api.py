@@ -8,14 +8,21 @@ Pure stdlib (``http.server``) — no new dependencies.  One
 HTTP listener (a ``ThreadingHTTPServer``, one thread per request, so a
 slow poll never blocks a submit).
 
-Endpoints (all JSON)::
+Endpoints::
 
     GET  /health            service liveness, queue depth, job counts
-    GET  /metrics           the service's counter registry
+    GET  /metrics           counters + histogram summaries; JSON by
+                            default, Prometheus text exposition under
+                            ``Accept: text/plain`` or
+                            ``?format=prometheus``
     GET  /jobs              every known job (summary rows)
     POST /jobs              submit a job -> 201 {"job": {...}}
     GET  /jobs/<id>         one job's full state
     GET  /jobs/<id>/logs    the job's event stream (progress)
+    GET  /jobs/<id>/events  the same stream *live*, as Server-Sent
+                            Events: backlog replay, then push until the
+                            job reaches a terminal state (heartbeat
+                            comments keep idle connections alive)
     POST /jobs/<id>/cancel  cancel (immediate when queued,
                             cooperative when running)
     POST /shutdown          drain and stop the service
@@ -25,6 +32,12 @@ Typed failures map onto status codes clients can switch on:
 ``JobBudgetError``/``AdmissionError`` -> **400**, ``UnknownJobError``
 -> **404**, ``JobStateError`` -> **409**.  Every error body is
 ``{"error": <type>, "message": <text>}``.
+
+Every submitted job is assigned a **trace id** from the server tracer's
+id space; queue-wait, scheduler rounds and worker spans all land on
+that one trace (see :mod:`repro.serve.scheduler`), and the job carries
+it (``"trace_id"`` in its JSON) so a client can slice the trace back
+out of a spans export.
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
 
 from repro.bench.parallel import explore_many
 from repro.errors import (
@@ -45,15 +59,27 @@ from repro.errors import (
     ServeError,
     UnknownJobError,
 )
-from repro.obs import EventLog, Tracer
+from repro.obs import EventLog, Tracer, prometheus_text
+from repro.obs.events import JOB_STATE
 from repro.obs.registry import RunRegistry
-from repro.serve.jobs import Job, JobLimits, JobQueue, RUNNING
+from repro.serve.jobs import (
+    Job,
+    JobLimits,
+    JobQueue,
+    RUNNING,
+    TERMINAL_STATES,
+)
 from repro.serve.journal import JobJournal
 from repro.serve.scheduler import Scheduler, default_resolver
+from repro.serve.stream import DEFAULT_BUFFER, EventBroker, event_matches
 
 _JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)$")
 _JOB_LOGS_PATH = re.compile(r"^/jobs/([0-9a-f]+)/logs$")
+_JOB_EVENTS_PATH = re.compile(r"^/jobs/([0-9a-f]+)/events$")
 _JOB_CANCEL_PATH = re.compile(r"^/jobs/([0-9a-f]+)/cancel$")
+
+#: The content type Prometheus scrapers expect from a /metrics target.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Submit-payload fields a client may set; anything else is a 400 (a
 #: typo'd budget name must not silently become an unbounded default).
@@ -86,13 +112,19 @@ class ReproServer:
         backoff_clock=None,
         default_backend: str = "thread",
         default_workers: Optional[int] = None,
+        heartbeat_s: float = 15.0,
+        sse_buffer: int = DEFAULT_BUFFER,
     ) -> None:
         self.host = host
         self.port = port
         self.default_backend = default_backend
         self.default_workers = default_workers
+        self.heartbeat_s = heartbeat_s
         self.tracer = Tracer()
         self.event_log = EventLog()
+        self.broker = EventBroker(metrics=self.tracer.metrics,
+                                  buffer=sse_buffer)
+        self.event_log.add_sink(self.broker)
         self.queue = JobQueue(limits, metrics=self.tracer.metrics)
         self.journal = JobJournal(journal_dir)
         self.registry = RunRegistry(registry_dir)
@@ -155,6 +187,11 @@ class ReproServer:
     def url(self) -> str:
         return f"http://{self.address[0]}:{self.address[1]}"
 
+    @property
+    def stopping(self) -> bool:
+        """Whether shutdown has been requested (SSE loops drain on it)."""
+        return self._stop.is_set()
+
     # -- operations (shared by HTTP and in-process callers) ------------------
 
     def submit(self, payload: Dict) -> Job:
@@ -183,11 +220,17 @@ class ReproServer:
             )
         except (TypeError, ValueError) as exc:
             raise JobBudgetError(f"malformed submit payload: {exc}") from exc
-        for app in job.apps:
-            self.resolver(app)  # unknown apps are an admission failure
-        self.queue.submit(job)
+        # The submit span roots the job's one trace: its trace id is
+        # stamped on the job, and the scheduler hangs queue.wait,
+        # schedule.round and every worker's spans off the same id.
+        with self.tracer.span("job.submit", job=job.job_id,
+                              apps=len(job.apps)) as span:
+            job.trace_id = span.trace_id
+            for app in job.apps:
+                self.resolver(app)  # unknown apps are an admission failure
+            self.queue.submit(job)
         self.journal.write(job)
-        self.event_log.emit("job.state", job=job.job_id, state=job.state,
+        self.event_log.emit(JOB_STATE, job=job.job_id, state=job.state,
                             error="")
         return job
 
@@ -201,8 +244,12 @@ class ReproServer:
         job = self.queue.get(job_id)  # 404 on unknown ids
         apps = set(job.apps)
         return [event.to_dict() for event in self.event_log.events()
-                if event.attributes.get("job") == job.job_id
-                or (event.app in apps and not event.attributes.get("job"))]
+                if event_matches(event, job.job_id, apps)]
+
+    def metrics_snapshot(self) -> Dict:
+        """Counters *and* histogram summaries (count/sum/min/max/mean
+        plus p50/p90/p99) — the /metrics JSON body."""
+        return self.tracer.metrics.snapshot()
 
     def health(self) -> Dict:
         return {
@@ -274,24 +321,114 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
         repro = self.server.repro
-        if self.path == "/health":
+        parsed = urlparse(self.path)
+        route = parsed.path
+        if route == "/health":
             return self._json(200, repro.health())
-        if self.path == "/metrics":
-            return self._json(200,
-                              {"counters": repro.tracer.metrics.counters()})
-        if self.path == "/jobs":
+        if route == "/metrics":
+            return self._metrics(parsed.query)
+        if route == "/jobs":
             return self._json(200, {
                 "jobs": [job.summary_row() for job in repro.queue.jobs()]})
-        match = _JOB_PATH.match(self.path)
+        match = _JOB_PATH.match(route)
         if match:
             return self._dispatch(lambda: self._json(
                 200, {"job": repro.queue.get(match.group(1)).to_dict()}))
-        match = _JOB_LOGS_PATH.match(self.path)
+        match = _JOB_LOGS_PATH.match(route)
         if match:
             return self._dispatch(lambda: self._json(
                 200, {"events": repro.job_logs(match.group(1))}))
+        match = _JOB_EVENTS_PATH.match(route)
+        if match:
+            return self._dispatch(lambda: self._stream_events(match.group(1)))
         self._json(404, {"error": "NotFound",
                          "message": f"no route {self.path!r}"})
+
+    # -- /metrics ------------------------------------------------------------
+
+    def _metrics(self, query: str) -> None:
+        """Content-negotiated metrics: JSON stays the default (existing
+        clients keep working), Prometheus text under ``Accept:
+        text/plain`` or an explicit ``?format=prometheus``."""
+        repro = self.server.repro
+        wanted = (parse_qs(query).get("format", [""])[0]
+                  or ("prometheus"
+                      if "text/plain" in self.headers.get("Accept", "")
+                      else "json"))
+        snapshot = repro.metrics_snapshot()
+        if wanted == "prometheus":
+            body = prometheus_text(snapshot).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        self._json(200, snapshot)
+
+    # -- /jobs/<id>/events (SSE) ---------------------------------------------
+
+    def _sse_send(self, data: Dict) -> None:
+        payload = json.dumps(data, sort_keys=True)
+        self.wfile.write(f"id: {data.get('seq', 0)}\n"
+                         f"event: {data.get('kind', 'event')}\n"
+                         f"data: {payload}\n\n".encode("utf-8"))
+        self.wfile.flush()
+
+    @staticmethod
+    def _is_terminal(data: Dict) -> bool:
+        return (data.get("kind") == JOB_STATE
+                and data.get("attributes", {}).get("state")
+                in TERMINAL_STATES)
+
+    def _stream_events(self, job_id: str) -> None:
+        """Serve one job's event stream as Server-Sent Events.
+
+        Subscribe *before* reading the backlog (no gap), replay the
+        backlog, then push live events until the job's terminal
+        ``job.state`` event — then an explicit ``end`` event and close.
+        Heartbeat comment lines flow while the stream is quiet, so both
+        sides notice a dead peer; a disconnected or too-slow client is
+        unsubscribed, its buffer released with it.
+        """
+        repro = self.server.repro
+        job = repro.queue.get(job_id)  # 404 on unknown ids
+        subscription = repro.broker.subscribe(job.job_id, job.apps)
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            last_seq = 0
+            terminal = False
+            for data in repro.job_logs(job_id):
+                self._sse_send(data)
+                last_seq = int(data.get("seq", 0))
+                terminal = terminal or self._is_terminal(data)
+            while not terminal and not repro.stopping:
+                event = subscription.get(timeout=repro.heartbeat_s)
+                if subscription.overflowed:
+                    self.wfile.write(b": overflowed, closing\n\n")
+                    self.wfile.flush()
+                    break
+                if event is None:
+                    self.wfile.write(b": heartbeat\n\n")
+                    self.wfile.flush()
+                    continue
+                data = event.to_dict()
+                if int(data.get("seq", 0)) <= last_seq:
+                    continue  # already replayed from the backlog
+                self._sse_send(data)
+                last_seq = int(data.get("seq", 0))
+                terminal = self._is_terminal(data)
+            if terminal:
+                self.wfile.write(b"event: end\ndata: {}\n\n")
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; cleanup below
+        finally:
+            repro.broker.unsubscribe(subscription)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
         repro = self.server.repro

@@ -14,7 +14,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.errors import ServeError
 
@@ -84,6 +84,19 @@ class ServeClient:
     def metrics(self) -> Dict:
         return self._request("GET", "/metrics")
 
+    def metrics_prometheus(self) -> str:
+        """The /metrics payload in Prometheus text exposition format."""
+        request = urllib.request.Request(
+            self.url + "/metrics?format=prometheus",
+            headers={"Accept": "text/plain"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                return response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServeClientError(
+                f"cannot scrape {self.url}/metrics: {exc}") from None
+
     def submit(self, apps: List[str], **options) -> Dict:
         """Submit a job; returns the admitted job dict."""
         payload: Dict = {"apps": list(apps)}
@@ -102,6 +115,64 @@ class ServeClient:
 
     def cancel(self, job_id: str) -> Dict:
         return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def stream_events(self, job_id: str,
+                      timeout_s: Optional[float] = None) -> Iterator[Dict]:
+        """Follow one job's event stream live (SSE).
+
+        Yields each event's dict as the service pushes it — the backlog
+        first, then live — and returns when the service closes the
+        stream (the job reached a terminal state, or shutdown).
+        Heartbeat comments are consumed silently.  ``timeout_s`` is the
+        socket read timeout between events; it must exceed the server's
+        heartbeat interval (the default rides the client timeout).
+        """
+        request = urllib.request.Request(
+            self.url + f"/jobs/{job_id}/events",
+            headers={"Accept": "text/event-stream"})
+        timeout = timeout_s if timeout_s is not None else self.timeout_s
+        try:
+            response = urllib.request.urlopen(request, timeout=timeout)
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                body = {}
+            raise ServeClientError(
+                str(body.get("message", f"HTTP {exc.code}")),
+                status=exc.code,
+                kind=str(body.get("error", "")),
+            ) from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServeClientError(
+                f"cannot reach the service at {self.url}: {exc} "
+                f"(is `repro serve` running?)") from None
+        try:
+            data_lines: List[str] = []
+            event_name = ""
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if not line:  # blank line = dispatch the pending event
+                    if event_name == "end":
+                        return
+                    if data_lines:
+                        try:
+                            yield json.loads("\n".join(data_lines))
+                        except ValueError:
+                            pass  # a malformed frame never kills the tail
+                    data_lines = []
+                    event_name = ""
+                    continue
+                if line.startswith(":"):
+                    continue  # heartbeat comment
+                if line.startswith("event:"):
+                    event_name = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+        except OSError:
+            return  # the service went away mid-stream; yield what we got
+        finally:
+            response.close()
 
     def shutdown(self) -> Dict:
         return self._request("POST", "/shutdown")

@@ -41,7 +41,8 @@ from repro.obs.metrics import NULL_METRICS, Metrics
 
 #: Bump whenever the journaled job shape changes; journal entries
 #: written by another schema version are skipped, never mis-parsed.
-JOB_SCHEMA = 1
+#: v2 added the correlation ``trace_id``.
+JOB_SCHEMA = 2
 
 # -- lifecycle states --------------------------------------------------------
 
@@ -122,6 +123,10 @@ class Job:
     cancel_requested: bool = False
     # The run-registry record id once the job is done.
     run_id: str = ""
+    # Correlation id for the job's one trace: assigned at submit from
+    # the server tracer's id space, stamped on every span the job's
+    # rounds and workers record (0 = none assigned — tracing off).
+    trace_id: int = 0
     schema: int = JOB_SCHEMA
 
     # -- views ---------------------------------------------------------------
@@ -184,6 +189,7 @@ class Job:
             "error": self.error,
             "cancel_requested": self.cancel_requested,
             "run_id": self.run_id,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -217,6 +223,7 @@ class Job:
             error=str(data.get("error", "")),
             cancel_requested=bool(data.get("cancel_requested", False)),
             run_id=str(data.get("run_id", "")),
+            trace_id=int(data.get("trace_id", 0)),
             schema=schema,
         )
 

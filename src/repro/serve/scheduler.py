@@ -46,6 +46,7 @@ from repro.obs import NULL_EVENT_LOG, NULL_TRACER, EventLog, Tracer
 from repro.obs.events import (
     JOB_APP_DONE,
     JOB_READMITTED,
+    JOB_ROUND,
     JOB_STATE,
     JOB_WORKER_DIED,
 )
@@ -178,9 +179,29 @@ class Scheduler:
     # -- one job -------------------------------------------------------------
 
     def run_job(self, job: Job) -> Job:
-        """Run one admitted job to a terminal state."""
+        """Run one admitted job to a terminal state.
+
+        Everything the job does — the ``queue.wait`` it already paid,
+        every ``schedule.round``, every worker's spans (thread or
+        process backend) — lands on one trace, the job's ``trace_id``,
+        so ``trace-summary``/flamegraphs show one tree per job.
+        """
+        trace = job.trace_id or None
+        wait_s = max(0.0, time.time() - job.created)
+        # The wait is only known at pickup — record it retrospectively.
+        self.tracer.record_span("queue.wait", wait_s, trace_id=trace,
+                                job=job.job_id)
+        self.tracer.observe("serve.queue.wait_s", wait_s)
+        self.tracer.observe("serve.queue.depth", float(self.queue.depth()))
+        with self.tracer.trace_span("job.run", trace, job=job.job_id,
+                                    apps=len(job.apps)):
+            return self._run_admitted(job)
+
+    def _run_admitted(self, job: Job) -> Job:
         job.state = RUNNING
         job.started = job.started or round(time.time(), 3)
+        self.tracer.observe("serve.job.start_s",
+                            max(0.0, job.started - job.created))
         self.journal.write(job)
         self._emit_state(job)
         deadline = self.wall() + job.time_budget_s
@@ -207,17 +228,22 @@ class Scheduler:
                        else [[plan] for plan in plans])
             outcomes: Dict[str, SweepOutcome] = {}
             failure = ""
-            for batch in batches:
-                remaining_s = deadline - self.wall()
-                if remaining_s <= 0:
-                    failure = failure or "timeout"
-                    break
-                part = self._guarded_sweep(job, batch, remaining_s)
-                if part is None:
-                    # The hang consumed the remaining budget; stop.
-                    failure = "hung"
-                    break
-                outcomes.update(part)
+            with self.tracer.span("schedule.round", job=job.job_id,
+                                  round=round_index,
+                                  apps=len(plans)) as round_span:
+                for batch in batches:
+                    remaining_s = deadline - self.wall()
+                    if remaining_s <= 0:
+                        failure = failure or "timeout"
+                        break
+                    part = self._guarded_sweep(job, batch, remaining_s)
+                    if part is None:
+                        # The hang consumed the remaining budget; stop.
+                        failure = "hung"
+                        break
+                    outcomes.update(part)
+                if failure:
+                    round_span.set_attribute("failure", failure)
             requeue: List[AppPlan] = []
             for plan in plans:
                 outcome = outcomes.get(plan.package)
@@ -229,6 +255,10 @@ class Scheduler:
                         continue
                 self._complete_app(job, outcome)
             self.journal.write(job)
+            self.event_log.emit(JOB_ROUND, job=job.job_id,
+                                round=round_index, apps=len(plans),
+                                requeued=len(requeue),
+                                **({"failure": failure} if failure else {}))
             if failure:
                 unfinished = [plan for plan in plans
                               if plan.package not in job.completed]
@@ -242,6 +272,7 @@ class Scheduler:
                 delay = self.retry_policy.delay_for(round_index,
                                                     elapsed=backed_off)
                 backed_off += delay
+                self.tracer.observe("serve.retry.delay_s", delay)
                 self.backoff_clock.sleep(delay)
                 round_index += 1
             plans = requeue
@@ -291,6 +322,9 @@ class Scheduler:
         if observed:
             config.tracer = self.tracer
             config.event_log = self.event_log
+            # Worker spans — thread or process backend — land on the
+            # job's trace (observer-only: not part of the fingerprint).
+            config.trace_id = job.trace_id or None
         return config
 
     def _readmit(self, job: Job, plan: AppPlan,
@@ -342,6 +376,9 @@ class Scheduler:
         job.state = state
         job.error = error
         job.finished = round(time.time(), 3)
+        if job.started:
+            self.tracer.observe("serve.job.run_s",
+                                max(0.0, job.finished - job.started))
         if state in (DONE, FAILED) and self.registry is not None:
             job.run_id = self._record_run(job)
         self.journal.write(job)

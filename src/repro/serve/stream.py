@@ -1,0 +1,131 @@
+"""Live event streaming: the fan-out broker behind SSE.
+
+Polling ``/jobs/<id>/logs`` re-reads the whole event list every time;
+the :class:`EventBroker` turns the service's shared
+:class:`~repro.obs.events.EventLog` into a push stream instead.  The
+broker attaches to the log as a *sink* (``event_log.add_sink(broker)``),
+so every emitted event — scheduler transitions, per-app outcomes,
+worker deaths, absorbed worker events — fans out to the subscribers
+whose job it belongs to, with zero cost when nobody is subscribed.
+
+Each :class:`Subscription` owns a **bounded** queue: a slow client
+(or one that stopped reading without closing the socket) cannot make
+the service buffer without limit.  When a subscriber's queue fills,
+the subscription is marked *overflowed*, the drop is counted
+(``serve.sse.dropped``) and the serving loop terminates that client —
+losing one slow reader, never the service's memory.
+
+The matching rule is shared with ``/jobs/<id>/logs``
+(:func:`event_matches`): a job's stream is every event stamped with
+its ``job`` attribute, plus app-level events for its apps that carry
+no job stamp (the absorbed per-app exploration record).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, List, Optional, Set
+
+from repro.obs.events import Event
+from repro.obs.metrics import NULL_METRICS, Metrics
+
+#: Per-subscriber buffer bound; ~a few screens of events.  A client
+#: further behind than this is not following live anymore.
+DEFAULT_BUFFER = 256
+
+
+def event_matches(event: Event, job_id: str, apps: Set[str]) -> bool:
+    """Whether ``event`` belongs to one job's stream."""
+    stamped = event.attributes.get("job")
+    if stamped:
+        return stamped == job_id
+    return event.app in apps
+
+
+class Subscription:
+    """One client's bounded view of a job's live event stream."""
+
+    def __init__(self, job_id: str, apps: Iterable[str],
+                 buffer: int = DEFAULT_BUFFER) -> None:
+        self.job_id = job_id
+        self.apps = set(apps)
+        self._queue: "queue.Queue[Event]" = queue.Queue(maxsize=max(1, buffer))
+        self.overflowed = False
+        self.closed = False
+
+    def matches(self, event: Event) -> bool:
+        return event_matches(event, self.job_id, self.apps)
+
+    def offer(self, event: Event) -> bool:
+        """Enqueue without blocking; a full buffer marks the
+        subscription overflowed instead of stalling the emitter."""
+        if self.closed or self.overflowed:
+            return False
+        try:
+            self._queue.put_nowait(event)
+            return True
+        except queue.Full:
+            self.overflowed = True
+            return False
+
+    def get(self, timeout: float) -> Optional[Event]:
+        """The next event, or None after ``timeout`` seconds of quiet
+        (the serving loop's heartbeat interval)."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+
+class EventBroker:
+    """EventLog sink fanning events out to per-job subscriptions.
+
+    Thread-safe: the event log emits from scheduler and worker-join
+    threads while HTTP handler threads subscribe and unsubscribe.
+    """
+
+    def __init__(self, metrics: Metrics = NULL_METRICS,
+                 buffer: int = DEFAULT_BUFFER) -> None:
+        self.metrics = metrics
+        self.buffer = buffer
+        self._lock = threading.Lock()
+        self._subscriptions: List[Subscription] = []
+
+    # -- the sink contract ---------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        with self._lock:
+            subscriptions = list(self._subscriptions)
+        for subscription in subscriptions:
+            if subscription.matches(event) and not subscription.offer(event):
+                if subscription.overflowed:
+                    self.metrics.inc("serve.sse.dropped")
+
+    # -- subscriber lifecycle ------------------------------------------------
+
+    def subscribe(self, job_id: str,
+                  apps: Iterable[str]) -> Subscription:
+        subscription = Subscription(job_id, apps, buffer=self.buffer)
+        with self._lock:
+            self._subscriptions.append(subscription)
+        self.metrics.inc("serve.sse.subscribed")
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Idempotent detach; the subscription stops receiving and its
+        buffer becomes garbage with it."""
+        subscription.closed = True
+        with self._lock:
+            try:
+                self._subscriptions.remove(subscription)
+            except ValueError:
+                return
+        self.metrics.inc("serve.sse.unsubscribed")
+
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscriptions)

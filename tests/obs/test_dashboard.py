@@ -166,6 +166,101 @@ def test_trend_section_over_registry_records():
     assert render_trend_section([]) != ""
 
 
+# ---------------------------------------------------------------------------
+# The service (job fleet) view
+# ---------------------------------------------------------------------------
+
+def _job(job_id, state="done", created=100.0, started=100.5,
+         finished=102.0, **kwargs):
+    from repro.serve import Job
+
+    job = Job(job_id=job_id, apps=kwargs.pop("apps", ("com.a",)),
+              created=created, started=started, finished=finished,
+              state=state, **kwargs)
+    return job
+
+
+def test_service_rows_derive_latencies_from_the_lifecycle():
+    from repro.obs import service_rows
+
+    done = _job("aaa", trace_id=9)
+    done.completed = {"com.a": {"ok": False, "error": "boom"}}
+    done.attempts = {"com.a": 1}
+    queued = _job("bbb", state="submitted", created=101.0,
+                  started=0.0, finished=0.0)
+    rows = service_rows([queued, done])  # sorted oldest-first
+    assert [row["job_id"] for row in rows] == ["aaa", "bbb"]
+    first, second = rows
+    assert first["queue_wait_s"] == 0.5
+    assert first["run_s"] == 1.5
+    assert first["failed"] == 1
+    assert first["worker_deaths"] == 1
+    assert first["trace_id"] == 9
+    assert second["queue_wait_s"] is None and second["run_s"] is None
+
+
+def test_queue_depth_series_steps_through_arrivals_and_pickups():
+    from repro.obs import queue_depth_series
+
+    jobs = [
+        _job("aaa", created=100.0, started=101.0, finished=103.0),
+        _job("bbb", created=100.5, started=102.0, finished=104.0),
+        # Cancelled before it started: leaves the queue at `finished`.
+        _job("ccc", state="cancelled", created=100.5, started=0.0,
+             finished=102.5),
+    ]
+    points = queue_depth_series(jobs)
+    assert points[0] == (0.0, 1)
+    assert (0.5, 3) in points  # two arrivals share one timestamp
+    assert points[-1][1] == 0  # everyone left the queue
+    assert max(depth for _, depth in points) == 3
+    assert queue_depth_series([]) == []
+
+
+def test_service_dashboard_renders_jobs_and_adversity(tmp_path):
+    from repro.obs import render_service_dashboard
+
+    healthy = _job("aaa", trace_id=3)
+    healthy.completed = {"com.a": {"ok": True}}
+    bruised = _job("bbb", created=100.2, started=101.0, finished=104.0)
+    bruised.completed = {"com.a": {"ok": False, "error": "boom"}}
+    bruised.attempts = {"com.a": 2}
+    bruised.quarantined = ["com.a"]
+    html = render_service_dashboard([healthy, bruised],
+                                    tmp_path / "journal")
+    _assert_well_formed(html)
+    assert "Service fleet" in html
+    assert "Queue depth over time" in html
+    assert "Jobs (2)" in html
+    assert "Adversity timeline" in html
+    assert "aaa" in html and "bbb" in html
+    assert "<script" not in html  # self-contained like the run view
+
+
+def test_service_dashboard_without_jobs_is_an_empty_state(tmp_path):
+    from repro.obs import render_service_section, render_service_dashboard
+
+    assert "repro jobs submit" in render_service_section([])
+    html = render_service_dashboard([], tmp_path / "journal")
+    _assert_well_formed(html)
+
+
+def test_adversity_timeline_annotates_registry_records():
+    from repro.obs.dashboard import _adversity_timeline
+
+    job = _job("aaa")
+    job.attempts = {"com.a": 1}
+
+    class FakeRecord:
+        meta = {"job_id": "aaa",
+                "degradation": {"worker_deaths": 1}}
+
+    timeline = _adversity_timeline([job], [FakeRecord()])
+    assert "aaa" in timeline and "yes" in timeline
+    # A healthy fleet renders the empty state, not an empty table.
+    assert "healthy" in _adversity_timeline([_job("bbb")], None)
+
+
 def test_dashboard_threads_trend_history_through(tmp_path):
     from repro.obs import RunRecord
 

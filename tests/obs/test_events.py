@@ -83,8 +83,8 @@ def test_jsonl_lines_are_flushed_before_close(tmp_path):
 
 def test_all_kind_constants_are_registered():
     assert STATE_DISCOVERED in EVENT_KINDS
-    # 14 exploration kinds + 4 service-mode job kinds (repro.serve).
-    assert len(EVENT_KINDS) == 18
+    # 14 exploration kinds + 5 service-mode job kinds (repro.serve).
+    assert len(EVENT_KINDS) == 19
 
 
 def test_from_dict_tolerates_minimal_records():

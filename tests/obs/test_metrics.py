@@ -2,7 +2,7 @@
 
 import threading
 
-from repro.obs import NULL_METRICS, Metrics
+from repro.obs import NULL_METRICS, Metrics, percentile
 
 
 def test_counter_accumulation():
@@ -28,6 +28,33 @@ def test_histogram_stats():
     assert metrics.histogram("queue.depth") == (1, 4, 7)
     empty = metrics.histogram_stats("missing")
     assert empty.count == 0 and empty.mean == 0.0
+
+
+def test_histogram_quantiles_use_nearest_rank():
+    metrics = Metrics()
+    for value in range(1, 101):  # 1..100
+        metrics.observe("latency", float(value))
+    stats = metrics.histogram_stats("latency")
+    assert (stats.p50, stats.p90, stats.p99) == (50.0, 90.0, 99.0)
+    payload = stats.to_dict()
+    assert payload["p50"] == 50.0 and payload["p99"] == 99.0
+
+    single = Metrics()
+    single.observe("h", 7.0)
+    lone = single.histogram_stats("h")
+    assert (lone.p50, lone.p90, lone.p99) == (7.0, 7.0, 7.0)
+
+
+def test_percentile_is_the_shared_quantile_definition():
+    # The one definition metrics, summary and the exporters share.
+    assert percentile([], 0.5) == 0.0
+    assert percentile([3.0], 0.99) == 3.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+    assert percentile([4.0, 1.0, 3.0, 2.0], 1.0) == 4.0  # unsorted input
+    assert percentile([1.0, 2.0], 0.0) == 1.0
+
+    from repro.obs.summary import percentile as reexported
+    assert reexported is percentile
 
 
 def test_snapshot_is_json_ready_and_detached():

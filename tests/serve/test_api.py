@@ -163,6 +163,122 @@ def test_restart_resumes_journaled_jobs(tmp_path):
         server.stop(timeout=2.0)
 
 
+def test_metrics_content_negotiation(server, client):
+    job = client.submit([ALPHA], max_events=200)
+    client.wait(job["job_id"], timeout_s=60.0)
+
+    # JSON stays the default shape, now with quantile summaries.
+    snapshot = client.metrics()
+    waits = snapshot["histograms"]["serve.queue.wait_s"]
+    assert waits["count"] >= 1
+    assert set(waits) >= {"count", "total", "min", "max",
+                          "mean", "p50", "p90", "p99"}
+    assert "serve.job.run_s" in snapshot["histograms"]
+    assert "serve.job.start_s" in snapshot["histograms"]
+
+    # ?format=prometheus (or Accept: text/plain) switches exposition.
+    text = client.metrics_prometheus()
+    assert "# TYPE fragdroid_serve_admitted_total counter" in text
+    assert "# TYPE fragdroid_serve_queue_wait_s summary" in text
+    assert 'fragdroid_serve_queue_wait_s{quantile="0.99"}' in text
+    assert "fragdroid_serve_job_run_s_count 1" in text
+
+
+def test_job_trace_correlates_across_the_process_boundary(server, client):
+    """The tentpole end to end: one job submitted over HTTP against the
+    process backend yields ONE trace — the submit root, the recorded
+    queue wait, the scheduler rounds and the absorbed worker spans all
+    under the trace id the job carries."""
+    job = client.submit([ALPHA, BETA], max_events=200,
+                        backend="process", workers=2)
+    done = client.wait(job["job_id"], timeout_s=120.0)
+    assert done["state"] == "done"
+    trace_id = done["trace_id"]
+    assert trace_id > 0
+
+    spans = server.tracer.spans_in_trace(trace_id)
+    names = {span.name for span in spans}
+    assert {"job.submit", "queue.wait", "job.run",
+            "schedule.round", "sweep.app"} <= names
+    # Both workers' app spans (and their children) were re-homed.
+    apps = {span.attributes.get("app") for span in spans
+            if span.name == "sweep.app"}
+    assert apps == {ALPHA, BETA}
+    assert sum(1 for span in spans if span.depth > 0) > 0
+
+
+def test_sse_stream_follows_a_job_to_completion(server, client):
+    job = client.submit([ALPHA], max_events=200)
+    events = list(client.stream_events(job["job_id"], timeout_s=30.0))
+    kinds = [event["kind"] for event in events]
+    assert "job.state" in kinds
+    assert "job.round" in kinds
+    assert "job.app.done" in kinds
+    states = [event["attributes"]["state"] for event in events
+              if event["kind"] == "job.state"]
+    assert states[-1] == "done"
+    # No duplicate delivery across the backlog/live seam.
+    seqs = [event["seq"] for event in events]
+    assert seqs == sorted(set(seqs))
+    # The handler detached its subscription on the way out.
+    for _ in range(100):
+        if server.broker.subscriber_count() == 0:
+            break
+        threading.Event().wait(0.02)
+    assert server.broker.subscriber_count() == 0
+
+
+def test_sse_stream_replays_the_backlog_of_a_finished_job(server, client):
+    job = client.submit([ALPHA], max_events=200)
+    client.wait(job["job_id"], timeout_s=60.0)
+    events = list(client.stream_events(job["job_id"], timeout_s=10.0))
+    assert events, "a finished job still streams its backlog"
+    assert events[-1]["attributes"].get("state") == "done"
+    assert server.broker.subscriber_count() == 0
+
+
+def test_sse_stream_of_unknown_job_is_a_404(client):
+    with pytest.raises(ServeClientError) as excinfo:
+        next(client.stream_events("feedfacecafe"))
+    assert excinfo.value.status == 404
+
+
+def test_disconnecting_sse_client_is_cleaned_up(server, client):
+    """A client that walks away mid-stream must not leak its
+    subscription (the bounded buffer dies with it)."""
+    import urllib.request
+
+    gate = threading.Event()
+    original = server.scheduler.sweep_fn
+
+    def held_sweep(plans, **kwargs):
+        gate.wait(30.0)
+        return original(plans, **kwargs)
+
+    server.scheduler.sweep_fn = held_sweep
+    try:
+        job = client.submit([ALPHA], max_events=200)
+        response = urllib.request.urlopen(
+            server.url + f"/jobs/{job['job_id']}/events", timeout=10.0)
+        response.readline()  # the stream is live
+        for _ in range(100):
+            if server.broker.subscriber_count() == 1:
+                break
+            threading.Event().wait(0.02)
+        assert server.broker.subscriber_count() == 1
+        response.close()  # hang up without reading to the end
+        gate.set()
+        client.wait(job["job_id"], timeout_s=60.0)
+        for _ in range(200):
+            if server.broker.subscriber_count() == 0:
+                break
+            threading.Event().wait(0.02)
+        assert server.broker.subscriber_count() == 0
+    finally:
+        gate.set()
+        server.scheduler.sweep_fn = original
+
+
 def test_shutdown_endpoint_stops_the_service(tmp_path):
     server = ReproServer(journal_dir=tmp_path / "journal",
                          registry_dir=tmp_path / "runs", port=0)

@@ -170,6 +170,17 @@ def test_job_round_trips_through_dict():
     assert clone.remaining() == ["com.serve.demo.beta"]
 
 
+def test_schema_v2_carries_the_trace_id():
+    job = Job(apps=list(APPS), trace_id=314)
+    data = job.to_dict()
+    assert data["schema"] == JOB_SCHEMA == 2
+    assert data["trace_id"] == 314
+    assert Job.from_dict(data).trace_id == 314
+    # trace_id is optional in the record: absent means untraced.
+    del data["trace_id"]
+    assert Job.from_dict(data).trace_id == 0
+
+
 def test_foreign_schema_is_refused():
     data = Job(apps=list(APPS)).to_dict()
     data["schema"] = JOB_SCHEMA + 1

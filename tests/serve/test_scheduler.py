@@ -98,6 +98,58 @@ def _rows_sans_duration(job):
 # The happy path
 # ---------------------------------------------------------------------------
 
+def test_job_trace_id_correlates_the_whole_lifecycle(tmp_path):
+    """A job carrying a trace id yields one trace: the recorded queue
+    wait, the job.run root, the per-round spans and the worker spans
+    (thread backend: bound live via trace_span)."""
+    scheduler = make_scheduler(tmp_path)
+    job = submit_demo_job(scheduler, trace_id=4242)
+    scheduler.run_job(job)
+    assert job.state == DONE
+
+    spans = scheduler.tracer.spans_in_trace(4242)
+    names = {span.name for span in spans}
+    assert {"queue.wait", "job.run", "schedule.round",
+            "sweep.app"} <= names
+    wait = next(span for span in spans if span.name == "queue.wait")
+    assert wait.attributes["job"] == job.job_id
+    assert wait.duration >= 0.0
+    # schedule.round nests under job.run on the scheduler thread;
+    # worker spans run on pool threads, so they join the trace as
+    # additional roots (that is what trace_span is for).
+    rounds = [span for span in spans if span.name == "schedule.round"]
+    job_run = next(span for span in spans if span.name == "job.run")
+    assert all(span.parent_id == job_run.span_id for span in rounds)
+    roots = {span.name for span in spans if span.parent_id is None}
+    assert roots == {"queue.wait", "job.run", "sweep.app"}
+
+    histograms = scheduler.tracer.metrics.snapshot()["histograms"]
+    assert histograms["serve.queue.wait_s"]["count"] == 1
+    assert histograms["serve.job.start_s"]["count"] == 1
+    assert histograms["serve.job.run_s"]["count"] == 1
+
+
+def test_untraced_job_still_runs_with_local_spans(tmp_path):
+    """trace_id 0 (a job submitted straight to the queue, no HTTP
+    front door) degrades cleanly: spans exist, each rooted normally."""
+    scheduler = make_scheduler(tmp_path)
+    job = submit_demo_job(scheduler)
+    assert job.trace_id == 0
+    scheduler.run_job(job)
+    assert job.state == DONE
+    names = {span.name for span in scheduler.tracer.finished_spans()}
+    assert {"queue.wait", "job.run", "schedule.round"} <= names
+
+
+def test_retry_rounds_observe_the_delay_histogram(tmp_path):
+    scheduler = make_scheduler(tmp_path, sweep_fn=scripted_sweep({ALPHA: 1}))
+    job = submit_demo_job(scheduler)
+    scheduler.run_job(job)
+    assert job.state == DONE
+    histograms = scheduler.tracer.metrics.snapshot()["histograms"]
+    assert histograms["serve.retry.delay_s"]["count"] == 1
+
+
 def test_clean_job_completes_and_lands_in_registry(tmp_path):
     scheduler = make_scheduler(tmp_path)
     job = submit_demo_job(scheduler)

@@ -1,0 +1,86 @@
+"""The SSE fan-out broker: matching, bounded buffers, cleanup."""
+
+from repro.obs.events import Event, EventLog
+from repro.obs.metrics import Metrics
+from repro.serve import EventBroker, Subscription, event_matches
+
+
+def _event(seq, kind="job.state", app="", **attributes):
+    return Event(seq=seq, kind=kind, step=0, wall=float(seq),
+                 app=app, attributes=attributes)
+
+
+def test_event_matches_prefers_the_job_stamp():
+    apps = {"com.a"}
+    assert event_matches(_event(1, job="j1"), "j1", apps)
+    assert not event_matches(_event(1, job="j2"), "j1", apps)
+    # No stamp: fall back to app membership (absorbed worker events).
+    assert event_matches(_event(2, app="com.a"), "j1", apps)
+    assert not event_matches(_event(2, app="com.b"), "j1", apps)
+
+
+def test_broker_fans_out_only_to_matching_subscriptions():
+    broker = EventBroker()
+    mine = broker.subscribe("j1", ["com.a"])
+    other = broker.subscribe("j2", ["com.b"])
+    broker.emit(_event(1, job="j1"))
+    broker.emit(_event(2, app="com.a"))
+    broker.emit(_event(3, job="j2"))
+    assert mine.pending() == 2
+    assert other.pending() == 1
+    assert mine.get(timeout=0.1).seq == 1
+    assert mine.get(timeout=0.1).seq == 2
+    assert mine.get(timeout=0.01) is None  # quiet stream -> heartbeat
+
+
+def test_broker_attaches_to_an_event_log_as_a_sink():
+    broker = EventBroker()
+    log = EventLog(sinks=[broker])
+    subscription = broker.subscribe("j1", set())
+    log.emit("job.state", job="j1", state="running")
+    got = subscription.get(timeout=0.1)
+    assert got is not None and got.attributes["state"] == "running"
+
+
+def test_slow_client_overflows_and_stops_receiving():
+    metrics = Metrics()
+    broker = EventBroker(metrics=metrics, buffer=2)
+    slow = broker.subscribe("j1", set())
+    for seq in range(1, 6):
+        broker.emit(_event(seq, job="j1"))
+    assert slow.overflowed is True
+    assert slow.pending() == 2  # bounded: nothing past the buffer
+    # Drops are counted once per discarded event.
+    assert metrics.snapshot()["counters"]["serve.sse.dropped"] == 3
+    # An overflowed subscription refuses further events outright.
+    assert slow.offer(_event(9, job="j1")) is False
+
+
+def test_unsubscribe_is_idempotent_and_leaves_no_buffer_behind():
+    metrics = Metrics()
+    broker = EventBroker(metrics=metrics)
+    subscription = broker.subscribe("j1", set())
+    assert broker.subscriber_count() == 1
+    broker.unsubscribe(subscription)
+    broker.unsubscribe(subscription)  # second detach is a no-op
+    assert broker.subscriber_count() == 0
+    assert subscription.closed is True
+    assert subscription.offer(_event(1, job="j1")) is False
+    broker.emit(_event(2, job="j1"))  # nobody buffers it
+    assert subscription.pending() == 0
+    counters = metrics.snapshot()["counters"]
+    assert counters["serve.sse.subscribed"] == 1
+    assert counters["serve.sse.unsubscribed"] == 1
+
+
+def test_emit_with_no_subscribers_is_a_no_op():
+    broker = EventBroker()
+    broker.emit(_event(1, job="j1"))  # must not raise or buffer
+    assert broker.subscriber_count() == 0
+
+
+def test_subscription_buffer_floor_is_one():
+    subscription = Subscription("j1", set(), buffer=0)
+    assert subscription.offer(_event(1, job="j1")) is True
+    assert subscription.offer(_event(2, job="j1")) is False
+    assert subscription.overflowed is True

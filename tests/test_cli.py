@@ -584,6 +584,67 @@ def test_jobs_cli_submit_json_output(capsys, tmp_path, monkeypatch):
         server.stop(timeout=2.0)
 
 
+def test_jobs_cli_logs_follow_streams_to_completion(capsys, tmp_path,
+                                                    monkeypatch):
+    from repro.serve import ReproServer
+
+    server = ReproServer(journal_dir=tmp_path / "journal",
+                         registry_dir=tmp_path / "runs", port=0)
+    server.start()
+    try:
+        monkeypatch.setenv("FRAGDROID_SERVE_URL", server.url)
+        code, out = run_cli(capsys, "jobs", "submit",
+                            "com.serve.demo.alpha", "--max-events",
+                            "200", "--json")
+        job_id = json.loads(out)["job_id"]
+        # --follow tails the SSE stream and exits once the job ends.
+        code, out = run_cli(capsys, "jobs", "logs", job_id, "--follow")
+        assert code == 0
+        assert "job.round" in out
+        assert "state=done" in out
+        # The handler released its subscription (no leaked buffer);
+        # its finally-block can lag the client's exit by a beat.
+        import threading
+        for _ in range(100):
+            if server.broker.subscriber_count() == 0:
+                break
+            threading.Event().wait(0.02)
+        assert server.broker.subscriber_count() == 0
+    finally:
+        server.stop(timeout=2.0)
+
+
+def test_dashboard_journal_renders_the_service_view(capsys, tmp_path,
+                                                    monkeypatch):
+    from repro.serve import ReproServer, ServeClient
+
+    server = ReproServer(journal_dir=tmp_path / "journal",
+                         registry_dir=tmp_path / "runs", port=0)
+    server.start()
+    try:
+        client = ServeClient(server.url, timeout_s=10.0)
+        job = client.submit(["com.serve.demo.alpha"], max_events=200)
+        client.wait(job["job_id"], timeout_s=60.0)
+    finally:
+        server.stop(timeout=2.0)
+    out_html = tmp_path / "fleet.html"
+    code, out = run_cli(capsys, "dashboard",
+                        "--journal", str(tmp_path / "journal"),
+                        "--registry", str(tmp_path / "runs"),
+                        "-o", str(out_html))
+    assert code == 0 and "wrote dashboard" in out
+    html_text = out_html.read_text()
+    assert "Service fleet" in html_text
+    assert job["job_id"] in html_text
+
+    code, out = run_cli(capsys, "dashboard",
+                        "--journal", str(tmp_path / "nowhere"))
+    assert code == 1 and "journal" in out
+    # No directory and no --journal is a usage error, not a traceback.
+    code, out = run_cli(capsys, "dashboard")
+    assert code == 1 and "--journal" in out
+
+
 def test_jobs_cli_unreachable_service(capsys, monkeypatch):
     monkeypatch.setenv("FRAGDROID_SERVE_URL", "http://127.0.0.1:1")
     assert run_cli(capsys, "jobs", "status")[0] == 1

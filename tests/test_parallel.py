@@ -279,6 +279,39 @@ def test_process_backend_merges_observability():
                 == [e.seq for e in result.events])
 
 
+def test_process_backend_rehomes_spans_onto_the_config_trace():
+    """A config carrying a trace_id correlates the whole sweep: worker
+    spans absorbed from the process pool — and thread-backend spans
+    bound live — all land on that one trace."""
+    from repro import FragDroidConfig
+    from repro.obs import Tracer
+
+    plans = [plan_for(p) for p in SWEEP_PACKAGES[:2]]
+    for backend in ("thread", "process"):
+        config = FragDroidConfig(tracer=Tracer(), trace_id=987654)
+        explore_many(plans, config=config, max_workers=2, backend=backend)
+        spans = config.tracer.spans_in_trace(987654)
+        assert spans, f"{backend}: no spans joined the config trace"
+        names = {s.name for s in spans}
+        assert "sweep.app" in names and "explore" in names, backend
+        # Nothing recorded by the sweep lives outside the trace.
+        others = [s for s in config.tracer.finished_spans()
+                  if s.trace_id != 987654]
+        assert others == [], backend
+
+
+def test_config_trace_id_is_validated_and_fingerprint_neutral():
+    from repro import FragDroidConfig
+    from repro.obs.registry import config_fingerprint
+
+    with pytest.raises(ValueError):
+        FragDroidConfig(trace_id="abc")
+    with pytest.raises(ValueError):
+        FragDroidConfig(trace_id=True)
+    assert (config_fingerprint(FragDroidConfig(trace_id=7))
+            == config_fingerprint(FragDroidConfig()))
+
+
 # ---------------------------------------------------------------------------
 # Worker death
 # ---------------------------------------------------------------------------
