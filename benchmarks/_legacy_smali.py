@@ -1,0 +1,141 @@
+"""Frozen copy of the pre-optimization smali parser (reference arm).
+
+This is the per-line ``startswith``-chain lexer the single-pass
+dispatch-table rewrite in ``repro.smali.assemble`` replaced, kept
+verbatim so ``bench_static_perf`` can measure the speedup *in the same
+process on the same machine* — a ratio pin that travels across hardware,
+unlike committed wall-clock numbers.  It shares ``repro.smali.model``
+(and therefore the interned ``MethodRef.parse`` and cached type
+converters) with the new lexer, so the measured ratio isolates the
+lexing strategy itself.
+
+Not a public API; nothing outside the benchmarks imports this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import SmaliError
+from repro.smali.model import (
+    Instruction,
+    MethodRef,
+    SmaliClass,
+    SmaliField,
+    SmaliMethod,
+    java_name,
+)
+
+
+def parse_class(text: str) -> SmaliClass:
+    """Parse smali text (pre-optimization reference implementation)."""
+    cls: SmaliClass = SmaliClass(name="__pending__")
+    method: SmaliMethod = SmaliMethod(name="__none__")
+    in_method = False
+    seen_class = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith(".class"):
+            cls.name = java_name(line.split()[-1])
+            seen_class = True
+        elif line.startswith(".super"):
+            cls.super_name = java_name(line.split()[-1])
+        elif line.startswith(".source"):
+            cls.source = line.split('"')[1]
+        elif line.startswith(".implements"):
+            cls.interfaces.append(java_name(line.split()[-1]))
+        elif line.startswith(".field"):
+            static = " static " in line + " "
+            decl = line.split()[-1]
+            name, _, descriptor = decl.partition(":")
+            cls.fields.append(
+                SmaliField(name=name, type=java_name(descriptor), static=static)
+            )
+        elif line.startswith(".method"):
+            method = _parse_method_header(line)
+            in_method = True
+        elif line.startswith(".registers"):
+            method.registers = int(line.split()[-1])
+        elif line.startswith(".end method"):
+            cls.methods.append(method)
+            in_method = False
+        elif in_method:
+            method.instructions.append(_parse_instruction(line))
+    if not seen_class:
+        raise SmaliError("no .class directive found")
+    return cls
+
+
+def _parse_method_header(line: str) -> SmaliMethod:
+    # ".method public [static] name(params)ret"
+    static = " static " in line
+    signature = line.split()[-1]
+    name, rest = signature.split("(", 1)
+    params_str, ret = rest.split(")", 1)
+    params = [java_name(d) for d in _split_descriptors(params_str)]
+    return SmaliMethod(name=name, params=params, ret=java_name(ret), static=static)
+
+
+def _split_descriptors(text: str) -> List[str]:
+    out: List[str] = []
+    index = 0
+    while index < len(text):
+        start = index
+        while text[index] == "[":
+            index += 1
+        if text[index] == "L":
+            index = text.index(";", index) + 1
+        else:
+            index += 1
+        out.append(text[start:index])
+    return out
+
+
+def _parse_instruction(line: str) -> Instruction:
+    if line.startswith(":"):
+        return Instruction("label", (line[1:],))
+    opcode, _, rest = line.partition(" ")
+    rest = rest.strip()
+    if opcode in ("return-void", "nop"):
+        return Instruction(opcode)
+    if opcode == "goto":
+        return Instruction(opcode, (rest.lstrip(":"),))
+    if opcode in ("if-eqz", "if-nez"):
+        reg, label = _split_args(rest, 2)
+        return Instruction(opcode, (reg, label.lstrip(":")))
+    if opcode == "const-string":
+        reg, literal = rest.split(", ", 1)
+        value = literal.strip()[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+        return Instruction(opcode, (reg, value))
+    if opcode in ("const-class", "new-instance", "check-cast"):
+        reg, descriptor = _split_args(rest, 2)
+        return Instruction(opcode, (reg, java_name(descriptor)))
+    if opcode == "instance-of":
+        dest, src, descriptor = _split_args(rest, 3)
+        return Instruction(opcode, (dest, src, java_name(descriptor)))
+    if opcode in ("const", "const/4"):
+        reg, value = _split_args(rest, 2)
+        return Instruction(opcode, (reg, int(value, 16)))
+    if opcode in ("move-result-object", "move-result", "return-object"):
+        return Instruction(opcode, (rest,))
+    if opcode in ("iget-object", "iput-object"):
+        reg, obj, ref = _split_args(rest, 3)
+        return Instruction(opcode, (reg, obj, ref))
+    if opcode.startswith("invoke-"):
+        regs_part, _, ref_part = rest.partition("}, ")
+        regs_part = regs_part.lstrip("{")
+        regs: Tuple[str, ...] = tuple(
+            r.strip() for r in regs_part.split(",") if r.strip()
+        )
+        ref = MethodRef.parse(ref_part.strip())
+        return Instruction(opcode, regs + (ref,))
+    raise SmaliError(f"cannot parse instruction: {line!r}")
+
+
+def _split_args(rest: str, count: int) -> List[str]:
+    parts = [p.strip() for p in rest.split(",")]
+    if len(parts) != count:
+        raise SmaliError(f"expected {count} operands in {rest!r}")
+    return parts

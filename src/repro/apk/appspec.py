@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ApkError
@@ -385,6 +386,7 @@ class AppSpec:
         return bool(self.fragments)
 
 
+@lru_cache(maxsize=None)
 def _snake(name: str) -> str:
     out = []
     for index, char in enumerate(name):

@@ -9,6 +9,7 @@ round-tripping so the static analyzer genuinely parses text artifacts.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -123,11 +124,23 @@ class Layout:
         return layout
 
 
+# Fast path: a tag body that is exactly ``Name (ws key="value")*`` parses
+# to the same pairs the quote-aware tokenizer below would produce, so it
+# can be read with two C-level regex passes instead of a char loop.
+_FAST_TAG_RE = re.compile(
+    r'^[^\s<>="]+(?P<attrs>(?:\s+[^\s="]+="[^"]*")*)\s*$'
+)
+_ATTR_PAIR_RE = re.compile(r'([^\s="]+)="([^"]*)"')
+
+
 def _attrs(tag: str) -> Dict[str, str]:
     """Parse attributes from a single-element tag line."""
     attrs: Dict[str, str] = {}
     body = tag.strip().lstrip("<").rstrip("/>").rstrip(">")
-    # Split on whitespace outside quotes.
+    fast = _FAST_TAG_RE.match(body)
+    if fast is not None:
+        return dict(_ATTR_PAIR_RE.findall(fast.group("attrs")))
+    # Slow path for anything odder: split on whitespace outside quotes.
     token = ""
     in_quotes = False
     tokens: List[str] = []

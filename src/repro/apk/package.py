@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, TYPE_CHECKING
+from typing import Dict, Iterable, List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apk.appspec import AppSpec
@@ -47,6 +47,10 @@ class ApkPackage:
         any byte of any artifact changes it.  The behavioural ``_spec``
         is deliberately excluded: analysis never touches it.
         """
+        return hashlib.sha256(self._digest_payload()).hexdigest()
+
+    def _digest_payload(self) -> bytes:
+        """The canonical bytes :meth:`digest` hashes."""
         payload = json.dumps(
             {
                 "package": self.package,
@@ -60,7 +64,7 @@ class ApkPackage:
             sort_keys=True,
             separators=(",", ":"),
         )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return payload.encode("utf-8")
 
     def size_estimate(self) -> int:
         """Rough byte size of the package contents (for reporting)."""
@@ -79,3 +83,16 @@ class ApkPackage:
         if self._spec is None:
             raise ValueError(f"package {self.package} has no runtime spec")
         return self._spec
+
+
+def digest_many(packages: Iterable[ApkPackage]) -> List[str]:
+    """Batch :meth:`ApkPackage.digest` over a corpus.
+
+    One pass with the hasher and serializer resolved once; each value is
+    byte-identical to calling ``digest()`` on that package (both hash the
+    same canonical payload), so cache keys and committed baselines are
+    unaffected by which entry point computed them.
+    """
+    sha256 = hashlib.sha256
+    return [sha256(package._digest_payload()).hexdigest()
+            for package in packages]

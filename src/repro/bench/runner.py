@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import Device, FragDroid, FragDroidConfig
-from repro.apk import build_apk
+from repro.apk import build_apk, digest_many
 from repro.baselines import ActivityExplorer, DepthFirstExplorer, Monkey
 from repro.bench.parallel import _default_workers, _resolve_backend, explore_many
 from repro.core.coverage import CoverageReport, CoverageRow
@@ -23,6 +23,7 @@ from repro.corpus.table1_apps import (
 from repro.errors import PackedApkError
 from repro.obs.registry import RunRegistry, capture_run_record
 from repro.smali.apktool import Apktool
+from repro.static.cache import StaticCache
 from repro.static.effective import fragment_subclasses
 from repro.types import InvocationSource
 
@@ -147,8 +148,12 @@ class UsageStudyResult:
 
 def _classify_market_app(app) -> str:
     """One usage-study datapoint: "packed", "fragments" or "plain"."""
+    return _classify_apk(app.build())
+
+
+def _classify_apk(apk) -> str:
     try:
-        decoded = Apktool().decode(app.build())
+        decoded = Apktool().decode(apk)
     except PackedApkError:
         return "packed"
     return "fragments" if fragment_subclasses(decoded) else "plain"
@@ -159,10 +164,29 @@ def _classify_market_chunk(apps) -> List[str]:
     return [_classify_market_app(app) for app in apps]
 
 
+def _classify_many(apps: List, max_workers: int, backend: str) -> List[str]:
+    """Classify a list of market apps serially or via a worker pool."""
+    if max_workers == 1 or len(apps) <= 1:
+        return [_classify_market_app(app) for app in apps]
+    if backend == "process":
+        chunksize = max(1, len(apps) // (max_workers * 4))
+        chunks = [apps[i:i + chunksize]
+                  for i in range(0, len(apps), chunksize)]
+        statuses: List[str] = []
+        with ProcessPoolExecutor(max_workers=min(max_workers,
+                                                 len(chunks))) as pool:
+            for chunk_statuses in pool.map(_classify_market_chunk, chunks):
+                statuses.extend(chunk_statuses)
+        return statuses
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_classify_market_app, apps))
+
+
 def run_usage_study(count: int = 217, seed: int = 2018,
                     max_workers: Optional[int] = 1,
                     backend: Optional[str] = None,
                     registry: Optional["RunRegistry"] = None,
+                    cache: Optional["StaticCache"] = None,
                     ) -> UsageStudyResult:
     """The Section VII-A market survey: decode ``count`` synthetic
     market apps and tally Fragment adoption.
@@ -174,26 +198,37 @@ def run_usage_study(count: int = 217, seed: int = 2018,
     (``"thread"``/``"process"``, defaulting like ``explore_many``).
     ``registry`` (a :class:`repro.obs.registry.RunRegistry`) persists
     the tallies as a run record the `repro runs` verbs can diff.
+
+    ``cache`` (a :class:`repro.static.cache.StaticCache`) makes the
+    sweep incremental: digests are batch-computed once over the corpus
+    (:func:`repro.apk.package.digest_many`), known classifications are
+    served from one shared note load, and only cache misses are decoded
+    and classified — the result tallies are identical either way.
     """
     market = generate_market(count=count, seed=seed)
     backend = _resolve_backend(backend)
     if max_workers is None:
         max_workers = _default_workers(len(market))
     max_workers = max(1, min(max_workers, len(market)))
-    if max_workers == 1:
-        statuses = [_classify_market_app(app) for app in market]
-    elif backend == "process":
-        chunksize = max(1, len(market) // (max_workers * 4))
-        chunks = [market[i:i + chunksize]
-                  for i in range(0, len(market), chunksize)]
-        statuses = []
-        with ProcessPoolExecutor(max_workers=min(max_workers,
-                                                 len(chunks))) as pool:
-            for chunk_statuses in pool.map(_classify_market_chunk, chunks):
-                statuses.extend(chunk_statuses)
+    if cache is None:
+        statuses = _classify_many(market, max_workers, backend)
     else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            statuses = list(pool.map(_classify_market_app, market))
+        digests = digest_many(app.build() for app in market)
+        notes = cache.load_notes("usage-study")
+        slots: List[Optional[str]] = [notes.get(d) for d in digests]
+        pending = [i for i, status in enumerate(slots) if status is None]
+        cache.count_lookups(hits=len(market) - len(pending),
+                            misses=len(pending))
+        if pending:
+            fresh = _classify_many([market[i] for i in pending],
+                                   max_workers, backend)
+            for index, status in zip(pending, fresh):
+                slots[index] = status
+            cache.store_notes(
+                "usage-study",
+                {digests[i]: slots[i] for i in pending},  # type: ignore[misc]
+            )
+        statuses = [status for status in slots if status is not None]
     packed = statuses.count("packed")
     study = UsageStudyResult(
         total=len(market),

@@ -487,7 +487,19 @@ def cmd_table2(args: argparse.Namespace) -> int:
 
 def cmd_study(args: argparse.Namespace) -> int:
     workers = args.workers if args.workers is not None else 1
-    print(run_usage_study(max_workers=workers, backend=args.backend).render())
+    cache = None
+    if getattr(args, "static_cache", None):
+        from repro.static.cache import StaticCache
+
+        cache = StaticCache(directory=args.static_cache)
+    result = run_usage_study(max_workers=workers, backend=args.backend,
+                             cache=cache)
+    print(result.render())
+    if cache is not None:
+        stats = cache.stats()
+        print(f"static cache: {stats['hits']} hits, "
+              f"{stats['misses']} misses "
+              f"(hit rate {stats['hit_rate']:.0%})")
     return 0
 
 
@@ -508,6 +520,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"lifetime hits: {stats.get('lifetime_hits', 0)}  "
           f"misses: {stats.get('lifetime_misses', 0)}  "
           f"stores: {stats.get('lifetime_stores', 0)}")
+    print(f"lifetime hit rate: {stats.get('lifetime_hit_rate', 0.0):.0%}")
     return 0
 
 
@@ -519,13 +532,25 @@ def _open_registry(args: argparse.Namespace):
 
 
 def _resolve_record(registry, ref: str):
-    """A run record by registry id/prefix or by record-file path."""
+    """A run record by registry id/prefix or by record-file path.
+
+    File paths may name either a full run record or a bench-result file
+    (the ``write_result_json`` shape, ``{"bench": ..., "data": {...}}``);
+    the latter is converted through the same flattening as
+    ``repro runs ingest``, so committed bench baselines gate directly.
+    """
+    import json
     import pathlib
 
-    from repro.obs.registry import load_record
+    from repro.obs.registry import load_record, record_from_bench
 
-    if pathlib.Path(ref).is_file():
-        return load_record(ref)
+    path = pathlib.Path(ref)
+    if path.is_file():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if isinstance(payload, dict) and "bench" in payload \
+                and isinstance(payload.get("data"), dict):
+            return record_from_bench(path)
+        return load_record(path)
     return registry.load(ref)
 
 
@@ -631,6 +656,72 @@ def cmd_runs(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Where the time goes: top phases by p90 self time from a run
+    record (default: the latest in the registry), optionally diffed
+    against a baseline record."""
+    registry = _open_registry(args)
+    if args.record:
+        try:
+            record = _resolve_record(registry, args.record)
+        except (KeyError, ValueError, OSError) as exc:
+            print(f"cannot load record {args.record!r}: {exc}")
+            return 2
+    else:
+        latest = registry.latest(1)
+        if not latest:
+            print(f"no run records in {registry.directory} — run a sweep "
+                  "with a registry, or name a record file")
+            return 2
+        record = latest[0]
+    if not record.phases:
+        print(f"record {record.run_id or '<unnamed>'} has no phase data")
+        return 2
+
+    baseline = None
+    if args.diff:
+        try:
+            baseline = _resolve_record(registry, args.diff)
+        except (KeyError, ValueError, OSError) as exc:
+            print(f"cannot load baseline {args.diff!r}: {exc}")
+            return 2
+
+    total = record.total_phase_time()
+    ranked = sorted(record.phases.items(),
+                    key=lambda item: item[1].get("self_p90_ms", 0.0),
+                    reverse=True)[:args.top]
+    print(f"run {record.run_id or '<unnamed>'} ({record.label}) — "
+          f"top {len(ranked)} phases by p90 self time; "
+          f"total self time {total:.3f}s")
+    header = (f"{'phase':<32} {'count':>7} {'self_s':>8} {'share':>7} "
+              f"{'p50_ms':>8} {'p90_ms':>8} {'p99_ms':>8}")
+    if baseline is not None:
+        header += f" {'Δp90_ms':>9}"
+    print(header)
+    for name, stats in ranked:
+        self_s = stats.get("self_total_s", 0.0)
+        share = self_s / total if total else 0.0
+        line = (f"{name:<32} {int(stats.get('count', 0)):>7} "
+                f"{self_s:>8.3f} {share:>6.1%} "
+                f"{stats.get('self_p50_ms', 0.0):>8.2f} "
+                f"{stats.get('self_p90_ms', 0.0):>8.2f} "
+                f"{stats.get('self_p99_ms', 0.0):>8.2f}")
+        if baseline is not None:
+            base_stats = baseline.phases.get(name)
+            if base_stats is None:
+                line += f" {'new':>9}"
+            else:
+                delta = (stats.get("self_p90_ms", 0.0)
+                         - base_stats.get("self_p90_ms", 0.0))
+                line += f" {delta:>+9.2f}"
+        print(line)
+    if baseline is not None:
+        gone = sorted(set(baseline.phases) - set(record.phases))
+        if gone:
+            print("phases only in baseline: " + ", ".join(gone))
+    return 0
+
+
 def cmd_regress(args: argparse.Namespace) -> int:
     """The regression gate: candidate vs pinned baseline, exit 1 on
     regression."""
@@ -660,13 +751,16 @@ def cmd_regress(args: argparse.Namespace) -> int:
                    backend=args.backend)
         candidate = registry.latest(1)[0]
         print(f"recorded candidate sweep as {candidate.run_id}")
-    policy = RegressionPolicy(
+    policy_kwargs = dict(
         max_coverage_drop=args.max_coverage_drop,
         max_phase_time_increase=args.max_phase_time_increase,
         require_same_config=not args.ignore_comparability,
         require_same_corpus=not args.ignore_comparability,
         max_replay_divergences=args.max_replay_divergences,
     )
+    if getattr(args, "coverage_key", None):
+        policy_kwargs["coverage_keys"] = tuple(args.coverage_key)
+    policy = RegressionPolicy(**policy_kwargs)
     report = check_regression(baseline, candidate, policy)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -1000,10 +1094,9 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sweep = sub.add_parser(name, help=help_text)
         _add_sweep_flags(sweep)
-        if name != "study":
-            sweep.add_argument("--static-cache", metavar="DIR",
-                               help="content-addressed cache of the "
-                                    "static phase under DIR")
+        sweep.add_argument("--static-cache", metavar="DIR",
+                           help="content-addressed cache of the "
+                                "static phase under DIR")
         sweep.set_defaults(func=func)
 
     cache = sub.add_parser(
@@ -1042,6 +1135,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="diff: emit the structured JSON diff")
     runs.set_defaults(func=cmd_runs)
 
+    profile = sub.add_parser(
+        "profile",
+        help="top phases by p90 self time from a run record",
+    )
+    profile.add_argument("record", nargs="?", default=None,
+                         help="run id (in the registry) or record JSON "
+                              "file; omitted: the latest registry record")
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                         help="phases to show (default 10)")
+    profile.add_argument("--diff", metavar="BASELINE", default=None,
+                         help="also show per-phase p90 deltas against "
+                              "this run id or record file")
+    profile.add_argument("--dir", metavar="DIR", default=None,
+                         help="registry directory (default "
+                              "$FRAGDROID_RUNS_DIR or "
+                              "~/.cache/fragdroid/runs)")
+    profile.set_defaults(func=cmd_profile)
+
     regress = sub.add_parser(
         "regress",
         help="gate a candidate run against a baseline record",
@@ -1064,6 +1175,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default=0.25,
                          help="relative increase allowed in a phase's "
                               "share of total self time (default 0.25)")
+    regress.add_argument("--coverage-key", metavar="KEY",
+                         action="append", default=None,
+                         help="gate this coverage key instead of the "
+                              "default sweep keys (repeatable; e.g. "
+                              "apps_per_second for bench records)")
     regress.add_argument("--max-replay-divergences", type=int, default=0,
                          help="replayed scripts allowed to diverge in a "
                               "replay candidate record (default 0: any "

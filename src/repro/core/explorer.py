@@ -489,7 +489,7 @@ class _Run:
                              name=activity)
         self._paths.setdefault(activity, item.operations)
         for fragment in snapshot.fragments:
-            if fragment_node(fragment) not in self.aftm.visited:
+            if not self.aftm.is_visited(fragment_node(fragment)):
                 self._trace("visit", f"fragment {fragment}")
                 self.events.emit(
                     STATE_DISCOVERED, step=self.device.steps,
@@ -509,7 +509,7 @@ class _Run:
                                      activity=activity, enqueued=enqueued)
         for fragment in snapshot.fragments:
             node = fragment_node(fragment)
-            if node in self.aftm.visited:
+            if self.aftm.is_visited(node):
                 continue
             with self.tracer.span("explorer.case2", app=self.package,
                                   fragment=fragment):
@@ -530,7 +530,7 @@ class _Run:
         enqueued = 0
         for fragment in self.info.dependency.get(activity, ()):
             node = fragment_node(fragment)
-            if node in self.aftm.visited:
+            if self.aftm.is_visited(node):
                 continue
             self.queue.push(
                 item.extended("reflection", node, reflect_op(fragment))
@@ -696,10 +696,12 @@ class _Run:
             self.events.emit(API_OBSERVED, step=inv.step, app=self.package,
                              api=inv.api, component=inv.component.cls)
         visited_activities = {
-            n.name for n in self.aftm.visited if n.kind is NodeKind.ACTIVITY
+            n.name for n in self.aftm.iter_visited()
+            if n.kind is NodeKind.ACTIVITY
         }
         visited_fragments = {
-            n.name for n in self.aftm.visited if n.kind is NodeKind.FRAGMENT
+            n.name for n in self.aftm.iter_visited()
+            if n.kind is NodeKind.FRAGMENT
         }
         degradation = self._degradation()
         return ExplorationResult(

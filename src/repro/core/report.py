@@ -26,7 +26,7 @@ def aftm_to_dict(aftm: AFTM) -> Dict:
         "entry": aftm.entry.name if aftm.entry else None,
         "activities": sorted(n.name for n in aftm.activities),
         "fragments": sorted(n.name for n in aftm.fragments),
-        "visited": sorted(n.name for n in aftm.visited),
+        "visited": sorted(n.name for n in aftm.iter_visited()),
         "edges": [
             {
                 "src": edge.src.name,
@@ -37,7 +37,7 @@ def aftm_to_dict(aftm: AFTM) -> Dict:
                 "host": edge.host,
                 "trigger": edge.trigger,
             }
-            for edge in sorted(aftm.edges)
+            for edge in sorted(aftm.iter_edges())
         ],
     }
 
@@ -69,7 +69,7 @@ def aftm_from_json(text: str) -> AFTM:
             trigger=edge.get("trigger", "static"),
         )
     visited = set(data.get("visited", ()))
-    for node in list(aftm.nodes):
+    for node in list(aftm.iter_nodes()):
         if node.name in visited:
             aftm.mark_visited(node)
     return aftm

@@ -521,25 +521,34 @@ class RunRegistry:
         Numeric leaves are flattened to dotted keys in ``coverage``, so
         bench trajectories diff with the same machinery as sweeps.
         """
-        source = pathlib.Path(path)
-        payload = json.loads(source.read_text(encoding="utf-8"))
-        name = str(payload.get("bench", source.stem))
-        data = payload.get("data")
-        if not isinstance(data, dict):
-            raise ValueError(f"{source}: not a bench result file "
-                             "(no 'data' object)")
-        record = RunRecord(
-            label=f"bench:{name}",
-            coverage=_flatten_numeric(data),
-            meta={
-                "source": source.name,
-                "bench_schema": payload.get("schema"),
-                "created": round(source.stat().st_mtime, 3),
-            },
-        )
-        record.run_id = record.compute_id()
+        record = record_from_bench(path)
         self.record(record)
         return record
+
+
+def record_from_bench(path) -> RunRecord:
+    """A :class:`RunRecord` view of one bench-result JSON file, without
+    storing it — the same flattening :meth:`RunRegistry.ingest_bench`
+    applies, so a committed bench baseline and an ingested candidate
+    always carry comparable coverage keys."""
+    source = pathlib.Path(path)
+    payload = json.loads(source.read_text(encoding="utf-8"))
+    name = str(payload.get("bench", source.stem))
+    data = payload.get("data")
+    if not isinstance(data, dict):
+        raise ValueError(f"{source}: not a bench result file "
+                         "(no 'data' object)")
+    record = RunRecord(
+        label=f"bench:{name}",
+        coverage=_flatten_numeric(data),
+        meta={
+            "source": source.name,
+            "bench_schema": payload.get("schema"),
+            "created": round(source.stat().st_mtime, 3),
+        },
+    )
+    record.run_id = record.compute_id()
+    return record
 
 
 def _flatten_numeric(data: Dict, prefix: str = "") -> Dict[str, float]:

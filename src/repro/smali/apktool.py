@@ -20,7 +20,7 @@ from repro.apk.package import ApkPackage
 from repro.apk.resources import ResourceTable
 from repro.errors import PackedApkError
 from repro.smali.assemble import parse_class
-from repro.smali.model import SmaliClass
+from repro.smali.model import INVOKE_OPCODES, SmaliClass
 
 
 class _ClassIndex:
@@ -56,6 +56,60 @@ class _ClassIndex:
         return [cls for _, cls in matches]
 
 
+def _instantiated_in(cls: SmaliClass) -> set:
+    """Operands this class creates or type-tests: ``new-instance`` /
+    ``instance-of`` operands plus receivers of ``newInstance()`` calls."""
+    instantiated: set = set()
+    for method in cls.methods:
+        for instruction in method.instructions:
+            opcode = instruction.opcode
+            if opcode in ("new-instance", "instance-of"):
+                instantiated.add(instruction.args[-1])
+            elif opcode in INVOKE_OPCODES:
+                ref = instruction.method
+                if ref.name == "newInstance":
+                    instantiated.add(ref.cls)
+    return instantiated
+
+
+class _ReferenceIndex:
+    """Reverse-reference and instantiation structures for one ``classes``
+    list snapshot.
+
+    Section IV-B.2's effective-fragment fixed point asks, per fragment
+    per round, "who references this class?" and "does that referrer
+    actually instantiate it?".  Answering by rescanning every class made
+    the loop O(rounds × fragments × classes).  This index walks the
+    class list once: ``owners_by_target`` maps each referenced class to
+    its referring outer classes (original list order, first-seen dedup,
+    self-references excluded — exactly what the per-target scan
+    produced), and ``instantiated_by_id`` records, per class object, the
+    operands of ``new-instance``/``instance-of`` plus the receivers of
+    ``newInstance()`` calls."""
+
+    __slots__ = ("size", "owners_by_target", "instantiated_by_id",
+                 "unit_instantiations")
+
+    def __init__(self, classes: List[SmaliClass]) -> None:
+        self.size = len(classes)
+        owners_by_target: Dict[str, List[str]] = {}
+        instantiated_by_id: Dict[int, set] = {}
+        for cls in classes:
+            owner = cls.outer_name or cls.name
+            for target in cls.referenced_classes():
+                bucket = owners_by_target.get(target)
+                if bucket is None:
+                    owners_by_target[target] = bucket = []
+                if owner != target and owner not in bucket:
+                    bucket.append(owner)
+            instantiated_by_id[id(cls)] = _instantiated_in(cls)
+        self.owners_by_target = owners_by_target
+        self.instantiated_by_id = instantiated_by_id
+        # Per-referrer union of the class itself plus its inner classes,
+        # filled lazily by DecodedApk.instantiates.
+        self.unit_instantiations: Dict[str, set] = {}
+
+
 @dataclass
 class DecodedApk:
     """The output directory of an ``apktool d`` run, as structured data."""
@@ -89,6 +143,36 @@ class DecodedApk:
         """All ``Name$...`` companions of a class (Algorithm 2's
         ``getInnerClass``)."""
         return self._index().prefix_matches(name + "$")
+
+    def _ref_index(self) -> _ReferenceIndex:
+        index = self.__dict__.get("_reference_index")
+        if index is None or index.size != len(self.classes):
+            index = _ReferenceIndex(self.classes)
+            self.__dict__["_reference_index"] = index
+        return index
+
+    def referencing_owners(self, target: str) -> List[str]:
+        """Outer classes (including via their inner classes) containing a
+        statement of ``target`` — first-seen order, self excluded."""
+        return list(self._ref_index().owners_by_target.get(target, ()))
+
+    def instantiates(self, referrer: str, target: str) -> bool:
+        """True when ``referrer`` (or one of its inner classes) creates
+        ``target``: ``new T()``, ``T.newInstance()`` or ``instanceof``."""
+        index = self._ref_index()
+        unit = index.unit_instantiations.get(referrer)
+        if unit is None:
+            members = (
+                [self.class_by_name(referrer)] if self.has_class(referrer)
+                else []
+            )
+            members.extend(self.inner_classes_of(referrer))
+            unit = set()
+            for cls in members:
+                known = index.instantiated_by_id.get(id(cls))
+                unit |= known if known is not None else _instantiated_in(cls)
+            index.unit_instantiations[referrer] = unit
+        return target in unit
 
 
 class Apktool:

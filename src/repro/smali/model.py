@@ -9,8 +9,10 @@ descriptors (``Lcom/foo/Bar;``) at the text boundary.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SmaliError
 
@@ -64,6 +66,7 @@ _PRIMITIVES = {
 _PRIMITIVES_REV = {v: k for k, v in _PRIMITIVES.items()}
 
 
+@lru_cache(maxsize=None)
 def jvm_type(java: str) -> str:
     """``com.foo.Bar`` → ``Lcom/foo/Bar;`` (primitives map to letters)."""
     if java.endswith("[]"):
@@ -73,14 +76,20 @@ def jvm_type(java: str) -> str:
     return "L" + java.replace(".", "/") + ";"
 
 
+@lru_cache(maxsize=None)
 def java_name(descriptor: str) -> str:
-    """``Lcom/foo/Bar;`` → ``com.foo.Bar``."""
+    """``Lcom/foo/Bar;`` → ``com.foo.Bar``.
+
+    Cached: the same handful of type descriptors recur across every
+    class in a corpus, and ``lru_cache`` never caches the SmaliError
+    raised for malformed descriptors.
+    """
     if descriptor.startswith("["):
         return java_name(descriptor[1:]) + "[]"
     if descriptor in _PRIMITIVES_REV:
         return _PRIMITIVES_REV[descriptor]
     if descriptor.startswith("L") and descriptor.endswith(";"):
-        return descriptor[1:-1].replace("/", ".")
+        return sys.intern(descriptor[1:-1].replace("/", "."))
     raise SmaliError(f"bad type descriptor: {descriptor!r}")
 
 
@@ -94,26 +103,47 @@ class MethodRef:
     ret: str = "void"
 
     def descriptor(self) -> str:
-        params = "".join(jvm_type(p) for p in self.params)
-        return f"{jvm_type(self.cls)}->{self.name}({params}){jvm_type(self.ret)}"
+        # Memoized per instance: refs are frozen, so the rendered text can
+        # never go stale, and the printer asks for it on every emit.
+        cached = self.__dict__.get("_descriptor")
+        if cached is None:
+            params = "".join(jvm_type(p) for p in self.params)
+            cached = f"{jvm_type(self.cls)}->{self.name}({params}){jvm_type(self.ret)}"
+            object.__setattr__(self, "_descriptor", cached)
+        return cached
 
     @classmethod
     def parse(cls, text: str) -> "MethodRef":
+        # Interning table: the same textual ref appears across thousands of
+        # classes in a corpus, so parse each spelling once and share the
+        # frozen instance.  Errors are never cached — a malformed ref
+        # raises the same SmaliError every time.
+        if cls is MethodRef:
+            cached = _PARSED_REFS.get(text)
+            if cached is not None:
+                return cached
         try:
             owner, rest = text.split("->", 1)
             name, rest = rest.split("(", 1)
             params_str, ret = rest.split(")", 1)
         except ValueError:
             raise SmaliError(f"bad method reference: {text!r}") from None
-        return cls(
+        ref = cls(
             cls=java_name(owner),
-            name=name,
+            name=sys.intern(name),
             params=tuple(java_name(d) for d in _split_descriptors(params_str)),
             ret=java_name(ret),
         )
+        if cls is MethodRef:
+            _PARSED_REFS[text] = ref
+        return ref
 
     def __str__(self) -> str:
         return self.descriptor()
+
+
+# MethodRef.parse interning table (text spelling → shared parsed ref).
+_PARSED_REFS: Dict[str, "MethodRef"] = {}
 
 
 def _split_descriptors(text: str) -> List[str]:
@@ -196,12 +226,28 @@ class SmaliMethod:
     instructions: List[Instruction] = field(default_factory=list)
 
     def emit(self, opcode: str, *args: object) -> Instruction:
-        instruction = Instruction(opcode, tuple(args))
+        # Intern emitted instructions: the compiler emits the same
+        # (opcode, operands) shapes across every app in a corpus, and
+        # Instruction is frozen, so sharing one object is safe and lets
+        # the printer memoize rendered text per instance.
+        key = (opcode, args)
+        try:
+            instruction = _EMITTED.get(key)
+        except TypeError:  # unhashable operand — build a one-off
+            instruction = Instruction(opcode, args)
+        else:
+            if instruction is None:
+                instruction = Instruction(opcode, args)
+                _EMITTED[key] = instruction
         self.instructions.append(instruction)
         return instruction
 
     def invokes(self) -> List[MethodRef]:
         return [i.method for i in self.instructions if i.is_invoke]
+
+
+# SmaliMethod.emit interning table ((opcode, args) → shared instruction).
+_EMITTED: Dict[Tuple[str, Tuple[object, ...]], Instruction] = {}
 
 
 @dataclass

@@ -249,6 +249,36 @@ class AFTM:
     def edges(self) -> Set[Transition]:
         return set(self._edges)
 
+    # The ``nodes``/``edges``/``visited`` properties return defensive set
+    # copies — right for callers that mutate the model while looping, but
+    # an O(n) allocation per access in hot loops.  The ``iter_*`` views
+    # and counts below read the internal sets directly; callers must not
+    # mutate the model while consuming them.
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Non-copying view of the node set (unordered)."""
+        return iter(self._nodes)
+
+    def iter_edges(self) -> Iterator[Transition]:
+        """Non-copying view of the edge set (unordered)."""
+        return iter(self._edges)
+
+    def iter_visited(self) -> Iterator[Node]:
+        """Non-copying view of the visited set (unordered)."""
+        return iter(self._visited)
+
+    def is_visited(self, node: Node) -> bool:
+        """Membership probe that skips the ``visited`` copy."""
+        return node in self._visited
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    @property
+    def visited_count(self) -> int:
+        return len(self._visited)
+
     def edges_of_kind(self, kind: EdgeKind) -> List[Transition]:
         return sorted(e for e in self._edges if e.kind is kind)
 

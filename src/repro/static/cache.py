@@ -75,12 +75,12 @@ def _aftm_to_dict(aftm: AFTM) -> Dict:
     return {
         "package": aftm.package,
         "entry": _node_to_list(aftm.entry) if aftm.entry else None,
-        "nodes": [_node_to_list(n) for n in sorted(aftm.nodes)],
+        "nodes": [_node_to_list(n) for n in sorted(aftm.iter_nodes())],
         "edges": [
             [_node_to_list(e.src), _node_to_list(e.dst), e.host, e.trigger]
-            for e in sorted(aftm.edges)
+            for e in sorted(aftm.iter_edges())
         ],
-        "visited": [_node_to_list(n) for n in sorted(aftm.visited)],
+        "visited": [_node_to_list(n) for n in sorted(aftm.iter_visited())],
     }
 
 
@@ -179,6 +179,7 @@ class StaticCache:
         self.memory_entries = memory_entries
         self._lock = threading.Lock()
         self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+        self._notes: Dict[str, Dict[str, str]] = {}
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -211,6 +212,68 @@ class StaticCache:
         with self._lock:
             self.stores += 1
         self._bump_disk_stats("stores")
+
+    # -- digest-keyed notes ------------------------------------------------
+
+    def load_notes(self, kind: str) -> Dict[str, str]:
+        """All notes of one kind, keyed by APK digest.
+
+        Notes are small derived facts (e.g. the usage study's
+        packed/fragments/plain classification) that are cheaper than a
+        full :class:`StaticInfo` but just as content-addressed.  One
+        batch load serves a whole sweep: callers look digests up in the
+        returned dict and tally the outcome via :meth:`count_lookups`.
+        """
+        with self._lock:
+            memory = dict(self._notes.get(kind, {}))
+        if self.directory is None:
+            return memory
+        try:
+            payload = json.loads(
+                (self.directory / f"notes-{kind}.json").read_text(
+                    encoding="utf-8")
+            )
+            if payload.get("schema") != CACHE_SCHEMA:
+                return memory
+            disk = payload.get("notes", {})
+            if not isinstance(disk, dict):
+                return memory
+            merged = {str(k): str(v) for k, v in disk.items()}
+            merged.update(memory)
+            return merged
+        except (OSError, ValueError, AttributeError):
+            return memory
+
+    def store_notes(self, kind: str, notes: Dict[str, str]) -> None:
+        """Merge freshly computed notes into the store (one write)."""
+        if not notes:
+            return
+        with self._lock:
+            self._notes.setdefault(kind, {}).update(notes)
+            self.stores += len(notes)
+        self._bump_disk_stats("stores", len(notes))
+        if self.directory is None:
+            return
+        merged = self.load_notes(kind)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps(
+                {"schema": CACHE_SCHEMA, "kind": kind, "notes": merged},
+                sort_keys=True,
+            )
+            self._atomic_write(self.directory / f"notes-{kind}.json", payload)
+        except OSError:
+            pass  # a read-only or full disk degrades to memory-only
+
+    def count_lookups(self, hits: int = 0, misses: int = 0) -> None:
+        """Tally batched lookups (note-style lookups bypass lookup())."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+        if hits:
+            self._bump_disk_stats("hits", hits)
+        if misses:
+            self._bump_disk_stats("misses", misses)
 
     # -- memory tier -------------------------------------------------------
 
@@ -275,7 +338,7 @@ class StaticCache:
 
     # -- stats / maintenance ----------------------------------------------
 
-    def _bump_disk_stats(self, key: str) -> None:
+    def _bump_disk_stats(self, key: str, count: int = 1) -> None:
         """Best-effort persistent tallies for ``repro cache stats``."""
         if self.directory is None:
             return
@@ -286,7 +349,7 @@ class StaticCache:
                 stats = json.loads(path.read_text(encoding="utf-8"))
             except (OSError, ValueError):
                 stats = {}
-            stats[key] = int(stats.get(key, 0)) + 1
+            stats[key] = int(stats.get(key, 0)) + count
             self._atomic_write(path, json.dumps(stats, sort_keys=True))
         except OSError:
             pass
@@ -294,10 +357,12 @@ class StaticCache:
     def stats(self) -> Dict[str, object]:
         """Hits/misses/stores plus entry counts and disk footprint."""
         with self._lock:
+            lookups = self.hits + self.misses
             stats: Dict[str, object] = {
                 "hits": self.hits,
                 "misses": self.misses,
                 "stores": self.stores,
+                "hit_rate": (self.hits / lookups) if lookups else 0.0,
                 "memory_entries": len(self._memory),
             }
         stats["directory"] = (str(self.directory)
@@ -320,6 +385,12 @@ class StaticCache:
             persisted = self.persistent_stats(self.directory)
             for key in ("hits", "misses", "stores"):
                 stats[f"lifetime_{key}"] = persisted.get(key, 0)
+            lifetime_lookups = (persisted.get("hits", 0)
+                                + persisted.get("misses", 0))
+            stats["lifetime_hit_rate"] = (
+                persisted.get("hits", 0) / lifetime_lookups
+                if lifetime_lookups else 0.0
+            )
         return stats
 
     @staticmethod
@@ -339,6 +410,7 @@ class StaticCache:
         with self._lock:
             removed = len(self._memory)
             self._memory.clear()
+            self._notes.clear()
         if self.directory is not None and self.directory.is_dir():
             for path in self.directory.glob("*.json"):
                 try:

@@ -40,12 +40,36 @@ _RE_NEW_INSTANCE = re.compile(r"([\w.$]+)\.newInstance\(")
 _RE_INSTANCEOF = re.compile(r"instanceof\s+([\w.$]+)")
 
 
+# A line can only match one of the patterns above if it contains one of
+# these substrings: every pattern embeds a literal "new" (``new Intent``,
+# ``new F1()``, ``.newInstance``), ".set" (``.setClass``/``.setAction``)
+# or "instanceof".  Substring scans are C-speed; the regexes are not.
+_PREFILTER = ("new", ".set", "instanceof")
+
+
 def decompiled_unit(decoded: DecodedApk, decompiler: JavaDecompiler,
                     class_name: str) -> str:
-    """The ``.java`` file for a top-level class: itself plus inner classes."""
-    outer = decoded.class_by_name(class_name)
-    inners = decoded.inner_classes_of(class_name)
-    return decompiler.decompile_unit(outer, inners)
+    """The ``.java`` file for a top-level class: itself plus inner classes.
+
+    Memoized per decoded APK (``JavaDecompiler`` is stateless, so the
+    text depends only on the class list): activities and fragments that
+    share inner classes — and repeated Algorithm 1/2/3 passes over the
+    same component — never re-decompile.  The memo is invalidated when
+    the class list changes size, mirroring the ``_ClassIndex`` policy.
+    """
+    size = len(decoded.classes)
+    cache = decoded.__dict__.get("_unit_cache")
+    if cache is None or cache[0] != size:
+        cache = (size, {})
+        decoded.__dict__["_unit_cache"] = cache
+    units = cache[1]
+    unit = units.get(class_name)
+    if unit is None:
+        outer = decoded.class_by_name(class_name)
+        inners = decoded.inner_classes_of(class_name)
+        unit = decompiler.decompile_unit(outer, inners)
+        units[class_name] = unit
+    return unit
 
 
 def build_aftm(
@@ -94,18 +118,22 @@ def _edges_from_activity(
 ) -> None:
     package = decoded.package
     for line in unit.splitlines():
-        for match in _iter_matches((_RE_INTENT_CLASS, _RE_SET_CLASS), line):
-            target = _qualify(match, package)
-            if target in activities and target != activity:
-                aftm.add_transition(
-                    activity_node(activity), activity_node(target)
-                )
-        for match in _iter_matches((_RE_INTENT_ACTION, _RE_SET_ACTION), line):
-            for decl in decoded.manifest.resolve_action(match):
-                if decl.name in activities and decl.name != activity:
+        if not _may_match(line):
+            continue
+        has_intentish = "Intent" in line or ".set" in line
+        if has_intentish:
+            for match in _iter_matches((_RE_INTENT_CLASS, _RE_SET_CLASS), line):
+                target = _qualify(match, package)
+                if target in activities and target != activity:
                     aftm.add_transition(
-                        activity_node(activity), activity_node(decl.name)
+                        activity_node(activity), activity_node(target)
                     )
+            for match in _iter_matches((_RE_INTENT_ACTION, _RE_SET_ACTION), line):
+                for decl in decoded.manifest.resolve_action(match):
+                    if decl.name in activities and decl.name != activity:
+                        aftm.add_transition(
+                            activity_node(activity), activity_node(decl.name)
+                        )
         for match in _fragment_statements(line, package, fragments):
             aftm.add_transition(
                 activity_node(activity), fragment_node(match),
@@ -136,13 +164,18 @@ def _edges_from_fragment(
                         activity_node(host), activity_node(target)
                     )
 
-    for line in unit.splitlines():
+    # One split, two passes: intent edges first, then fragment edges —
+    # preserving the historical per-pass match (and edge append) order.
+    lines = unit.splitlines()
+    for line in lines:
+        if "Intent" not in line and ".set" not in line:
+            continue
         for match in _iter_matches((_RE_INTENT_CLASS, _RE_SET_CLASS), line):
             _add_host_edges(_qualify(match, package))
         for match in _iter_matches((_RE_INTENT_ACTION, _RE_SET_ACTION), line):
             for decl in decoded.manifest.resolve_action(match):
                 _add_host_edges(decl.name)
-    for line in unit.splitlines():
+    for line in lines:
         for target in _fragment_statements(line, _package_of(fragment), fragments):
             if target == fragment:
                 continue
@@ -160,6 +193,11 @@ def _edges_from_fragment(
 
 # -- helpers -------------------------------------------------------------------------
 
+def _may_match(line: str) -> bool:
+    """Cheap substring prefilter: False means no pattern can match."""
+    return "new" in line or ".set" in line or "instanceof" in line
+
+
 def _iter_matches(patterns: Tuple[re.Pattern, ...], line: str) -> Iterable[str]:
     for pattern in patterns:
         for match in pattern.finditer(line):
@@ -168,6 +206,8 @@ def _iter_matches(patterns: Tuple[re.Pattern, ...], line: str) -> Iterable[str]:
 
 def _fragment_statements(line: str, package: str,
                          fragments: Set[str]) -> Iterable[str]:
+    if "new" not in line and "instanceof" not in line:
+        return
     for match in _RE_NEW_FRAGMENT.finditer(line):
         name = _qualify(match.group(1), package)
         if name in fragments:

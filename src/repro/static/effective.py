@@ -63,14 +63,13 @@ def fragment_subclasses(decoded: DecodedApk) -> List[str]:
 def referencing_classes(decoded: DecodedApk,
                         target: str) -> List[str]:
     """Outer classes (including via their inner classes) that contain a
-    statement of ``target``."""
-    out: List[str] = []
-    for cls in decoded.classes:
-        if target in cls.referenced_classes():
-            owner = cls.outer_name or cls.name
-            if owner != target and owner not in out:
-                out.append(owner)
-    return out
+    statement of ``target``.
+
+    Served from the decoded APK's reverse-reference index: one pass over
+    the class list answers every target, instead of rescanning all
+    classes per query inside the effective-fragment fixed point.
+    """
+    return decoded.referencing_owners(target)
 
 
 def effective_fragments(decoded: DecodedApk,
@@ -93,7 +92,7 @@ def effective_fragments(decoded: DecodedApk,
             if fragment in effective:
                 continue
             for referrer in referencing_classes(decoded, fragment):
-                is_instantiation = _has_instantiation(decoded, referrer, fragment)
+                is_instantiation = decoded.instantiates(referrer, fragment)
                 if not is_instantiation:
                     continue
                 if referrer in activity_set or referrer in effective:
@@ -107,20 +106,9 @@ def _has_instantiation(decoded: DecodedApk, referrer: str,
                        fragment: str) -> bool:
     """True when ``referrer`` (or an inner class of it) actually creates
     the fragment — ``new F()``, ``F.newInstance()`` or ``instanceof`` —
-    rather than merely extending it."""
-    units = [decoded.class_by_name(referrer)] if decoded.has_class(referrer) else []
-    units.extend(decoded.inner_classes_of(referrer))
-    for cls in units:
-        for method in cls.methods:
-            for instruction in method.instructions:
-                if instruction.opcode in ("new-instance", "instance-of"):
-                    if instruction.args[-1] == fragment:
-                        return True
-                elif instruction.is_invoke:
-                    ref = instruction.method
-                    if ref.cls == fragment and ref.name == "newInstance":
-                        return True
-    return False
+    rather than merely extending it.  Answered from the decoded APK's
+    per-unit instantiation index."""
+    return decoded.instantiates(referrer, fragment)
 
 
 def fragment_hosts(decoded: DecodedApk, activities: List[str],

@@ -21,11 +21,11 @@ def to_networkx(aftm: AFTM) -> "nx.DiGraph":
     name, with ``kind``/``visited`` attributes; edges carry ``kind``,
     ``host`` and ``trigger``)."""
     graph = nx.DiGraph(package=aftm.package)
-    visited = {n.name for n in aftm.visited}
-    for node in aftm.nodes:
+    visited = {n.name for n in aftm.iter_visited()}
+    for node in aftm.iter_nodes():
         graph.add_node(node.name, kind=node.kind.value,
                        visited=node.name in visited)
-    for edge in aftm.edges:
+    for edge in aftm.iter_edges():
         graph.add_edge(edge.src.name, edge.dst.name,
                        kind=edge.kind.name, host=edge.host,
                        trigger=edge.trigger)
@@ -74,10 +74,10 @@ def compute_metrics(aftm: AFTM) -> AftmMetrics:
             graph, aftm.entry.name
         )
         diameter = max(lengths.values(), default=0)
-    edges = aftm.edges
+    edge_count = aftm.edge_count
     dynamic = sum(
-        1 for e in edges if e.trigger not in ("static", "reflection",
-                                              "forced-start")
+        1 for e in aftm.iter_edges()
+        if e.trigger not in ("static", "reflection", "forced-start")
     )
     return AftmMetrics(
         activities=len(aftm.activities),
@@ -86,10 +86,10 @@ def compute_metrics(aftm: AFTM) -> AftmMetrics:
         e2=len(aftm.edges_of_kind(EdgeKind.E2)),
         e3=len(aftm.edges_of_kind(EdgeKind.E3)),
         reachable_ratio=len(reachable) / total if total else 0.0,
-        visited_ratio=len(aftm.visited) / total if total else 0.0,
+        visited_ratio=aftm.visited_count / total if total else 0.0,
         diameter=diameter,
         max_out_degree=max(
-            (len(aftm.successors(n)) for n in aftm.nodes), default=0
+            (len(aftm.successors(n)) for n in aftm.iter_nodes()), default=0
         ),
-        dynamic_edge_ratio=dynamic / len(edges) if edges else 0.0,
+        dynamic_edge_ratio=dynamic / edge_count if edge_count else 0.0,
     )

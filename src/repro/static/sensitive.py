@@ -157,6 +157,9 @@ SENSITIVE_API_CATALOG: Tuple[SensitiveApi, ...] = (
 assert len(SENSITIVE_API_CATALOG) == 46, "Table II lists exactly 46 APIs"
 
 _BY_NAME: Dict[str, SensitiveApi] = {a.name: a for a in SENSITIVE_API_CATALOG}
+_BY_REF: Dict[MethodRef, SensitiveApi] = {
+    a.method: a for a in SENSITIVE_API_CATALOG
+}
 _BY_METHOD: Dict[str, SensitiveApi] = {
     a.method.descriptor(): a for a in SENSITIVE_API_CATALOG
 }
@@ -175,8 +178,16 @@ def method_for_api(name: str) -> MethodRef:
 
 
 def api_for_method(ref: MethodRef) -> Optional[str]:
-    """Reverse lookup: is this invoke target a hooked sensitive API?"""
-    api = _BY_METHOD.get(ref.descriptor())
+    """Reverse lookup: is this invoke target a hooked sensitive API?
+
+    Keyed on the (frozen, hashable) ``MethodRef`` itself so the scanner's
+    per-invoke probe never materialises a descriptor string; the
+    descriptor-keyed map remains as a fallback for refs built from
+    non-canonical type spellings.
+    """
+    api = _BY_REF.get(ref)
+    if api is None:
+        api = _BY_METHOD.get(ref.descriptor())
     return api.name if api else None
 
 

@@ -180,3 +180,32 @@ def test_summary_and_dot():
     assert "|A|=2 |F|=3" in model.summary()
     dot = model.to_dot()
     assert "digraph" in dot and '"A0" -> "A1"' in dot
+
+
+def test_iteration_views_match_copying_properties():
+    aftm = AFTM("com.app", entry=activity_node("com.app.Main"))
+    aftm.add_transition(activity_node("com.app.Main"),
+                        activity_node("com.app.Second"))
+    aftm.add_transition(activity_node("com.app.Main"),
+                        fragment_node("com.app.ListFragment"))
+    aftm.mark_visited(activity_node("com.app.Main"))
+    assert set(aftm.iter_nodes()) == aftm.nodes
+    assert set(aftm.iter_edges()) == aftm.edges
+    assert set(aftm.iter_visited()) == aftm.visited
+    assert aftm.edge_count == len(aftm.edges)
+    assert aftm.visited_count == len(aftm.visited)
+    assert aftm.is_visited(activity_node("com.app.Main"))
+    assert not aftm.is_visited(activity_node("com.app.Second"))
+
+
+def test_iteration_views_do_not_copy():
+    aftm = AFTM("com.app", entry=activity_node("com.app.Main"))
+    # The copying properties return fresh sets; the views expose the
+    # live internals (documented contract: don't mutate while iterating).
+    assert aftm.nodes is not aftm.nodes
+    iterator = aftm.iter_nodes()
+    aftm.add_node(activity_node("com.app.Second"))
+    # Consuming a stale iterator after mutation raises, proving it was
+    # a live view rather than a snapshot.
+    with pytest.raises(RuntimeError):
+        list(iterator)

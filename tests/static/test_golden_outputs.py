@@ -1,0 +1,55 @@
+"""Byte-identical static outputs against a committed golden fixture.
+
+``golden/static_outputs.json`` was captured from the pipeline *before*
+the profile-driven rewrite (single-pass lexer, fused pattern scanner,
+interned symbols, batched digests).  Every Table-I app and a 60-app
+market sample must still produce the exact same APK digests and the
+exact same canonical ``StaticInfo`` serialization — the optimizations
+are only allowed to change how fast the answers arrive, never the
+answers.  Regenerate the fixture only for *intentional* model changes.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.apk.builder import build_apk
+from repro.corpus.market import generate_market
+from repro.corpus.table1_apps import build_table1_app, table1_packages
+from repro.static.cache import static_info_to_dict
+from repro.static.extractor import extract_static_info
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "static_outputs.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def _static_sha(info) -> str:
+    canonical = json.dumps(static_info_to_dict(info), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@pytest.mark.parametrize("package", sorted(GOLDEN["table1"]))
+def test_table1_outputs_byte_identical(package):
+    golden = GOLDEN["table1"][package]
+    apk = build_apk(build_table1_app(package))
+    assert apk.digest() == golden["apk_digest"]
+    info = extract_static_info(apk)
+    assert len(info.activities) == golden["activities"]
+    assert len(info.fragments) == golden["fragments"]
+    assert len(info.aftm.edges) == golden["edges"]
+    assert _static_sha(info) == golden["static_sha256"]
+
+
+def test_market_sample_outputs_byte_identical():
+    apps = {app.package: app for app in generate_market(count=60, seed=2018)}
+    assert set(apps) == set(GOLDEN["market"])
+    for package, golden in sorted(GOLDEN["market"].items()):
+        apk = apps[package].build()
+        assert apk.digest() == golden["apk_digest"], package
+        if golden.get("packed"):
+            continue
+        info = extract_static_info(apk)
+        assert _static_sha(info) == golden["static_sha256"], package

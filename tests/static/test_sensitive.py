@@ -52,3 +52,13 @@ def test_static_scan_finds_planted_apis(demo_apk):
     assert "location/getAllProviders" in home_apis
     settings = info.static_api_map.get("com.example.demo.SettingsActivity", [])
     assert "storage/sdcard" in settings
+
+
+def test_api_for_method_matches_descriptor_spelled_refs():
+    # A ref reconstructed from its descriptor (the smali scanner's path)
+    # must resolve identically to the catalog's own MethodRef object.
+    from repro.smali.model import MethodRef
+
+    for api in SENSITIVE_API_CATALOG:
+        reparsed = MethodRef.parse(api.method.descriptor())
+        assert api_for_method(reparsed) == api.name

@@ -654,3 +654,85 @@ def test_jobs_cli_submit_needs_apps(capsys, monkeypatch):
     monkeypatch.setenv("FRAGDROID_SERVE_URL", "http://127.0.0.1:1")
     code, out = run_cli(capsys, "jobs", "submit")
     assert code == 2 and "app names" in out
+
+
+# ---------------------------------------------------------------------------
+# Static cache in the sweeps, profile, and the bench-file regress gate
+# ---------------------------------------------------------------------------
+
+def test_study_with_static_cache_reports_hit_rate(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    code, out = run_cli(capsys, "study", "--static-cache", cache_dir)
+    assert code == 0
+    assert "hit rate 0%" in out
+    code, out = run_cli(capsys, "study", "--static-cache", cache_dir)
+    assert code == 0
+    assert "217 hits" in out
+    assert "hit rate 100%" in out
+
+
+def test_cache_stats_shows_lifetime_hit_rate(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    run_cli(capsys, "study", "--static-cache", cache_dir)
+    run_cli(capsys, "study", "--static-cache", cache_dir)
+    code, out = run_cli(capsys, "cache", "stats", "--dir", cache_dir)
+    assert code == 0
+    assert "lifetime hit rate: 50%" in out
+
+
+def test_profile_from_record_file(capsys):
+    code, out = run_cli(capsys, "profile",
+                        "benchmarks/baselines/table1_baseline.json",
+                        "--top", "3")
+    assert code == 0
+    assert "top 3 phases by p90 self time" in out
+    assert "p90_ms" in out
+    # Ranked by p90, so the first data row carries the largest value.
+    rows = [line for line in out.splitlines()
+            if line and not line.startswith(("run ", "phase"))]
+    assert len(rows) == 3
+
+
+def test_profile_diff_shows_deltas(capsys):
+    baseline = "benchmarks/baselines/table1_baseline.json"
+    code, out = run_cli(capsys, "profile", baseline, "--diff", baseline)
+    assert code == 0
+    assert "Δp90_ms" in out
+    assert "+0.00" in out  # identical records diff to zero
+
+
+def test_profile_empty_registry_exits_2(capsys, tmp_path):
+    code, out = run_cli(capsys, "profile", "--dir", str(tmp_path / "runs"))
+    assert code == 2
+    assert "no run records" in out
+
+
+def test_regress_accepts_bench_result_files(capsys, tmp_path):
+    baseline = "benchmarks/baselines/static_perf_baseline.json"
+    code, out = run_cli(
+        capsys, "regress",
+        "--baseline", baseline, "--candidate", baseline,
+        "--coverage-key", "apps_per_second",
+        "--max-coverage-drop", "0.25",
+        "--dir", str(tmp_path / "runs"),
+    )
+    assert code == 0
+    assert "PASS" in out
+
+
+def test_regress_gates_bench_throughput_drop(capsys, tmp_path):
+    slow = tmp_path / "slow.json"
+    slow.write_text(json.dumps({
+        "schema": 1, "bench": "static_perf_market",
+        "data": {"apps": 217, "apps_per_second": 100.0},
+    }))
+    code, out = run_cli(
+        capsys, "regress",
+        "--baseline", "benchmarks/baselines/static_perf_baseline.json",
+        "--candidate", str(slow),
+        "--coverage-key", "apps_per_second",
+        "--max-coverage-drop", "0.25",
+        "--dir", str(tmp_path / "runs"),
+    )
+    assert code == 1
+    assert "apps_per_second" in out
