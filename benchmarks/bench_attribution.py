@@ -1,0 +1,92 @@
+"""Attribution cost pin: explaining a sweep is post-hoc and ~free.
+
+The coverage-attribution engine (``repro.obs.attribution``) promises to
+be pure after-the-fact analysis — it must never make running the sweep
+meaningfully more expensive.  Two pins:
+
+* explaining the Table-I sweep's outcomes costs under 5% of the sweep's
+  own wall time;
+* at the 217-app study population (the Section VII-A scale), the cost
+  stays under 5% of the correspondingly scaled sweep time — attribution
+  is linear in the universe, with no super-linear cliff.
+
+Same stable methodology as ``bench_obs_overhead``: wall-time one real
+sweep, wall-time the explanation of its outcomes, compare shares.
+"""
+
+from time import perf_counter
+
+from repro import FragDroidConfig
+from repro.bench import explore_many
+from repro.obs import EventLog
+from repro.obs.attribution import explain_outcomes
+
+#: The usage-study population (Section VII-A: 217 top market apps).
+STUDY_APPS = 217
+
+
+def test_attribution_cost_share(benchmark, save_result, save_result_json):
+    explore_many(max_workers=1)  # warm caches before timing
+
+    config = FragDroidConfig(event_log=EventLog())
+    start = perf_counter()
+    outcomes = benchmark.pedantic(
+        explore_many, kwargs={"config": config, "max_workers": 1},
+        rounds=1, iterations=1)
+    sweep_seconds = perf_counter() - start
+
+    start = perf_counter()
+    explanation = explain_outcomes(outcomes, label="bench")
+    explain_seconds = perf_counter() - start
+    share = explain_seconds / sweep_seconds
+
+    # The engine's own contracts hold on the benchmark corpus too:
+    # deterministic (same outcomes, same content id) and total (no
+    # unclassified fallback).
+    assert explanation.explanation_id == \
+        explain_outcomes(outcomes, label="bench").explanation_id
+    assert not explanation.unclassified()
+    assert explanation.targets, "the sweep left nothing to explain"
+
+    # Scale the universe to the 217-app study population by cycling the
+    # Table-I outcomes; the sweep time scales with the app count, so
+    # the share must hold there too.
+    packages = sorted(outcomes)
+    study_outcomes = {
+        f"{packages[i % len(packages)]}.study{i:03d}":
+            outcomes[packages[i % len(packages)]]
+        for i in range(STUDY_APPS)
+    }
+    start = perf_counter()
+    study = explain_outcomes(study_outcomes, label="bench-study")
+    study_seconds = perf_counter() - start
+    study_sweep_seconds = sweep_seconds * (STUDY_APPS / len(packages))
+    study_share = study_seconds / study_sweep_seconds
+    assert len(study.apps) == STUDY_APPS
+
+    lines = [
+        f"table-I sweep wall time:        {sweep_seconds:8.3f} s",
+        f"explaining its outcomes:        {explain_seconds:8.3f} s "
+        f"({share:.2%} of the sweep; budget: 5%)",
+        f"unreached targets explained:    {len(explanation.targets):8d}",
+        f"study-scale apps explained:     {len(study.apps):8d}",
+        f"study-scale attribution:        {study_seconds:8.3f} s "
+        f"({study_share:.2%} of the scaled sweep; budget: 5%)",
+    ]
+    save_result("attribution_cost", "\n".join(lines))
+    save_result_json("attribution_cost", {
+        "sweep_seconds": round(sweep_seconds, 4),
+        "explain_seconds": round(explain_seconds, 4),
+        "explain_share": round(share, 6),
+        "targets": len(explanation.targets),
+        "study_apps": len(study.apps),
+        "study_explain_seconds": round(study_seconds, 4),
+        "study_explain_share": round(study_share, 6),
+    })
+    assert share < 0.05, (
+        f"explaining the sweep costs {share:.2%} of running it"
+    )
+    assert study_share < 0.05, (
+        f"study-scale attribution costs {study_share:.2%} of the "
+        f"scaled sweep"
+    )

@@ -425,10 +425,13 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     from repro.obs import render_dashboard_dir
 
     history = None
+    explanations = None
     if getattr(args, "registry", None):
+        from repro.obs.dashboard import load_explanations
         from repro.obs.registry import RunRegistry
 
         history = RunRegistry(args.registry).latest(args.trend)
+        explanations = load_explanations(args.registry)
     if getattr(args, "journal", None):
         from repro.obs.dashboard import render_service_dashboard
         from repro.serve import JobJournal
@@ -439,13 +442,15 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
             return 1
         journal = JobJournal(journal_dir)
         html = render_service_dashboard(journal.jobs(), journal_dir,
-                                        records=history, history=history)
+                                        records=history, history=history,
+                                        explanations=explanations)
     elif args.directory is None:
         print("dashboard needs a run directory (or --journal DIR)")
         return 1
     else:
         try:
-            html = render_dashboard_dir(args.directory, history=history)
+            html = render_dashboard_dir(args.directory, history=history,
+                                        explanations=explanations)
         except FileNotFoundError as exc:
             print(exc)
             return 1
@@ -554,6 +559,29 @@ def _resolve_record(registry, ref: str):
     return registry.load(ref)
 
 
+def _print_diff_attribution(registry, baseline, candidate) -> None:
+    """Append the attribution delta to a textual ``runs diff`` when
+    both records have stored explanations; silent otherwise."""
+    from repro.obs import ExplanationStore, newly_unreached
+
+    store = ExplanationStore(registry.directory)
+    try:
+        base_exp = store.load(baseline.run_id)
+        cand_exp = store.load(candidate.run_id)
+    except (KeyError, ValueError, OSError):
+        return
+    fresh = newly_unreached(base_exp, cand_exp)
+    recovered = newly_unreached(cand_exp, base_exp)
+    if not fresh and not recovered:
+        return
+    print(f"attribution: {len(fresh)} newly unreached, "
+          f"{len(recovered)} newly reached")
+    for miss in fresh:
+        print(f"  - now unreached ({miss.cause}): {miss.kind} {miss.name}")
+    for miss in recovered:
+        print(f"  + now reached: {miss.kind} {miss.name}")
+
+
 def cmd_runs(args: argparse.Namespace) -> int:
     """The longitudinal run registry: list / show / diff / gc / pin /
     ingest."""
@@ -621,6 +649,7 @@ def cmd_runs(args: argparse.Namespace) -> int:
             print(json.dumps(diff.to_dict(), indent=2))
         else:
             print(diff.render_text(changed_only=not args.all))
+            _print_diff_attribution(registry, baseline, candidate)
         return 0
     if args.action == "pin":
         if not need(1, "one run id"):
@@ -722,6 +751,93 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Why every unreached target stayed unreached: a typed cause,
+    witness path and blocking widget per missed activity / fragment /
+    sensitive API, from a stored explanation, a saved run directory,
+    or a fresh Table-I sweep."""
+    import pathlib
+
+    from repro.obs import ExplanationStore, render_explanation
+    from repro.obs.attribution import explain_outcomes, explain_run_dir
+
+    registry = _open_registry(args)
+    store = ExplanationStore(registry.directory)
+    if args.table1:
+        from repro.bench.parallel import explore_many
+        from repro.corpus import TABLE1_PLANS
+        from repro.obs import EventLog, Tracer
+
+        # The event log feeds the classifier's dynamic record (clicks,
+        # quarantines, termination); without it causes degrade to the
+        # static-only ladder.
+        config = FragDroidConfig(tracer=Tracer(), event_log=EventLog(),
+                                 run_registry=registry)
+        outcomes = explore_many(TABLE1_PLANS, config=config,
+                                max_workers=args.workers,
+                                backend=args.backend)
+        record = registry.latest(1)[0]
+        explanation = explain_outcomes(outcomes, label="table1",
+                                       source_run_id=record.run_id)
+        store.save(explanation)
+        print(f"recorded sweep as {record.run_id}; stored explanation "
+              f"{explanation.explanation_id} under {store.directory}",
+              file=sys.stderr)
+    elif args.ref is None:
+        print("explain needs a stored run id, a saved run directory, "
+              "or --table1")
+        return 2
+    else:
+        path = pathlib.Path(args.ref)
+        if path.is_dir():
+            try:
+                explanation = explain_run_dir(path)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"cannot explain run directory {args.ref!r}: {exc}")
+                return 2
+        else:
+            try:
+                explanation = store.load(args.ref)
+            except (KeyError, ValueError, OSError) as exc:
+                print(f"cannot load explanation {args.ref!r}: {exc}")
+                return 2
+    if args.json:
+        print(explanation.to_json(), end="")
+    else:
+        print(render_explanation(explanation, target=args.target,
+                                 top=args.top), end="")
+    return 0
+
+
+def _print_newly_unreached(registry, baseline, candidate, report) -> None:
+    """After a coverage violation, name the targets that regressed.
+
+    Needs stored explanations for both records (``repro explain
+    --table1`` or the live ``repro regress`` path writes them); silent
+    when either side has none — the gate's verdict is unaffected.
+    """
+    if not any(v.kind == "coverage" for v in report.violations):
+        return
+    from repro.obs import ExplanationStore, newly_unreached
+
+    store = ExplanationStore(registry.directory)
+    try:
+        base_exp = store.load(baseline.run_id)
+        cand_exp = store.load(candidate.run_id)
+    except (KeyError, ValueError, OSError):
+        return
+    fresh = newly_unreached(base_exp, cand_exp)
+    if not fresh:
+        return
+    print(f"newly unreached targets ({len(fresh)}):")
+    for miss in fresh:
+        widget = (f" (widget {miss.blocking_widget})"
+                  if miss.blocking_widget else "")
+        print(f"  - {miss.cause}: {miss.kind} {miss.name}{widget}")
+    print("  (drill down with `repro explain "
+          f"{cand_exp.source_run_id} --target NAME`)")
+
+
 def cmd_regress(args: argparse.Namespace) -> int:
     """The regression gate: candidate vs pinned baseline, exit 1 on
     regression."""
@@ -744,13 +860,22 @@ def cmd_regress(args: argparse.Namespace) -> int:
             return 2
     else:
         # No candidate named: run the Table-I sweep now and gate on it.
-        from repro.obs import Tracer
+        from repro.bench.parallel import explore_many
+        from repro.corpus import TABLE1_PLANS
+        from repro.obs import EventLog, ExplanationStore, Tracer
+        from repro.obs.attribution import explain_outcomes
 
-        config = FragDroidConfig(tracer=Tracer(), run_registry=registry)
-        run_table1(config=config, max_workers=args.workers,
-                   backend=args.backend)
+        config = FragDroidConfig(tracer=Tracer(), event_log=EventLog(),
+                                 run_registry=registry)
+        outcomes = explore_many(TABLE1_PLANS, config=config,
+                                max_workers=args.workers,
+                                backend=args.backend)
         candidate = registry.latest(1)[0]
         print(f"recorded candidate sweep as {candidate.run_id}")
+        # Attribution rides along: store the candidate's explanation so
+        # a coverage drop below names the newly unreached targets.
+        ExplanationStore(registry.directory).save(explain_outcomes(
+            outcomes, label="table1", source_run_id=candidate.run_id))
     policy_kwargs = dict(
         max_coverage_drop=args.max_coverage_drop,
         max_phase_time_increase=args.max_phase_time_increase,
@@ -766,6 +891,7 @@ def cmd_regress(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render_text())
+        _print_newly_unreached(registry, baseline, candidate, report)
     if args.record_out:
         out = pathlib.Path(args.record_out)
         try:
@@ -1152,6 +1278,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "$FRAGDROID_RUNS_DIR or "
                               "~/.cache/fragdroid/runs)")
     profile.set_defaults(func=cmd_profile)
+
+    explain = sub.add_parser(
+        "explain",
+        help="why every unreached target stayed unreached",
+    )
+    explain.add_argument("ref", nargs="?", default=None,
+                         help="run id with a stored explanation, or a "
+                              "saved run directory (`explore --save`)")
+    explain.add_argument("--table1", action="store_true",
+                         help="run the Table-I sweep now, record it, and "
+                              "store + print its explanation")
+    explain.add_argument("--target", metavar="NAME", default=None,
+                         help="drill into one unreached target (full "
+                              "name, simple name, or API name)")
+    explain.add_argument("--top", type=int, default=0, metavar="N",
+                         help="miss-table rows to show (default 0: all)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the explanation artifact JSON")
+    explain.add_argument("--dir", metavar="DIR", default=None,
+                         help="registry directory (default "
+                              "$FRAGDROID_RUNS_DIR or "
+                              "~/.cache/fragdroid/runs)")
+    _add_sweep_flags(explain)
+    explain.set_defaults(func=cmd_explain)
 
     regress = sub.add_parser(
         "regress",

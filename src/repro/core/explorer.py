@@ -312,14 +312,16 @@ class _Run:
         attach operations to discovered paths (the BFS order of the
         model is preserved through FIFO processing)."""
         entry = self.aftm.entry
-        self.queue.push(
-            UIQueueItem(
-                method="launch",
-                start=None,
-                target=entry,
-                operations=(launch_op(),),
+        with self.tracer.span("explorer.queue", app=self.package,
+                              op="seed"):
+            self.queue.push(
+                UIQueueItem(
+                    method="launch",
+                    start=None,
+                    target=entry,
+                    operations=(launch_op(),),
+                )
             )
-        )
 
     def drain_queue(self) -> None:
         while self.queue and not self._budget_exhausted():
@@ -340,16 +342,21 @@ class _Run:
     def enqueue_forced_starts(self) -> None:
         """Section VI-C: forcibly invoke unvisited Activities through
         empty Intents."""
-        for node in self.aftm.unvisited_activities():
-            component = f"{self.package}/{node.name}"
-            self.queue.push(
-                UIQueueItem(
-                    method="forced-start",
-                    start=None,
-                    target=node,
-                    operations=(force_start_op(component),),
+        with self.tracer.span("explorer.queue", app=self.package,
+                              op="forced-start") as span:
+            enqueued = 0
+            for node in self.aftm.unvisited_activities():
+                component = f"{self.package}/{node.name}"
+                self.queue.push(
+                    UIQueueItem(
+                        method="forced-start",
+                        start=None,
+                        target=node,
+                        operations=(force_start_op(component),),
+                    )
                 )
-            )
+                enqueued += 1
+            span.set_attribute("enqueued", enqueued)
 
     def _budget_exhausted(self) -> bool:
         return self.device.steps >= self.config.max_events
@@ -432,7 +439,9 @@ class _Run:
         self._requeued_items += 1
         self.stats.restarts += 1
         self.tracer.inc("resilience.requeues")
-        self.queue.requeue(item)
+        with self.tracer.span("explorer.queue", app=self.package,
+                              op="requeue"):
+            self.queue.requeue(item)
         self._trace("requeue", f"restart {restarts + 1}: {item}")
         self.events.emit(CRASH_RECOVERY, step=self.device.steps,
                          app=self.package, action="requeue",

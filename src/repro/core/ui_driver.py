@@ -73,46 +73,51 @@ class UiDriver:
             )
 
     def snapshot(self) -> UiSnapshot:
-        widgets = self.solo.get_current_views()
-        widget_ids = tuple(w.widget_id for w in widgets)
-        overlay = None
-        drawer = False
-        for widget in widgets:
-            if widget.layer in ("dialog", "popup"):
-                overlay = widget.layer
-            elif widget.layer == "drawer":
-                drawer = True
-        fragments = frozenset(
-            self.info.resource_dep.identify_fragments(list(widget_ids))
-        )
-        return UiSnapshot(
-            activity=self.solo.get_current_activity(),
-            fragments=fragments,
-            widget_ids=widget_ids,
-            overlay=overlay,
-            drawer_open=drawer,
-        )
+        with self.tracer.span("ui.snapshot", app=self.info.package) as span:
+            widgets = self.solo.get_current_views()
+            widget_ids = tuple(w.widget_id for w in widgets)
+            overlay = None
+            drawer = False
+            for widget in widgets:
+                if widget.layer in ("dialog", "popup"):
+                    overlay = widget.layer
+                elif widget.layer == "drawer":
+                    drawer = True
+            fragments = frozenset(
+                self.info.resource_dep.identify_fragments(list(widget_ids))
+            )
+            span.set_attribute("widgets", len(widget_ids))
+            return UiSnapshot(
+                activity=self.solo.get_current_activity(),
+                fragments=fragments,
+                widget_ids=widget_ids,
+                overlay=overlay,
+                drawer_open=drawer,
+            )
 
     def fill_inputs(self) -> List[Operation]:
         """Complete the input fields of the current interface (Case 3:
         'FragDroid will complete the input fields').  Returns the
         equivalent operations for test-case extension."""
         operations: List[Operation] = []
-        for widget in self.solo.get_current_views():
-            if not widget.accepts_text:
-                continue
-            if self._generator is not None:
-                value = self._generator.value_for(widget)
-            elif self.use_input_file:
-                value = self.info.input_dep.value_for(widget.widget_id)
-            else:
-                value = DEFAULT_TEXT
-            self.solo.enter_text(widget.widget_id, value)
-            self.tracer.inc("inputs.filled")
-            self.events.emit(INPUT_GENERATED, step=self.solo.device.steps,
-                             app=self.info.package, widget=widget.widget_id,
-                             value=value, strategy=self.input_strategy)
-            operations.append(text_op(widget.widget_id, value))
+        with self.tracer.span("ui.fill_inputs", app=self.info.package):
+            for widget in self.solo.get_current_views():
+                if not widget.accepts_text:
+                    continue
+                if self._generator is not None:
+                    value = self._generator.value_for(widget)
+                elif self.use_input_file:
+                    value = self.info.input_dep.value_for(widget.widget_id)
+                else:
+                    value = DEFAULT_TEXT
+                self.solo.enter_text(widget.widget_id, value)
+                self.tracer.inc("inputs.filled")
+                self.events.emit(INPUT_GENERATED,
+                                 step=self.solo.device.steps,
+                                 app=self.info.package,
+                                 widget=widget.widget_id,
+                                 value=value, strategy=self.input_strategy)
+                operations.append(text_op(widget.widget_id, value))
         return operations
 
     def dismiss_overlay(self) -> None:

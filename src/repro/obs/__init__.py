@@ -29,7 +29,10 @@ The analysis half replays a recorded run offline:
 * ``repro.obs.registry`` / ``repro.obs.diff`` / ``repro.obs.regress``
   — the longitudinal layer: persistent content-addressed run records,
   structured run-to-run diffs, and the deterministic regression gate
-  behind ``repro regress``.
+  behind ``repro regress``;
+* ``repro.obs.attribution`` — the coverage attribution engine: a typed
+  cause, witness path and nearest visited ancestor for every unreached
+  activity, fragment and sensitive API (``repro explain``).
 
 Everything is opt-in: the default ``FragDroidConfig.tracer`` /
 ``event_log`` are the shared :data:`NULL_TRACER` /
@@ -39,11 +42,28 @@ numbers are unchanged (``benchmarks/bench_obs_overhead.py`` holds both
 no-op paths under 5% of a Table-I sweep).
 """
 
+from repro.obs.attribution import (
+    CAUSES,
+    CoverageExplanation,
+    ExplanationStore,
+    MissTarget,
+    classify_app,
+    classify_result,
+    explain_outcomes,
+    explain_result,
+    explain_run_dir,
+    fleet_cause_census,
+    newly_unreached,
+    render_explanation,
+    top_blocking_widgets,
+)
 from repro.obs.dashboard import (
     RunData,
+    load_explanations,
     load_fleet,
     load_run,
     queue_depth_series,
+    render_attribution_section,
     render_dashboard,
     render_dashboard_dir,
     render_fleet_table,
@@ -54,8 +74,12 @@ from repro.obs.dashboard import (
 )
 from repro.obs.diff import AppDelta, Delta, RecordDiff, diff_records
 from repro.obs.events import (
+    ALL_EVENT_KINDS,
+    ATTRIBUTION_EVENT_KINDS,
     EVENT_KINDS,
+    EXPLORATION_EVENT_KINDS,
     NULL_EVENT_LOG,
+    SERVE_EVENT_KINDS,
     Event,
     EventLog,
     NullEventLog,
@@ -116,17 +140,24 @@ from repro.obs.timeline import (
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "ALL_EVENT_KINDS",
+    "ATTRIBUTION_EVENT_KINDS",
     "AppDelta",
+    "CAUSES",
+    "CoverageExplanation",
     "CoveragePoint",
     "Delta",
     "EVENT_KINDS",
+    "EXPLORATION_EVENT_KINDS",
     "Event",
     "EventLog",
+    "ExplanationStore",
     "FlameNode",
     "HistogramStats",
     "InMemorySink",
     "JsonlSink",
     "Metrics",
+    "MissTarget",
     "NULL_EVENT_LOG",
     "NULL_METRICS",
     "NULL_TRACER",
@@ -139,6 +170,7 @@ __all__ = [
     "RunData",
     "RunRecord",
     "RunRegistry",
+    "SERVE_EVENT_KINDS",
     "Span",
     "SpanSink",
     "SpanStat",
@@ -149,6 +181,8 @@ __all__ = [
     "build_trees",
     "capture_run_record",
     "check_regression",
+    "classify_app",
+    "classify_result",
     "collapsed_stacks",
     "corpus_digest_of",
     "coverage_curve_from_trace",
@@ -158,16 +192,24 @@ __all__ = [
     "diff_records",
     "discovery_stats",
     "event_census",
+    "explain_outcomes",
+    "explain_result",
+    "explain_run_dir",
+    "fleet_cause_census",
+    "load_explanations",
     "load_fleet",
     "load_record",
     "load_run",
+    "newly_unreached",
     "percentile",
     "prometheus_text",
     "queue_depth_series",
     "read_events",
     "read_spans",
+    "render_attribution_section",
     "render_dashboard",
     "render_dashboard_dir",
+    "render_explanation",
     "render_fleet_table",
     "render_service_dashboard",
     "render_service_section",
@@ -179,5 +221,6 @@ __all__ = [
     "stalls",
     "time_to_fraction",
     "timing_rows",
+    "top_blocking_widgets",
     "top_slowest",
 ]

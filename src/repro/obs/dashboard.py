@@ -540,11 +540,13 @@ def _discovery_tiles(events: Sequence[Event]) -> str:
 
 def render_dashboard(run: RunData,
                      fleet: Optional[Sequence[RunData]] = None,
-                     history: Optional[Sequence] = None) -> str:
+                     history: Optional[Sequence] = None,
+                     explanations: Optional[Sequence] = None) -> str:
     """One self-contained HTML page for one recorded run.
 
     ``history`` — run-registry records (oldest first) — adds the
-    longitudinal trend section."""
+    longitudinal trend section; ``explanations`` — stored coverage
+    explanations — the miss-cause section."""
     sections: List[str] = [
         f"<h1>FragDroid flight recorder</h1>"
         f'<p class="sub">Run: <strong>{_esc(run.package)}</strong> '
@@ -576,6 +578,8 @@ def render_dashboard(run: RunData,
             f"<h2>Fleet ({len(fleet)} apps)</h2>"
             + render_fleet_table(fleet_rows(fleet))
         )
+    if explanations is not None:
+        sections.append(render_attribution_section(explanations))
     if history is not None:
         sections.append(render_trend_section(history))
     body = "\n".join(sections)
@@ -645,9 +649,11 @@ def render_fleet_table(rows: Sequence[Dict]) -> str:
 
 def render_fleet_dashboard(runs: Sequence[RunData],
                            path: PathLike,
-                           history: Optional[Sequence] = None) -> str:
+                           history: Optional[Sequence] = None,
+                           explanations: Optional[Sequence] = None) -> str:
     """A fleet page: aggregate tiles plus the per-app table (and the
-    registry trend section when ``history`` records are given)."""
+    registry trend / miss-cause sections when records or explanations
+    are given)."""
     total_activities = sum(_visited(r.report, "activities") for r in runs)
     total_fragments = sum(_visited(r.report, "fragments") for r in runs)
     crashes = sum(r.report.get("stats", {}).get("crashes", 0) for r in runs)
@@ -665,6 +671,8 @@ def render_fleet_dashboard(runs: Sequence[RunData],
         f'<div class="tiles">{"".join(tiles)}</div>'
         f"<h2>Per-app results ({len(runs)} apps)</h2>"
         + render_fleet_table(fleet_rows(runs))
+        + (render_attribution_section(explanations)
+           if explanations is not None else "")
         + (render_trend_section(history) if history is not None else "")
     )
     return (
@@ -911,16 +919,84 @@ def _adversity_timeline(jobs: Sequence,
     )
 
 
+# ---------------------------------------------------------------------------
+# Attribution (miss causes) view
+# ---------------------------------------------------------------------------
+
+def load_explanations(registry_dir: PathLike) -> List:
+    """Every stored coverage explanation under a registry directory
+    (the ``explanations/`` store ``repro explain`` writes), sorted by
+    source run id.  Corrupt files are skipped, never fatal."""
+    from repro.obs.attribution import ExplanationStore
+
+    store = ExplanationStore(registry_dir)
+    explanations = []
+    for run_id in store.ids():
+        try:
+            explanations.append(store.load(run_id))
+        except (ValueError, KeyError, OSError):
+            continue
+    return explanations
+
+
+def render_attribution_section(explanations: Sequence) -> str:
+    """The miss-cause panel: why targets stayed unreached, across every
+    stored explanation — the fleet cause census plus the widgets
+    blocking the most targets (``repro explain`` has the per-target
+    drill-down)."""
+    from repro.obs.attribution import (
+        CAUSES,
+        fleet_cause_census,
+        top_blocking_widgets,
+    )
+
+    explanations = list(explanations)
+    if not explanations:
+        return ("<h2>Miss causes</h2>"
+                '<p class="empty">no stored coverage explanations — '
+                "create them with <code>repro explain --table1</code></p>")
+    census = fleet_cause_census(explanations)
+    missed = sum(census.values())
+    unclassified = census.get("unclassified", 0)
+    tiles = [
+        _tile("Explained runs", len(explanations)),
+        _tile("Unreached targets", missed),
+        _tile("Unclassified", unclassified,
+              "every miss has a typed cause" if not unclassified else ""),
+    ]
+    sections = [
+        "<h2>Miss causes</h2>",
+        f'<div class="tiles">{"".join(tiles)}</div>',
+    ]
+    census_rows = [[cause, census[cause]] for cause in CAUSES
+                   if census.get(cause)]
+    if census_rows:
+        sections.append("<h3>Cause census</h3>")
+        sections.append(_table([("Cause", False), ("Targets", True)],
+                               census_rows))
+    widgets = top_blocking_widgets(explanations)
+    if widgets:
+        sections.append("<h3>Top blocking widgets</h3>")
+        sections.append(_table(
+            [("Widget", False), ("Targets blocked", True)],
+            [[widget, count] for widget, count in widgets],
+        ))
+    return "\n".join(sections)
+
+
 def render_service_dashboard(jobs: Sequence,
                              path: PathLike,
                              records: Optional[Sequence] = None,
-                             history: Optional[Sequence] = None) -> str:
+                             history: Optional[Sequence] = None,
+                             explanations: Optional[Sequence] = None) -> str:
     """A standalone fleet-health page from a job journal
     (``repro dashboard --journal DIR``)."""
     body = (
         "<h1>FragDroid flight recorder — service fleet</h1>"
         f'<p class="sub">Journal: {_esc(path)}</p>'
         + render_service_section(jobs, records)
+        + (render_attribution_section(explanations)
+           if explanations is not None else "")
         + (render_trend_section(history) if history is not None else "")
     )
     return (
@@ -933,11 +1009,13 @@ def render_service_dashboard(jobs: Sequence,
 
 
 def render_dashboard_dir(directory: PathLike,
-                         history: Optional[Sequence] = None) -> str:
+                         history: Optional[Sequence] = None,
+                         explanations: Optional[Sequence] = None) -> str:
     """Dispatch: a single run directory renders the run page; a
     directory of run directories renders the fleet page.  ``history``
     (run-registry records, oldest first) adds the trend section to
-    either page."""
+    either page; ``explanations`` (stored coverage explanations, see
+    :func:`load_explanations`) adds the miss-cause section."""
     base = pathlib.Path(directory)
     if not base.is_dir():
         raise FileNotFoundError(
@@ -946,7 +1024,8 @@ def render_dashboard_dir(directory: PathLike,
             "directory of them"
         )
     if (base / "report.json").exists():
-        return render_dashboard(load_run(base), history=history)
+        return render_dashboard(load_run(base), history=history,
+                                explanations=explanations)
     runs = load_fleet(base)
     if not runs:
         raise FileNotFoundError(
@@ -955,5 +1034,7 @@ def render_dashboard_dir(directory: PathLike,
             "directory or a `repro batch` output directory"
         )
     if len(runs) == 1:
-        return render_dashboard(runs[0], history=history)
-    return render_fleet_dashboard(runs, base, history=history)
+        return render_dashboard(runs[0], history=history,
+                                explanations=explanations)
+    return render_fleet_dashboard(runs, base, history=history,
+                                  explanations=explanations)

@@ -52,12 +52,31 @@ JOB_WORKER_DIED = "job.worker.died"  # a sweep worker died (job, strikes)
 JOB_READMITTED = "job.readmitted"    # dead-chunk app re-admitted (job)
 JOB_ROUND = "job.round"              # one scheduler round swept (job, round)
 
-EVENT_KINDS = frozenset({
+# Coverage attribution (repro.obs.attribution): emitted by the post-hoc
+# explainer, never by the explorer itself, so default runs stay
+# byte-identical.
+ATTRIBUTION_COMPUTED = "attribution.computed"  # one app explained (causes)
+ATTRIBUTION_MISS = "attribution.miss"          # one unreached target (cause)
+
+# The canonical kind registry.  This tuple is THE list — docs and tests
+# import it rather than restating it, so adding a kind in one place
+# cannot drift (grouped: exploration, service-mode, attribution).
+EXPLORATION_EVENT_KINDS = (
     RUN_START, RUN_END, STATE_DISCOVERED, WIDGET_CLICKED, CASE_DECISION,
     REFLECTION_SWITCH, FORCED_START, INPUT_GENERATED, TRANSITION,
     FAULT_INJECTED, RETRY, QUARANTINE, CRASH_RECOVERY, API_OBSERVED,
+)
+SERVE_EVENT_KINDS = (
     JOB_STATE, JOB_APP_DONE, JOB_WORKER_DIED, JOB_READMITTED, JOB_ROUND,
-})
+)
+ATTRIBUTION_EVENT_KINDS = (
+    ATTRIBUTION_COMPUTED, ATTRIBUTION_MISS,
+)
+ALL_EVENT_KINDS = (
+    EXPLORATION_EVENT_KINDS + SERVE_EVENT_KINDS + ATTRIBUTION_EVENT_KINDS
+)
+
+EVENT_KINDS = frozenset(ALL_EVENT_KINDS)
 
 
 class Event:

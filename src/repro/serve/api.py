@@ -75,6 +75,7 @@ from repro.serve.stream import DEFAULT_BUFFER, EventBroker, event_matches
 
 _JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)$")
 _JOB_LOGS_PATH = re.compile(r"^/jobs/([0-9a-f]+)/logs$")
+_JOB_EXPLANATION_PATH = re.compile(r"^/jobs/([0-9a-f]+)/explanation$")
 _JOB_EVENTS_PATH = re.compile(r"^/jobs/([0-9a-f]+)/events$")
 _JOB_CANCEL_PATH = re.compile(r"^/jobs/([0-9a-f]+)/cancel$")
 
@@ -246,6 +247,27 @@ class ReproServer:
         return [event.to_dict() for event in self.event_log.events()
                 if event_matches(event, job.job_id, apps)]
 
+    def job_explanation(self, job_id: str) -> Dict:
+        """The job's coverage explanation (miss causes per unreached
+        target), computed at the terminal transition and stored next to
+        the job's run record."""
+        from repro.obs.attribution import ExplanationStore
+
+        job = self.queue.get(job_id)  # 404 on unknown ids
+        if not job.run_id:
+            raise JobStateError(
+                f"job {job_id} has no recorded run yet (state "
+                f"{job.state!r}) — explanations exist once the job is "
+                "terminal")
+        try:
+            explanation = ExplanationStore(
+                self.registry.directory).load(job.run_id)
+        except (KeyError, ValueError, OSError) as exc:
+            raise UnknownJobError(
+                f"no stored explanation for job {job_id} "
+                f"(run {job.run_id}): {exc}") from exc
+        return explanation.to_dict()
+
     def metrics_snapshot(self) -> Dict:
         """Counters *and* histogram summaries (count/sum/min/max/mean
         plus p50/p90/p99) — the /metrics JSON body."""
@@ -338,6 +360,11 @@ class _Handler(BaseHTTPRequestHandler):
         if match:
             return self._dispatch(lambda: self._json(
                 200, {"events": repro.job_logs(match.group(1))}))
+        match = _JOB_EXPLANATION_PATH.match(route)
+        if match:
+            return self._dispatch(lambda: self._json(
+                200, {"explanation":
+                      repro.job_explanation(match.group(1))}))
         match = _JOB_EVENTS_PATH.match(route)
         if match:
             return self._dispatch(lambda: self._stream_events(match.group(1)))

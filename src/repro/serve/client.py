@@ -113,6 +113,11 @@ class ServeClient:
     def logs(self, job_id: str) -> List[Dict]:
         return self._request("GET", f"/jobs/{job_id}/logs")["events"]
 
+    def explanation(self, job_id: str) -> Dict:
+        """The finished job's coverage explanation (miss causes)."""
+        return self._request(
+            "GET", f"/jobs/{job_id}/explanation")["explanation"]
+
     def cancel(self, job_id: str) -> Dict:
         return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
 

@@ -151,6 +151,11 @@ class Scheduler:
         self.tracer = tracer
         self.event_log = event_log
         self.wall = wall
+        # Live sweep outcomes per running job, so the terminal record
+        # can be explained (per-target miss causes) before the results
+        # are dropped.  Journal-resumed rows have no outcome — their
+        # apps are simply absent from the job's explanation.
+        self._live_outcomes: Dict[str, Dict[str, SweepOutcome]] = {}
 
     # -- the service loop ----------------------------------------------------
 
@@ -351,6 +356,8 @@ class Scheduler:
         row = sweep_rows({outcome.package: outcome})[0]
         row["apk_digest"] = outcome.apk_digest
         job.completed[outcome.package] = row
+        self._live_outcomes.setdefault(job.job_id, {})[
+            outcome.package] = outcome
         self.event_log.emit(JOB_APP_DONE, app=outcome.package,
                             job=job.job_id, ok=outcome.ok)
 
@@ -381,6 +388,7 @@ class Scheduler:
                                 max(0.0, job.finished - job.started))
         if state in (DONE, FAILED) and self.registry is not None:
             job.run_id = self._record_run(job)
+        self._live_outcomes.pop(job.job_id, None)
         self.journal.write(job)
         self._emit_state(job)
         self.tracer.inc(f"serve.jobs.{state}")
@@ -409,7 +417,27 @@ class Scheduler:
                 "degradation": job.degradation(),
             },
         )
-        return self.registry.record(record)
+        run_id = self.registry.record(record)
+        self._record_explanation(job, run_id)
+        return run_id
+
+    def _record_explanation(self, job: Job, run_id: str) -> None:
+        """Explain the job's misses and store the artifact next to its
+        run record, so ``GET /jobs/<id>/explanation`` and ``repro
+        explain <run id>`` answer from the same file.  Best-effort: an
+        attribution failure never fails the job."""
+        outcomes = self._live_outcomes.get(job.job_id) or {}
+        if not outcomes:
+            return
+        from repro.obs.attribution import ExplanationStore, explain_outcomes
+
+        try:
+            explanation = explain_outcomes(
+                outcomes, label="serve-job", source_run_id=run_id,
+                meta={"job_id": job.job_id}, event_log=self.event_log)
+            ExplanationStore(self.registry.directory).save(explanation)
+        except Exception:  # noqa: BLE001 - post-hoc analysis only
+            self.tracer.inc("serve.explanation.failed")
 
     def _emit_state(self, job: Job) -> None:
         self.event_log.emit(JOB_STATE, job=job.job_id, state=job.state,

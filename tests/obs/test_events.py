@@ -11,7 +11,14 @@ from repro.obs import (
     event_census,
     read_events,
 )
-from repro.obs.events import STATE_DISCOVERED, WIDGET_CLICKED
+from repro.obs.events import (
+    ALL_EVENT_KINDS,
+    ATTRIBUTION_EVENT_KINDS,
+    EXPLORATION_EVENT_KINDS,
+    SERVE_EVENT_KINDS,
+    STATE_DISCOVERED,
+    WIDGET_CLICKED,
+)
 
 
 def test_emit_assigns_monotonic_sequence_numbers():
@@ -82,9 +89,16 @@ def test_jsonl_lines_are_flushed_before_close(tmp_path):
 
 
 def test_all_kind_constants_are_registered():
+    # The grouped tuples are the single source of truth; the frozenset
+    # is derived from their concatenation, so the registry cannot drift.
     assert STATE_DISCOVERED in EVENT_KINDS
-    # 14 exploration kinds + 5 service-mode job kinds (repro.serve).
-    assert len(EVENT_KINDS) == 19
+    assert EVENT_KINDS == frozenset(ALL_EVENT_KINDS)
+    assert len(ALL_EVENT_KINDS) == len(EVENT_KINDS), "duplicate kind"
+    assert ALL_EVENT_KINDS == (EXPLORATION_EVENT_KINDS
+                               + SERVE_EVENT_KINDS
+                               + ATTRIBUTION_EVENT_KINDS)
+    for kind in ALL_EVENT_KINDS:
+        assert kind == kind.lower()
 
 
 def test_from_dict_tolerates_minimal_records():

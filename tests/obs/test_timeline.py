@@ -73,6 +73,70 @@ def test_time_to_fraction_empty_series():
     assert time_to_fraction(points, "apis", 0.5) is None
 
 
+def test_zero_event_run_degenerates_to_the_origin():
+    # A run that recorded nothing still yields a well-formed curve
+    # (the origin point), no stalls, and all-None discovery stats.
+    points = coverage_timeline([])
+    assert [p.to_dict() for p in points] == [
+        {"step": 0, "activities": 0, "fragments": 0, "fivas": 0, "apis": 0},
+    ]
+    assert stalls([]) == []
+    stats = discovery_stats([])
+    assert stats == {key: None for key in stats}
+
+
+def test_single_checkpoint_curve_reaches_every_fraction_at_once():
+    # One discovery and nothing else: every threshold of the series is
+    # met at that single checkpoint's step; untouched series stay None.
+    events = [_event(1, STATE_DISCOVERED, 7, component="activity",
+                     name="A")]
+    points = coverage_timeline(events)
+    assert len(points) == 2
+    for fraction in (0.1, 0.5, 0.9, 1.0):
+        assert time_to_fraction(points, "activities", fraction) == 7
+    assert time_to_fraction(points, "fragments", 0.5) is None
+    # The only plateau is the lead-in (0 -> 7): nothing follows the
+    # discovery, so there is no terminal stretch to count.
+    assert [(s.start_step, s.end_step) for s in stalls(events,
+                                                       min_events=1)] \
+        == [(0, 7)]
+
+
+def test_all_events_in_one_tick_only_stalls_on_the_lead_in():
+    # Every event landing on the same step means zero-width gaps: the
+    # only plateau left is the lead-in (0 -> 4), and raising the
+    # threshold past it leaves nothing.
+    events = [
+        _event(1, STATE_DISCOVERED, 4, component="activity", name="A"),
+        _event(2, STATE_DISCOVERED, 4, component="fragment", name="F",
+               hosts=["A"]),
+        _event(3, API_OBSERVED, 4, api="net/openConnection"),
+        _event(4, RUN_END, 4, termination="queue-drained"),
+    ]
+    assert [(s.start_step, s.end_step) for s in stalls(events,
+                                                       min_events=1)] \
+        == [(0, 4)]
+    assert stalls(events, min_events=5) == []
+    points = coverage_timeline(events)
+    assert [(p.step, p.activities, p.fragments, p.fivas) for p in points] \
+        == [(0, 0, 0, 0), (4, 1, 0, 0), (4, 1, 1, 1)]
+    stats = discovery_stats(events)
+    assert stats["activities_t50"] == 4
+    assert stats["fivas_t90"] == 4
+
+
+def test_stall_threshold_boundary_is_inclusive():
+    # A gap of exactly min_events counts; one event fewer does not.
+    events = [
+        _event(1, STATE_DISCOVERED, 10, component="activity", name="A"),
+        _event(2, RUN_END, 20, termination="budget-exhausted"),
+    ]
+    assert [(s.start_step, s.end_step) for s in stalls(events,
+                                                       min_events=10)] \
+        == [(0, 10), (10, 20)]
+    assert stalls(events, min_events=11) == []
+
+
 def test_event_curve_matches_trace_curve_on_a_real_run():
     # The acceptance invariant: the flight-recorder curve equals
     # artifacts.coverage_curve checkpoint for checkpoint.

@@ -293,3 +293,33 @@ def test_shutdown_endpoint_stops_the_service(tmp_path):
         threading.Event().wait(0.05)
     else:
         pytest.fail("service still answering after /shutdown")
+
+
+def test_job_explanation_is_served_once_terminal(server, client):
+    job = client.submit([ALPHA], max_events=200)
+    done = client.wait(job["job_id"], timeout_s=60.0)
+    assert done["state"] == "done"
+    explanation = client.explanation(job["job_id"])
+    assert explanation["schema"] == 1
+    assert explanation["source_run_id"] == done["run_id"]
+    assert [row["package"] for row in explanation["apps"]] == [ALPHA]
+    assert "unclassified" not in explanation["cause_census"]
+    assert explanation["meta"]["job_id"] == job["job_id"]
+
+    with pytest.raises(ServeClientError) as excinfo:
+        client.explanation("0" * 12)
+    assert excinfo.value.status == 404
+
+
+def test_job_explanation_before_any_run_is_a_409(tmp_path):
+    from repro.errors import JobStateError
+    from repro.serve import Job
+
+    server = ReproServer(journal_dir=tmp_path / "journal",
+                         registry_dir=tmp_path / "runs", port=0)
+    # The scheduler never starts, so the job stays queued: asking for
+    # its explanation is a typed state error (HTTP 409 over the wire).
+    job = Job(apps=[ALPHA], max_events=200)
+    server.queue.submit(job)
+    with pytest.raises(JobStateError, match="no recorded run"):
+        server.job_explanation(job.job_id)

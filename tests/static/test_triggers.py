@@ -1,0 +1,81 @@
+"""Static trigger recovery: which widget fires which AFTM edge."""
+
+from repro.apk import build_apk
+from repro.corpus import AppPlan, build_app
+from repro.static.extractor import extract_static_info
+from repro.static.triggers import (
+    LazyTriggerMap,
+    extract_trigger_map,
+    trigger_map_of,
+)
+
+
+def _info(plan):
+    return extract_static_info(build_apk(build_app(plan)))
+
+
+def test_click_wired_edges_have_bound_widgets():
+    info = _info(AppPlan("com.trig.bound", visited_activities=3))
+    trigger_map = extract_trigger_map(
+        info.decoded, info.activities, info.fragments)
+    bound = [b for b in trigger_map.bindings if b.bound]
+    assert bound, "plain click navigation must yield bound triggers"
+    for binding in bound:
+        assert binding.widget and not binding.widget.startswith("0x")
+        assert binding.targets
+        assert binding.source not in binding.targets
+        assert trigger_map.widget_for(
+            binding.source, binding.targets[0]) is not None
+
+
+def test_popup_menu_items_surface_as_unbound_listeners():
+    info = _info(AppPlan("com.trig.popup", visited_activities=2,
+                         popup_locked=1))
+    trigger_map = extract_trigger_map(
+        info.decoded, info.activities, info.fragments)
+    unbound = [b for b in trigger_map.bindings if not b.bound]
+    assert unbound, "popup items are constructed but never view-bound"
+    locked = [b for b in unbound
+              if any("Overflow" in t for t in b.targets)]
+    assert locked
+    source, target = locked[0].source, locked[0].targets[0]
+    assert trigger_map.widget_for(source, target) is None
+    assert trigger_map.unbound_for(source, target) is not None
+
+
+def test_lazy_map_answers_exactly_like_the_eager_one():
+    info = _info(AppPlan("com.trig.lazy", visited_activities=3,
+                         login_locked=1, popup_locked=1))
+    eager = extract_trigger_map(
+        info.decoded, info.activities, info.fragments)
+    lazy = LazyTriggerMap(info.decoded, info.activities, info.fragments)
+    queried = set()
+    for binding in eager.bindings:
+        for target in binding.targets:
+            queried.add((binding.source, target))
+            assert lazy.widget_for(binding.source, target) == \
+                eager.widget_for(binding.source, target)
+            assert lazy.bindings_for(binding.source, target) == \
+                eager.bindings_for(binding.source, target)
+    assert queried
+    # Only the queried sources were ever scanned.
+    assert set(lazy._by_source) == {source for source, _ in queried}
+
+
+def test_trigger_map_of_memoizes_and_degrades_without_decoded():
+    info = _info(AppPlan("com.trig.memo", visited_activities=2))
+    first = trigger_map_of(info)
+    assert first is not None
+    assert trigger_map_of(info) is first
+    info.decoded = None
+    assert trigger_map_of(info) is None
+
+
+def test_extraction_is_deterministic():
+    plan = AppPlan("com.trig.det", visited_activities=3, login_locked=1)
+    info_a, info_b = _info(plan), _info(plan)
+    map_a = extract_trigger_map(
+        info_a.decoded, info_a.activities, info_a.fragments)
+    map_b = extract_trigger_map(
+        info_b.decoded, info_b.activities, info_b.fragments)
+    assert map_a.bindings == map_b.bindings
